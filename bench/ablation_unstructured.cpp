@@ -1,0 +1,105 @@
+// Ablation (§3.2 closing argument): structured group deletion versus
+// traditional unstructured (magnitude) sparsity at MATCHED weight sparsity.
+//
+// The paper argues a randomly-sparse matrix cannot delete routing wires
+// because a wire survives while any weight in its group is nonzero. We
+// quantify that: run group deletion, measure the weight sparsity it reached
+// per matrix, magnitude-prune a copy of the rank-clipped network to the same
+// sparsity, and compare remaining wires. The analytic i.i.d. prediction
+// 1 − (1 − p)^G is printed alongside.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/string_util.hpp"
+#include "compress/connection_deletion.hpp"
+#include "compress/magnitude_prune.hpp"
+#include "data/batcher.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace gs;
+  bench::section("Ablation — structured deletion vs unstructured sparsity");
+
+  const bench::TrainedModel lenet = bench::trained_lenet(bench::iters(400));
+  const auto train_set = bench::mnist_train();
+  const auto test_set = bench::mnist_test();
+
+  // Rank-clipped starting point (paper ranks), two identical copies.
+  core::FactorizeSpec spec;
+  spec.keep_dense = {core::lenet_classifier()};
+  spec.ranks = {{"conv1", 5}, {"conv2", 12}, {"fc1", 36}};
+  nn::Network structured =
+      core::to_lowrank(const_cast<nn::Network&>(lenet.net), spec);
+  nn::Network unstructured =
+      core::to_lowrank(const_cast<nn::Network&>(lenet.net), spec);
+
+  // Structured: group connection deletion.
+  data::Batcher batcher(train_set, 25, Rng(95));
+  nn::SgdOptimizer opt({0.02f, 0.9f, 0.0f});
+  compress::DeletionConfig config;
+  config.lasso.lambda = 1e-1;
+  config.tech = hw::paper_technology();
+  config.train_iterations = bench::iters(350);
+  config.finetune_iterations = bench::iters(150);
+  config.record_interval = 0;
+  const compress::DeletionResult result =
+      compress::run_group_connection_deletion(structured, opt, batcher,
+                                              test_set, 0, config);
+
+  CsvWriter csv("bench_ablation_unstructured.csv",
+                {"matrix", "sparsity", "structured_wires", "random_wires",
+                 "analytic_random_wires"});
+  std::cout << pad("matrix", 10) << pad("sparsity", 10)
+            << pad("structured", 12) << pad("magnitude", 12)
+            << "analytic-random\n";
+
+  // Match sparsity per regularised matrix on the unstructured copy.
+  compress::GroupLassoRegularizer struct_reg(structured, config.tech,
+                                             config.lasso);
+  compress::GroupLassoRegularizer unstruct_reg(unstructured, config.tech,
+                                               config.lasso);
+  const auto& s_targets = struct_reg.targets();
+  const auto& u_targets = unstruct_reg.targets();
+  for (std::size_t t = 0; t < s_targets.size(); ++t) {
+    const Tensor& sw = s_targets[t].values();
+    Tensor& uw = u_targets[t].values();
+    const double sparsity = compress::sparsity_of(sw);
+    compress::apply_magnitude_pruning(uw, sparsity);
+
+    const hw::WireCount s_wires =
+        hw::count_routing_wires(sw, s_targets[t].grid);
+    const hw::WireCount u_wires =
+        hw::count_routing_wires(uw, u_targets[t].grid);
+
+    // Analytic prediction for i.i.d. random sparsity, averaged over the two
+    // group shapes of this tiling.
+    const double p = 1.0 - sparsity;
+    const hw::TileGrid& grid = s_targets[t].grid;
+    const double row_surv =
+        compress::expected_random_wire_survival(p, grid.tile.cols);
+    const double col_surv =
+        compress::expected_random_wire_survival(p, grid.tile.rows);
+    const double analytic =
+        (row_surv * grid.row_group_count() +
+         col_surv * grid.col_group_count()) /
+        grid.total_wires();
+
+    std::cout << pad(s_targets[t].name, 10) << pad(percent(sparsity), 10)
+              << pad(percent(s_wires.remaining_ratio()), 12)
+              << pad(percent(u_wires.remaining_ratio()), 12)
+              << percent(analytic) << '\n';
+    csv.row({s_targets[t].name, CsvWriter::num(sparsity),
+             CsvWriter::num(s_wires.remaining_ratio()),
+             CsvWriter::num(u_wires.remaining_ratio()),
+             CsvWriter::num(analytic)});
+  }
+
+  bench::note("\nstructured deletion accuracy (fine-tuned): " +
+              percent(result.accuracy_after_finetune));
+  bench::note("unstructured accuracy (no fine-tune): " +
+              percent(nn::evaluate(unstructured, test_set)));
+  bench::note("paper's point: at equal sparsity the magnitude-pruned network "
+              "keeps nearly all wires — the columns above quantify it");
+  bench::note("CSV written to bench_ablation_unstructured.csv");
+  return 0;
+}

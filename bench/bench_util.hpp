@@ -1,0 +1,58 @@
+// Shared scaffolding for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic datasets (DESIGN.md §2) at a laptop-scale training budget, prints
+// the paper's row/series layout with a `paper=` reference column, and writes
+// a CSV (<bench-name>.csv, next to the working directory) for replotting.
+//
+// Scale note: budgets are sized so each binary completes in roughly a minute
+// or two on CPU. Set GS_BENCH_SCALE=N (integer ≥ 1) to multiply every
+// training budget for higher-fidelity runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "core/models.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/network.hpp"
+
+namespace gs::bench {
+
+/// Training-budget multiplier from GS_BENCH_SCALE (default 1).
+std::size_t scale();
+
+/// Scaled iteration count.
+std::size_t iters(std::size_t base);
+
+/// Canonical synthetic datasets (sizes chosen for bench budgets).
+data::SyntheticMnist mnist_train();
+data::SyntheticMnist mnist_test();
+data::SyntheticCifar cifar_train();
+data::SyntheticCifar cifar_test();
+
+/// A trained dense baseline plus its test accuracy.
+struct TrainedModel {
+  nn::Network net;
+  double accuracy = 0.0;
+};
+
+/// Trains the paper's LeNet / ConvNet baselines on the synthetic tasks.
+TrainedModel trained_lenet(std::size_t iterations, std::uint64_t seed = 1);
+TrainedModel trained_convnet(std::size_t iterations, std::uint64_t seed = 1);
+
+/// Console formatting helpers.
+void section(const std::string& title);
+void note(const std::string& text);
+/// "label: measured=X paper=Y" line.
+void paper_vs(const std::string& label, double measured, double paper_value);
+
+/// Standard SGD settings for each network on the synthetic tasks.
+nn::SgdConfig lenet_sgd();
+nn::SgdConfig convnet_sgd();
+
+}  // namespace gs::bench

@@ -1,0 +1,112 @@
+// Reproduces Figure 7: % remaining MBC (crossbar) area versus classification
+// error after rank clipping, per layer and total, for (a) LeNet and (b)
+// ConvNet.
+//
+// Protocol: sweep the tolerable clipping error ε; each point reports the
+// per-layer factor area (U + Vᵀ cells over dense cells) and the resulting
+// classification error. The paper's qualitative claims: area falls steeply
+// with small accuracy cost; LeNet compresses far more than ConvNet at equal
+// loss; the total includes the unclipped classifier.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/string_util.hpp"
+#include "compress/rank_clipping.hpp"
+#include "core/ncs_report.hpp"
+#include "core/paper_constants.hpp"
+#include "data/batcher.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs {
+namespace {
+
+void sweep_network(const std::string& name, const bench::TrainedModel& model,
+                   const data::Dataset& train_set,
+                   const data::Dataset& test_set,
+                   const std::set<std::string>& keep_dense,
+                   const std::vector<std::string>& layer_names,
+                   std::size_t batch_size, const nn::SgdConfig& sgd,
+                   const std::vector<double>& epsilons, double paper_ratio,
+                   CsvWriter& csv) {
+  bench::section("Figure 7 — " + name + " MBC area vs classification error");
+  std::cout << pad("epsilon", 9) << pad("error", 9);
+  for (const std::string& layer : layer_names) std::cout << pad(layer, 9);
+  std::cout << "total\n";
+
+  for (double eps : epsilons) {
+    core::FactorizeSpec spec;
+    spec.keep_dense = keep_dense;
+    nn::Network net =
+        core::to_lowrank(const_cast<nn::Network&>(model.net), spec);
+    data::Batcher batcher(train_set, batch_size, Rng(61));
+    nn::SgdOptimizer opt(sgd);
+    compress::RankClippingConfig config;
+    config.epsilon = eps;
+    config.clip_interval = bench::iters(30);
+    config.max_iterations = bench::iters(360);
+    try {
+      compress::run_rank_clipping(net, opt, batcher, config);
+    } catch (const Error& e) {
+      // A sweep point can diverge on an unlucky clip; report and move on.
+      bench::note("eps=" + fixed(eps, 3) + ": " + e.what());
+      continue;
+    }
+
+    const double error = 1.0 - nn::evaluate(net, test_set);
+    // Per-layer area ratio = (N·K + K·M)/(N·M).
+    std::vector<double> layer_ratios;
+    for (nn::FactorizedLayer* f : net.factorized_layers()) {
+      const auto cmp = hw::compare_factor_area(f->full_rows(), f->full_cols(),
+                                               f->current_rank());
+      layer_ratios.push_back(cmp.ratio());
+    }
+    const core::NcsReport report =
+        core::build_ncs_report(net, hw::paper_technology());
+    const double total = report.crossbar_area_ratio();
+
+    std::cout << pad(fixed(eps, 3), 9) << pad(percent(error), 9);
+    std::vector<std::string> fields{name, CsvWriter::num(eps),
+                                    CsvWriter::num(error)};
+    for (double r : layer_ratios) {
+      std::cout << pad(percent(r), 9);
+      fields.push_back(CsvWriter::num(r));
+    }
+    std::cout << percent(total) << '\n';
+    fields.push_back(CsvWriter::num(total));
+    csv.row(fields);
+  }
+  bench::note("paper: no-loss total area = " + percent(paper_ratio) +
+              " (" + name + ", real data)");
+}
+
+}  // namespace
+}  // namespace gs
+
+int main() {
+  using namespace gs;
+  CsvWriter csv("bench_fig7_area_vs_error.csv",
+                {"network", "epsilon", "error", "layer1_area", "layer2_area",
+                 "layer3_area", "total_area"});
+
+  {
+    const bench::TrainedModel lenet = bench::trained_lenet(bench::iters(400));
+    const auto train_set = bench::mnist_train();
+    const auto test_set = bench::mnist_test();
+    sweep_network("LeNet", lenet, train_set, test_set,
+                  {core::lenet_classifier()}, {"conv1", "conv2", "fc1"}, 25,
+                  bench::lenet_sgd(), {0.01, 0.03, 0.06, 0.12, 0.2},
+                  core::paper_lenet().crossbar_area_ratio, csv);
+  }
+  {
+    const bench::TrainedModel convnet =
+        bench::trained_convnet(bench::iters(350));
+    const auto train_set = bench::cifar_train();
+    const auto test_set = bench::cifar_test();
+    sweep_network("ConvNet", convnet, train_set, test_set,
+                  {core::convnet_classifier()}, {"conv1", "conv2", "conv3"},
+                  16, bench::convnet_sgd(), {0.01, 0.05, 0.15},
+                  core::paper_convnet().crossbar_area_ratio, csv);
+  }
+  bench::note("\nCSV written to bench_fig7_area_vs_error.csv");
+  return 0;
+}

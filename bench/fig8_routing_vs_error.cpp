@@ -1,0 +1,80 @@
+// Reproduces Figure 8: (a) remaining routing wires and (b) remaining routing
+// area versus classification error for ConvNet, per layer.
+//
+// Protocol: rank-clip ConvNet at the paper's Table 1 ranks, then sweep the
+// group-Lasso strength λ; each point reports per-layer remaining wires, the
+// Eq. (8) routing area (wire ratio squared), and the classification error
+// after fine-tuning. The paper's claims: wires/area fall as the error budget
+// grows, and routing area falls much faster than wires (quadratic model).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/string_util.hpp"
+#include "compress/connection_deletion.hpp"
+#include "core/paper_constants.hpp"
+#include "data/batcher.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace gs;
+  bench::section("Figure 8 — ConvNet routing wires / area vs error");
+
+  const bench::TrainedModel convnet = bench::trained_convnet(bench::iters(350));
+  const auto train_set = bench::cifar_train();
+  const auto test_set = bench::cifar_test();
+  bench::note("baseline accuracy: " + percent(convnet.accuracy));
+
+  CsvWriter csv("bench_fig8_routing_vs_error.csv",
+                {"lambda", "error", "matrix", "wire_ratio", "area_ratio"});
+
+  std::cout << pad("lambda", 9) << pad("error", 9) << pad("matrix", 10)
+            << pad("wires%", 10) << "routing-area%\n";
+  for (const double lambda : {1e-2, 3e-2, 6e-2, 1e-1}) {
+    core::FactorizeSpec spec;
+    spec.keep_dense = {core::convnet_classifier()};
+    spec.ranks = {{"conv1", 12}, {"conv2", 19}, {"conv3", 22}};
+    nn::Network net =
+        core::to_lowrank(const_cast<nn::Network&>(convnet.net), spec);
+    {
+      // Short recovery after hard factorisation.
+      data::Batcher batcher(train_set, 16, Rng(71));
+      nn::SgdOptimizer opt(bench::convnet_sgd());
+      nn::train(net, opt, batcher, bench::iters(60));
+    }
+
+    data::Batcher batcher(train_set, 16, Rng(72));
+    nn::SgdOptimizer opt({0.01f, 0.9f, 0.0f});
+    compress::DeletionConfig config;
+    config.lasso.lambda = lambda;
+    config.tech = hw::paper_technology();
+    config.train_iterations = bench::iters(200);
+    config.finetune_iterations = bench::iters(100);
+    config.record_interval = 0;
+    compress::DeletionResult result;
+    try {
+      result = compress::run_group_connection_deletion(net, opt, batcher,
+                                                       test_set, 0, config);
+    } catch (const Error& e) {
+      bench::note("lambda=" + fixed(lambda, 3) + ": " + e.what());
+      continue;
+    }
+    const double error = 1.0 - result.accuracy_after_finetune;
+    for (const compress::MatrixWireReport& r : result.reports) {
+      std::cout << pad(fixed(lambda, 3), 9) << pad(percent(error), 9)
+                << pad(r.name, 10)
+                << pad(percent(r.wires.remaining_ratio()), 10)
+                << percent(r.routing_area_ratio) << '\n';
+      csv.row({CsvWriter::num(lambda), CsvWriter::num(error), r.name,
+               CsvWriter::num(r.wires.remaining_ratio()),
+               CsvWriter::num(r.routing_area_ratio)});
+    }
+  }
+
+  const auto paper_areas = core::paper_convnet_fig8_routing_area();
+  bench::note("\npaper (~1.5% extra error, real CIFAR): per-layer routing "
+              "area " +
+              percent(paper_areas[0]) + " / " + percent(paper_areas[1]) +
+              " / " + percent(paper_areas[2]) + " / " + percent(paper_areas[3]));
+  bench::note("CSV written to bench_fig8_routing_vs_error.csv");
+  return 0;
+}

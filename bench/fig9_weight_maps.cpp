@@ -1,0 +1,148 @@
+// Reproduces Figure 9: the structurally-sparse weight matrices of ConvNet
+// after group connection deletion, rendered with the crossbar tile grid.
+//
+// Output: an ASCII density map per big matrix (one character per weight
+// block, '.' = all-zero) plus a PGM image per matrix with tile boundaries,
+// and the Fig. 9 headline statistics — how many whole crossbars became
+// empty (removable) and how many rows/columns inside each crossbar are
+// zero (allowing a smaller dense crossbar after repacking).
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/string_util.hpp"
+#include "compress/connection_deletion.hpp"
+#include "data/batcher.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs {
+namespace {
+
+/// Writes a PGM (portable graymap) of |w| with white tile separators.
+void write_pgm(const std::string& path, const Tensor& w,
+               const hw::TileGrid& grid) {
+  const std::size_t rows = w.rows();
+  const std::size_t cols = w.cols();
+  float max_abs = 1e-12f;
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(w[i]));
+  }
+  std::ofstream out(path);
+  out << "P2\n" << cols << ' ' << rows << "\n255\n";
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const bool boundary =
+          (i % grid.tile.rows == 0 && i > 0) ||
+          (j % grid.tile.cols == 0 && j > 0);
+      int v = static_cast<int>(255.0f * std::fabs(w.at(i, j)) / max_abs);
+      if (boundary && v == 0) v = 32;  // faint grid on empty regions
+      out << v << (j + 1 == cols ? '\n' : ' ');
+    }
+  }
+}
+
+/// ASCII density map: blocks of the matrix down-sampled to a terminal grid.
+void ascii_map(const Tensor& w, const hw::TileGrid& grid) {
+  const std::size_t rows = w.rows();
+  const std::size_t cols = w.cols();
+  const std::size_t target_rows = std::min<std::size_t>(rows, 32);
+  const std::size_t block_r = (rows + target_rows - 1) / target_rows;
+  const std::size_t target_cols = std::min<std::size_t>(cols, 72);
+  const std::size_t block_c = (cols + target_cols - 1) / target_cols;
+  static const char* shades = " .:-=+*#";
+  for (std::size_t br = 0; br < rows; br += block_r) {
+    std::string line;
+    for (std::size_t bc = 0; bc < cols; bc += block_c) {
+      double acc = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = br; i < std::min(rows, br + block_r); ++i) {
+        for (std::size_t j = bc; j < std::min(cols, bc + block_c); ++j) {
+          acc += std::fabs(w.at(i, j));
+          ++count;
+        }
+      }
+      const double mean = acc / std::max<std::size_t>(count, 1);
+      const int level =
+          mean <= 0.0 ? 0
+                      : std::min(7, 1 + static_cast<int>(mean * 10.0));
+      line += shades[level];
+    }
+    std::cout << line << '\n';
+  }
+  std::cout << "(tile = " << grid.tile.to_string() << ", grid "
+            << grid.grid_rows() << "x" << grid.grid_cols() << ")\n";
+}
+
+}  // namespace
+}  // namespace gs
+
+int main() {
+  using namespace gs;
+  bench::section("Figure 9 — weight maps after group connection deletion");
+
+  const bench::TrainedModel convnet = bench::trained_convnet(bench::iters(350));
+  const auto train_set = bench::cifar_train();
+  const auto test_set = bench::cifar_test();
+
+  core::FactorizeSpec spec;
+  spec.keep_dense = {core::convnet_classifier()};
+  spec.ranks = {{"conv1", 12}, {"conv2", 19}, {"conv3", 22}};
+  nn::Network net =
+      core::to_lowrank(const_cast<nn::Network&>(convnet.net), spec);
+
+  data::Batcher batcher(train_set, 16, Rng(81));
+  nn::SgdOptimizer opt({0.015f, 0.9f, 0.0f});
+  compress::DeletionConfig config;
+  config.lasso.lambda = 4e-2;
+  config.tech = hw::paper_technology();
+  config.train_iterations = bench::iters(250);
+  config.finetune_iterations = bench::iters(100);
+  config.record_interval = 0;
+  const compress::DeletionResult result =
+      compress::run_group_connection_deletion(net, opt, batcher, test_set, 0,
+                                              config);
+  bench::note("accuracy after deletion + fine-tune: " +
+              percent(result.accuracy_after_finetune) +
+              " (baseline " + percent(convnet.accuracy) + ")");
+
+  CsvWriter csv("bench_fig9_weight_maps.csv",
+                {"matrix", "tiles", "empty_tiles", "zero_rows", "zero_cols",
+                 "nnz_ratio"});
+
+  compress::GroupLassoRegularizer reg(net, config.tech, config.lasso);
+  for (const compress::LassoTarget& target : reg.targets()) {
+    const Tensor& w = target.values();
+    bench::section("matrix " + target.name + " (" +
+                   std::to_string(w.rows()) + "x" +
+                   std::to_string(w.cols()) + ")");
+    ascii_map(w, target.grid);
+    const std::string pgm = "bench_fig9_" + target.name + ".pgm";
+    write_pgm(pgm, w, target.grid);
+
+    std::size_t empty = 0;
+    std::size_t zero_rows = 0;
+    std::size_t zero_cols = 0;
+    const auto tiles = hw::analyze_tiles(w, target.grid);
+    for (const hw::TileOccupancy& occ : tiles) {
+      if (occ.empty()) ++empty;
+      // Rows/cols of the tile that are all-zero → repackable into a denser,
+      // smaller crossbar (the paper's closing Fig. 9 observation).
+      zero_rows += target.grid.tile.rows - occ.nonzero_rows;
+      zero_cols += target.grid.tile.cols - occ.nonzero_cols;
+    }
+    const double nnz =
+        1.0 - static_cast<double>(w.count_zeros()) / w.numel();
+    bench::note("tiles=" + std::to_string(tiles.size()) +
+                " empty(removable)=" + std::to_string(empty) +
+                " zero-rows-in-tiles=" + std::to_string(zero_rows) +
+                " zero-cols-in-tiles=" + std::to_string(zero_cols) +
+                " nnz=" + percent(nnz) + "  -> " + pgm);
+    csv.row({target.name, CsvWriter::num(tiles.size()),
+             CsvWriter::num(empty), CsvWriter::num(zero_rows),
+             CsvWriter::num(zero_cols), CsvWriter::num(nnz)});
+  }
+  bench::note("\nCSV written to bench_fig9_weight_maps.csv");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Micro-benchmarks of the hardware-model primitives: MBC size selection,
+// wire counting and tile occupancy analysis at Table 3 matrix shapes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "hw/area.hpp"
+#include "hw/tiling.hpp"
+
+namespace gs::hw {
+namespace {
+
+Tensor random_sparse(std::size_t r, std::size_t c, double density,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{r, c});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    if (rng.bernoulli(density)) {
+      t[i] = static_cast<float>(rng.gaussian());
+    }
+  }
+  return t;
+}
+
+void BM_SelectMbcSize(benchmark::State& state) {
+  const TechnologyParams tech = paper_technology();
+  for (auto _ : state) {
+    for (std::size_t n : {25u, 75u, 500u, 800u, 1024u}) {
+      benchmark::DoNotOptimize(select_mbc_size(n, 36, tech));
+    }
+  }
+}
+BENCHMARK(BM_SelectMbcSize);
+
+void BM_CountRoutingWires(benchmark::State& state) {
+  const auto density = static_cast<double>(state.range(0)) / 100.0;
+  const TechnologyParams tech = paper_technology();
+  const Tensor m = random_sparse(800, 36, density, 1);
+  const TileGrid grid = make_tile_grid(800, 36, tech);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_routing_wires(m, grid));
+  }
+}
+BENCHMARK(BM_CountRoutingWires)->Arg(5)->Arg(50)->Arg(100);
+
+void BM_AnalyzeTiles(benchmark::State& state) {
+  const TechnologyParams tech = paper_technology();
+  const Tensor m = random_sparse(800, 64, 0.3, 2);
+  const TileGrid grid = make_tile_grid(800, 64, tech);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_tiles(m, grid));
+  }
+}
+BENCHMARK(BM_AnalyzeTiles);
+
+void BM_CrossbarArea(benchmark::State& state) {
+  const TechnologyParams tech = paper_technology();
+  for (auto _ : state) {
+    for (std::size_t n : {25u, 500u, 800u, 1024u}) {
+      benchmark::DoNotOptimize(crossbar_area(n, 36, tech));
+    }
+  }
+}
+BENCHMARK(BM_CrossbarArea);
+
+}  // namespace
+}  // namespace gs::hw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Micro-benchmarks of the tensor kernels (GEMM, transpose, im2col) at the
+// matrix shapes the paper networks actually produce.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs {
+namespace {
+
+Tensor random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{r, c});
+  t.fill_gaussian(rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const Tensor a = random_matrix(m, k, 1);
+  const Tensor b = random_matrix(k, n, 2);
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    gemm(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          m * k * n);
+}
+// Shapes: LeNet fc1 batch, conv2 im2col product, ConvNet fc.
+BENCHMARK(BM_Gemm)
+    ->Args({32, 800, 500})   // LeNet fc1 forward (batch 32)
+    ->Args({576, 500, 50})   // LeNet conv2 im2col product
+    ->Args({1024, 75, 32})   // ConvNet conv1 product
+    ->Args({64, 64, 64});    // crossbar-sized block
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const Tensor a = random_matrix(800, 32, 3);
+  const Tensor b = random_matrix(800, 500, 4);
+  Tensor c(Shape{32, 500});
+  for (auto _ : state) {
+    gemm(a, true, b, false, c);  // the backward dW = Xᵀ·dY pattern
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_matrix(n, n, 5);
+  for (auto _ : state) {
+    Tensor t = transposed(a);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(64)->Arg(256)->Arg(800);
+
+void BM_Im2col(benchmark::State& state) {
+  // LeNet conv2 geometry: 20×12×12 input, 5×5 kernel.
+  ConvGeometry g;
+  g.in_channels = 20;
+  g.in_height = g.in_width = 12;
+  g.kernel_h = g.kernel_w = 5;
+  Rng rng(6);
+  Tensor img(Shape{20, 12, 12});
+  img.fill_gaussian(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor cols = im2col(img, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Col2im(benchmark::State& state) {
+  ConvGeometry g;
+  g.in_channels = 20;
+  g.in_height = g.in_width = 12;
+  g.kernel_h = g.kernel_w = 5;
+  Rng rng(7);
+  Tensor cols(Shape{64, 500});
+  cols.fill_gaussian(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor img = col2im(cols, g);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_Col2im);
+
+}  // namespace
+}  // namespace gs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Reproduces Table 2: the experiment parameters of the MBC-based NCS model,
+// plus derived sanity quantities (library size, example areas) so the
+// constants are exercised rather than merely echoed.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/string_util.hpp"
+#include "hw/area.hpp"
+#include "hw/crossbar.hpp"
+
+int main() {
+  using namespace gs;
+  const hw::TechnologyParams tech = hw::paper_technology();
+
+  bench::section("Table 2 — Experiment Parameters");
+  std::cout << pad("parameter", 36) << "value\n";
+  std::cout << pad("memristor cell area", 36) << tech.cell_area_f2 << "F^2\n";
+  std::cout << pad("maximum crossbar size", 36) << tech.max_crossbar_dim << "x"
+            << tech.max_crossbar_dim << '\n';
+  std::cout << pad("wire length between two memristors", 36)
+            << tech.wire_pitch_f << "F\n";
+
+  bench::section("Derived quantities");
+  const hw::CrossbarLibrary lib(tech);
+  std::cout << pad("standard library size", 36) << lib.size()
+            << " crossbar shapes\n";
+  const hw::CrossbarSpec max_xb{tech.max_crossbar_dim, tech.max_crossbar_dim};
+  std::cout << pad("64x64 crossbar synapse area", 36)
+            << max_xb.area_f2(tech) << "F^2\n";
+  std::cout << pad("64x64 crossbar wire count", 36) << max_xb.wires() << '\n';
+
+  // Example mappings under the Table 2 limits (the Table 3 size column).
+  bench::section("Example MBC selections (Table 3 sizes)");
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {500, 12}, {800, 36}, {36, 500}, {500, 10}, {75, 12}, {1024, 10}}) {
+    const hw::CrossbarSpec spec = hw::select_mbc_size(n, k, tech);
+    const hw::CrossbarArea area = hw::crossbar_area(n, k, tech);
+    std::cout << pad(std::to_string(n) + "x" + std::to_string(k), 12)
+              << pad("-> " + spec.to_string(), 12)
+              << pad(std::to_string(area.tile_count) + " tiles", 12)
+              << area.area_f2 << "F^2\n";
+  }
+
+  CsvWriter csv("bench_table2_parameters.csv", {"parameter", "value"});
+  csv.row({"cell_area_f2", CsvWriter::num(tech.cell_area_f2)});
+  csv.row({"max_crossbar_dim", CsvWriter::num(std::size_t{tech.max_crossbar_dim})});
+  csv.row({"wire_pitch_f", CsvWriter::num(tech.wire_pitch_f)});
+  csv.row({"library_size", CsvWriter::num(lib.size())});
+  bench::note("\nCSV written to bench_table2_parameters.csv");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Crossbar mapping explorer: a command-line tool over the hw library.
+//
+// Give it any weight-matrix size (and optionally a factorisation rank) and
+// it reports the §4.2 MBC selection, tile grid, synapse area, routing wires,
+// the Eq. (2) break-even rank, and the padded-policy comparison — i.e. the
+// numbers a designer would want before committing a layer to crossbars.
+//
+//   ./crossbar_mapping_explorer 800 500 36
+//   ./crossbar_mapping_explorer 1024 10
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.hpp"
+#include "hw/area.hpp"
+#include "hw/tiling.hpp"
+#include "linalg/lra.hpp"
+
+namespace {
+
+void describe(const char* label, std::size_t n, std::size_t k,
+              const gs::hw::TechnologyParams& tech) {
+  using namespace gs;
+  const hw::TileGrid grid = hw::make_tile_grid(n, k, tech);
+  const hw::CrossbarArea area = hw::crossbar_area(grid, tech);
+  const hw::TileGrid padded =
+      hw::make_tile_grid(n, k, tech, hw::MappingPolicy::kPaddedMax);
+  const hw::CrossbarArea padded_area = hw::crossbar_area(padded, tech);
+
+  std::cout << label << ": " << n << "x" << k << '\n';
+  std::cout << "  MBC size (divisor policy): " << grid.tile.to_string()
+            << ", grid " << grid.grid_rows() << "x" << grid.grid_cols()
+            << " = " << grid.tile_count() << " crossbars\n";
+  std::cout << "  synapse area: " << area.area_f2 << " F^2 (" << area.cells
+            << " cells, exact tiling)\n";
+  std::cout << "  routing wires (unpruned): " << grid.total_wires()
+            << "  -> Eq.(8) routing area " << hw::routing_area(
+                   grid.total_wires(), tech) << " alpha*F^2\n";
+  std::cout << "  padded 64x64 policy would use " << padded.tile_count()
+            << " crossbars, " << padded_area.cells << " cells ("
+            << percent(static_cast<double>(padded_area.cells) /
+                       std::max<std::size_t>(area.cells, 1) - 1.0)
+            << " overhead)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  if (argc < 3) {
+    std::cout << "usage: " << argv[0] << " <rows> <cols> [rank]\n"
+              << "example (LeNet fc1): " << argv[0] << " 800 500 36\n";
+    return 1;
+  }
+  const std::size_t n = static_cast<std::size_t>(std::atoll(argv[1]));
+  const std::size_t m = static_cast<std::size_t>(std::atoll(argv[2]));
+  const hw::TechnologyParams tech = hw::paper_technology();
+
+  describe("dense matrix", n, m, tech);
+
+  // Eq. (2) break-even rank.
+  std::size_t break_even = 0;
+  for (std::size_t k = 1; k <= m; ++k) {
+    if (linalg::factorization_saves_area(n, m, k)) break_even = k;
+  }
+  std::cout << "  Eq.(2): factorisation saves crossbar area for rank K <= "
+            << break_even << " (of max " << m << ")\n\n";
+
+  if (argc > 3) {
+    const std::size_t rank = static_cast<std::size_t>(std::atoll(argv[3]));
+    describe("factor U", n, rank, tech);
+    describe("factor V^T", rank, m, tech);
+    const auto cmp = hw::compare_factor_area(n, m, rank);
+    std::cout << "factor pair vs dense: " << cmp.factored_cells << " / "
+              << cmp.dense_cells << " cells = " << percent(cmp.ratio())
+              << (linalg::factorization_saves_area(n, m, rank)
+                      ? "  (saves area)\n"
+                      : "  (NO saving — Eq.(2) violated)\n");
+  }
+  return 0;
+}

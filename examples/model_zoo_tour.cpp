@@ -1,0 +1,98 @@
+// Tour of the library's workflow utilities on a config-defined model:
+//  * parse a network from a Caffe-style text description;
+//  * train it with a stepped learning-rate schedule;
+//  * checkpoint it, clip it, and show that stale checkpoints are rejected;
+//  * report a per-class confusion matrix before and after compression.
+//
+//   ./model_zoo_tour [model-file]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "compress/rank_clipping.hpp"
+#include "core/model_config.hpp"
+#include "core/ncs_report.hpp"
+#include "data/batcher.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/lr_schedule.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+/// A small factorised MLP described as data, not code.
+const char* kDefaultModel = R"(# compressible MLP for 28x28 digits
+input 1 28 28
+flatten name=flatten
+lowrank_dense name=fc1 out=128 rank=48
+relu    name=relu1
+dropout name=drop1 p=0.1
+dense   name=fc2 out=10
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gs;
+
+  // 1. Model from config.
+  Rng rng(11);
+  core::ParsedModel model =
+      argc > 1 ? core::load_model(argv[1], rng)
+               : core::parse_model(kDefaultModel, rng);
+  std::cout << "parsed model with " << model.network.layer_count()
+            << " layers, input " << shape_to_string(model.input_shape)
+            << ", " << model.network.parameter_count() << " parameters\n";
+
+  // 2. Train with a step LR schedule.
+  data::SyntheticMnist train_set(21, 400);
+  data::SyntheticMnist test_set(22, 150);
+  data::Batcher batcher(train_set, 25, Rng(12));
+  nn::SgdOptimizer opt({0.05f, 0.9f, 1e-4f});
+  const nn::StepLr schedule(0.05f, 150, 0.5f);
+  nn::train(model.network, opt, batcher, 450, {},
+            [&](nn::Network&, std::size_t step) {
+              opt.set_learning_rate(schedule.rate(step));
+            });
+  std::cout << "trained accuracy: "
+            << percent(nn::evaluate(model.network, test_set)) << "\n\n";
+
+  // 3. Per-class view before compression.
+  std::cout << "confusion matrix (baseline):\n";
+  nn::evaluate_confusion(model.network, test_set).print(std::cout);
+
+  // 4. Checkpoint, then clip ranks.
+  std::stringstream checkpoint;
+  nn::save_checkpoint(checkpoint, model.network);
+
+  compress::RankClippingConfig clip;
+  clip.epsilon = 0.05;
+  clip.clip_interval = 50;
+  clip.max_iterations = 300;
+  compress::run_rank_clipping(model.network, opt, batcher, clip);
+  const auto factorized = model.network.factorized_layers();
+  std::cout << "\nafter rank clipping: fc1 rank "
+            << factorized[0]->current_rank() << " (started at 48)\n";
+  std::cout << "confusion matrix (clipped):\n";
+  nn::evaluate_confusion(model.network, test_set).print(std::cout);
+
+  // 5. The pre-clip checkpoint no longer fits the clipped factors — the
+  //    loader must refuse rather than silently corrupt the network.
+  try {
+    nn::load_checkpoint(checkpoint, model.network);
+    std::cout << "\nERROR: stale checkpoint was accepted!\n";
+    return 1;
+  } catch (const Error& e) {
+    std::cout << "\nstale checkpoint correctly rejected:\n  " << e.what()
+              << "\n";
+  }
+
+  // 6. Hardware summary of the compressed model.
+  std::cout << '\n';
+  core::print_ncs_report(
+      std::cout, core::build_ncs_report(model.network,
+                                        hw::paper_technology()));
+  return 0;
+}

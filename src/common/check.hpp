@@ -1,0 +1,53 @@
+// Error-checking macros used across the Group Scissor libraries.
+//
+// All precondition violations throw gs::Error (derived from
+// std::runtime_error) with a message that carries the failing expression and
+// source location. Exceptions (rather than assert/abort) keep the library
+// usable from long-running hosts and make failures testable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gs {
+
+/// Exception type thrown by every GS_CHECK* macro.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds the exception message and throws. Out-of-line so the macro
+/// expansion stays small at call sites.
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& extra);
+
+}  // namespace detail
+
+}  // namespace gs
+
+/// Checks a precondition; throws gs::Error when `cond` is false.
+#define GS_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::gs::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+    }                                                                      \
+  } while (0)
+
+/// Checks a precondition with a streamed explanation:
+///   GS_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define GS_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream gs_check_oss_;                                    \
+      gs_check_oss_ << stream_expr; /* NOLINT */                           \
+      ::gs::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                        gs_check_oss_.str());              \
+    }                                                                      \
+  } while (0)
+
+/// Unconditional failure with message.
+#define GS_FAIL(stream_expr) GS_CHECK_MSG(false, stream_expr)

@@ -1,0 +1,56 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gs {
+
+namespace {
+
+// Quotes a field if it contains CSV metacharacters.
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  GS_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+  GS_CHECK(!header.empty());
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  GS_CHECK_MSG(values.size() == columns_,
+               "CSV row has " << values.size() << " fields, expected "
+                              << columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream oss;
+  oss.precision(10);
+  oss << v;
+  return oss.str();
+}
+
+std::string CsvWriter::num(std::size_t v) { return std::to_string(v); }
+
+}  // namespace gs

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing by default (Info threshold, stderr sink);
+// experiment binaries raise verbosity to narrate progress. Not thread-safe by
+// design — all training in this repo is single-threaded at the call level
+// (parallelism lives inside GEMM loops).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// RAII stream that emits on destruction; backs the GS_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+}  // namespace gs
+
+#define GS_LOG(level) ::gs::detail::LogLine(::gs::LogLevel::level)
+#define GS_LOG_INFO GS_LOG(kInfo)
+#define GS_LOG_DEBUG GS_LOG(kDebug)
+#define GS_LOG_WARN GS_LOG(kWarn)
+#define GS_LOG_ERROR GS_LOG(kError)

@@ -1,0 +1,22 @@
+// Small string/formatting helpers shared by reporters and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gs {
+
+/// Formats `v` as a percentage with `digits` decimals, e.g. 0.1362 -> "13.62%".
+std::string percent(double v, int digits = 2);
+
+/// Fixed-point formatting with `digits` decimals.
+std::string fixed(double v, int digits = 4);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Left-pads/truncates to a column width (ASCII table helper).
+std::string pad(const std::string& s, std::size_t width);
+
+}  // namespace gs

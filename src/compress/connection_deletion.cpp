@@ -1,0 +1,179 @@
+#include "compress/connection_deletion.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs::compress {
+
+std::vector<MatrixWireReport> census_wires(const GroupLassoRegularizer& reg) {
+  std::vector<MatrixWireReport> reports;
+  for (const LassoTarget& target : reg.targets()) {
+    const Tensor& w = target.values();
+    MatrixWireReport report;
+    report.name = target.name;
+    report.rows = w.rows();
+    report.cols = w.cols();
+    report.mbc = target.grid.tile;
+    report.wires = hw::count_routing_wires(w, target.grid, 0.0f);
+    report.routing_area_ratio = hw::routing_area_ratio(report.wires);
+    report.tile_count = target.grid.tile_count();
+    for (const hw::TileOccupancy& occ : hw::analyze_tiles(w, target.grid)) {
+      if (occ.empty()) ++report.empty_tiles;
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+std::vector<Tensor> build_group_masks(const GroupLassoRegularizer& reg) {
+  std::vector<Tensor> masks;
+  masks.reserve(reg.targets().size());
+  for (const LassoTarget& target : reg.targets()) {
+    const Tensor& w = target.values();
+    Tensor mask(w.shape(), 1.0f);
+    const hw::TileGrid& grid = target.grid;
+    const auto zero_slice = [&](const hw::GroupSlice& slice) {
+      if (!hw::group_is_zero(w, slice, 0.0f)) return;
+      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+          mask.at(i, j) = 0.0f;
+        }
+      }
+    };
+    for (std::size_t i = 0; i < grid.rows; ++i) {
+      for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+        zero_slice(hw::row_group_slice(grid, i, tc));
+      }
+    }
+    for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+      for (std::size_t j = 0; j < grid.cols; ++j) {
+        zero_slice(hw::col_group_slice(grid, tr, j));
+      }
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+void apply_masks(const GroupLassoRegularizer& reg,
+                 const std::vector<Tensor>& masks) {
+  GS_CHECK(masks.size() == reg.targets().size());
+  for (std::size_t t = 0; t < masks.size(); ++t) {
+    Tensor& w = reg.targets()[t].values();
+    GS_CHECK(w.same_shape(masks[t]));
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      w[i] *= masks[t][i];
+    }
+  }
+}
+
+namespace {
+
+DeletionSnapshot take_snapshot(const GroupLassoRegularizer& reg,
+                               std::size_t iteration, double loss,
+                               double accuracy) {
+  DeletionSnapshot snap;
+  snap.iteration = iteration;
+  snap.train_loss = loss;
+  snap.train_accuracy = accuracy;
+  for (const LassoTarget& target : reg.targets()) {
+    const hw::WireCount wires =
+        hw::count_routing_wires(target.values(), target.grid, 0.0f);
+    snap.names.push_back(target.name);
+    snap.deleted_wire_ratio.push_back(
+        wires.total == 0
+            ? 0.0
+            : static_cast<double>(wires.deleted()) / wires.total);
+  }
+  return snap;
+}
+
+}  // namespace
+
+DeletionResult run_group_connection_deletion(
+    nn::Network& net, nn::SgdOptimizer& opt, data::Batcher& batcher,
+    const data::Dataset& eval_set, std::size_t eval_samples,
+    const DeletionConfig& config) {
+  config.tech.validate();
+  DeletionResult result;
+  result.accuracy_before = nn::evaluate(net, eval_set, eval_samples);
+
+  GroupLassoRegularizer reg(net, config.tech, config.lasso);
+  GS_CHECK_MSG(!reg.targets().empty(),
+               "no multi-crossbar matrices to regularise — nothing to delete");
+
+  // Phase 1: group-Lasso training (Eq. 4). Proximal mode shrinks after each
+  // step; gradient mode adds Eq. (6) terms before each step.
+  const bool proximal = config.lasso.mode == LassoMode::kProximal;
+  std::function<void(nn::Network&)> regularizer;
+  if (!proximal) {
+    regularizer = [&reg](nn::Network&) { reg.add_gradient(); };
+  }
+  double loss_acc = 0.0;
+  double acc_acc = 0.0;
+  std::size_t seen = 0;
+  const auto step_callback = [&](nn::Network&, std::size_t step) {
+    if (proximal) {
+      reg.apply_proximal(opt.learning_rate());
+    }
+    if (config.record_interval > 0 &&
+        (step % config.record_interval == 0 ||
+         step == config.train_iterations)) {
+      result.dynamics.push_back(
+          take_snapshot(reg, step, seen ? loss_acc / seen : 0.0,
+                        seen ? acc_acc / seen : 0.0));
+      loss_acc = acc_acc = 0.0;
+      seen = 0;
+    }
+  };
+
+  // Wrap training manually to also accumulate loss between snapshots.
+  for (std::size_t i = 1; i <= config.train_iterations; ++i) {
+    const data::Batch batch = batcher.next();
+    const nn::StepStats s = nn::train_step(net, opt, batch, regularizer);
+    loss_acc += s.loss;
+    acc_acc += s.accuracy;
+    ++seen;
+    step_callback(net, i);
+  }
+
+  // Phase 2: prune. Gradient mode needs a snap to reach exact zeros.
+  if (!proximal) {
+    const std::size_t snapped = reg.snap_zero_groups(config.snap_tolerance);
+    GS_LOG_DEBUG << "snapped " << snapped << " groups to zero";
+  }
+  const std::vector<Tensor> masks = build_group_masks(reg);
+  apply_masks(reg, masks);
+  result.accuracy_after_lasso = nn::evaluate(net, eval_set, eval_samples);
+
+  // Phase 3: masked fine-tuning — deleted wires stay deleted.
+  if (config.finetune_iterations > 0) {
+    opt.reset_state();
+    const float lasso_lr = opt.learning_rate();
+    opt.set_learning_rate(
+        static_cast<float>(lasso_lr * config.finetune_lr_scale));
+    nn::train(net, opt, batcher, config.finetune_iterations, {},
+              [&](nn::Network&, std::size_t) { apply_masks(reg, masks); });
+    opt.set_learning_rate(lasso_lr);
+  }
+  result.accuracy_after_finetune = nn::evaluate(net, eval_set, eval_samples);
+
+  // Phase 4: census.
+  result.reports = census_wires(reg);
+  double wire_sum = 0.0;
+  double area_sum = 0.0;
+  for (const MatrixWireReport& r : result.reports) {
+    wire_sum += r.wires.remaining_ratio();
+    area_sum += r.routing_area_ratio;
+  }
+  if (!result.reports.empty()) {
+    result.mean_wire_ratio = wire_sum / result.reports.size();
+    result.mean_routing_area_ratio = area_sum / result.reports.size();
+  }
+  return result;
+}
+
+}  // namespace gs::compress

@@ -1,0 +1,91 @@
+// Group connection deletion (§3.2): group-Lasso training, wire pruning,
+// and mask-frozen fine-tuning.
+//
+// Sequence (matching the paper):
+//  1. start from a rank-clipped network;
+//  2. train with group-Lasso on every multi-crossbar factor matrix —
+//     all-zero row/column groups emerge (Figure 5);
+//  3. delete: freeze a 0/1 mask over the zeroed groups (the wires are gone,
+//     so those connections must stay zero);
+//  4. fine-tune under the mask to recover accuracy;
+//  5. report remaining wires / routing area per matrix (Table 3, Fig. 8).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compress/group_lasso.hpp"
+#include "data/batcher.hpp"
+#include "data/dataset.hpp"
+#include "hw/area.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace gs::compress {
+
+/// Hyper-parameters of the full deletion pass.
+struct DeletionConfig {
+  GroupLassoConfig lasso;
+  hw::TechnologyParams tech;
+  std::size_t train_iterations = 2000;     ///< lasso-regularised training
+  std::size_t finetune_iterations = 1000;  ///< masked recovery training
+  double snap_tolerance = 1e-4;  ///< group-norm snap for kGradient mode
+  std::size_t record_interval = 100;  ///< dynamics sampling (0 = off)
+  /// Fine-tuning runs at lasso-phase lr × this factor — recovery needs a
+  /// gentler step than the shrinkage phase (restored afterwards).
+  double finetune_lr_scale = 0.3;
+};
+
+/// Wire census of one factor matrix (one Table 3 row).
+struct MatrixWireReport {
+  std::string name;            ///< e.g. "fc1_u"
+  std::size_t rows = 0, cols = 0;
+  hw::CrossbarSpec mbc;        ///< selected crossbar size
+  hw::WireCount wires;
+  double routing_area_ratio = 0.0;  ///< (remaining/total)², Eq. (8)
+  std::size_t empty_tiles = 0;      ///< fully-zero crossbars (removable)
+  std::size_t tile_count = 0;
+};
+
+/// Dynamics sample during lasso training (drives Figure 5).
+struct DeletionSnapshot {
+  std::size_t iteration = 0;
+  std::vector<std::string> names;           ///< per regularised matrix
+  std::vector<double> deleted_wire_ratio;   ///< deleted/total per matrix
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Full record of a deletion run.
+struct DeletionResult {
+  std::vector<MatrixWireReport> reports;    ///< final per-matrix census
+  std::vector<DeletionSnapshot> dynamics;
+  double accuracy_before = 0.0;             ///< entering the pass
+  double accuracy_after_lasso = 0.0;        ///< after training+pruning
+  double accuracy_after_finetune = 0.0;
+  double mean_wire_ratio = 0.0;             ///< layer-average remaining wires
+  double mean_routing_area_ratio = 0.0;     ///< layer-average (ratio)²
+};
+
+/// Counts wires for every regularised matrix of `reg` at tolerance 0
+/// (deletion zeroes weights exactly).
+std::vector<MatrixWireReport> census_wires(const GroupLassoRegularizer& reg);
+
+/// Zero-mask utilities: freeze current zero groups of each target as a mask
+/// and return one 0/1 tensor per target, aligned with reg.targets().
+std::vector<Tensor> build_group_masks(const GroupLassoRegularizer& reg);
+
+/// Re-applies masks (elementwise multiply) — the projection step that keeps
+/// deleted connections at zero during fine-tuning.
+void apply_masks(const GroupLassoRegularizer& reg,
+                 const std::vector<Tensor>& masks);
+
+/// Runs the complete §3.2 pass. `eval` measures accuracy on `eval_set`
+/// (first `eval_samples`, 0 = all).
+DeletionResult run_group_connection_deletion(
+    nn::Network& net, nn::SgdOptimizer& opt, data::Batcher& batcher,
+    const data::Dataset& eval_set, std::size_t eval_samples,
+    const DeletionConfig& config);
+
+}  // namespace gs::compress

@@ -1,0 +1,148 @@
+#include "compress/group_lasso.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+
+namespace gs::compress {
+
+GroupLassoRegularizer::GroupLassoRegularizer(nn::Network& net,
+                                             const hw::TechnologyParams& tech,
+                                             GroupLassoConfig config)
+    : config_(config) {
+  GS_CHECK(config_.lambda >= 0.0);
+  tech.validate();
+
+  const auto add_target = [&](Tensor* value, Tensor* grad,
+                              const std::string& name) {
+    GS_CHECK(value->rank() == 2 && value->same_shape(*grad));
+    const std::size_t n = value->rows();
+    const std::size_t k = value->cols();
+    if (config_.skip_single_crossbar && n <= tech.max_crossbar_dim &&
+        k <= tech.max_crossbar_dim) {
+      return;  // single crossbar: no inter-crossbar routing to save
+    }
+    LassoTarget target;
+    target.value = value;
+    target.grad = grad;
+    target.grid = hw::make_tile_grid(n, k, tech, config_.policy);
+    target.name = name;
+    targets_.push_back(std::move(target));
+  };
+
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* f = dynamic_cast<nn::FactorizedLayer*>(&layer)) {
+      add_target(&f->mutable_u(), &f->mutable_u_grad(),
+                 f->factor_name() + "_u");
+      add_target(&f->mutable_vt(), &f->mutable_vt_grad(),
+                 f->factor_name() + "_v");
+    } else if (auto* d = dynamic_cast<nn::DenseLayer*>(&layer)) {
+      // Grad tensor is the first params() entry (the weight).
+      add_target(&d->weight(), d->params()[0].grad, d->name());
+    } else if (auto* c = dynamic_cast<nn::Conv2dLayer*>(&layer)) {
+      add_target(&c->weight(), c->params()[0].grad, c->name());
+    }
+  }
+}
+
+template <typename PerGroup>
+void GroupLassoRegularizer::for_each_group(const LassoTarget& target,
+                                           PerGroup&& fn) const {
+  const hw::TileGrid& grid = target.grid;
+  if (config_.row_groups) {
+    for (std::size_t i = 0; i < grid.rows; ++i) {
+      for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+        fn(hw::row_group_slice(grid, i, tc));
+      }
+    }
+  }
+  if (config_.col_groups) {
+    for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+      for (std::size_t j = 0; j < grid.cols; ++j) {
+        fn(hw::col_group_slice(grid, tr, j));
+      }
+    }
+  }
+}
+
+void GroupLassoRegularizer::add_gradient() {
+  GS_CHECK_MSG(config_.mode == LassoMode::kGradient,
+               "add_gradient called in proximal mode");
+  const double lambda = config_.lambda;
+  for (const LassoTarget& target : targets_) {
+    Tensor& w = target.values();
+    Tensor& g = target.grads();
+    GS_CHECK_MSG(w.same_shape(g) && w.rows() == target.grid.rows &&
+                     w.cols() == target.grid.cols,
+                 target.name << ": stale tile grid — rebuild the regularizer");
+    for_each_group(target, [&](const hw::GroupSlice& slice) {
+      const double norm = hw::group_norm(w, slice);
+      const double scale = lambda / (norm + config_.epsilon);
+      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+          g.at(i, j) += static_cast<float>(scale * w.at(i, j));
+        }
+      }
+    });
+  }
+}
+
+void GroupLassoRegularizer::apply_proximal(float learning_rate) {
+  GS_CHECK_MSG(config_.mode == LassoMode::kProximal,
+               "apply_proximal called in gradient mode");
+  GS_CHECK(learning_rate > 0.0f);
+  const double threshold = static_cast<double>(learning_rate) * config_.lambda;
+  for (const LassoTarget& target : targets_) {
+    Tensor& w = target.values();
+    GS_CHECK_MSG(w.rows() == target.grid.rows && w.cols() == target.grid.cols,
+                 target.name << ": stale tile grid — rebuild the regularizer");
+    for_each_group(target, [&](const hw::GroupSlice& slice) {
+      const double norm = hw::group_norm(w, slice);
+      const double shrink =
+          norm <= threshold ? 0.0 : 1.0 - threshold / norm;
+      if (shrink == 1.0) return;
+      const float s = static_cast<float>(shrink);
+      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+          w.at(i, j) *= s;
+        }
+      }
+    });
+  }
+}
+
+double GroupLassoRegularizer::penalty() const {
+  double acc = 0.0;
+  for (const LassoTarget& target : targets_) {
+    const Tensor& w = target.values();
+    for_each_group(target, [&](const hw::GroupSlice& slice) {
+      acc += hw::group_norm(w, slice);
+    });
+  }
+  return config_.lambda * acc;
+}
+
+std::size_t GroupLassoRegularizer::snap_zero_groups(double tol) {
+  GS_CHECK(tol >= 0.0);
+  std::size_t snapped = 0;
+  for (const LassoTarget& target : targets_) {
+    Tensor& w = target.values();
+    for_each_group(target, [&](const hw::GroupSlice& slice) {
+      const double norm = hw::group_norm(w, slice);
+      if (norm > 0.0 && norm < tol) {
+        for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+          for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+            w.at(i, j) = 0.0f;
+          }
+        }
+        ++snapped;
+      }
+    });
+  }
+  return snapped;
+}
+
+}  // namespace gs::compress

@@ -1,0 +1,47 @@
+#include "compress/magnitude_prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gs::compress {
+
+float apply_magnitude_pruning(Tensor& w, double sparsity) {
+  GS_CHECK_MSG(sparsity >= 0.0 && sparsity <= 1.0,
+               "sparsity " << sparsity << " outside [0, 1]");
+  const std::size_t n = w.numel();
+  GS_CHECK(n > 0);
+  const std::size_t prune_count =
+      static_cast<std::size_t>(std::ceil(sparsity * static_cast<double>(n)));
+  if (prune_count == 0) return 0.0f;
+
+  std::vector<float> magnitudes(n);
+  for (std::size_t i = 0; i < n; ++i) magnitudes[i] = std::fabs(w[i]);
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + (prune_count - 1), magnitudes.end());
+  const float threshold = magnitudes[prune_count - 1];
+
+  // Zero everything ≤ threshold. Ties can push the zero count slightly past
+  // the target — acceptable for a baseline (documented behaviour).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(w[i]) <= threshold) w[i] = 0.0f;
+  }
+  return threshold;
+}
+
+double sparsity_of(const Tensor& w) {
+  GS_CHECK(w.numel() > 0);
+  return static_cast<double>(w.count_zeros()) /
+         static_cast<double>(w.numel());
+}
+
+double expected_random_wire_survival(double nnz_ratio,
+                                     std::size_t group_size) {
+  GS_CHECK(nnz_ratio >= 0.0 && nnz_ratio <= 1.0 && group_size > 0);
+  // P(wire survives) = 1 − P(all G weights zero) = 1 − (1 − p)^G.
+  return 1.0 - std::pow(1.0 - nnz_ratio, static_cast<double>(group_size));
+}
+
+}  // namespace gs::compress

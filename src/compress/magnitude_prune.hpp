@@ -1,0 +1,29 @@
+// Unstructured magnitude pruning — the "traditional sparse neural network"
+// baseline of §3.2's closing comparison.
+//
+// The paper argues that randomly-distributed sparsity barely removes routing
+// wires: a crossbar wire survives as long as ANY weight in its group is
+// nonzero. These helpers produce weight matrices of a given unstructured
+// sparsity so the ablation bench can quantify that claim against group
+// deletion at matched sparsity.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace gs::compress {
+
+/// Zeroes the smallest-|w| elements so that the final zero fraction is at
+/// least `sparsity` (in [0, 1]). Returns the magnitude threshold used.
+float apply_magnitude_pruning(Tensor& w, double sparsity);
+
+/// Fraction of exactly-zero elements.
+double sparsity_of(const Tensor& w);
+
+/// Expected remaining-wire ratio if `nnz_ratio` of weights survive i.i.d.
+/// uniformly in groups of size `group_size`: 1 − (1 − p)^G — the analytic
+/// form of the paper's "one nonzero keeps the wire" argument.
+double expected_random_wire_survival(double nnz_ratio, std::size_t group_size);
+
+}  // namespace gs::compress

@@ -1,0 +1,87 @@
+#include "compress/rank_clipping.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::compress {
+
+std::vector<LayerClip> clip_ranks_once(nn::Network& net,
+                                       const RankClippingConfig& config) {
+  GS_CHECK(config.epsilon >= 0.0);
+  std::vector<LayerClip> clips;
+  for (nn::FactorizedLayer* layer : net.factorized_layers()) {
+    LayerClip clip;
+    clip.layer = layer->factor_name();
+    clip.old_rank = layer->current_rank();
+
+    // PCA of U with the minimum rank satisfying e ≤ ε (line 6).
+    const Tensor& u = layer->factor_u();
+    const linalg::LraResult lra =
+        linalg::clip_to_error(u, config.method, config.epsilon,
+                              config.min_rank);
+    clip.spectral_error = lra.spectral_error;
+    clip.new_rank = lra.rank;
+
+    if (lra.rank < clip.old_rank) {
+      // U ← Û;  Vᵀ ← V̂ᵀ·Vᵀ (lines 7–8).
+      Tensor new_vt = matmul(lra.factors.vt, layer->factor_vt());
+      layer->set_factors(lra.factors.u, std::move(new_vt));
+    } else {
+      clip.new_rank = clip.old_rank;  // line 10: keep as is
+    }
+    clips.push_back(std::move(clip));
+  }
+  return clips;
+}
+
+RankClippingRun run_rank_clipping(
+    nn::Network& net, nn::SgdOptimizer& opt, data::Batcher& batcher,
+    const RankClippingConfig& config,
+    const std::function<void(nn::Network&, ClipSnapshot&)>& on_snapshot) {
+  GS_CHECK(config.clip_interval > 0);
+  RankClippingRun run;
+  for (nn::FactorizedLayer* layer : net.factorized_layers()) {
+    run.layer_names.push_back(layer->factor_name());
+  }
+
+  std::size_t iteration = 0;
+  while (iteration < config.max_iterations) {
+    const std::vector<LayerClip> clips = clip_ranks_once(net, config);
+    for (const LayerClip& c : clips) {
+      if (c.clipped()) {
+        GS_LOG_DEBUG << c.layer << ": rank " << c.old_rank << " -> "
+                     << c.new_rank << " (e=" << c.spectral_error << ")";
+      }
+    }
+
+    const std::size_t budget =
+        std::min(config.clip_interval, config.max_iterations - iteration);
+    const nn::TrainStats stats = nn::train(net, opt, batcher, budget);
+    iteration += budget;
+
+    ClipSnapshot snap;
+    snap.iteration = iteration;
+    snap.train_loss = stats.mean_loss;
+    snap.train_accuracy = stats.train_accuracy;
+    for (nn::FactorizedLayer* layer : net.factorized_layers()) {
+      snap.layer_names.push_back(layer->factor_name());
+      snap.ranks.push_back(layer->current_rank());
+      snap.full_ranks.push_back(layer->full_cols());
+    }
+    if (on_snapshot) {
+      on_snapshot(net, snap);
+    }
+    run.snapshots.push_back(std::move(snap));
+  }
+
+  for (nn::FactorizedLayer* layer : net.factorized_layers()) {
+    run.final_ranks.push_back(layer->current_rank());
+  }
+  return run;
+}
+
+}  // namespace gs::compress

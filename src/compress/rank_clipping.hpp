@@ -1,0 +1,73 @@
+// Rank clipping — Algorithm 2 of the paper (§3.1).
+//
+// The network to be clipped holds every compressible layer in factorised
+// form W = U·Vᵀ (see nn::FactorizedLayer), starting at full rank. Every S
+// training iterations, each layer's left factor U (N×K) is re-factorised
+// U ≈ Û·V̂ᵀ at the minimum rank K̂ whose Eq. (3) spectral error is ≤ ε; if
+// K̂ < K the layer is rewritten in place:
+//     U ← Û (N×K̂),   Vᵀ ← V̂ᵀ·Vᵀ (K̂×M).
+// Training then continues, absorbing the small perturbation — the clip /
+// retrain alternation is what lets the ranks converge without accuracy loss
+// (Figure 3).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/batcher.hpp"
+#include "linalg/lra.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace gs::compress {
+
+/// Algorithm-2 hyper-parameters.
+struct RankClippingConfig {
+  linalg::LraMethod method = linalg::LraMethod::kPca;
+  double epsilon = 0.03;          ///< tolerable clipping error ε
+  std::size_t clip_interval = 500;///< S: train iterations between clips
+  std::size_t max_iterations = 10000;  ///< I: total training budget
+  std::size_t min_rank = 1;       ///< rank floor per layer
+};
+
+/// Outcome of clipping one layer once.
+struct LayerClip {
+  std::string layer;
+  std::size_t old_rank = 0;
+  std::size_t new_rank = 0;
+  double spectral_error = 0.0;  ///< Eq. (3) error of this clip
+  bool clipped() const { return new_rank < old_rank; }
+};
+
+/// Applies one clipping pass (Algorithm 2 lines 5–12) to every factorised
+/// layer of `net`; returns what happened per layer.
+std::vector<LayerClip> clip_ranks_once(nn::Network& net,
+                                       const RankClippingConfig& config);
+
+/// State snapshot recorded after each clip+train segment (drives Figure 3).
+struct ClipSnapshot {
+  std::size_t iteration = 0;                 ///< training iterations so far
+  std::vector<std::string> layer_names;
+  std::vector<std::size_t> ranks;            ///< current rank per layer
+  std::vector<std::size_t> full_ranks;       ///< M per layer (rank ratio denom)
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;               ///< running batch accuracy
+};
+
+/// Full Algorithm-2 run record.
+struct RankClippingRun {
+  std::vector<ClipSnapshot> snapshots;
+  std::vector<std::size_t> final_ranks;      ///< per factorised layer
+  std::vector<std::string> layer_names;
+};
+
+/// Runs Algorithm 2: alternate clip_ranks_once and S training iterations
+/// until the iteration budget is exhausted. `on_snapshot` (optional) fires
+/// after every segment — benches use it to record accuracy curves.
+RankClippingRun run_rank_clipping(
+    nn::Network& net, nn::SgdOptimizer& opt, data::Batcher& batcher,
+    const RankClippingConfig& config,
+    const std::function<void(nn::Network&, ClipSnapshot&)>& on_snapshot = {});
+
+}  // namespace gs::compress

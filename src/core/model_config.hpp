@@ -1,0 +1,54 @@
+// Text-format network descriptions (Caffe-style, heavily simplified).
+//
+// The paper's models were Caffe prototxts; downstream users of this library
+// similarly want to describe architectures in data rather than C++. The
+// format is line-oriented:
+//
+//   # LeNet
+//   input 1 28 28
+//   conv   name=conv1 out=20 kernel=5 stride=1 pad=0
+//   pool   name=pool1 mode=max kernel=2 stride=2
+//   conv   name=conv2 out=50 kernel=5
+//   pool   name=pool2 mode=max kernel=2 stride=2
+//   flatten name=flatten
+//   dense  name=fc1 out=500
+//   relu   name=relu1
+//   dense  name=fc2 out=10
+//
+// Rules:
+//  * the first non-comment line must be `input C H W`;
+//  * every layer line is `<kind> key=value ...`; unknown keys throw;
+//  * channel/feature counts are inferred from the running shape, so only
+//    output sizes are specified (like Caffe);
+//  * `lowrank_dense` / `lowrank_conv` accept `rank=` for factorised layers;
+//  * `dropout` accepts `p=`; `#` starts a comment; blank lines are skipped.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+
+namespace gs::core {
+
+/// Parsed model: the network plus its declared input shape.
+struct ParsedModel {
+  nn::Network network;
+  Shape input_shape;  ///< C, H, W
+};
+
+/// Parses a model description; throws gs::Error with the offending line
+/// number on any syntax or shape error.
+ParsedModel parse_model(std::istream& in, Rng& rng);
+ParsedModel parse_model(const std::string& text, Rng& rng);
+
+/// Loads a model description from a file.
+ParsedModel load_model(const std::string& path, Rng& rng);
+
+/// The built-in descriptions of the paper's two networks — parsing these
+/// yields exactly the models of core/models.hpp (verified by tests).
+std::string lenet_model_text();
+std::string convnet_model_text();
+
+}  // namespace gs::core

@@ -1,0 +1,54 @@
+// Model zoo: the paper's two evaluation networks and the dense→low-rank
+// conversion used at the start of Algorithm 2 and by the Direct-LRA baseline.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "linalg/lra.hpp"
+#include "nn/network.hpp"
+
+namespace gs::core {
+
+/// LeNet (Table 1 geometry) for 1×28×28 inputs:
+/// conv1 20@5×5 → maxpool2/2 → conv2 50@5×5 → maxpool2/2 → fc1 500 + ReLU →
+/// fc2 10. Unrolled matrices: 25×20, 500×50, 800×500, 500×10.
+nn::Network build_lenet(Rng& rng);
+
+/// ConvNet (Caffe cifar10_quick, Table 1 geometry) for 3×32×32 inputs:
+/// conv1 32@5×5 p2 → maxpool3/2 → ReLU → conv2 32@5×5 p2 → ReLU → avgpool3/2
+/// → conv3 64@5×5 p2 → ReLU → avgpool3/2 → fc1 10.
+/// Unrolled matrices: 75×32, 800×32, 800×64, 1024×10.
+nn::Network build_convnet(Rng& rng);
+
+/// Names of the compressible layers per network, in order.
+std::vector<std::string> lenet_compressible_layers();
+std::vector<std::string> convnet_compressible_layers();
+/// Name of the final classifier (never factorised).
+std::string lenet_classifier();
+std::string convnet_classifier();
+
+/// Conversion recipe for to_lowrank().
+struct FactorizeSpec {
+  linalg::LraMethod method = linalg::LraMethod::kPca;
+  /// Per-layer target rank; layers not listed are factorised at full rank
+  /// (K = M, the Algorithm-2 starting point).
+  std::map<std::string, std::size_t> ranks;
+  /// Layers kept dense (by name) — the classifier layer.
+  std::set<std::string> keep_dense;
+};
+
+/// Rebuilds `source` with every conv/dense layer (except keep_dense)
+/// replaced by its low-rank counterpart, factors obtained by LRA of the
+/// trained weights. At full rank the conversion is numerically lossless
+/// (PCA/SVD of W at rank M reconstructs W). Stateless layers are recreated;
+/// biases are copied. Already-factorised layers are copied as-is.
+nn::Network to_lowrank(nn::Network& source, const FactorizeSpec& spec);
+
+/// Deep copy of a network (weights included, gradients reset) — every layer
+/// kept in its current dense/factorised form.
+nn::Network clone_network(nn::Network& source);
+
+}  // namespace gs::core

@@ -1,0 +1,108 @@
+#include "core/ncs_report.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/string_util.hpp"
+#include "hw/tiling.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+
+namespace gs::core {
+
+double NcsReport::mean_routing_area_ratio() const {
+  if (matrices.empty()) return 0.0;
+  double acc = 0.0;
+  for (const MatrixReport& m : matrices) {
+    acc += m.routing_area_ratio;
+  }
+  return acc / static_cast<double>(matrices.size());
+}
+
+namespace {
+
+MatrixReport report_matrix(const std::string& name, const Tensor& w,
+                           const hw::TechnologyParams& tech,
+                           hw::MappingPolicy policy, float zero_tol) {
+  GS_CHECK(w.rank() == 2);
+  const hw::TileGrid grid =
+      hw::make_tile_grid(w.rows(), w.cols(), tech, policy);
+  const hw::CrossbarArea area = hw::crossbar_area(grid, tech);
+
+  MatrixReport report;
+  report.name = name;
+  report.rows = w.rows();
+  report.cols = w.cols();
+  report.mbc = grid.tile;
+  report.tile_count = grid.tile_count();
+  report.cells = area.cells;
+  report.area_f2 = area.area_f2;
+  report.wires = hw::count_routing_wires(w, grid, zero_tol);
+  report.routing_area_ratio = hw::routing_area_ratio(report.wires);
+  for (const hw::TileOccupancy& occ : hw::analyze_tiles(w, grid, zero_tol)) {
+    if (occ.empty()) ++report.empty_tiles;
+  }
+  return report;
+}
+
+}  // namespace
+
+NcsReport build_ncs_report(nn::Network& net, const hw::TechnologyParams& tech,
+                           hw::MappingPolicy policy, float zero_tol) {
+  tech.validate();
+  NcsReport report;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* f = dynamic_cast<nn::FactorizedLayer*>(&layer)) {
+      report.matrices.push_back(report_matrix(
+          f->factor_name() + "_u", f->factor_u(), tech, policy, zero_tol));
+      report.matrices.push_back(report_matrix(
+          f->factor_name() + "_v", f->factor_vt(), tech, policy, zero_tol));
+      report.dense_baseline_cells += f->full_rows() * f->full_cols();
+    } else if (auto* d = dynamic_cast<nn::DenseLayer*>(&layer)) {
+      report.matrices.push_back(
+          report_matrix(d->name(), d->weight(), tech, policy, zero_tol));
+      report.dense_baseline_cells += d->weight().numel();
+    } else if (auto* c = dynamic_cast<nn::Conv2dLayer*>(&layer)) {
+      report.matrices.push_back(
+          report_matrix(c->name(), c->weight(), tech, policy, zero_tol));
+      report.dense_baseline_cells += c->weight().numel();
+    }
+  }
+  for (const MatrixReport& m : report.matrices) {
+    report.total_cells += m.cells;
+    report.total_area_f2 += m.area_f2;
+    report.total_wires += m.wires.total;
+    report.remaining_wires += m.wires.remaining;
+    report.total_tiles += m.tile_count;
+  }
+  return report;
+}
+
+void print_ncs_report(std::ostream& out, const NcsReport& report) {
+  out << pad("matrix", 12) << pad("size", 12) << pad("MBC", 9)
+      << pad("tiles", 7) << pad("cells", 9) << pad("area(F^2)", 12)
+      << pad("wires", 13) << pad("wire%", 9) << pad("rArea%", 9)
+      << pad("empty", 6) << '\n';
+  for (const MatrixReport& m : report.matrices) {
+    out << pad(m.name, 12)
+        << pad(std::to_string(m.rows) + "x" + std::to_string(m.cols), 12)
+        << pad(m.mbc.to_string(), 9) << pad(std::to_string(m.tile_count), 7)
+        << pad(std::to_string(m.cells), 9)
+        << pad(fixed(m.area_f2, 0), 12)
+        << pad(std::to_string(m.wires.remaining) + "/" +
+                   std::to_string(m.wires.total),
+               13)
+        << pad(percent(m.wires.remaining_ratio()), 9)
+        << pad(percent(m.routing_area_ratio), 9)
+        << pad(std::to_string(m.empty_tiles), 6) << '\n';
+  }
+  out << "total cells " << report.total_cells << " (dense baseline "
+      << report.dense_baseline_cells << ", crossbar-area ratio "
+      << percent(report.crossbar_area_ratio()) << "); wires "
+      << report.remaining_wires << "/" << report.total_wires
+      << "; mean routing-area ratio "
+      << percent(report.mean_routing_area_ratio()) << '\n';
+}
+
+}  // namespace gs::core

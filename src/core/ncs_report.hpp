@@ -1,0 +1,62 @@
+// Whole-network NCS design report: every weight matrix mapped to crossbars,
+// with synapse area and routing-wire census — the machinery behind Table 1's
+// area claims, Table 3, and Figures 7–8.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hw/area.hpp"
+#include "nn/network.hpp"
+
+namespace gs::core {
+
+/// One mapped weight matrix of the design.
+struct MatrixReport {
+  std::string name;      ///< "conv2_u", "fc2", …
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  hw::CrossbarSpec mbc;  ///< selected crossbar size
+  std::size_t tile_count = 0;
+  std::size_t cells = 0;          ///< physical crossbar cells
+  double area_f2 = 0.0;           ///< synapse-array area
+  hw::WireCount wires;            ///< routing census at tol=0
+  double routing_area_ratio = 0;  ///< (remaining/total)²
+  std::size_t empty_tiles = 0;    ///< removable crossbars
+};
+
+/// Aggregates over a network.
+struct NcsReport {
+  std::vector<MatrixReport> matrices;
+  std::size_t total_cells = 0;
+  double total_area_f2 = 0.0;
+  std::size_t total_wires = 0;
+  std::size_t remaining_wires = 0;
+  std::size_t total_tiles = 0;
+
+  /// Cell count the same network would need with every factorised layer
+  /// dense (N·M) — the denominator of the paper's crossbar-area ratios.
+  std::size_t dense_baseline_cells = 0;
+
+  double crossbar_area_ratio() const {
+    return dense_baseline_cells == 0
+               ? 1.0
+               : static_cast<double>(total_cells) / dense_baseline_cells;
+  }
+  /// Mean over matrices of per-matrix (wire ratio)² — the §4.2 aggregation.
+  double mean_routing_area_ratio() const;
+};
+
+/// Builds the report by walking every weight matrix of `net`:
+/// factorised layers contribute U and Vᵀ; dense/conv layers contribute
+/// their weight. `zero_tol` is the |w| threshold for the wire census.
+NcsReport build_ncs_report(nn::Network& net, const hw::TechnologyParams& tech,
+                           hw::MappingPolicy policy =
+                               hw::MappingPolicy::kDivisorExact,
+                           float zero_tol = 0.0f);
+
+/// Pretty-prints the report as an ASCII table.
+void print_ncs_report(std::ostream& out, const NcsReport& report);
+
+}  // namespace gs::core

@@ -1,0 +1,84 @@
+#include "core/paper_constants.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::core {
+
+PaperNetwork paper_lenet() {
+  PaperNetwork net;
+  net.name = "LeNet";
+  // Table 1: ranks 20/50/–/500/10 original; 5/12/–/36/10 clipped; §4.1
+  // quotes 4/6/6 (conv1/conv2/fc1) at ~1% loss.
+  net.layers = {
+      {"conv1", 25, 20, 5, 4},
+      {"conv2", 500, 50, 12, 6},
+      {"fc1", 800, 500, 36, 6},
+      {"fc2", 500, 10, 0, 0},  // last classifier layer — never clipped
+  };
+  net.crossbar_area_ratio = 0.1362;
+  net.crossbar_area_ratio_lossy = 0.0378;
+  net.routing_area_ratio = 0.081;
+  net.baseline_accuracy = 0.9915;
+  net.direct_lra_accuracy = 0.9644;
+  net.rank_clipping_accuracy = 0.9914;
+  return net;
+}
+
+PaperNetwork paper_convnet() {
+  PaperNetwork net;
+  net.name = "ConvNet";
+  net.layers = {
+      {"conv1", 75, 32, 12, 0},
+      {"conv2", 800, 32, 19, 0},
+      {"conv3", 800, 64, 22, 0},
+      {"fc1", 1024, 10, 0, 0},  // last classifier layer — never clipped
+  };
+  net.crossbar_area_ratio = 0.5181;
+  net.crossbar_area_ratio_lossy = 0.3814;
+  net.routing_area_ratio = 0.5206;
+  net.baseline_accuracy = 0.8201;
+  net.direct_lra_accuracy = 0.4329;
+  net.rank_clipping_accuracy = 0.8209;
+  return net;
+}
+
+std::vector<PaperWireRow> paper_lenet_table3() {
+  return {
+      {"conv2_u", 500, 12, {50, 12}, 0.475},
+      {"fc1_u", 800, 36, {50, 36}, 0.248},
+      {"fc1_v", 36, 500, {36, 50}, 0.067},
+      {"fc_last", 500, 10, {50, 10}, 0.180},
+  };
+}
+
+std::vector<PaperWireRow> paper_convnet_table3() {
+  return {
+      {"conv1_u", 75, 12, {25, 12}, 0.833},
+      {"conv2_u", 800, 19, {50, 19}, 0.405},
+      {"conv3_u", 800, 22, {50, 22}, 0.744},
+      {"fc_last", 1024, 10, {64, 10}, 0.819},
+  };
+}
+
+std::vector<double> paper_convnet_fig8_routing_area() {
+  // §4.2: "With merely 1.5% accuracy loss, the routing area in each layer is
+  // reduced to 56.25%, 7.64%, 21.44% and 31.64%".
+  return {0.5625, 0.0764, 0.2144, 0.3164};
+}
+
+std::size_t paper_cell_count(const PaperNetwork& net, bool clipped,
+                             bool lossy) {
+  std::size_t cells = 0;
+  for (const PaperLayer& layer : net.layers) {
+    const std::size_t rank = lossy ? layer.lossy_rank : layer.clipped_rank;
+    if (!clipped || rank == 0) {
+      cells += layer.n * layer.m;  // dense
+    } else {
+      GS_CHECK(rank <= layer.m);
+      cells += layer.n * rank + rank * layer.m;  // U + Vᵀ
+    }
+  }
+  return cells;
+}
+
+}  // namespace gs::core

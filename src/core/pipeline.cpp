@@ -1,0 +1,79 @@
+#include "core/pipeline.hpp"
+
+#include "common/log.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs::core {
+
+double train_phase(nn::Network& net, const data::Dataset& train_set,
+                   const data::Dataset& test_set, const TrainPhase& phase,
+                   std::uint64_t seed, std::size_t eval_samples) {
+  Rng rng(seed);
+  data::Batcher batcher(train_set, phase.batch_size, rng.split());
+  nn::SgdOptimizer opt(phase.sgd);
+  nn::train(net, opt, batcher, phase.iterations);
+  return nn::evaluate(net, test_set, eval_samples);
+}
+
+PipelineResult run_group_scissor(
+    const std::function<nn::Network(Rng&)>& build,
+    const data::Dataset& train_set, const data::Dataset& test_set,
+    const PipelineConfig& config) {
+  PipelineResult result;
+  Rng rng(config.seed);
+
+  // Phase 0: train the dense baseline.
+  nn::Network dense = build(rng);
+  GS_LOG_INFO << "pipeline: training baseline ("
+              << config.pretrain.iterations << " iters)";
+  result.baseline_accuracy =
+      train_phase(dense, train_set, test_set, config.pretrain, config.seed + 1,
+                  config.eval_samples);
+  result.dense_report =
+      build_ncs_report(dense, config.tech, config.policy);
+
+  // Phase 1: lossless full-rank factorisation (Algorithm 2, line 2).
+  FactorizeSpec spec;
+  spec.method = config.clipping.method;
+  spec.keep_dense = config.keep_dense;
+  nn::Network lowrank = to_lowrank(dense, spec);
+  result.lowrank_start_accuracy =
+      nn::evaluate(lowrank, test_set, config.eval_samples);
+
+  // Phase 2: rank clipping (Algorithm 2 main loop).
+  GS_LOG_INFO << "pipeline: rank clipping (eps=" << config.clipping.epsilon
+              << ", S=" << config.clipping.clip_interval << ")";
+  {
+    Rng clip_rng(config.seed + 2);
+    data::Batcher batcher(train_set, config.clipping_phase.batch_size,
+                          clip_rng.split());
+    nn::SgdOptimizer opt(config.clipping_phase.sgd);
+    result.clipping_run =
+        compress::run_rank_clipping(lowrank, opt, batcher, config.clipping);
+  }
+  result.clipped_accuracy =
+      nn::evaluate(lowrank, test_set, config.eval_samples);
+  result.clipped_report =
+      build_ncs_report(lowrank, config.tech, config.policy);
+
+  // Phase 3: group connection deletion + fine-tune.
+  GS_LOG_INFO << "pipeline: group connection deletion (lambda="
+              << config.deletion.lasso.lambda << ")";
+  {
+    Rng del_rng(config.seed + 3);
+    data::Batcher batcher(train_set, config.deletion_phase.batch_size,
+                          del_rng.split());
+    nn::SgdOptimizer opt(config.deletion_phase.sgd);
+    compress::DeletionConfig del = config.deletion;
+    del.tech = config.tech;
+    del.lasso.policy = config.policy;
+    result.deletion = compress::run_group_connection_deletion(
+        lowrank, opt, batcher, test_set, config.eval_samples, del);
+  }
+  result.final_report =
+      build_ncs_report(lowrank, config.tech, config.policy);
+  result.network = std::move(lowrank);
+  return result;
+}
+
+}  // namespace gs::core

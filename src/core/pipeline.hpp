@@ -1,0 +1,70 @@
+// GroupScissor — the end-to-end two-step pipeline of the paper:
+//   train baseline → factorise (full rank) → rank clipping (Algorithm 2)
+//   → group connection deletion (§3.2) → fine-tune → hardware report.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "compress/connection_deletion.hpp"
+#include "compress/rank_clipping.hpp"
+#include "core/models.hpp"
+#include "core/ncs_report.hpp"
+#include "data/dataset.hpp"
+#include "nn/optimizer.hpp"
+
+namespace gs::core {
+
+/// Hyper-parameters of one training phase.
+struct TrainPhase {
+  std::size_t iterations = 1000;
+  std::size_t batch_size = 32;
+  /// Defaults chosen to train the paper networks stably on the synthetic
+  /// tasks (LeNet diverges above ~0.05 with He init on this data).
+  nn::SgdConfig sgd{0.02f, 0.9f, 1e-4f};
+};
+
+/// Full pipeline configuration.
+struct PipelineConfig {
+  std::uint64_t seed = 1;
+  TrainPhase pretrain;
+  compress::RankClippingConfig clipping;
+  TrainPhase clipping_phase;   ///< sgd/batch settings during Algorithm 2
+  compress::DeletionConfig deletion;
+  TrainPhase deletion_phase;   ///< sgd/batch settings during §3.2
+  std::set<std::string> keep_dense;  ///< classifier layer(s)
+  std::size_t eval_samples = 0;      ///< 0 = whole eval set
+  hw::TechnologyParams tech;
+  hw::MappingPolicy policy = hw::MappingPolicy::kDivisorExact;
+};
+
+/// Everything the pipeline produced.
+struct PipelineResult {
+  double baseline_accuracy = 0.0;
+  double lowrank_start_accuracy = 0.0;  ///< after lossless factorisation
+  compress::RankClippingRun clipping_run;
+  double clipped_accuracy = 0.0;
+  NcsReport dense_report;     ///< baseline network mapping
+  NcsReport clipped_report;   ///< after rank clipping
+  compress::DeletionResult deletion;
+  NcsReport final_report;     ///< after deletion + fine-tune
+  /// The compressed network itself (moved out for further use).
+  nn::Network network;
+};
+
+/// Runs the full pipeline on a freshly-built dense network.
+/// `build` constructs the architecture; `train_set`/`test_set` supply data.
+PipelineResult run_group_scissor(
+    const std::function<nn::Network(Rng&)>& build,
+    const data::Dataset& train_set, const data::Dataset& test_set,
+    const PipelineConfig& config);
+
+/// Step helpers (used by benches that need only part of the flow) ----------
+
+/// Trains a network phase and returns final test accuracy.
+double train_phase(nn::Network& net, const data::Dataset& train_set,
+                   const data::Dataset& test_set, const TrainPhase& phase,
+                   std::uint64_t seed, std::size_t eval_samples = 0);
+
+}  // namespace gs::core

@@ -1,0 +1,66 @@
+#include "data/batcher.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace gs::data {
+
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::size_t>& indices) {
+  GS_CHECK(!indices.empty());
+  const Shape sample_shape = dataset.sample_shape();
+  GS_CHECK(sample_shape.size() == 3);
+  Shape batch_shape{indices.size(), sample_shape[0], sample_shape[1],
+                    sample_shape[2]};
+  Batch batch;
+  batch.images = Tensor(batch_shape);
+  batch.labels.reserve(indices.size());
+  const std::size_t stride = shape_numel(sample_shape);
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const Sample s = dataset.get(indices[b]);
+    GS_CHECK_MSG(s.image.numel() == stride, "sample shape mismatch");
+    GS_CHECK(s.label < dataset.num_classes());
+    std::copy(s.image.data(), s.image.data() + stride,
+              batch.images.data() + b * stride);
+    batch.labels.push_back(s.label);
+  }
+  return batch;
+}
+
+Batcher::Batcher(const Dataset& dataset, std::size_t batch_size, Rng rng,
+                 bool shuffle)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle),
+      order_(dataset.size()) {
+  GS_CHECK(batch_size_ > 0);
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+void Batcher::reshuffle() {
+  if (shuffle_) {
+    rng_.shuffle(order_);
+  }
+}
+
+std::size_t Batcher::batches_per_epoch() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch Batcher::next() {
+  const std::size_t remaining = order_.size() - cursor_;
+  const std::size_t take = std::min(batch_size_, remaining);
+  std::vector<std::size_t> indices(order_.begin() + cursor_,
+                                   order_.begin() + cursor_ + take);
+  cursor_ += take;
+  if (cursor_ >= order_.size()) {
+    cursor_ = 0;
+    reshuffle();
+  }
+  return make_batch(dataset_, indices);
+}
+
+}  // namespace gs::data

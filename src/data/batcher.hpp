@@ -1,0 +1,48 @@
+// Mini-batch assembly with per-epoch shuffling.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace gs::data {
+
+/// A mini-batch: images stacked along dim 0 (B×C×H×W) plus labels.
+struct Batch {
+  Tensor images;
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Assembles the samples at `indices` into one Batch.
+Batch make_batch(const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+/// Iterates a dataset in shuffled mini-batches, reshuffling every epoch.
+/// The final partial batch of an epoch is emitted (never dropped).
+class Batcher {
+ public:
+  /// `shuffle=false` gives sequential order (used for evaluation).
+  Batcher(const Dataset& dataset, std::size_t batch_size, Rng rng,
+          bool shuffle = true);
+
+  /// Next mini-batch; wraps around epochs transparently.
+  Batch next();
+
+  /// True right after the last batch of an epoch was returned.
+  bool epoch_finished() const { return cursor_ == 0; }
+  std::size_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  Rng rng_;
+  bool shuffle_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+
+  void reshuffle();
+};
+
+}  // namespace gs::data

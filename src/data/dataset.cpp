@@ -1,0 +1,4 @@
+#include "data/dataset.hpp"
+
+// Interface-only translation unit: anchors the Dataset vtable.
+namespace gs::data {}

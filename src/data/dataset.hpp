@@ -1,0 +1,41 @@
+// Dataset abstraction.
+//
+// The paper trains LeNet on MNIST and ConvNet on CIFAR-10. Neither dataset
+// is available in this offline environment, so the concrete datasets in this
+// module are *procedural generators* that synthesise a learnable 10-class
+// image task with identical tensor geometry (28×28×1 / 32×32×3). Samples are
+// deterministic functions of (dataset seed, index): the "dataset" is virtual
+// and unbounded, and train/test splits are disjoint index ranges.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace gs::data {
+
+/// One labelled image.
+struct Sample {
+  Tensor image;       ///< rank-3, C×H×W, values roughly in [0, 1]
+  std::size_t label;  ///< class index in [0, num_classes)
+};
+
+/// Read-only random-access dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  /// Number of addressable samples.
+  virtual std::size_t size() const = 0;
+  /// Sample at `index`; deterministic — repeated calls return equal tensors.
+  virtual Sample get(std::size_t index) const = 0;
+  /// Shape of every image tensor (C, H, W).
+  virtual Shape sample_shape() const = 0;
+  /// Number of label classes.
+  virtual std::size_t num_classes() const = 0;
+  /// Diagnostic name.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace gs::data

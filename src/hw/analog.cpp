@@ -1,0 +1,150 @@
+#include "hw/analog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+void AnalogParams::validate() const {
+  GS_CHECK(g_min > 0.0 && g_max > g_min);
+  GS_CHECK(variation_sigma >= 0.0);
+  GS_CHECK(wire_resistance >= 0.0);
+}
+
+namespace {
+
+/// Quantises a conductance to the nearest of `levels` states in
+/// [g_min, g_max]; levels == 0 means continuous programming.
+double quantize(double g, const AnalogParams& p) {
+  if (p.levels == 0) return g;
+  GS_CHECK(p.levels >= 2);
+  const double step = (p.g_max - p.g_min) / static_cast<double>(p.levels - 1);
+  const double idx = std::round((g - p.g_min) / step);
+  const double clamped =
+      std::clamp(idx, 0.0, static_cast<double>(p.levels - 1));
+  return p.g_min + clamped * step;
+}
+
+}  // namespace
+
+AnalogCrossbar::AnalogCrossbar(const Tensor& weights, double w_max,
+                               const AnalogParams& params, Rng& rng)
+    : params_(params), w_max_(w_max) {
+  params_.validate();
+  GS_CHECK_MSG(weights.rank() == 2, "crossbar weights must be a matrix");
+  GS_CHECK_MSG(w_max > 0.0, "w_max must be positive");
+  const std::size_t p = weights.rows();
+  const std::size_t q = weights.cols();
+  g_plus_ = Tensor(Shape{p, q});
+  g_minus_ = Tensor(Shape{p, q});
+  effective_ = Tensor(Shape{p, q});
+
+  // Weight-to-conductance scale: |w| = w_max maps to the full conductance
+  // swing g_max − g_min on one side of the differential pair.
+  const double swing = params_.g_max - params_.g_min;
+  const double scale = swing / w_max;
+
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < q; ++j) {
+      const double w =
+          std::clamp(static_cast<double>(weights.at(i, j)), -w_max, w_max);
+      double gp = params_.g_min + std::max(w, 0.0) * scale;
+      double gm = params_.g_min + std::max(-w, 0.0) * scale;
+      gp = quantize(gp, params_);
+      gm = quantize(gm, params_);
+      if (params_.variation_sigma > 0.0) {
+        gp *= std::exp(rng.gaussian(0.0, params_.variation_sigma));
+        gm *= std::exp(rng.gaussian(0.0, params_.variation_sigma));
+      }
+      g_plus_.at(i, j) = static_cast<float>(gp);
+      g_minus_.at(i, j) = static_cast<float>(gm);
+    }
+  }
+
+  // Effective weights: differential read-out with first-order IR-drop.
+  // Drivers sit at column 0 (row wires) and row P−1 (column wires, where
+  // the sense amplifiers integrate), so the farthest cell is (0, Q−1).
+  const double mean_g = 0.5 * (params_.g_min + params_.g_max);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < q; ++j) {
+      const double segments =
+          static_cast<double>(j + 1) + static_cast<double>(p - i);
+      const double attenuation =
+          1.0 /
+          (1.0 + params_.wire_resistance * mean_g * segments);
+      const double diff = static_cast<double>(g_plus_.at(i, j)) -
+                          static_cast<double>(g_minus_.at(i, j));
+      effective_.at(i, j) =
+          static_cast<float>(diff / scale * attenuation);
+    }
+  }
+}
+
+Tensor AnalogCrossbar::matvec(const Tensor& x) const {
+  GS_CHECK(x.rank() == 1 && x.dim(0) == effective_.rows());
+  Tensor y(Shape{effective_.cols()});
+  for (std::size_t j = 0; j < effective_.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < effective_.rows(); ++i) {
+      acc += static_cast<double>(x[i]) * effective_.at(i, j);
+    }
+    y[j] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Tensor analog_effective_matrix(const Tensor& m, const TileGrid& grid,
+                               const AnalogParams& params) {
+  GS_CHECK(m.rank() == 2 && m.rows() == grid.rows && m.cols() == grid.cols);
+  params.validate();
+  Rng rng(params.seed);
+
+  // Full-scale weight shared across tiles of the matrix (a per-matrix DAC
+  // reference): the maximum |w|, floored to avoid a zero range.
+  double w_max = 1e-6;
+  for (std::size_t i = 0; i < m.numel(); ++i) {
+    w_max = std::max(w_max, static_cast<double>(std::fabs(m[i])));
+  }
+
+  Tensor effective(m.shape());
+  for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+      const std::size_t r0 = tr * grid.tile.rows;
+      const std::size_t r1 = std::min(r0 + grid.tile.rows, grid.rows);
+      const std::size_t c0 = tc * grid.tile.cols;
+      const std::size_t c1 = std::min(c0 + grid.tile.cols, grid.cols);
+      Tensor tile(Shape{r1 - r0, c1 - c0});
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          tile.at(i - r0, j - c0) = m.at(i, j);
+        }
+      }
+      const AnalogCrossbar xbar(tile, w_max, params, rng);
+      const Tensor& eff = xbar.effective_weights();
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          effective.at(i, j) = eff.at(i - r0, j - c0);
+        }
+      }
+    }
+  }
+  return effective;
+}
+
+double weight_rms_error(const Tensor& ideal, const Tensor& effective) {
+  GS_CHECK(ideal.same_shape(effective));
+  GS_CHECK(ideal.numel() > 0);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < ideal.numel(); ++i) {
+    const double d = static_cast<double>(ideal[i]) - effective[i];
+    num += d * d;
+    den += static_cast<double>(ideal[i]) * ideal[i];
+  }
+  if (den <= 0.0) return 0.0;
+  return std::sqrt(num / den);
+}
+
+}  // namespace gs::hw

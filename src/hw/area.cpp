@@ -1,0 +1,70 @@
+#include "hw/area.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+CrossbarArea crossbar_area(const TileGrid& grid,
+                           const TechnologyParams& tech) {
+  tech.validate();
+  CrossbarArea area;
+  area.tile_count = grid.tile_count();
+  area.used_cells = grid.rows * grid.cols;
+  area.cells = grid.exact() ? area.used_cells
+                            : area.tile_count * grid.tile.cells();
+  area.area_f2 = static_cast<double>(area.cells) * tech.cell_area_f2;
+  return area;
+}
+
+CrossbarArea crossbar_area(std::size_t n, std::size_t k,
+                           const TechnologyParams& tech,
+                           MappingPolicy policy) {
+  return crossbar_area(make_tile_grid(n, k, tech, policy), tech);
+}
+
+FactorAreaComparison compare_factor_area(std::size_t n, std::size_t m,
+                                         std::size_t k) {
+  GS_CHECK(n > 0 && m > 0 && k > 0);
+  FactorAreaComparison cmp;
+  cmp.dense_cells = n * m;
+  cmp.factored_cells = n * k + k * m;
+  return cmp;
+}
+
+WireCount count_routing_wires(const Tensor& m, const TileGrid& grid,
+                              float tol) {
+  GS_CHECK(m.rank() == 2 && m.rows() == grid.rows && m.cols() == grid.cols);
+  WireCount wires;
+  wires.total = grid.total_wires();
+  // Row groups: one input wire per (matrix row, tile column).
+  for (std::size_t i = 0; i < grid.rows; ++i) {
+    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+      if (!group_is_zero(m, row_group_slice(grid, i, tc), tol)) {
+        ++wires.remaining;
+      }
+    }
+  }
+  // Column groups: one output wire per (tile row, matrix column).
+  for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+    for (std::size_t j = 0; j < grid.cols; ++j) {
+      if (!group_is_zero(m, col_group_slice(grid, tr, j), tol)) {
+        ++wires.remaining;
+      }
+    }
+  }
+  return wires;
+}
+
+double routing_area(std::size_t wire_count, const TechnologyParams& tech) {
+  tech.validate();
+  // Eq. (8): Ar = α·Nw².
+  return tech.routing_alpha * static_cast<double>(wire_count) *
+         static_cast<double>(wire_count);
+}
+
+double routing_area_ratio(const WireCount& wires) {
+  const double r = wires.remaining_ratio();
+  return r * r;
+}
+
+}  // namespace gs::hw

@@ -1,0 +1,63 @@
+#include "hw/crossbar.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+std::string CrossbarSpec::to_string() const {
+  std::ostringstream oss;
+  oss << rows << "x" << cols;
+  return oss.str();
+}
+
+std::string to_string(MappingPolicy policy) {
+  switch (policy) {
+    case MappingPolicy::kDivisorExact:
+      return "divisor-exact";
+    case MappingPolicy::kPaddedMax:
+      return "padded-max";
+  }
+  return "?";
+}
+
+std::size_t largest_divisor_upto(std::size_t d, std::size_t limit) {
+  GS_CHECK(d > 0 && limit > 0);
+  if (d <= limit) return d;
+  for (std::size_t p = limit; p >= 1; --p) {
+    if (d % p == 0) return p;
+  }
+  return 1;  // unreachable: 1 divides everything
+}
+
+CrossbarSpec select_mbc_size(std::size_t n, std::size_t k,
+                             const TechnologyParams& tech,
+                             MappingPolicy policy) {
+  GS_CHECK_MSG(n > 0 && k > 0, "matrix dims must be positive");
+  tech.validate();
+  const std::size_t max_dim = tech.max_crossbar_dim;
+  switch (policy) {
+    case MappingPolicy::kDivisorExact:
+      // §4.2: (1) single crossbar when both dims fit; (2) otherwise the
+      // largest library size dividing each dimension.
+      return {largest_divisor_upto(n, max_dim),
+              largest_divisor_upto(k, max_dim)};
+    case MappingPolicy::kPaddedMax:
+      return {std::min(n, max_dim), std::min(k, max_dim)};
+  }
+  GS_FAIL("unknown MappingPolicy");
+}
+
+std::vector<CrossbarSpec> CrossbarLibrary::enumerate() const {
+  std::vector<CrossbarSpec> all;
+  all.reserve(size());
+  for (std::size_t r = 1; r <= tech_.max_crossbar_dim; ++r) {
+    for (std::size_t c = 1; c <= tech_.max_crossbar_dim; ++c) {
+      all.push_back({r, c});
+    }
+  }
+  return all;
+}
+
+}  // namespace gs::hw

@@ -1,0 +1,75 @@
+// Crossbar specification and the §4.2 MBC size-selection criteria.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/technology.hpp"
+
+namespace gs::hw {
+
+/// One synapse crossbar of `rows` input lines × `cols` output lines.
+struct CrossbarSpec {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  std::size_t cells() const { return rows * cols; }
+  /// Synapse-array area in F².
+  double area_f2(const TechnologyParams& tech) const {
+    return static_cast<double>(cells()) * tech.cell_area_f2;
+  }
+  /// Wires entering/leaving the crossbar (P inputs + Q outputs).
+  std::size_t wires() const { return rows + cols; }
+  std::string to_string() const;
+
+  bool operator==(const CrossbarSpec& other) const = default;
+};
+
+/// How matrices are tiled onto library crossbars.
+enum class MappingPolicy {
+  /// §4.2 of the paper: a dimension d ≤ max maps to d; otherwise to the
+  /// largest divisor of d that is ≤ max (exact tiling, no padded cells).
+  kDivisorExact,
+  /// Engineering alternative: always use the full max×max crossbar with
+  /// ⌈·⌉ tile counts; edge tiles are padded (wasted cells). Used by the
+  /// mapping-policy ablation.
+  kPaddedMax,
+};
+
+std::string to_string(MappingPolicy policy);
+
+/// Largest divisor of `d` that is ≤ `limit` (≥ 1 always exists).
+std::size_t largest_divisor_upto(std::size_t d, std::size_t limit);
+
+/// Selects the MBC size implementing an n×k matrix under the given policy
+/// (Table 3's "MBC sizes" column for kDivisorExact).
+CrossbarSpec select_mbc_size(std::size_t n, std::size_t k,
+                             const TechnologyParams& tech,
+                             MappingPolicy policy = MappingPolicy::kDivisorExact);
+
+/// The "standard library" of §3.3: all crossbar shapes within the maximum
+/// dimension. Enumerated lazily through contains(); enumerate() lists the
+/// (r, c) pairs for inspection/tests (max_dim² entries).
+class CrossbarLibrary {
+ public:
+  explicit CrossbarLibrary(const TechnologyParams& tech) : tech_(tech) {
+    tech_.validate();
+  }
+
+  bool contains(const CrossbarSpec& spec) const {
+    return spec.rows >= 1 && spec.cols >= 1 &&
+           spec.rows <= tech_.max_crossbar_dim &&
+           spec.cols <= tech_.max_crossbar_dim;
+  }
+  std::size_t size() const {
+    return tech_.max_crossbar_dim * tech_.max_crossbar_dim;
+  }
+  std::vector<CrossbarSpec> enumerate() const;
+  const TechnologyParams& technology() const { return tech_; }
+
+ private:
+  TechnologyParams tech_;
+};
+
+}  // namespace gs::hw

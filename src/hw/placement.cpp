@@ -1,0 +1,264 @@
+#include "hw/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "hw/area.hpp"
+
+namespace gs::hw {
+
+double CommGraph::total_weight() const {
+  double acc = 0.0;
+  for (const CommEdge& e : edges) acc += e.weight;
+  return acc;
+}
+
+namespace {
+
+/// Live row wires of tile (tr, tc): non-zero row groups whose row lies in
+/// the tile's row range.
+std::size_t live_row_wires(const Tensor& m, const TileGrid& grid,
+                           std::size_t tr, std::size_t tc, float tol) {
+  const std::size_t r0 = tr * grid.tile.rows;
+  const std::size_t r1 = std::min(r0 + grid.tile.rows, grid.rows);
+  std::size_t live = 0;
+  for (std::size_t i = r0; i < r1; ++i) {
+    if (!group_is_zero(m, row_group_slice(grid, i, tc), tol)) ++live;
+  }
+  return live;
+}
+
+/// Live column wires of tile (tr, tc).
+std::size_t live_col_wires(const Tensor& m, const TileGrid& grid,
+                           std::size_t tr, std::size_t tc, float tol) {
+  const std::size_t c0 = tc * grid.tile.cols;
+  const std::size_t c1 = std::min(c0 + grid.tile.cols, grid.cols);
+  std::size_t live = 0;
+  for (std::size_t j = c0; j < c1; ++j) {
+    if (!group_is_zero(m, col_group_slice(grid, tr, j), tol)) ++live;
+  }
+  return live;
+}
+
+}  // namespace
+
+CommGraph build_comm_graph(const std::vector<MappedMatrix>& matrices,
+                           const TechnologyParams& tech, MappingPolicy policy,
+                           float zero_tol) {
+  GS_CHECK(!matrices.empty());
+  tech.validate();
+  CommGraph graph;
+
+  // Per matrix: node index of tile (tr, tc) and boundary tile lists.
+  struct MatrixLayout {
+    TileGrid grid;
+    std::size_t first_node = 0;
+    std::size_t live_outputs = 0;  ///< non-zero column groups (whole matrix)
+    std::size_t live_inputs = 0;   ///< non-zero row groups (whole matrix)
+  };
+  std::vector<MatrixLayout> layouts;
+
+  for (const MappedMatrix& mm : matrices) {
+    GS_CHECK(mm.weights != nullptr && mm.weights->rank() == 2);
+    const Tensor& m = *mm.weights;
+    MatrixLayout layout;
+    layout.grid = make_tile_grid(m.rows(), m.cols(), tech, policy);
+    layout.first_node = graph.nodes.size();
+    const TileGrid& grid = layout.grid;
+
+    const auto node_of = [&](std::size_t tr, std::size_t tc) {
+      return layout.first_node + tr * grid.grid_cols() + tc;
+    };
+
+    for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+      for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+        CommNode node;
+        node.matrix = mm.name;
+        node.tile_row = tr;
+        node.tile_col = tc;
+        node.live_wires = live_row_wires(m, grid, tr, tc, zero_tol) +
+                          live_col_wires(m, grid, tr, tc, zero_tol);
+        graph.nodes.push_back(std::move(node));
+      }
+    }
+
+    // Horizontal edges: same tile row, adjacent tile columns — the input
+    // bus continues from one tile to the next; weight = live rows shared by
+    // the pair (a wire must reach both tiles to be shared).
+    for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+      for (std::size_t tc = 0; tc + 1 < grid.grid_cols(); ++tc) {
+        const std::size_t r0 = tr * grid.tile.rows;
+        const std::size_t r1 = std::min(r0 + grid.tile.rows, grid.rows);
+        double shared = 0.0;
+        for (std::size_t i = r0; i < r1; ++i) {
+          const bool left =
+              !group_is_zero(m, row_group_slice(grid, i, tc), zero_tol);
+          const bool right =
+              !group_is_zero(m, row_group_slice(grid, i, tc + 1), zero_tol);
+          if (left && right) shared += 1.0;
+        }
+        if (shared > 0.0) {
+          graph.edges.push_back({node_of(tr, tc), node_of(tr, tc + 1),
+                                 shared});
+        }
+      }
+    }
+    // Vertical edges: same tile column, adjacent tile rows — partial-sum
+    // chaining; weight = live columns shared by the pair.
+    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+      for (std::size_t tr = 0; tr + 1 < grid.grid_rows(); ++tr) {
+        const std::size_t c0 = tc * grid.tile.cols;
+        const std::size_t c1 = std::min(c0 + grid.tile.cols, grid.cols);
+        double shared = 0.0;
+        for (std::size_t j = c0; j < c1; ++j) {
+          const bool upper =
+              !group_is_zero(m, col_group_slice(grid, tr, j), zero_tol);
+          const bool lower =
+              !group_is_zero(m, col_group_slice(grid, tr + 1, j), zero_tol);
+          if (upper && lower) shared += 1.0;
+        }
+        if (shared > 0.0) {
+          graph.edges.push_back(
+              {node_of(tr, tc), node_of(tr + 1, tc), shared});
+        }
+      }
+    }
+
+    const WireCount wires = count_routing_wires(m, grid, zero_tol);
+    // Split the census into live inputs (row groups) and outputs (column
+    // groups) for the inter-matrix interface weights.
+    std::size_t live_in = 0;
+    for (std::size_t i = 0; i < grid.rows; ++i) {
+      for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+        if (!group_is_zero(m, row_group_slice(grid, i, tc), zero_tol)) {
+          ++live_in;
+        }
+      }
+    }
+    layout.live_inputs = live_in;
+    layout.live_outputs = wires.remaining - live_in;
+    layouts.push_back(layout);
+  }
+
+  // Inter-matrix edges: matrix l's outputs feed matrix l+1's inputs. The
+  // interface weight is min(live outputs, live inputs), spread uniformly
+  // over (last tile row of l) × (first tile column tiles of l+1).
+  for (std::size_t l = 0; l + 1 < layouts.size(); ++l) {
+    const MatrixLayout& src = layouts[l];
+    const MatrixLayout& dst = layouts[l + 1];
+    const double interface = static_cast<double>(
+        std::min(src.live_outputs, dst.live_inputs));
+    if (interface <= 0.0) continue;
+
+    std::vector<std::size_t> src_tiles;  // last tile row of src
+    const std::size_t src_tr = src.grid.grid_rows() - 1;
+    for (std::size_t tc = 0; tc < src.grid.grid_cols(); ++tc) {
+      src_tiles.push_back(src.first_node + src_tr * src.grid.grid_cols() + tc);
+    }
+    std::vector<std::size_t> dst_tiles;  // first tile column of dst
+    for (std::size_t tr = 0; tr < dst.grid.grid_rows(); ++tr) {
+      dst_tiles.push_back(dst.first_node + tr * dst.grid.grid_cols());
+    }
+    const double share =
+        interface / static_cast<double>(src_tiles.size() * dst_tiles.size());
+    for (std::size_t a : src_tiles) {
+      for (std::size_t b : dst_tiles) {
+        graph.edges.push_back({a, b, share});
+      }
+    }
+  }
+  return graph;
+}
+
+double wire_cost(const CommGraph& graph, const Placement& placement) {
+  GS_CHECK(placement.position.size() == graph.nodes.size());
+  double cost = 0.0;
+  for (const CommEdge& e : graph.edges) {
+    const double dx =
+        std::fabs(static_cast<double>(placement.x_of(e.a)) -
+                  static_cast<double>(placement.x_of(e.b)));
+    const double dy =
+        std::fabs(static_cast<double>(placement.y_of(e.a)) -
+                  static_cast<double>(placement.y_of(e.b)));
+    cost += e.weight * (dx + dy);
+  }
+  return cost;
+}
+
+Placement row_major_placement(const CommGraph& graph) {
+  const std::size_t n = graph.nodes.size();
+  GS_CHECK(n > 0);
+  Placement placement;
+  placement.grid_width = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  placement.grid_height =
+      (n + placement.grid_width - 1) / placement.grid_width;
+  placement.position.resize(n);
+  for (std::size_t i = 0; i < n; ++i) placement.position[i] = i;
+  return placement;
+}
+
+Placement anneal_placement(const CommGraph& graph, const Placement& initial,
+                           const AnnealConfig& config) {
+  GS_CHECK(initial.position.size() == graph.nodes.size());
+  const std::size_t cores = initial.grid_width * initial.grid_height;
+  GS_CHECK(cores >= graph.nodes.size());
+  Rng rng(config.seed);
+
+  // Occupancy map: core → node (or npos).
+  constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> core_to_node(cores, kEmpty);
+  Placement current = initial;
+  for (std::size_t node = 0; node < current.position.size(); ++node) {
+    GS_CHECK_MSG(core_to_node[current.position[node]] == kEmpty,
+                 "initial placement has overlapping nodes");
+    core_to_node[current.position[node]] = node;
+  }
+
+  double current_cost = wire_cost(graph, current);
+  Placement best = current;
+  double best_cost = current_cost;
+
+  // Temperature scaled to the typical edge move cost.
+  const double mean_weight =
+      graph.edges.empty() ? 1.0
+                          : graph.total_weight() /
+                                static_cast<double>(graph.edges.size());
+  double temperature = config.initial_temperature * mean_weight *
+                       static_cast<double>(initial.grid_width);
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Pick a random node and a random target core (occupied → swap).
+    const std::size_t node = rng.uniform_index(graph.nodes.size());
+    const std::size_t target = rng.uniform_index(cores);
+    const std::size_t old_core = current.position[node];
+    if (target == old_core) continue;
+    const std::size_t other = core_to_node[target];
+
+    current.position[node] = target;
+    if (other != kEmpty) current.position[other] = old_core;
+    const double new_cost = wire_cost(graph, current);
+
+    const double delta = new_cost - current_cost;
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
+    if (accept) {
+      current_cost = new_cost;
+      core_to_node[target] = node;
+      core_to_node[old_core] = other;
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best = current;
+      }
+    } else {
+      current.position[node] = old_core;
+      if (other != kEmpty) current.position[other] = target;
+    }
+    temperature *= config.cooling;
+  }
+  return best;
+}
+
+}  // namespace gs::hw

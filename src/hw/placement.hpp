@@ -1,0 +1,105 @@
+// Crossbar/core placement and inter-crossbar communication cost.
+//
+// Architecture-level context (§1): multi-crossbar NCS designs route spikes /
+// partial sums between crossbars; TrueNorth-style flows "map logically-
+// connected cores to physically-adjacent cores to reduce spike
+// communications" [13]. This module models that layer of the stack:
+//
+//  * a COMMUNICATION GRAPH over crossbar tiles — horizontally adjacent tiles
+//    of a matrix share input-distribution wiring, vertically adjacent tiles
+//    chain partial sums, and consecutive matrices in the network hand
+//    activations from one tile array to the next. Edge weights count the
+//    LIVE wires of the shared interface, so group connection deletion
+//    directly lightens the graph.
+//  * a PLACEMENT of tiles onto a 2-D core grid with Manhattan wire cost
+//    Σ_e w(e)·dist(e) — the architecture-level analogue of Eq. (7).
+//  * two placers: a row-major baseline and a simulated-annealing optimiser
+//    (random pair swaps with geometric cooling).
+//
+// The placement bench quantifies both effects the paper appeals to: deletion
+// shrinks total communication, and placement optimisation shortens what
+// remains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/tiling.hpp"
+
+namespace gs::hw {
+
+/// One crossbar tile of one mapped matrix.
+struct CommNode {
+  std::string matrix;     ///< owning matrix name, e.g. "fc1_u"
+  std::size_t tile_row = 0;
+  std::size_t tile_col = 0;
+  std::size_t live_wires = 0;  ///< remaining row+col wires of this tile
+};
+
+/// Undirected weighted edge between two tiles.
+struct CommEdge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double weight = 0.0;  ///< live wires crossing the interface
+};
+
+/// Tile-level communication graph of a multi-matrix design.
+struct CommGraph {
+  std::vector<CommNode> nodes;
+  std::vector<CommEdge> edges;
+
+  double total_weight() const;
+};
+
+/// One matrix to include in a design, in network order.
+struct MappedMatrix {
+  std::string name;
+  const Tensor* weights = nullptr;  ///< borrowed; caller keeps alive
+};
+
+/// Builds the communication graph of a sequence of mapped matrices.
+/// Intra-matrix edges: adjacent tiles in a tile row (shared live input
+/// wires) and in a tile column (live output/partial-sum wires). Inter-matrix
+/// edges: the live output wires of matrix l's tile columns feed the live
+/// input wires of matrix l+1's tile rows; the aggregate interface weight is
+/// spread uniformly over the boundary tile pairs.
+CommGraph build_comm_graph(const std::vector<MappedMatrix>& matrices,
+                           const TechnologyParams& tech,
+                           MappingPolicy policy = MappingPolicy::kDivisorExact,
+                           float zero_tol = 0.0f);
+
+/// A placement assigns every node a core coordinate on a W×H grid.
+struct Placement {
+  std::size_t grid_width = 0;
+  std::size_t grid_height = 0;
+  std::vector<std::size_t> position;  ///< node → core index (y·W + x)
+
+  std::size_t x_of(std::size_t node) const {
+    return position[node] % grid_width;
+  }
+  std::size_t y_of(std::size_t node) const {
+    return position[node] / grid_width;
+  }
+};
+
+/// Σ_e w(e) · manhattan(a, b) under `placement`.
+double wire_cost(const CommGraph& graph, const Placement& placement);
+
+/// Nodes in input order, packed row-major onto the smallest near-square
+/// grid.
+Placement row_major_placement(const CommGraph& graph);
+
+/// Simulated annealing over random position swaps (including moves to empty
+/// cores). Never returns a worse placement than `initial`.
+struct AnnealConfig {
+  std::size_t iterations = 20000;
+  double initial_temperature = 1.0;  ///< scaled by the mean edge cost
+  double cooling = 0.999;            ///< geometric factor per iteration
+  std::uint64_t seed = 1;
+};
+Placement anneal_placement(const CommGraph& graph, const Placement& initial,
+                           const AnnealConfig& config = {});
+
+}  // namespace gs::hw

@@ -1,0 +1,35 @@
+#include "hw/repack.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+RepackReport repack_tiles(const Tensor& m, const TileGrid& grid, float tol) {
+  GS_CHECK(m.rank() == 2 && m.rows() == grid.rows && m.cols() == grid.cols);
+  RepackReport report;
+  const std::vector<TileOccupancy> occupancy = analyze_tiles(m, grid, tol);
+  report.tiles.reserve(occupancy.size());
+  for (const TileOccupancy& occ : occupancy) {
+    RepackedTile tile;
+    tile.tile_row = occ.tile_row;
+    tile.tile_col = occ.tile_col;
+    // Edge tiles of a padded mapping can be smaller than the library tile;
+    // derive actual extents from the grid.
+    const std::size_t r0 = occ.tile_row * grid.tile.rows;
+    const std::size_t c0 = occ.tile_col * grid.tile.cols;
+    tile.original = {std::min(grid.tile.rows, grid.rows - r0),
+                     std::min(grid.tile.cols, grid.cols - c0)};
+    tile.repacked = {occ.nonzero_rows, occ.nonzero_cols};
+    if (tile.removed()) {
+      ++report.removed_tiles;
+    }
+    report.original_cells += tile.original_cells();
+    report.repacked_cells += tile.repacked_cells();
+    report.original_wires += tile.original.rows + tile.original.cols;
+    report.repacked_wires += occ.nonzero_rows + occ.nonzero_cols;
+    report.tiles.push_back(tile);
+  }
+  return report;
+}
+
+}  // namespace gs::hw

@@ -1,0 +1,66 @@
+// Crossbar repacking — the closing observation of the paper's Figure 9:
+//
+//   "a crossbar with some zero columns/rows can be replaced by a smaller but
+//    dense crossbar after removing those zero groups, which can further
+//    reduce the crossbar area"
+//
+// After group connection deletion, each tile of a mapped matrix may have
+// all-zero rows (input wires deleted) and all-zero columns (output wires
+// deleted). Repacking replaces every tile with the minimal crossbar holding
+// only its live rows × live columns; fully-empty tiles vanish entirely.
+#pragma once
+
+#include <vector>
+
+#include "hw/tiling.hpp"
+
+namespace gs::hw {
+
+/// One tile before/after repacking.
+struct RepackedTile {
+  std::size_t tile_row = 0;
+  std::size_t tile_col = 0;
+  CrossbarSpec original;  ///< the library tile P×Q
+  CrossbarSpec repacked;  ///< live-rows × live-cols (0×0 when empty)
+
+  bool removed() const { return repacked.rows == 0 || repacked.cols == 0; }
+  std::size_t original_cells() const { return original.cells(); }
+  std::size_t repacked_cells() const {
+    return removed() ? 0 : repacked.cells();
+  }
+  std::size_t saved_cells() const {
+    return original_cells() - repacked_cells();
+  }
+};
+
+/// Whole-matrix repacking summary.
+struct RepackReport {
+  std::vector<RepackedTile> tiles;
+  std::size_t original_cells = 0;
+  std::size_t repacked_cells = 0;
+  std::size_t removed_tiles = 0;
+  std::size_t original_wires = 0;  ///< P+Q per tile
+  std::size_t repacked_wires = 0;  ///< live rows + live cols per tile
+
+  /// Crossbar-cell area kept after repacking (1.0 = no saving).
+  double cell_ratio() const {
+    return original_cells == 0
+               ? 1.0
+               : static_cast<double>(repacked_cells) / original_cells;
+  }
+  double wire_ratio() const {
+    return original_wires == 0
+               ? 1.0
+               : static_cast<double>(repacked_wires) / original_wires;
+  }
+};
+
+/// Repacks every tile of `m` under `grid`. Elements with |w| ≤ tol count as
+/// deleted. Invariant (verified by tests): repacked_wires equals the
+/// remaining-wire census of hw::count_routing_wires, because a live tile row
+/// is exactly a non-zero row group and a live tile column a non-zero column
+/// group.
+RepackReport repack_tiles(const Tensor& m, const TileGrid& grid,
+                          float tol = 0.0f);
+
+}  // namespace gs::hw

@@ -1,0 +1,17 @@
+#include "hw/technology.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+void TechnologyParams::validate() const {
+  GS_CHECK(cell_area_f2 > 0.0);
+  GS_CHECK(max_crossbar_dim > 0);
+  GS_CHECK(wire_pitch_f > 0.0);
+  GS_CHECK(metal_pitch_f > 0.0);
+  GS_CHECK(routing_alpha > 0.0);
+}
+
+TechnologyParams paper_technology() { return TechnologyParams{}; }
+
+}  // namespace gs::hw

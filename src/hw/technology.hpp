@@ -1,0 +1,31 @@
+// Technology parameters of the memristor-based crossbar (MBC) NCS design —
+// Table 2 of the paper, §3.3 area model.
+#pragma once
+
+#include <cstddef>
+
+namespace gs::hw {
+
+/// Process/technology constants. Areas are expressed in F² (F = minimum
+/// feature size), so results are technology-node-independent ratios — the
+/// form the paper reports.
+struct TechnologyParams {
+  /// Memristor cell area (Table 2: 4F²).
+  double cell_area_f2 = 4.0;
+  /// Maximum reliable crossbar dimension (Table 2: 64×64) [10].
+  std::size_t max_crossbar_dim = 64;
+  /// Wire length between two adjacent memristors (Table 2: 2F).
+  double wire_pitch_f = 2.0;
+  /// Metal width + spacing (Wm + Wd of Eq. 7), in F.
+  double metal_pitch_f = 4.0;
+  /// Scalar α of the Eq. (8) routing-area model Ar = α·Nw².
+  double routing_alpha = 1.0;
+
+  /// Validates all values are positive.
+  void validate() const;
+};
+
+/// The paper's experiment setup (Table 2 defaults).
+TechnologyParams paper_technology();
+
+}  // namespace gs::hw

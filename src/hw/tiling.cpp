@@ -1,0 +1,107 @@
+#include "hw/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+TileGrid make_tile_grid(std::size_t n, std::size_t k,
+                        const TechnologyParams& tech, MappingPolicy policy) {
+  TileGrid grid;
+  grid.rows = n;
+  grid.cols = k;
+  grid.tile = select_mbc_size(n, k, tech, policy);
+  return grid;
+}
+
+GroupSlice row_group_slice(const TileGrid& grid, std::size_t i,
+                           std::size_t tc) {
+  GS_CHECK_MSG(i < grid.rows, "row " << i << " out of " << grid.rows);
+  GS_CHECK_MSG(tc < grid.grid_cols(),
+               "tile col " << tc << " out of " << grid.grid_cols());
+  GroupSlice s;
+  s.row_begin = i;
+  s.row_end = i + 1;
+  s.col_begin = tc * grid.tile.cols;
+  s.col_end = std::min(s.col_begin + grid.tile.cols, grid.cols);
+  return s;
+}
+
+GroupSlice col_group_slice(const TileGrid& grid, std::size_t tr,
+                           std::size_t j) {
+  GS_CHECK_MSG(j < grid.cols, "col " << j << " out of " << grid.cols);
+  GS_CHECK_MSG(tr < grid.grid_rows(),
+               "tile row " << tr << " out of " << grid.grid_rows());
+  GroupSlice s;
+  s.col_begin = j;
+  s.col_end = j + 1;
+  s.row_begin = tr * grid.tile.rows;
+  s.row_end = std::min(s.row_begin + grid.tile.rows, grid.rows);
+  return s;
+}
+
+double group_norm(const Tensor& m, const GroupSlice& slice) {
+  GS_CHECK(m.rank() == 2);
+  GS_CHECK(slice.row_end <= m.rows() && slice.col_end <= m.cols());
+  double acc = 0.0;
+  for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+    for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+      const double v = m.at(i, j);
+      acc += v * v;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+bool group_is_zero(const Tensor& m, const GroupSlice& slice, float tol) {
+  GS_CHECK(m.rank() == 2);
+  GS_CHECK(slice.row_end <= m.rows() && slice.col_end <= m.cols());
+  for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+    for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+      if (std::fabs(m.at(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TileOccupancy> analyze_tiles(const Tensor& m, const TileGrid& grid,
+                                         float tol) {
+  GS_CHECK(m.rank() == 2);
+  GS_CHECK_MSG(m.rows() == grid.rows && m.cols() == grid.cols,
+               "matrix shape " << shape_to_string(m.shape())
+                               << " does not match grid");
+  std::vector<TileOccupancy> tiles;
+  tiles.reserve(grid.tile_count());
+  for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+      TileOccupancy occ;
+      occ.tile_row = tr;
+      occ.tile_col = tc;
+      occ.cells = grid.tile.cells();
+      const std::size_t r0 = tr * grid.tile.rows;
+      const std::size_t r1 = std::min(r0 + grid.tile.rows, grid.rows);
+      const std::size_t c0 = tc * grid.tile.cols;
+      const std::size_t c1 = std::min(c0 + grid.tile.cols, grid.cols);
+      std::vector<bool> col_hit(c1 - c0, false);
+      for (std::size_t i = r0; i < r1; ++i) {
+        bool row_hit = false;
+        for (std::size_t j = c0; j < c1; ++j) {
+          if (std::fabs(m.at(i, j)) > tol) {
+            ++occ.nonzero_cells;
+            row_hit = true;
+            col_hit[j - c0] = true;
+          }
+        }
+        if (row_hit) ++occ.nonzero_rows;
+      }
+      occ.nonzero_cols = static_cast<std::size_t>(
+          std::count(col_hit.begin(), col_hit.end(), true));
+      tiles.push_back(occ);
+    }
+  }
+  return tiles;
+}
+
+}  // namespace gs::hw

@@ -1,0 +1,94 @@
+// Tiling of a weight matrix onto an array of crossbars (Figure 4), and the
+// row/column connection groups that group connection deletion operates on.
+//
+// For an n×k matrix tiled by P×Q crossbars:
+//  * a ROW GROUP (i, tc) is the segment of matrix row i inside tile-column
+//    tc — the connections driven by ONE crossbar input wire;
+//  * a COLUMN GROUP (tr, j) is the segment of matrix column j inside
+//    tile-row tr — the connections feeding ONE crossbar output wire.
+// Deleting a group ⇔ removing that wire. These definitions are shared by the
+// hardware wire counter (hw/area.hpp) and the group-Lasso regulariser
+// (compress/group_lasso.hpp), so "what the trainer zeroes" and "what the
+// wire counter deletes" are the same object by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/crossbar.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gs::hw {
+
+/// Geometry of one matrix→crossbar-array mapping.
+struct TileGrid {
+  std::size_t rows = 0;       ///< matrix rows n
+  std::size_t cols = 0;       ///< matrix cols k
+  CrossbarSpec tile;          ///< selected crossbar P×Q
+
+  std::size_t grid_rows() const {  ///< ⌈n/P⌉
+    return (rows + tile.rows - 1) / tile.rows;
+  }
+  std::size_t grid_cols() const {  ///< ⌈k/Q⌉
+    return (cols + tile.cols - 1) / tile.cols;
+  }
+  std::size_t tile_count() const { return grid_rows() * grid_cols(); }
+  /// True when the tiling has no padded cells (always true for
+  /// kDivisorExact selection).
+  bool exact() const {
+    return rows % tile.rows == 0 && cols % tile.cols == 0;
+  }
+  /// Number of row groups = n·⌈k/Q⌉ (one crossbar input wire each).
+  std::size_t row_group_count() const { return rows * grid_cols(); }
+  /// Number of column groups = k·⌈n/P⌉ (one crossbar output wire each).
+  std::size_t col_group_count() const { return cols * grid_rows(); }
+  /// Total wires of the unpruned array (row + column groups).
+  std::size_t total_wires() const {
+    return row_group_count() + col_group_count();
+  }
+};
+
+/// Builds the tile grid for an n×k matrix under the given policy.
+TileGrid make_tile_grid(std::size_t n, std::size_t k,
+                        const TechnologyParams& tech,
+                        MappingPolicy policy = MappingPolicy::kDivisorExact);
+
+/// Half-open element range of a group within the matrix.
+struct GroupSlice {
+  std::size_t row_begin = 0, row_end = 0;
+  std::size_t col_begin = 0, col_end = 0;
+  std::size_t count() const {
+    return (row_end - row_begin) * (col_end - col_begin);
+  }
+};
+
+/// Slice of row group (matrix row `i`, tile column `tc`).
+GroupSlice row_group_slice(const TileGrid& grid, std::size_t i,
+                           std::size_t tc);
+/// Slice of column group (tile row `tr`, matrix column `j`).
+GroupSlice col_group_slice(const TileGrid& grid, std::size_t tr,
+                           std::size_t j);
+
+/// L2 norm of the matrix elements in a slice (double accumulation).
+double group_norm(const Tensor& m, const GroupSlice& slice);
+
+/// True when every element of the slice is ≤ `tol` in magnitude.
+bool group_is_zero(const Tensor& m, const GroupSlice& slice, float tol);
+
+/// Per-tile occupancy statistics — backs the Fig. 9 analysis (empty
+/// crossbars are removable; zero rows/cols allow a smaller dense crossbar).
+struct TileOccupancy {
+  std::size_t tile_row = 0;
+  std::size_t tile_col = 0;
+  std::size_t nonzero_cells = 0;
+  std::size_t nonzero_rows = 0;  ///< rows of the tile with any nonzero
+  std::size_t nonzero_cols = 0;  ///< cols of the tile with any nonzero
+  std::size_t cells = 0;         ///< tile capacity P·Q
+  bool empty() const { return nonzero_cells == 0; }
+};
+
+/// Scans a matrix and reports occupancy for every tile of the grid.
+std::vector<TileOccupancy> analyze_tiles(const Tensor& m, const TileGrid& grid,
+                                         float tol = 0.0f);
+
+}  // namespace gs::hw

@@ -1,0 +1,149 @@
+#include "linalg/eigen.hpp"
+
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gs::linalg {
+
+namespace {
+
+/// Sum of squares of off-diagonal entries.
+double off_diag_norm2(const std::vector<double>& a, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = a[i * n + j];
+      s += 2.0 * v * v;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+EigenResult eigen_sym(const Tensor& a_in, const JacobiOptions& options,
+                      double symmetry_tol) {
+  GS_CHECK_MSG(a_in.rank() == 2 && a_in.rows() == a_in.cols(),
+               "eigen_sym needs a square matrix, got "
+                   << shape_to_string(a_in.shape()));
+  const std::size_t n = a_in.rows();
+
+  // Promote to double and validate symmetry.
+  std::vector<double> a(n * n);
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = a_in.at(i, j);
+      max_abs = std::max(max_abs, std::fabs(a[i * n + j]));
+    }
+  }
+  const double sym_scale = std::max(1.0, max_abs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      GS_CHECK_MSG(
+          std::fabs(a[i * n + j] - a[j * n + i]) <= symmetry_tol * sym_scale,
+          "matrix not symmetric at (" << i << ", " << j << ")");
+      // Symmetrise exactly so rotations stay consistent.
+      const double m = 0.5 * (a[i * n + j] + a[j * n + i]);
+      a[i * n + j] = a[j * n + i] = m;
+    }
+  }
+  return eigen_sym_double(std::move(a), n, options);
+}
+
+EigenResult eigen_sym_double(std::vector<double> a, std::size_t n,
+                             const JacobiOptions& options) {
+  GS_CHECK_MSG(a.size() == n * n, "buffer size mismatch");
+  GS_CHECK(n > 0);
+
+  // V accumulates rotations; starts as identity.
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  double frob2 = 0.0;
+  for (double x : a) frob2 += x * x;
+  const double stop = options.tolerance * options.tolerance *
+                      std::max(frob2, 1e-300);
+
+  int sweep = 0;
+  while (off_diag_norm2(a, n) > stop) {
+    GS_CHECK_MSG(sweep++ < options.max_sweeps,
+                 "Jacobi failed to converge in " << options.max_sweeps
+                                                 << " sweeps");
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (apq == 0.0) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        // Classic stable rotation computation (Golub & Van Loan §8.5).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // A <- Jᵀ A J applied to rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // V <- V J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Tensor(Shape{n, n});
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    result.eigenvalues[j] = a[src * n + src];
+    for (std::size_t i = 0; i < n; ++i) {
+      result.eigenvectors.at(i, j) = static_cast<float>(v[i * n + src]);
+    }
+  }
+  return result;
+}
+
+Tensor eigen_reconstruct(const EigenResult& e) {
+  const std::size_t n = e.eigenvalues.size();
+  GS_CHECK(e.eigenvectors.rank() == 2 && e.eigenvectors.rows() == n);
+  Tensor scaled = e.eigenvectors;  // columns scaled by eigenvalues
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled.at(i, j) =
+          static_cast<float>(e.eigenvectors.at(i, j) * e.eigenvalues[j]);
+    }
+  }
+  Tensor out(Shape{n, n});
+  gemm(scaled, false, e.eigenvectors, true, out);
+  return out;
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,47 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Jacobi is the right solver here: the covariance/Gram matrices produced by
+// PCA/SVD in this project are small (≤ ~1000²), symmetric positive
+// semi-definite, and we need *all* eigenpairs with high relative accuracy to
+// evaluate the spectral clipping error of Eq. (3). Computation is done in
+// double regardless of the float Tensor interface.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gs::linalg {
+
+/// Result of eigen_sym: eigenvalues sorted in descending order; column j of
+/// `eigenvectors` is the unit eigenvector for eigenvalues[j].
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  Tensor eigenvectors;  // n×n, column-major eigenvectors in a row-major tensor
+};
+
+/// Options for the Jacobi solver.
+struct JacobiOptions {
+  /// Convergence threshold on off(A)/||A||_F.
+  double tolerance = 1e-12;
+  /// Hard sweep cap; the solver throws if it fails to converge.
+  int max_sweeps = 64;
+};
+
+/// Eigendecomposition of a symmetric matrix (symmetry is validated up to
+/// `symmetry_tol`). Throws gs::Error on non-square/asymmetric input or
+/// non-convergence.
+EigenResult eigen_sym(const Tensor& a, const JacobiOptions& options = {},
+                      double symmetry_tol = 1e-4);
+
+/// Double-precision entry point: `a` is a row-major n×n buffer that is
+/// assumed symmetric (not re-validated). Used by SVD/PCA so Gram/covariance
+/// matrices never round through float — a float round-trip perturbs small
+/// eigenvalues by ~1e-7·λ₀, which √-amplifies into spurious singular values.
+EigenResult eigen_sym_double(std::vector<double> a, std::size_t n,
+                             const JacobiOptions& options = {});
+
+/// Reconstructs V·diag(λ)·Vᵀ — used by tests to validate the decomposition.
+Tensor eigen_reconstruct(const EigenResult& e);
+
+}  // namespace gs::linalg

@@ -1,0 +1,49 @@
+#include "linalg/gram.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::linalg::detail {
+
+std::vector<double> gram_double(const Tensor& a, bool right) {
+  GS_CHECK(a.rank() == 2);
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t side = right ? m : n;
+  std::vector<double> g(side * side, 0.0);
+  if (right) {
+    // G = AᵀA: accumulate row outer products.
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = a.data() + i * m;
+      for (std::size_t p = 0; p < m; ++p) {
+        const double v = row[p];
+        if (v == 0.0) continue;
+        double* grow = g.data() + p * m;
+        for (std::size_t q = p; q < m; ++q) {
+          grow[q] += v * static_cast<double>(row[q]);
+        }
+      }
+    }
+  } else {
+    // G = A·Aᵀ.
+    for (std::size_t p = 0; p < n; ++p) {
+      const float* rp = a.data() + p * m;
+      for (std::size_t q = p; q < n; ++q) {
+        const float* rq = a.data() + q * m;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+          acc += static_cast<double>(rp[j]) * rq[j];
+        }
+        g[p * side + q] = acc;
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t p = 0; p < side; ++p) {
+    for (std::size_t q = p + 1; q < side; ++q) {
+      g[q * side + p] = g[p * side + q];
+    }
+  }
+  return g;
+}
+
+}  // namespace gs::linalg::detail

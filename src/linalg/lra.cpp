@@ -1,0 +1,215 @@
+#include "linalg/lra.hpp"
+
+#include <cmath>
+
+#include "linalg/pca.hpp"
+#include "linalg/svd.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+
+std::string to_string(LraMethod method) {
+  switch (method) {
+    case LraMethod::kPca:
+      return "pca";
+    case LraMethod::kPcaCentered:
+      return "pca-centered";
+    case LraMethod::kSvd:
+      return "svd";
+  }
+  return "?";
+}
+
+Tensor LowRankFactors::reconstruct() const { return matmul(u, vt); }
+
+std::size_t LowRankFactors::cell_count() const {
+  return u.numel() + vt.numel();
+}
+
+namespace {
+
+/// Appends the rank-1 mean component to centered-PCA factors so the
+/// factorisation reconstructs W (not W−μ):  [U | s·1]·[Vᵀ ; μᵀ/s].
+/// The scale s balances the norms of the two sides (s²·N = ||μ||²/s²);
+/// an unscaled ones-column has norm √N, which destabilises subsequent
+/// SGD fine-tuning of the factors.
+LowRankFactors fold_mean(const PcaResult& p) {
+  const std::size_t n = p.u.rows();
+  const std::size_t k = p.rank();
+  const std::size_t m = p.vt.cols();
+  const double mean_norm = p.mean.norm();
+  const double s =
+      mean_norm > 0.0
+          ? std::sqrt(mean_norm / std::sqrt(static_cast<double>(n)))
+          : 1.0;
+  LowRankFactors f;
+  f.u = Tensor(Shape{n, k + 1});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) f.u.at(i, j) = p.u.at(i, j);
+    f.u.at(i, k) = static_cast<float>(s);
+  }
+  f.vt = Tensor(Shape{k + 1, m});
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t c = 0; c < m; ++c) f.vt.at(j, c) = p.vt.at(j, c);
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    f.vt.at(k, c) = static_cast<float>(p.mean[c] / s);
+  }
+  return f;
+}
+
+LraResult from_pca(const Tensor& w, std::size_t rank, bool center) {
+  const PcaResult p = pca(w, rank, center);
+  LraResult r;
+  r.spectral_error = spectral_tail_error(p.eigenvalues, rank);
+  if (center) {
+    r.factors = fold_mean(p);
+  } else {
+    r.factors = LowRankFactors{p.u, p.vt};
+  }
+  r.rank = r.factors.rank();
+  return r;
+}
+
+LraResult from_svd(const Tensor& w, std::size_t rank) {
+  const SvdResult s = svd(w);
+  const std::size_t keep = std::min(rank, s.rank());
+  LraResult r;
+  // Eq. (3) on the σ² spectrum (padded with zeros up to M).
+  std::vector<double> lambdas(w.cols(), 0.0);
+  for (std::size_t i = 0; i < s.rank() && i < lambdas.size(); ++i) {
+    lambdas[i] = s.singular_values[i] * s.singular_values[i];
+  }
+  r.spectral_error = spectral_tail_error(lambdas, keep);
+
+  // U ← U·diag(σ) truncated; Vᵀ truncated. The scale lives in U, matching
+  // PCA's U = W·V convention.
+  const std::size_t n = w.rows();
+  const std::size_t m = w.cols();
+  r.factors.u = Tensor(Shape{n, keep});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) {
+      r.factors.u.at(i, j) =
+          static_cast<float>(s.u.at(i, j) * s.singular_values[j]);
+    }
+  }
+  r.factors.vt = Tensor(Shape{keep, m});
+  for (std::size_t j = 0; j < keep; ++j) {
+    for (std::size_t c = 0; c < m; ++c) {
+      r.factors.vt.at(j, c) = s.v.at(c, j);
+    }
+  }
+  r.rank = keep;
+  return r;
+}
+
+}  // namespace
+
+LraResult low_rank_approximate(const Tensor& w, LraMethod method,
+                               std::size_t rank) {
+  GS_CHECK(w.rank() == 2);
+  GS_CHECK_MSG(rank >= 1 && rank <= w.cols(),
+               "rank " << rank << " outside [1, " << w.cols() << "]");
+  switch (method) {
+    case LraMethod::kPca:
+      return from_pca(w, rank, /*center=*/false);
+    case LraMethod::kPcaCentered:
+      return from_pca(w, rank, /*center=*/true);
+    case LraMethod::kSvd:
+      return from_svd(w, rank);
+  }
+  GS_FAIL("unknown LraMethod");
+}
+
+namespace {
+
+/// Truncates factor columns/rows to `keep` components. Because eigen/singular
+/// components are ordered by energy, slicing a full factorisation equals
+/// re-factorising at the smaller rank.
+LowRankFactors truncate_factors(const LowRankFactors& f, std::size_t keep) {
+  GS_CHECK(keep >= 1 && keep <= f.rank());
+  const std::size_t n = f.u.rows();
+  const std::size_t m = f.vt.cols();
+  LowRankFactors out;
+  out.u = Tensor(Shape{n, keep});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) out.u.at(i, j) = f.u.at(i, j);
+  }
+  out.vt = Tensor(Shape{keep, m});
+  for (std::size_t j = 0; j < keep; ++j) {
+    for (std::size_t c = 0; c < m; ++c) out.vt.at(j, c) = f.vt.at(j, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+LraResult clip_to_error(const Tensor& w, LraMethod method, double epsilon,
+                        std::size_t min_rank) {
+  GS_CHECK(w.rank() == 2);
+  GS_CHECK(epsilon >= 0.0);
+
+  // One full-spectrum factorisation, then slice to the chosen rank — avoids
+  // a second eigen solve.
+  switch (method) {
+    case LraMethod::kPca:
+    case LraMethod::kPcaCentered: {
+      const bool center = method == LraMethod::kPcaCentered;
+      const PcaResult p = pca(w, w.cols(), center);
+      const std::size_t k =
+          min_rank_for_error(p.eigenvalues, epsilon, min_rank);
+      LraResult r;
+      r.spectral_error = spectral_tail_error(p.eigenvalues, k);
+      PcaResult sliced;
+      sliced.centered = p.centered;
+      sliced.mean = p.mean;
+      LowRankFactors full{p.u, p.vt};
+      const LowRankFactors kept = truncate_factors(full, k);
+      if (center) {
+        sliced.u = kept.u;
+        sliced.vt = kept.vt;
+        r.factors = fold_mean(sliced);
+      } else {
+        r.factors = kept;
+      }
+      r.rank = r.factors.rank();
+      return r;
+    }
+    case LraMethod::kSvd: {
+      std::vector<double> lambdas(w.cols(), 0.0);
+      const SvdResult s = svd(w);
+      for (std::size_t i = 0; i < s.rank() && i < lambdas.size(); ++i) {
+        lambdas[i] = s.singular_values[i] * s.singular_values[i];
+      }
+      const std::size_t k = min_rank_for_error(lambdas, epsilon, min_rank);
+      const std::size_t keep = std::min(k, s.rank());
+      const std::size_t n = w.rows();
+      const std::size_t m = w.cols();
+      LraResult r;
+      r.spectral_error = spectral_tail_error(lambdas, k);
+      r.factors.u = Tensor(Shape{n, keep});
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < keep; ++j) {
+          r.factors.u.at(i, j) =
+              static_cast<float>(s.u.at(i, j) * s.singular_values[j]);
+        }
+      }
+      r.factors.vt = Tensor(Shape{keep, m});
+      for (std::size_t j = 0; j < keep; ++j) {
+        for (std::size_t c = 0; c < m; ++c) {
+          r.factors.vt.at(j, c) = s.v.at(c, j);
+        }
+      }
+      r.rank = keep;
+      return r;
+    }
+  }
+  GS_FAIL("unknown LraMethod");
+}
+
+bool factorization_saves_area(std::size_t n, std::size_t m, std::size_t k) {
+  // Eq. (2): K < N·M / (N + M)  ⇔  K·(N+M) < N·M (integer-exact form).
+  return k * (n + m) < n * m;
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,111 @@
+#include "linalg/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/gram.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+
+PcaResult pca(const Tensor& w, std::size_t rank, bool center) {
+  GS_CHECK_MSG(w.rank() == 2, "pca input must be rank-2");
+  const std::size_t n = w.rows();
+  const std::size_t m = w.cols();
+  GS_CHECK_MSG(rank >= 1 && rank <= m,
+               "pca rank " << rank << " outside [1, " << m << "]");
+
+  PcaResult result;
+  result.centered = center;
+  result.mean = Tensor(Shape{m});
+
+  // Step 1–2 of Algorithm 1: optional centralisation.
+  Tensor wc = w;
+  if (center) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += w.at(i, j);
+      result.mean[j] = static_cast<float>(acc / static_cast<double>(n));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        wc.at(i, j) -= result.mean[j];
+      }
+    }
+  }
+
+  // Step 3: covariance C = WᵀW/(N−1), accumulated in double so small
+  // eigenvalue ratios stay meaningful. The 1/(N−1) scale does not change
+  // eigenvectors or eigenvalue *ratios* (Eq. 3), but we keep it faithful.
+  std::vector<double> cov = detail::gram_double(wc, /*right=*/true);
+  const double scale = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+  for (double& v : cov) v *= scale;
+
+  // Step 4: eigendecomposition.
+  const EigenResult e = eigen_sym_double(std::move(cov), m);
+  result.eigenvalues = e.eigenvalues;
+
+  // Step 5: keep the top-`rank` eigenvectors; V is M×K, stored as Vᵀ (K×M).
+  result.vt = Tensor(Shape{rank, m});
+  for (std::size_t k = 0; k < rank; ++k) {
+    for (std::size_t j = 0; j < m; ++j) {
+      result.vt.at(k, j) = e.eigenvectors.at(j, k);
+    }
+  }
+  // U = (centered) W · V.
+  result.u = matmul(wc, result.vt, /*ta=*/false, /*tb=*/true);
+  return result;
+}
+
+Tensor pca_reconstruct(const PcaResult& p) {
+  Tensor w = matmul(p.u, p.vt);
+  if (p.centered) {
+    add_row_vector(w, p.mean);
+  }
+  return w;
+}
+
+double spectral_tail_error(const std::vector<double>& eigenvalues,
+                           std::size_t rank) {
+  GS_CHECK(rank <= eigenvalues.size());
+  double total = 0.0;
+  double tail = 0.0;
+  for (std::size_t i = 0; i < eigenvalues.size(); ++i) {
+    const double lambda = std::max(eigenvalues[i], 0.0);
+    total += lambda;
+    if (i >= rank) tail += lambda;
+  }
+  if (total <= 0.0) return 0.0;  // zero matrix: any rank is exact
+  return tail / total;
+}
+
+std::size_t min_rank_for_error(const std::vector<double>& eigenvalues,
+                               double epsilon, std::size_t min_rank) {
+  const std::size_t m = eigenvalues.size();
+  GS_CHECK(m >= 1);
+  GS_CHECK(epsilon >= 0.0);
+  min_rank = std::max<std::size_t>(min_rank, 1);
+  // Tail error is monotonically non-increasing in K, so scan upward.
+  for (std::size_t k = min_rank; k <= m; ++k) {
+    if (spectral_tail_error(eigenvalues, k) <= epsilon) {
+      return k;
+    }
+  }
+  return m;
+}
+
+double relative_reconstruction_error(const Tensor& w, const Tensor& w_approx) {
+  GS_CHECK(w.same_shape(w_approx));
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    const double d = static_cast<double>(w[i]) - w_approx[i];
+    num += d * d;
+    den += static_cast<double>(w[i]) * w[i];
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,54 @@
+// Principal Components Analysis — Algorithm 1 of the paper.
+//
+// PCA of a weight matrix W ∈ R^{N×M}: rows are samples, the covariance
+// C = WᵀW/(N−1) is eigendecomposed, and the top-K eigenvectors form the
+// subspace basis V (M×K). The projection U = W·V gives the factorisation
+// W ≈ U·Vᵀ whose spectral reconstruction error is Eq. (3):
+//     e_K = Σ_{m>K} λ_m / Σ_m λ_m .
+//
+// Centering: Algorithm 1 centralises the rows but emits W̃ = U·Vᵀ, which
+// drops the mean. We expose both modes. In centered mode the mean can be
+// folded back as one extra rank-1 component ([U | 1]·[V | μ]ᵀ), making the
+// factorisation exact at full rank at the cost of rank K+1 — the honest
+// hardware-area accounting. Uncentered PCA (the default used by rank
+// clipping) coincides with truncated SVD of W and is exact at full rank.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gs::linalg {
+
+/// Result of pca().
+struct PcaResult {
+  Tensor u;                         ///< N×K projection (= (W−μ)·V or W·V)
+  Tensor vt;                        ///< K×M subspace basis rows (orthonormal)
+  Tensor mean;                      ///< length-M row mean (zeros if uncentered)
+  std::vector<double> eigenvalues;  ///< all covariance eigenvalues, descending
+  bool centered = false;
+  std::size_t rank() const { return vt.rows(); }
+};
+
+/// Runs Algorithm 1 at the given rank (1 ≤ rank ≤ M).
+PcaResult pca(const Tensor& w, std::size_t rank, bool center = false);
+
+/// W̃ = U·Vᵀ (+ 1·μᵀ when centered) — the mathematically exact
+/// reconstruction of the kept components.
+Tensor pca_reconstruct(const PcaResult& p);
+
+/// Eq. (3): spectral tail-energy ratio after keeping `rank` components.
+/// `eigenvalues` must be sorted descending; negatives (roundoff) clamp to 0.
+double spectral_tail_error(const std::vector<double>& eigenvalues,
+                           std::size_t rank);
+
+/// Smallest rank K ∈ [min_rank, M] with spectral_tail_error ≤ epsilon.
+std::size_t min_rank_for_error(const std::vector<double>& eigenvalues,
+                               double epsilon, std::size_t min_rank = 1);
+
+/// Relative Frobenius reconstruction error ||W − W̃||² / ||W||² — the direct
+/// evaluation of Eq. (3)'s left-hand side, used by tests to confirm the
+/// eigenvalue identity.
+double relative_reconstruction_error(const Tensor& w, const Tensor& w_approx);
+
+}  // namespace gs::linalg

@@ -1,0 +1,105 @@
+#include "linalg/rsvd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gram.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+
+namespace {
+
+/// Gram–Schmidt orthonormalisation of the columns of `q` (in place).
+/// Numerically adequate here because the randomized probes are Gaussian
+/// and the subsequent small SVD re-orthogonalises; re-orthogonalise twice
+/// for safety (classical "twice is enough").
+void orthonormalize_columns(Tensor& q) {
+  const std::size_t n = q.rows();
+  const std::size_t k = q.cols();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t j = 0; j < k; ++j) {
+      // Subtract projections onto previous columns.
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          dot += static_cast<double>(q.at(i, j)) * q.at(i, prev);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          q.at(i, j) -= static_cast<float>(dot) * q.at(i, prev);
+        }
+      }
+      double norm2 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        norm2 += static_cast<double>(q.at(i, j)) * q.at(i, j);
+      }
+      const double norm = std::sqrt(norm2);
+      if (norm < 1e-12) {
+        // Degenerate probe: replace with a unit basis vector; the second
+        // pass re-orthogonalises it.
+        for (std::size_t i = 0; i < n; ++i) q.at(i, j) = 0.0f;
+        q.at(j % n, j) = 1.0f;
+      } else {
+        const float inv = static_cast<float>(1.0 / norm);
+        for (std::size_t i = 0; i < n; ++i) q.at(i, j) *= inv;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SvdResult randomized_svd(const Tensor& a, std::size_t rank,
+                         const RsvdOptions& options) {
+  GS_CHECK_MSG(a.rank() == 2, "randomized_svd input must be rank-2");
+  GS_CHECK(rank >= 1);
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t target = std::min(rank, std::min(n, m));
+  const std::size_t probes = std::min(target + options.oversample,
+                                      std::min(n, m));
+
+  // Stage A: range finder. Y = A·Ω with Gaussian Ω (M×probes), then power
+  // iterations Y ← A·(Aᵀ·Y) sharpen the spectrum.
+  Rng rng(options.seed);
+  Tensor omega(Shape{m, probes});
+  omega.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor y = matmul(a, omega);  // N×probes
+  orthonormalize_columns(y);
+  for (std::size_t it = 0; it < options.power_iterations; ++it) {
+    Tensor z = matmul(a, y, /*ta=*/true);  // M×probes
+    orthonormalize_columns(z);
+    y = matmul(a, z);  // N×probes
+    orthonormalize_columns(y);
+  }
+
+  // Stage B: project B = Qᵀ·A (probes×M) and take its exact thin SVD —
+  // small because probes ≪ min(N, M).
+  Tensor b = matmul(y, a, /*ta=*/true);
+  const SvdResult small = svd(b);
+
+  // Assemble: U = Q·U_b truncated to `target`.
+  const std::size_t keep = std::min(target, small.rank());
+  SvdResult result;
+  result.singular_values.assign(small.singular_values.begin(),
+                                small.singular_values.begin() + keep);
+  Tensor ub(Shape{probes, keep});
+  for (std::size_t i = 0; i < probes; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) {
+      ub.at(i, j) = small.u.at(i, j);
+    }
+  }
+  result.u = matmul(y, ub);  // N×keep
+  result.v = Tensor(Shape{m, keep});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < keep; ++j) {
+      result.v.at(i, j) = small.v.at(i, j);
+    }
+  }
+  return result;
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,89 @@
+#include "linalg/svd.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/gram.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+
+SvdResult svd(const Tensor& a, double relative_cutoff) {
+  GS_CHECK_MSG(a.rank() == 2, "svd input must be rank-2");
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+
+  // Eigen-solve the smaller Gram matrix, in double end-to-end.
+  const bool use_right = (m <= n);  // right: G = AᵀA (M×M), eigvecs = V
+  const std::size_t side = use_right ? m : n;
+  const EigenResult e =
+      eigen_sym_double(detail::gram_double(a, use_right), side);
+
+  // Gram eigenvalues are σ²; clamp tiny negatives from roundoff.
+  const double lambda0 = e.eigenvalues.empty() ? 0.0 : e.eigenvalues[0];
+  const double sigma0 = lambda0 > 0.0 ? std::sqrt(lambda0) : 0.0;
+  const double cutoff = sigma0 * relative_cutoff;
+
+  std::vector<double> sigmas;
+  for (double lambda : e.eigenvalues) {
+    const double sigma = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
+    if (sigma > cutoff && sigma > 0.0) {
+      sigmas.push_back(sigma);
+    }
+  }
+  const std::size_t r = sigmas.size();
+
+  SvdResult result;
+  result.singular_values = sigmas;
+  if (r == 0) {
+    result.u = Tensor(Shape{n, 1}, 0.0f);
+    result.v = Tensor(Shape{m, 1}, 0.0f);
+    result.singular_values = {0.0};
+    return result;
+  }
+
+  // Keep the first r eigenvector columns of the solved side.
+  Tensor kept(Shape{side, r});
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      kept.at(i, j) = e.eigenvectors.at(i, j);
+    }
+  }
+
+  if (use_right) {
+    result.v = kept;
+    // U = A·V·diag(1/σ).
+    Tensor u = matmul(a, kept);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        u.at(i, j) = static_cast<float>(u.at(i, j) / sigmas[j]);
+      }
+    }
+    result.u = std::move(u);
+  } else {
+    result.u = kept;
+    // V = Aᵀ·U·diag(1/σ).
+    Tensor v = matmul(a, kept, /*ta=*/true);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        v.at(i, j) = static_cast<float>(v.at(i, j) / sigmas[j]);
+      }
+    }
+    result.v = std::move(v);
+  }
+  return result;
+}
+
+Tensor svd_reconstruct(const SvdResult& s, std::size_t n_rows,
+                       std::size_t n_cols) {
+  GS_CHECK(s.u.rows() == n_rows && s.v.rows() == n_cols);
+  Tensor us = s.u;  // scale columns by σ
+  for (std::size_t j = 0; j < s.rank(); ++j) {
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      us.at(i, j) = static_cast<float>(us.at(i, j) * s.singular_values[j]);
+    }
+  }
+  return matmul(us, s.v, /*ta=*/false, /*tb=*/true);
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,90 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/check.hpp"
+#include "tensor/serialize.hpp"
+
+namespace gs::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x47534350;  // "GSCP"
+
+void write_string(std::ostream& out, const std::string& s) {
+  const std::uint32_t len = static_cast<std::uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  GS_CHECK_MSG(in.good() && len < (1u << 20), "corrupt checkpoint string");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  GS_CHECK_MSG(in.good(), "truncated checkpoint string");
+  return s;
+}
+}  // namespace
+
+void save_checkpoint(std::ostream& out, Network& net) {
+  const std::uint32_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const auto params = net.params();
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const ParamRef& p : params) {
+    write_string(out, p.name);
+    write_tensor(out, *p.value);
+  }
+  GS_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+void load_checkpoint(std::istream& in, Network& net) {
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  GS_CHECK_MSG(in.good() && magic == kMagic, "bad checkpoint magic");
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  GS_CHECK_MSG(in.good(), "truncated checkpoint header");
+
+  std::map<std::string, Tensor*> by_name;
+  for (const ParamRef& p : net.params()) {
+    GS_CHECK_MSG(by_name.emplace(p.name, p.value).second,
+                 "duplicate parameter name " << p.name);
+  }
+  GS_CHECK_MSG(count == by_name.size(),
+               "checkpoint has " << count << " parameters, network has "
+                                 << by_name.size());
+
+  std::size_t loaded = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = read_string(in);
+    Tensor t = read_tensor(in);
+    const auto it = by_name.find(name);
+    GS_CHECK_MSG(it != by_name.end(), "unknown parameter " << name);
+    GS_CHECK_MSG(it->second->shape() == t.shape(),
+                 name << ": checkpoint shape " << shape_to_string(t.shape())
+                      << " vs network " << shape_to_string(it->second->shape())
+                      << " — was the network clipped after saving?");
+    *it->second = std::move(t);
+    ++loaded;
+  }
+  GS_CHECK(loaded == by_name.size());
+}
+
+void save_checkpoint(const std::string& path, Network& net) {
+  std::ofstream out(path, std::ios::binary);
+  GS_CHECK_MSG(out.good(), "cannot open " << path);
+  save_checkpoint(out, net);
+}
+
+void load_checkpoint(const std::string& path, Network& net) {
+  std::ifstream in(path, std::ios::binary);
+  GS_CHECK_MSG(in.good(), "cannot open " << path);
+  load_checkpoint(in, net);
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,27 @@
+// Network checkpointing: save/restore all learnable parameters.
+//
+// The checkpoint stores (name, tensor) pairs for every parameter the
+// network exposes. Loading matches by name and validates shapes, so a
+// checkpoint taken before rank clipping cannot be silently loaded into a
+// clipped network (the factor shapes differ) — the mismatch throws.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace gs::nn {
+
+/// Writes every parameter of `net` (in order) to a binary stream.
+void save_checkpoint(std::ostream& out, Network& net);
+
+/// Restores parameters by name; throws gs::Error on missing parameters,
+/// unknown names, or shape mismatches.
+void load_checkpoint(std::istream& in, Network& net);
+
+/// File-path convenience wrappers.
+void save_checkpoint(const std::string& path, Network& net);
+void load_checkpoint(const std::string& path, Network& net);
+
+}  // namespace gs::nn

@@ -1,0 +1,42 @@
+// Fully-connected layer, weight stored (in, out).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace gs::nn {
+
+/// y = x·W + b for a batch of row-vector inputs.
+class DenseLayer final : public Layer {
+ public:
+  /// Xavier-initialised weights, zero bias.
+  DenseLayer(std::string name, std::size_t in_features,
+             std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+  /// Direct weight access — used by the compressor to factorise the layer.
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  std::string name_;
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;       // (in, out)
+  Tensor bias_;         // (out)
+  Tensor weight_grad_;  // same shapes
+  Tensor bias_grad_;
+  Tensor cached_input_;  // (B, in) from last forward
+};
+
+}  // namespace gs::nn

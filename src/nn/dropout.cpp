@@ -1,0 +1,47 @@
+#include "nn/dropout.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::nn {
+
+DropoutLayer::DropoutLayer(std::string name, double drop_probability, Rng rng)
+    : name_(std::move(name)), p_(drop_probability), rng_(rng) {
+  GS_CHECK_MSG(p_ >= 0.0 && p_ < 1.0,
+               name_ << ": drop probability " << p_ << " outside [0, 1)");
+}
+
+Tensor DropoutLayer::forward(const Tensor& input, bool train) {
+  last_train_ = train;
+  if (!train || p_ == 0.0) {
+    mask_ = Tensor();
+    return input;
+  }
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (rng_.bernoulli(p_)) {
+      mask_[i] = 0.0f;
+      out[i] = 0.0f;
+    } else {
+      mask_[i] = scale;
+      out[i] *= scale;
+    }
+  }
+  return out;
+}
+
+Tensor DropoutLayer::backward(const Tensor& grad_output) {
+  if (!last_train_ || p_ == 0.0) {
+    return grad_output;
+  }
+  GS_CHECK_MSG(mask_.numel() > 0, name_ << ": backward before forward");
+  GS_CHECK(grad_output.same_shape(mask_));
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    grad[i] *= mask_[i];
+  }
+  return grad;
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,34 @@
+// Inverted dropout — the regulariser of the paper's era (AlexNet [1],
+// LeNet-family training recipes). Train-time: zero each activation with
+// probability p and scale survivors by 1/(1−p); eval-time: identity.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace gs::nn {
+
+class DropoutLayer final : public Layer {
+ public:
+  /// `drop_probability` ∈ [0, 1). The layer owns its RNG stream so training
+  /// runs stay reproducible from the construction seed.
+  DropoutLayer(std::string name, double drop_probability, Rng rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override {
+    return input_shape;
+  }
+
+  double drop_probability() const { return p_; }
+
+ private:
+  std::string name_;
+  double p_;
+  Rng rng_;
+  Tensor mask_;        // scaled keep-mask of the last train forward
+  bool last_train_ = false;
+};
+
+}  // namespace gs::nn

@@ -1,0 +1,23 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gs::nn {
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng) {
+  GS_CHECK(fan_in + fan_out > 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  w.fill_uniform(rng, -bound, bound);
+}
+
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  GS_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  w.fill_gaussian(rng, 0.0f, stddev);
+}
+
+}  // namespace gs::nn

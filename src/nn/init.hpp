@@ -1,0 +1,16 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gs::nn {
+
+/// Xavier/Glorot uniform: U(±√(6/(fan_in+fan_out))).
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng);
+
+/// He normal: N(0, √(2/fan_in)) — used before ReLU nonlinearities.
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+}  // namespace gs::nn

@@ -1,0 +1,11 @@
+#include "nn/layer.hpp"
+
+namespace gs::nn {
+
+void zero_grads(Layer& layer) {
+  for (const ParamRef& p : layer.params()) {
+    p.grad->set_zero();
+  }
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,151 @@
+// Low-rank (factorised) layers — the hardware-facing form of Eq. (1).
+//
+// A factorised layer holds W ≈ U·Vᵀ as two trainable matrices:
+//   U : (N, K)  and  Vᵀ : (K, M),   N = fan-in, M = fan-out.
+// Forward is two back-to-back linear stages with no nonlinearity between
+// them, i.e. exactly the two interconnected crossbar arrays of Figure 4.
+// Rank clipping (Algorithm 2) re-factorises U mid-training and *shrinks K in
+// place* via set_factors(); group connection deletion applies group-Lasso
+// regularisation to both factors.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace gs::nn {
+
+/// Interface the compressor uses to inspect/rewrite a factor pair without
+/// knowing whether the host layer is dense or convolutional.
+class FactorizedLayer {
+ public:
+  virtual ~FactorizedLayer() = default;
+
+  virtual const Tensor& factor_u() const = 0;   ///< (N, K)
+  virtual const Tensor& factor_vt() const = 0;  ///< (K, M)
+  virtual Tensor& mutable_u() = 0;
+  virtual Tensor& mutable_vt() = 0;
+  /// Gradient accumulators of the factors (regulariser entry points).
+  virtual Tensor& mutable_u_grad() = 0;
+  virtual Tensor& mutable_vt_grad() = 0;
+
+  /// Replaces both factors; the new pair may have a different rank K but
+  /// must keep N and M. Gradient buffers are resized to match.
+  virtual void set_factors(Tensor u, Tensor vt) = 0;
+
+  virtual std::size_t full_rows() const = 0;  ///< N (fan-in)
+  virtual std::size_t full_cols() const = 0;  ///< M (fan-out)
+  std::size_t current_rank() const { return factor_vt().rows(); }
+  virtual std::string factor_name() const = 0;
+
+  /// U·Vᵀ — the effective dense weight this layer realises.
+  Tensor effective_weight() const;
+};
+
+/// Fully-connected low-rank layer: y = (x·U)·Vᵀ + b.
+class LowRankDense final : public Layer, public FactorizedLayer {
+ public:
+  /// Random (He/Xavier) initialisation at the given starting rank.
+  LowRankDense(std::string name, std::size_t in_features,
+               std::size_t out_features, std::size_t rank, Rng& rng);
+
+  /// Builds from explicit factors and bias (e.g. after LRA of a trained
+  /// dense layer).
+  LowRankDense(std::string name, Tensor u, Tensor vt, Tensor bias);
+
+  // Layer:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override;
+
+  // FactorizedLayer:
+  const Tensor& factor_u() const override { return u_; }
+  const Tensor& factor_vt() const override { return vt_; }
+  Tensor& mutable_u() override { return u_; }
+  Tensor& mutable_vt() override { return vt_; }
+  Tensor& mutable_u_grad() override { return u_grad_; }
+  Tensor& mutable_vt_grad() override { return vt_grad_; }
+  void set_factors(Tensor u, Tensor vt) override;
+  std::size_t full_rows() const override { return in_; }
+  std::size_t full_cols() const override { return out_; }
+  std::string factor_name() const override { return name_; }
+
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  std::size_t in_;
+  std::size_t out_;
+  Tensor u_;        // (in, K)
+  Tensor vt_;       // (K, out)
+  Tensor bias_;     // (out)
+  Tensor u_grad_;
+  Tensor vt_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;   // (B, in)
+  Tensor cached_hidden_;  // (B, K)
+};
+
+/// Convolutional low-rank layer: a K-filter convolution (Vᵀ of the *unrolled*
+/// weight acts as U of the first stage) followed by a 1×1 convolution.
+/// Stored factors keep the (in, out) orientation of the unrolled weight:
+/// U (C·kh·kw, K), Vᵀ (K, F).
+class LowRankConv2d final : public Layer, public FactorizedLayer {
+ public:
+  struct Spec {
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+    std::size_t kernel = 0;
+    std::size_t stride = 1;
+    std::size_t pad = 0;
+  };
+
+  LowRankConv2d(std::string name, Spec spec, std::size_t rank, Rng& rng);
+  LowRankConv2d(std::string name, Spec spec, Tensor u, Tensor vt, Tensor bias);
+
+  // Layer:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input_shape) const override;
+
+  // FactorizedLayer:
+  const Tensor& factor_u() const override { return u_; }
+  const Tensor& factor_vt() const override { return vt_; }
+  Tensor& mutable_u() override { return u_; }
+  Tensor& mutable_vt() override { return vt_; }
+  Tensor& mutable_u_grad() override { return u_grad_; }
+  Tensor& mutable_vt_grad() override { return vt_grad_; }
+  void set_factors(Tensor u, Tensor vt) override;
+  std::size_t full_rows() const override { return patch_; }
+  std::size_t full_cols() const override { return spec_.out_channels; }
+  std::string factor_name() const override { return name_; }
+
+  const Spec& spec() const { return spec_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  Spec spec_;
+  std::size_t patch_;  // C·kh·kw
+  Tensor u_;           // (patch, K)
+  Tensor vt_;          // (K, F)
+  Tensor bias_;        // (F)
+  Tensor u_grad_;
+  Tensor vt_grad_;
+  Tensor bias_grad_;
+
+  ConvGeometry geometry_;
+  std::vector<Tensor> cached_cols_;    // per-sample (oh·ow, patch)
+  std::vector<Tensor> cached_hidden_;  // per-sample (oh·ow, K)
+  std::size_t cached_batch_ = 0;
+
+  ConvGeometry make_geometry(const Shape& chw) const;
+};
+
+}  // namespace gs::nn

@@ -1,0 +1,22 @@
+#include "nn/lr_schedule.hpp"
+
+#include <cmath>
+
+namespace gs::nn {
+
+float StepLr::rate(std::size_t step) const {
+  const std::size_t drops = step / step_size_;
+  return base_ * static_cast<float>(std::pow(gamma_, drops));
+}
+
+float ExponentialLr::rate(std::size_t step) const {
+  return base_ * static_cast<float>(std::pow(gamma_, step));
+}
+
+float InverseDecayLr::rate(std::size_t step) const {
+  return base_ * static_cast<float>(std::pow(
+                     1.0 + static_cast<double>(step) / decay_steps_,
+                     -power_));
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,74 @@
+// Learning-rate schedules.
+//
+// The paper's training protocol (Caffe-era) steps the learning rate down
+// during long runs; these schedules plug into the training loop via
+// SgdOptimizer::set_learning_rate at each step.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace gs::nn {
+
+/// Base schedule: learning rate as a function of the 1-based step index.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float rate(std::size_t step) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float rate) : rate_(rate) { GS_CHECK(rate > 0.0f); }
+  float rate(std::size_t) const override { return rate_; }
+
+ private:
+  float rate_;
+};
+
+/// Multiply by `gamma` every `step_size` iterations (Caffe "step" policy).
+class StepLr final : public LrSchedule {
+ public:
+  StepLr(float base, std::size_t step_size, float gamma)
+      : base_(base), step_size_(step_size), gamma_(gamma) {
+    GS_CHECK(base > 0.0f && step_size > 0 && gamma > 0.0f && gamma <= 1.0f);
+  }
+  float rate(std::size_t step) const override;
+
+ private:
+  float base_;
+  std::size_t step_size_;
+  float gamma_;
+};
+
+/// base · gamma^step (Caffe "exp" policy).
+class ExponentialLr final : public LrSchedule {
+ public:
+  ExponentialLr(float base, float gamma) : base_(base), gamma_(gamma) {
+    GS_CHECK(base > 0.0f && gamma > 0.0f && gamma <= 1.0f);
+  }
+  float rate(std::size_t step) const override;
+
+ private:
+  float base_;
+  float gamma_;
+};
+
+/// base · (1 + step/decay_steps)^(−power) (Caffe "inv" policy).
+class InverseDecayLr final : public LrSchedule {
+ public:
+  InverseDecayLr(float base, double decay_steps, double power)
+      : base_(base), decay_steps_(decay_steps), power_(power) {
+    GS_CHECK(base > 0.0f && decay_steps > 0.0 && power >= 0.0);
+  }
+  float rate(std::size_t step) const override;
+
+ private:
+  float base_;
+  double decay_steps_;
+  double power_;
+};
+
+}  // namespace gs::nn

@@ -1,0 +1,121 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/string_util.hpp"
+#include "data/batcher.hpp"
+
+namespace gs::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  GS_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t prediction) {
+  GS_CHECK(truth < classes_ && prediction < classes_);
+  ++counts_[truth * classes_ + prediction];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t prediction) const {
+  GS_CHECK(truth < classes_ && prediction < classes_);
+  return counts_[truth * classes_ + prediction];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    correct += counts_[c * classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  GS_CHECK(cls < classes_);
+  std::size_t row = 0;
+  for (std::size_t p = 0; p < classes_; ++p) {
+    row += counts_[cls * classes_ + p];
+  }
+  if (row == 0) return 0.0;
+  return static_cast<double>(counts_[cls * classes_ + cls]) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  GS_CHECK(cls < classes_);
+  std::size_t col = 0;
+  for (std::size_t t = 0; t < classes_; ++t) {
+    col += counts_[t * classes_ + cls];
+  }
+  if (col == 0) return 0.0;
+  return static_cast<double>(counts_[cls * classes_ + cls]) /
+         static_cast<double>(col);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double acc = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < classes_; ++p) {
+      row += counts_[c * classes_ + p];
+    }
+    if (row > 0) {
+      acc += recall(c);
+      ++seen;
+    }
+  }
+  return seen == 0 ? 0.0 : acc / static_cast<double>(seen);
+}
+
+void ConfusionMatrix::print(std::ostream& out) const {
+  out << pad("truth\\pred", 11);
+  for (std::size_t p = 0; p < classes_; ++p) {
+    out << pad(std::to_string(p), 6);
+  }
+  out << "recall\n";
+  for (std::size_t t = 0; t < classes_; ++t) {
+    out << pad(std::to_string(t), 11);
+    for (std::size_t p = 0; p < classes_; ++p) {
+      out << pad(std::to_string(count(t, p)), 6);
+    }
+    out << percent(recall(t)) << '\n';
+  }
+  out << "accuracy " << percent(accuracy()) << ", macro recall "
+      << percent(macro_recall()) << '\n';
+}
+
+ConfusionMatrix evaluate_confusion(Network& net, const data::Dataset& dataset,
+                                   std::size_t max_samples,
+                                   std::size_t batch_size) {
+  const std::size_t total =
+      max_samples == 0 ? dataset.size()
+                       : std::min(max_samples, dataset.size());
+  GS_CHECK(total > 0 && batch_size > 0);
+  ConfusionMatrix cm(dataset.num_classes());
+  std::size_t done = 0;
+  while (done < total) {
+    const std::size_t take = std::min(batch_size, total - done);
+    std::vector<std::size_t> indices(take);
+    std::iota(indices.begin(), indices.end(), done);
+    const data::Batch batch = data::make_batch(dataset, indices);
+    Tensor logits = net.forward(batch.images, /*train=*/false);
+    const std::size_t classes = logits.cols();
+    for (std::size_t b = 0; b < take; ++b) {
+      const float* row = logits.data() + b * classes;
+      const std::size_t pred = static_cast<std::size_t>(
+          std::max_element(row, row + classes) - row);
+      cm.add(batch.labels[b], pred);
+    }
+    done += take;
+  }
+  return cm;
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,51 @@
+// Classification metrics beyond plain accuracy: confusion matrix, per-class
+// accuracy/precision/recall. Used by examples to report where compression
+// hurts (the paper reports only top-1 accuracy; per-class views show whether
+// deletion degrades classes uniformly).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace gs::nn {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t truth, std::size_t prediction);
+
+  std::size_t num_classes() const { return classes_; }
+  std::size_t count(std::size_t truth, std::size_t prediction) const;
+  std::size_t total() const { return total_; }
+
+  /// Overall top-1 accuracy.
+  double accuracy() const;
+  /// Recall of one class (diagonal over row sum); 0 when unseen.
+  double recall(std::size_t cls) const;
+  /// Precision of one class (diagonal over column sum); 0 when never
+  /// predicted.
+  double precision(std::size_t cls) const;
+  /// Unweighted mean recall over classes that appear.
+  double macro_recall() const;
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // classes × classes
+};
+
+/// Runs the network over `dataset` (first `max_samples`, 0 = all) and fills
+/// a confusion matrix.
+ConfusionMatrix evaluate_confusion(Network& net, const data::Dataset& dataset,
+                                   std::size_t max_samples = 0,
+                                   std::size_t batch_size = 100);
+
+}  // namespace gs::nn

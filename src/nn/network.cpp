@@ -1,0 +1,77 @@
+#include "nn/network.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::nn {
+
+Layer* Network::add(std::unique_ptr<Layer> layer) {
+  GS_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  GS_CHECK_MSG(!layers_.empty(), "forward on empty network");
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x, train);
+  }
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  GS_CHECK(!layers_.empty());
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> all;
+  for (auto& layer : layers_) {
+    for (const auto& p : layer->params()) {
+      all.push_back(p);
+    }
+  }
+  return all;
+}
+
+void Network::zero_grads() {
+  for (auto& layer : layers_) {
+    gs::nn::zero_grads(*layer);
+  }
+}
+
+Layer& Network::layer(std::size_t i) {
+  GS_CHECK_MSG(i < layers_.size(), "layer index " << i << " out of range");
+  return *layers_[i];
+}
+
+Layer* Network::find(const std::string& name) {
+  for (auto& layer : layers_) {
+    if (layer->name() == name) return layer.get();
+  }
+  return nullptr;
+}
+
+std::vector<FactorizedLayer*> Network::factorized_layers() {
+  std::vector<FactorizedLayer*> out;
+  for (auto& layer : layers_) {
+    if (auto* f = dynamic_cast<FactorizedLayer*>(layer.get())) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t n = 0;
+  for (const auto& p : params()) {
+    n += p.value->numel();
+  }
+  return n;
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,51 @@
+// Sequential network container.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/lowrank.hpp"
+
+namespace gs::nn {
+
+/// An ordered stack of layers ending (by convention) in a logits layer; the
+/// softmax/cross-entropy head lives outside (see softmax.hpp).
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Appends a layer; returns a borrowed pointer for convenience.
+  Layer* add(std::unique_ptr<Layer> layer);
+
+  /// Forward pass through every layer.
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Backward pass (reverse layer order); returns dL/d(network input).
+  Tensor backward(const Tensor& grad_logits);
+
+  /// All learnable parameters, in layer order.
+  std::vector<ParamRef> params();
+
+  /// Zeroes every gradient buffer.
+  void zero_grads();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  Layer* find(const std::string& name);
+
+  /// Every layer implementing FactorizedLayer, in network order — the
+  /// clipping/deletion targets.
+  std::vector<FactorizedLayer*> factorized_layers();
+
+  /// Total learnable scalar count.
+  std::size_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace gs::nn

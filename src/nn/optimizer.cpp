@@ -1,0 +1,33 @@
+#include "nn/optimizer.hpp"
+
+#include "common/check.hpp"
+
+namespace gs::nn {
+
+void SgdOptimizer::step(const std::vector<ParamRef>& params) {
+  for (const ParamRef& p : params) {
+    GS_CHECK(p.value != nullptr && p.grad != nullptr);
+    GS_CHECK_MSG(p.value->same_shape(*p.grad),
+                 p.name << ": grad shape mismatch");
+    Tensor& v = velocity_[p.value];
+    if (!v.same_shape(*p.value)) {
+      v = Tensor(p.value->shape());  // fresh or shape-changed parameter
+    }
+    const float lr = config_.learning_rate;
+    const float mu = config_.momentum;
+    const float wd = config_.weight_decay;
+    const bool nesterov = config_.nesterov;
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* vel = v.data();
+    const std::size_t n = p.value->numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      vel[i] = mu * vel[i] - lr * grad;
+      // Nesterov lookahead (Sutskever formulation): step with μ·v − η·g.
+      w[i] += nesterov ? mu * vel[i] - lr * grad : vel[i];
+    }
+  }
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,46 @@
+// SGD with classical momentum and L2 weight decay.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace gs::nn {
+
+/// Optimiser hyper-parameters.
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Nesterov accelerated gradient: apply the velocity lookahead
+  /// w ← w + μ·v − η·g instead of the classical w ← w + v.
+  bool nesterov = false;
+};
+
+/// v ← μ·v − η·(g + wd·w);  w ← w + v.
+///
+/// Velocity buffers are keyed by parameter address; when a parameter's shape
+/// changes under it (rank clipping reallocates the factor tensors), the
+/// stale velocity is dropped and restarts at zero — the behaviour the
+/// paper's clip-then-retrain loop expects.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(SgdConfig config) : config_(config) {}
+
+  /// One update over the given parameters (gradients must be populated).
+  void step(const std::vector<ParamRef>& params);
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+  const SgdConfig& config() const { return config_; }
+
+  /// Drops all velocity state (used after structural edits to the network).
+  void reset_state() { velocity_.clear(); }
+
+ private:
+  SgdConfig config_;
+  std::unordered_map<const Tensor*, Tensor> velocity_;
+};
+
+}  // namespace gs::nn

@@ -1,0 +1,60 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gs::nn {
+
+Tensor softmax(const Tensor& logits) {
+  GS_CHECK(logits.rank() == 2);
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  Tensor probs(logits.shape());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    float* out = probs.data() + b * classes;
+    const float m = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - m);
+      denom += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < classes; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  GS_CHECK(logits.rank() == 2);
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  GS_CHECK_MSG(labels.size() == batch,
+               "labels " << labels.size() << " vs batch " << batch);
+
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  double loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    GS_CHECK(labels[b] < classes);
+    float* row = result.grad_logits.data() + b * classes;
+    const float p = std::max(row[labels[b]], 1e-12f);
+    loss -= std::log(p);
+    // Gradient: (softmax − onehot)/B.
+    row[labels[b]] -= 1.0f;
+
+    const float* lrow = logits.data() + b * classes;
+    const std::size_t pred = static_cast<std::size_t>(
+        std::max_element(lrow, lrow + classes) - lrow);
+    if (pred == labels[b]) ++result.correct;
+  }
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  result.grad_logits *= inv_b;
+  result.loss = loss / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace gs::nn

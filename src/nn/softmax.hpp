@@ -1,0 +1,25 @@
+// Softmax + cross-entropy loss head.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gs::nn {
+
+/// Loss value plus the gradient w.r.t. the logits.
+struct LossResult {
+  double loss = 0.0;       ///< mean cross-entropy over the batch
+  Tensor grad_logits;      ///< (B, classes), already divided by batch size
+  std::size_t correct = 0; ///< argmax hits (training accuracy bookkeeping)
+};
+
+/// Row-wise numerically-stable softmax of (B, classes) logits.
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of softmax(logits) against integer labels, with
+/// analytic gradient (softmax − onehot)/B.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+}  // namespace gs::nn

@@ -1,0 +1,47 @@
+// Training / evaluation driver.
+//
+// The benches and the compression algorithms all share this loop; rank
+// clipping hooks in through the `step_callback`, which fires after every
+// optimiser step and may mutate the network (e.g. clip factor ranks).
+#pragma once
+
+#include <functional>
+
+#include "data/batcher.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace gs::nn {
+
+/// Aggregate statistics of one training segment.
+struct TrainStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// One SGD step on one mini-batch; returns (loss, batch accuracy).
+struct StepStats {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+StepStats train_step(Network& net, SgdOptimizer& opt, const data::Batch& batch,
+                     const std::function<void(Network&)>& regularizer = {});
+
+/// Runs `iterations` SGD steps, drawing batches from `batcher`.
+/// `regularizer` (optional) is applied inside each step after the data
+/// gradient is computed and before the optimiser update — this is where
+/// group-Lasso terms of Eq. (6) enter. `step_callback` (optional) runs after
+/// each optimiser step with the 1-based step index.
+TrainStats train(Network& net, SgdOptimizer& opt, data::Batcher& batcher,
+                 std::size_t iterations,
+                 const std::function<void(Network&)>& regularizer = {},
+                 const std::function<void(Network&, std::size_t)>&
+                     step_callback = {});
+
+/// Classification accuracy on `dataset` (first `max_samples`, 0 = all).
+double evaluate(Network& net, const data::Dataset& dataset,
+                std::size_t max_samples = 0, std::size_t batch_size = 100);
+
+}  // namespace gs::nn

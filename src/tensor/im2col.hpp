@@ -1,0 +1,44 @@
+// im2col / col2im lowering for convolution.
+//
+// Convolutions in gs::nn are computed as GEMMs over im2col patch matrices —
+// the same lowering Caffe (the paper's training stack) uses, and the lowering
+// that defines the "unrolled" (C·kh·kw × F) weight-matrix view that the
+// crossbar mapper consumes.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace gs {
+
+/// Geometry of a 2-D convolution / pooling window.
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_height = 0;
+  std::size_t in_width = 0;
+  std::size_t kernel_h = 0;
+  std::size_t kernel_w = 0;
+  std::size_t stride_h = 1;
+  std::size_t stride_w = 1;
+  std::size_t pad_h = 0;
+  std::size_t pad_w = 0;
+
+  /// Output spatial extents; throws if the window never fits.
+  std::size_t out_height() const;
+  std::size_t out_width() const;
+  /// Patch length = in_channels * kernel_h * kernel_w.
+  std::size_t patch_size() const;
+  /// Validates all extents are positive and the window fits.
+  void validate() const;
+};
+
+/// Lowers one image (C×H×W, rank-3) into a patch matrix of shape
+/// (out_h*out_w, patch_size); row p holds the receptive field of output
+/// position p in channel-major order. Zero padding is applied.
+Tensor im2col(const Tensor& image, const ConvGeometry& g);
+
+/// Adjoint of im2col: accumulates a patch-matrix gradient back into an
+/// image-shaped gradient (C×H×W). Exactly the transpose of the linear
+/// im2col map, which property tests verify via <im2col(x), y> = <x, col2im(y)>.
+Tensor col2im(const Tensor& columns, const ConvGeometry& g);
+
+}  // namespace gs

@@ -1,0 +1,63 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(GS_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsGsError) {
+  EXPECT_THROW(GS_CHECK(false), Error);
+}
+
+TEST(Check, ErrorIsRuntimeError) {
+  EXPECT_THROW(GS_CHECK(false), std::runtime_error);
+}
+
+TEST(Check, MessageContainsExpression) {
+  try {
+    GS_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageContainsFileLocation) {
+  try {
+    GS_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, StreamedExtraMessageIsIncluded) {
+  try {
+    const int x = 42;
+    GS_CHECK_MSG(x == 0, "x=" << x);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("x=42"), std::string::npos);
+  }
+}
+
+TEST(Check, StreamedMessageNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  GS_CHECK_MSG(true, "count=" << count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, FailMacroAlwaysThrows) {
+  EXPECT_THROW(GS_FAIL("unconditional"), Error);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,67 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsInfo) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(Log, MessagesAtOrAboveThresholdEmitted) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_WARN << "warn-message";
+  GS_LOG_ERROR << "error-message";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("warn-message"), std::string::npos);
+  EXPECT_NE(output.find("error-message"), std::string::npos);
+}
+
+TEST(Log, MessagesBelowThresholdSuppressed) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_DEBUG << "debug-message";
+  GS_LOG_INFO << "info-message";
+  GS_LOG_WARN << "warn-message";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("debug-message"), std::string::npos);
+  EXPECT_EQ(output.find("info-message"), std::string::npos);
+  EXPECT_EQ(output.find("warn-message"), std::string::npos);
+}
+
+TEST(Log, StreamedValuesFormatted) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_INFO << "value=" << 42 << " ratio=" << 0.5;
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("value=42 ratio=0.5"), std::string::npos);
+}
+
+TEST(Log, LinesTaggedWithLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_ERROR << "boom";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,34 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gs {
+namespace {
+
+TEST(StringUtil, PercentFormatsRatio) {
+  EXPECT_EQ(percent(0.1362), "13.62%");
+  EXPECT_EQ(percent(1.0), "100.00%");
+  EXPECT_EQ(percent(0.081, 1), "8.1%");
+}
+
+TEST(StringUtil, PercentZero) { EXPECT_EQ(percent(0.0), "0.00%"); }
+
+TEST(StringUtil, FixedFormats) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(StringUtil, JoinEmpty) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(StringUtil, JoinSingle) { EXPECT_EQ(join({"a"}, ","), "a"); }
+
+TEST(StringUtil, JoinMany) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtil, PadExtends) { EXPECT_EQ(pad("ab", 5), "ab   "); }
+
+TEST(StringUtil, PadKeepsLongStrings) { EXPECT_EQ(pad("abcdef", 3), "abcdef"); }
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,114 @@
+#include "compress/magnitude_prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "hw/area.hpp"
+
+namespace gs::compress {
+namespace {
+
+TEST(MagnitudePrune, ReachesTargetSparsity) {
+  Rng rng(1);
+  Tensor w(Shape{100, 50});
+  w.fill_gaussian(rng, 0.0f, 1.0f);
+  apply_magnitude_pruning(w, 0.8);
+  EXPECT_GE(sparsity_of(w), 0.8);
+  EXPECT_LE(sparsity_of(w), 0.82);  // ties allowance
+}
+
+TEST(MagnitudePrune, KeepsLargestMagnitudes) {
+  Tensor w = Tensor::from_rows({{0.1f, -5.0f, 0.2f, 4.0f}});
+  apply_magnitude_pruning(w, 0.5);
+  EXPECT_EQ(w.at(0, 0), 0.0f);
+  EXPECT_EQ(w.at(0, 1), -5.0f);
+  EXPECT_EQ(w.at(0, 2), 0.0f);
+  EXPECT_EQ(w.at(0, 3), 4.0f);
+}
+
+TEST(MagnitudePrune, ZeroSparsityIsNoop) {
+  Rng rng(2);
+  Tensor w(Shape{10, 10});
+  w.fill_gaussian(rng, 0.0f, 1.0f);
+  const Tensor before = w;
+  apply_magnitude_pruning(w, 0.0);
+  EXPECT_TRUE(allclose(w, before, 0.0f));
+}
+
+TEST(MagnitudePrune, FullSparsityZeroesEverything) {
+  Rng rng(3);
+  Tensor w(Shape{10, 10});
+  w.fill_gaussian(rng, 0.0f, 1.0f);
+  apply_magnitude_pruning(w, 1.0);
+  EXPECT_EQ(sparsity_of(w), 1.0);
+}
+
+TEST(MagnitudePrune, InvalidSparsityRejected) {
+  Tensor w(Shape{4}, 1.0f);
+  EXPECT_THROW(apply_magnitude_pruning(w, -0.1), Error);
+  EXPECT_THROW(apply_magnitude_pruning(w, 1.1), Error);
+}
+
+TEST(MagnitudePrune, ReturnsThresholdUsed) {
+  Tensor w = Tensor::from_rows({{1.0f, 2.0f, 3.0f, 4.0f}});
+  const float threshold = apply_magnitude_pruning(w, 0.5);
+  EXPECT_FLOAT_EQ(threshold, 2.0f);
+}
+
+TEST(RandomWireSurvival, AnalyticFormula) {
+  // p = 1, any group: every wire survives.
+  EXPECT_NEAR(expected_random_wire_survival(1.0, 10), 1.0, 1e-12);
+  // p = 0: nothing survives.
+  EXPECT_NEAR(expected_random_wire_survival(0.0, 10), 0.0, 1e-12);
+  // Known value: 1 − (1−0.1)^10 ≈ 0.6513.
+  EXPECT_NEAR(expected_random_wire_survival(0.1, 10), 0.6513, 1e-3);
+}
+
+TEST(RandomWireSurvival, LargerGroupsKeepMoreWires) {
+  // The paper's §3.2 argument: with group size 50 even 90% sparsity keeps
+  // essentially every wire.
+  EXPECT_GT(expected_random_wire_survival(0.1, 50), 0.99);
+}
+
+TEST(MagnitudePrune, RandomSparsityBarelyDeletesWires) {
+  // Empirical confirmation of §3.2: unstructured pruning at 80% sparsity on
+  // a tiled matrix deletes almost no routing wires, and the measured
+  // survival matches the i.i.d. analytic prediction.
+  Rng rng(4);
+  Tensor w(Shape{500, 12});
+  w.fill_gaussian(rng, 0.0f, 1.0f);
+  apply_magnitude_pruning(w, 0.8);
+
+  const hw::TileGrid grid =
+      hw::make_tile_grid(500, 12, hw::paper_technology());
+  const hw::WireCount wires = hw::count_routing_wires(w, grid);
+  const double survival = wires.remaining_ratio();
+
+  // Row groups have 12 elements, column groups 50. Analytic survival:
+  const double row_pred = expected_random_wire_survival(0.2, 12);
+  const double col_pred = expected_random_wire_survival(0.2, 50);
+  const double pred =
+      (row_pred * grid.row_group_count() + col_pred * grid.col_group_count()) /
+      grid.total_wires();
+  EXPECT_NEAR(survival, pred, 0.05);
+  EXPECT_GT(survival, 0.85) << "random sparsity keeps almost all wires";
+}
+
+/// Property sweep: sparsity_of(prune(w, s)) ≈ s across levels.
+class SparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweep, TargetReached) {
+  Rng rng(5);
+  Tensor w(Shape{64, 64});
+  w.fill_gaussian(rng, 0.0f, 1.0f);
+  apply_magnitude_pruning(w, GetParam());
+  EXPECT_NEAR(sparsity_of(w), GetParam(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SparsitySweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace gs::compress

@@ -1,0 +1,196 @@
+#include "compress/rank_clipping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synthetic_mnist.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::compress {
+namespace {
+
+/// Network with one factorised layer whose effective weight has true rank 3
+/// (constructed as a product of skinny matrices at start rank 8).
+nn::Network rank3_network(Rng& rng, std::size_t n = 20, std::size_t m = 10) {
+  Tensor a(Shape{n, 3});
+  a.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor b(Shape{3, m});
+  b.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor w = matmul(a, b);  // true rank 3
+  const linalg::LraResult full =
+      linalg::low_rank_approximate(w, linalg::LraMethod::kPca, m);
+  nn::Network net;
+  net.add(std::make_unique<nn::LowRankDense>("fc", full.factors.u,
+                                             full.factors.vt,
+                                             Tensor(Shape{m})));
+  return net;
+}
+
+TEST(ClipOnce, FindsTrueRank) {
+  Rng rng(1);
+  nn::Network net = rank3_network(rng);
+  RankClippingConfig config;
+  config.epsilon = 1e-6;
+  const auto clips = clip_ranks_once(net, config);
+  ASSERT_EQ(clips.size(), 1u);
+  EXPECT_EQ(clips[0].old_rank, 10u);
+  EXPECT_EQ(clips[0].new_rank, 3u);
+  EXPECT_TRUE(clips[0].clipped());
+  EXPECT_EQ(net.factorized_layers()[0]->current_rank(), 3u);
+}
+
+TEST(ClipOnce, PreservesEffectiveWeightWithinEpsilon) {
+  Rng rng(2);
+  nn::Network net = rank3_network(rng);
+  const Tensor before = net.factorized_layers()[0]->effective_weight();
+  RankClippingConfig config;
+  config.epsilon = 1e-6;
+  clip_ranks_once(net, config);
+  const Tensor after = net.factorized_layers()[0]->effective_weight();
+  // Rank-3 truth clipped at ε≈0 ⇒ nearly exact reconstruction.
+  EXPECT_LE(max_abs_diff(before, after), 1e-2f);
+}
+
+TEST(ClipOnce, ZeroEpsilonKeepsRankOfExactMatrix) {
+  // A full-rank random matrix has no zero tail: ε=0 must not clip.
+  Rng rng(3);
+  nn::Network net;
+  net.add(std::make_unique<nn::LowRankDense>("fc", 12, 8, 8, rng));
+  RankClippingConfig config;
+  config.epsilon = 0.0;
+  const auto clips = clip_ranks_once(net, config);
+  EXPECT_EQ(clips[0].new_rank, 8u);
+  EXPECT_FALSE(clips[0].clipped());
+}
+
+TEST(ClipOnce, LargeEpsilonClipsToMinRank) {
+  Rng rng(4);
+  nn::Network net;
+  net.add(std::make_unique<nn::LowRankDense>("fc", 12, 8, 8, rng));
+  RankClippingConfig config;
+  config.epsilon = 1.0;  // everything is tolerable
+  config.min_rank = 2;
+  const auto clips = clip_ranks_once(net, config);
+  EXPECT_EQ(clips[0].new_rank, 2u);
+}
+
+TEST(ClipOnce, RankNeverIncreases) {
+  Rng rng(5);
+  nn::Network net;
+  net.add(std::make_unique<nn::LowRankDense>("a", 16, 12, 12, rng));
+  net.add(std::make_unique<nn::LowRankDense>("b", 12, 6, 6, rng));
+  RankClippingConfig config;
+  config.epsilon = 0.05;
+  std::vector<std::size_t> prev{12, 6};
+  for (int round = 0; round < 3; ++round) {
+    const auto clips = clip_ranks_once(net, config);
+    for (std::size_t i = 0; i < clips.size(); ++i) {
+      EXPECT_LE(clips[i].new_rank, prev[i]);
+      prev[i] = clips[i].new_rank;
+    }
+  }
+}
+
+TEST(ClipOnce, SpectralErrorWithinEpsilon) {
+  Rng rng(6);
+  nn::Network net;
+  net.add(std::make_unique<nn::LowRankDense>("fc", 30, 20, 20, rng));
+  RankClippingConfig config;
+  config.epsilon = 0.08;
+  const auto clips = clip_ranks_once(net, config);
+  EXPECT_LE(clips[0].spectral_error, 0.08 + 1e-9);
+}
+
+TEST(ClipOnce, SvdBackendAlsoClips) {
+  Rng rng(7);
+  nn::Network net = rank3_network(rng);
+  RankClippingConfig config;
+  config.method = linalg::LraMethod::kSvd;
+  config.epsilon = 1e-6;
+  const auto clips = clip_ranks_once(net, config);
+  EXPECT_EQ(clips[0].new_rank, 3u);
+}
+
+/// Integration: the full Algorithm-2 loop on a small real task — ranks
+/// converge downward while accuracy stays above chance.
+TEST(RankClippingRun, ClipsWhileTraining) {
+  Rng rng(8);
+  data::SyntheticMnist train_set(3, 300);
+  data::SyntheticMnist test_set(4, 100);
+
+  nn::Network net;
+  net.add(std::make_unique<nn::FlattenLayer>("flatten"));
+  net.add(std::make_unique<nn::LowRankDense>("fc1", 784, 40, 40, rng));
+  net.add(std::make_unique<nn::ReluLayer>("relu"));
+  net.add(std::make_unique<nn::DenseLayer>("fc2", 40, 10, rng));
+
+  // Pre-train so the factor spectrum reflects the task.
+  data::Batcher batcher(train_set, 25, Rng(9));
+  nn::SgdOptimizer opt({0.03f, 0.9f, 1e-4f});
+  nn::train(net, opt, batcher, 250);
+
+  RankClippingConfig config;
+  config.epsilon = 0.05;
+  config.clip_interval = 50;
+  config.max_iterations = 300;
+  const RankClippingRun run = run_rank_clipping(net, opt, batcher, config);
+
+  ASSERT_EQ(run.final_ranks.size(), 1u);
+  EXPECT_LT(run.final_ranks[0], 40u) << "rank should shrink";
+  EXPECT_EQ(run.snapshots.size(), 6u);  // 300 / 50 segments
+  // Snapshots record monotone rank decay.
+  for (std::size_t s = 1; s < run.snapshots.size(); ++s) {
+    EXPECT_LE(run.snapshots[s].ranks[0], run.snapshots[s - 1].ranks[0]);
+  }
+  // Accuracy after the clipped training stays above chance.
+  EXPECT_GT(nn::evaluate(net, test_set), 0.4);
+}
+
+TEST(RankClippingRun, SnapshotCallbackObservesNetwork) {
+  Rng rng(10);
+  data::SyntheticMnist train_set(5, 100);
+  nn::Network net;
+  net.add(std::make_unique<nn::FlattenLayer>("flatten"));
+  net.add(std::make_unique<nn::LowRankDense>("fc1", 784, 16, 16, rng));
+  net.add(std::make_unique<nn::DenseLayer>("fc2", 16, 10, rng));
+  data::Batcher batcher(train_set, 20, Rng(11));
+  nn::SgdOptimizer opt({0.05f, 0.9f, 0.0f});
+
+  RankClippingConfig config;
+  config.epsilon = 0.1;
+  config.clip_interval = 25;
+  config.max_iterations = 50;
+  int callbacks = 0;
+  run_rank_clipping(net, opt, batcher, config,
+                    [&](nn::Network& n, ClipSnapshot& snap) {
+                      ++callbacks;
+                      EXPECT_FALSE(snap.layer_names.empty());
+                      EXPECT_FALSE(n.factorized_layers().empty());
+                    });
+  EXPECT_EQ(callbacks, 2);
+}
+
+TEST(RankClippingRun, IterationBudgetRespected) {
+  Rng rng(12);
+  data::SyntheticMnist train_set(5, 60);
+  nn::Network net;
+  net.add(std::make_unique<nn::FlattenLayer>("flatten"));
+  net.add(std::make_unique<nn::LowRankDense>("fc1", 784, 12, 12, rng));
+  net.add(std::make_unique<nn::DenseLayer>("fc2", 12, 10, rng));
+  data::Batcher batcher(train_set, 20, Rng(13));
+  nn::SgdOptimizer opt({0.01f, 0.9f, 0.0f});
+
+  RankClippingConfig config;
+  config.clip_interval = 40;
+  config.max_iterations = 100;  // not a multiple of S: 40 + 40 + 20
+  const RankClippingRun run = run_rank_clipping(net, opt, batcher, config);
+  EXPECT_EQ(run.snapshots.size(), 3u);
+  EXPECT_EQ(run.snapshots.back().iteration, 100u);
+}
+
+}  // namespace
+}  // namespace gs::compress

@@ -1,0 +1,142 @@
+// Cross-module integration: model-config-defined networks flowing through
+// the full compression and hardware stack — config → train → checkpoint →
+// clip → delete → repack → analog → placement. Exercises the seams between
+// subsystems that unit tests cover in isolation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compress/connection_deletion.hpp"
+#include "compress/rank_clipping.hpp"
+#include "core/model_config.hpp"
+#include "core/ncs_report.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "hw/analog.hpp"
+#include "hw/placement.hpp"
+#include "hw/repack.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs {
+namespace {
+
+const char* kModel = R"(
+input 1 28 28
+flatten name=flatten
+lowrank_dense name=fc1 out=96 rank=24
+relu    name=relu1
+dense   name=fc2 out=10
+)";
+
+class ConfigPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    core::ParsedModel parsed = core::parse_model(kModel, rng);
+    net_ = std::move(parsed.network);
+    data::Batcher batcher(train_set_, 25, Rng(2));
+    nn::SgdOptimizer opt({0.03f, 0.9f, 1e-4f});
+    nn::train(net_, opt, batcher, 300);
+  }
+
+  data::SyntheticMnist train_set_{31, 300};
+  data::SyntheticMnist test_set_{32, 100};
+  nn::Network net_;
+};
+
+TEST_F(ConfigPipelineTest, TrainsClipsDeletesAndReports) {
+  const double baseline = nn::evaluate(net_, test_set_);
+  ASSERT_GT(baseline, 0.5);
+
+  // Checkpoint round trip mid-pipeline.
+  std::stringstream ckpt;
+  nn::save_checkpoint(ckpt, net_);
+  {
+    Rng rng(3);
+    core::ParsedModel fresh = core::parse_model(kModel, rng);
+    nn::load_checkpoint(ckpt, fresh.network);
+    EXPECT_NEAR(nn::evaluate(fresh.network, test_set_), baseline, 1e-9);
+  }
+
+  // Rank clipping on the config-built factorised layer.
+  data::Batcher batcher(train_set_, 25, Rng(4));
+  nn::SgdOptimizer opt({0.02f, 0.9f, 1e-4f});
+  compress::RankClippingConfig clip;
+  clip.epsilon = 0.05;
+  clip.clip_interval = 40;
+  clip.max_iterations = 160;
+  compress::run_rank_clipping(net_, opt, batcher, clip);
+  const std::size_t rank = net_.factorized_layers()[0]->current_rank();
+  EXPECT_LE(rank, 24u);
+
+  // Deletion, then every hardware view must be mutually consistent.
+  compress::DeletionConfig del;
+  del.lasso.lambda = 8e-2;
+  del.tech = hw::paper_technology();
+  del.train_iterations = 200;
+  del.finetune_iterations = 100;
+  del.record_interval = 0;
+  nn::SgdOptimizer del_opt({0.02f, 0.9f, 0.0f});
+  const compress::DeletionResult result =
+      compress::run_group_connection_deletion(net_, del_opt, batcher,
+                                              test_set_, 0, del);
+  EXPECT_LT(result.mean_wire_ratio, 1.0);
+
+  compress::GroupLassoRegularizer reg(net_, del.tech, del.lasso);
+  for (const compress::LassoTarget& target : reg.targets()) {
+    const hw::WireCount census =
+        hw::count_routing_wires(target.values(), target.grid);
+    const hw::RepackReport repack =
+        hw::repack_tiles(target.values(), target.grid);
+    // Repacked wires must equal the census (shared group definitions).
+    EXPECT_EQ(repack.repacked_wires, census.remaining) << target.name;
+  }
+
+  // NCS report coheres with the deletion census.
+  const core::NcsReport report =
+      core::build_ncs_report(net_, hw::paper_technology());
+  EXPECT_LE(report.remaining_wires, report.total_wires);
+
+  // Confusion matrix total accuracy equals evaluate().
+  const nn::ConfusionMatrix cm = nn::evaluate_confusion(net_, test_set_);
+  EXPECT_NEAR(cm.accuracy(), nn::evaluate(net_, test_set_), 1e-12);
+}
+
+TEST_F(ConfigPipelineTest, AnalogMappingPreservesIdealAccuracy) {
+  const double digital = nn::evaluate(net_, test_set_);
+  // Ideal analog parameters: the effective network is numerically the same.
+  hw::AnalogParams ideal;
+  for (nn::FactorizedLayer* f : net_.factorized_layers()) {
+    Tensor u = f->factor_u();
+    Tensor vt = f->factor_vt();
+    const hw::TileGrid ugrid =
+        hw::make_tile_grid(u.rows(), u.cols(), hw::paper_technology());
+    const hw::TileGrid vgrid =
+        hw::make_tile_grid(vt.rows(), vt.cols(), hw::paper_technology());
+    f->set_factors(hw::analog_effective_matrix(u, ugrid, ideal),
+                   hw::analog_effective_matrix(vt, vgrid, ideal));
+  }
+  EXPECT_NEAR(nn::evaluate(net_, test_set_), digital, 0.02);
+}
+
+TEST_F(ConfigPipelineTest, PlacementGraphFromDesign) {
+  compress::GroupLassoConfig lasso;
+  compress::GroupLassoRegularizer reg(net_, hw::paper_technology(), lasso);
+  std::vector<hw::MappedMatrix> matrices;
+  for (const compress::LassoTarget& target : reg.targets()) {
+    matrices.push_back({target.name, &target.values()});
+  }
+  ASSERT_FALSE(matrices.empty());
+  const hw::CommGraph graph =
+      hw::build_comm_graph(matrices, hw::paper_technology());
+  EXPECT_GT(graph.nodes.size(), 1u);
+  const hw::Placement base = hw::row_major_placement(graph);
+  hw::AnnealConfig anneal;
+  anneal.iterations = 2000;
+  const hw::Placement optimized = hw::anneal_placement(graph, base, anneal);
+  EXPECT_LE(hw::wire_cost(graph, optimized), hw::wire_cost(graph, base));
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,180 @@
+#include "core/model_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pool2d.hpp"
+
+namespace gs::core {
+namespace {
+
+TEST(ModelConfig, ParsesBuiltInLeNet) {
+  Rng rng(1);
+  ParsedModel model = parse_model(lenet_model_text(), rng);
+  EXPECT_EQ(model.input_shape, (Shape{1, 28, 28}));
+  Tensor x(Shape{2, 1, 28, 28});
+  EXPECT_EQ(model.network.forward(x).shape(), (Shape{2, 10}));
+}
+
+TEST(ModelConfig, ParsesBuiltInConvNet) {
+  Rng rng(2);
+  ParsedModel model = parse_model(convnet_model_text(), rng);
+  EXPECT_EQ(model.input_shape, (Shape{3, 32, 32}));
+  Tensor x(Shape{1, 3, 32, 32});
+  EXPECT_EQ(model.network.forward(x).shape(), (Shape{1, 10}));
+}
+
+TEST(ModelConfig, ParsedLeNetMatchesProgrammaticGeometry) {
+  Rng rng1(3);
+  Rng rng2(3);
+  ParsedModel parsed = parse_model(lenet_model_text(), rng1);
+  nn::Network built = build_lenet(rng2);
+  ASSERT_EQ(parsed.network.layer_count(), built.layer_count());
+  for (std::size_t i = 0; i < built.layer_count(); ++i) {
+    EXPECT_EQ(parsed.network.layer(i).name(), built.layer(i).name());
+  }
+  // Weight shapes identical layer by layer.
+  auto* pc = dynamic_cast<nn::Conv2dLayer*>(parsed.network.find("conv2"));
+  auto* bc = dynamic_cast<nn::Conv2dLayer*>(built.find("conv2"));
+  ASSERT_NE(pc, nullptr);
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(pc->weight().shape(), bc->weight().shape());
+}
+
+TEST(ModelConfig, InfersInChannelsFromRunningShape) {
+  Rng rng(4);
+  ParsedModel model = parse_model(R"(
+input 3 16 16
+conv name=c1 out=8 kernel=3 pad=1
+conv name=c2 out=4 kernel=3 pad=1
+flatten
+dense out=10
+)",
+                                  rng);
+  auto* c2 = dynamic_cast<nn::Conv2dLayer*>(model.network.find("c2"));
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c2->spec().in_channels, 8u);
+}
+
+TEST(ModelConfig, LowRankLayersWithRank) {
+  Rng rng(5);
+  ParsedModel model = parse_model(R"(
+input 1 8 8
+lowrank_conv name=lc out=6 kernel=3 rank=2
+flatten
+lowrank_dense name=ld out=10 rank=4
+)",
+                                  rng);
+  const auto factorized = model.network.factorized_layers();
+  ASSERT_EQ(factorized.size(), 2u);
+  EXPECT_EQ(factorized[0]->current_rank(), 2u);
+  EXPECT_EQ(factorized[1]->current_rank(), 4u);
+}
+
+TEST(ModelConfig, DropoutLayerParsed) {
+  Rng rng(6);
+  ParsedModel model = parse_model(R"(
+input 1 4 4
+flatten
+dense name=fc out=8
+dropout name=drop p=0.25
+dense name=out out=2
+)",
+                                  rng);
+  auto* drop = dynamic_cast<nn::DropoutLayer*>(model.network.find("drop"));
+  ASSERT_NE(drop, nullptr);
+  EXPECT_DOUBLE_EQ(drop->drop_probability(), 0.25);
+}
+
+TEST(ModelConfig, CommentsAndBlankLinesIgnored) {
+  Rng rng(7);
+  EXPECT_NO_THROW(parse_model(R"(
+# leading comment
+
+input 1 4 4   # trailing comment
+flatten
+dense out=2   # another
+)",
+                              rng));
+}
+
+TEST(ModelConfig, AutoNamesWhenOmitted) {
+  Rng rng(8);
+  ParsedModel model = parse_model(R"(
+input 1 4 4
+flatten
+dense out=3
+dense out=2
+)",
+                                  rng);
+  // Auto names are distinct, so both layers are retrievable.
+  EXPECT_EQ(model.network.layer_count(), 3u);
+  EXPECT_NE(model.network.layer(1).name(), model.network.layer(2).name());
+}
+
+TEST(ModelConfig, ErrorsCarryLineNumbers) {
+  Rng rng(9);
+  try {
+    parse_model("input 1 4 4\nflatten\nbogus out=2\n", rng);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ModelConfig, RejectsLayerBeforeInput) {
+  Rng rng(10);
+  EXPECT_THROW(parse_model("dense out=2\n", rng), Error);
+}
+
+TEST(ModelConfig, RejectsDenseBeforeFlatten) {
+  Rng rng(11);
+  EXPECT_THROW(parse_model("input 1 4 4\ndense out=2\n", rng), Error);
+}
+
+TEST(ModelConfig, RejectsConvAfterFlatten) {
+  Rng rng(12);
+  EXPECT_THROW(
+      parse_model("input 1 8 8\nflatten\nconv out=2 kernel=3\n", rng), Error);
+}
+
+TEST(ModelConfig, RejectsUnknownAttribute) {
+  Rng rng(13);
+  EXPECT_THROW(
+      parse_model("input 1 8 8\nconv out=2 kernel=3 bogus=1\nflatten\n", rng),
+      Error);
+}
+
+TEST(ModelConfig, RejectsMissingRequiredAttribute) {
+  Rng rng(14);
+  EXPECT_THROW(parse_model("input 1 8 8\nconv kernel=3\n", rng), Error);
+}
+
+TEST(ModelConfig, RejectsMalformedAttribute) {
+  Rng rng(15);
+  EXPECT_THROW(parse_model("input 1 8 8\nconv out 2 kernel=3\n", rng), Error);
+}
+
+TEST(ModelConfig, RejectsEmptyModel) {
+  Rng rng(16);
+  EXPECT_THROW(parse_model("", rng), Error);
+  EXPECT_THROW(parse_model("input 1 4 4\n", rng), Error);
+}
+
+TEST(ModelConfig, RejectsBadPoolMode) {
+  Rng rng(17);
+  EXPECT_THROW(
+      parse_model("input 1 8 8\npool mode=median kernel=2\nflatten\n", rng),
+      Error);
+}
+
+TEST(ModelConfig, LoadFromMissingFileThrows) {
+  Rng rng(18);
+  EXPECT_THROW(load_model("/nonexistent-dir-xyz/model.txt", rng), Error);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,126 @@
+#include "core/ncs_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/models.hpp"
+#include "core/paper_constants.hpp"
+
+namespace gs::core {
+namespace {
+
+TEST(NcsReport, DenseLeNetBaselineCells) {
+  Rng rng(1);
+  nn::Network net = build_lenet(rng);
+  const NcsReport report = build_ncs_report(net, hw::paper_technology());
+  // Dense LeNet: 25·20 + 500·50 + 800·500 + 500·10 = 430500 cells.
+  EXPECT_EQ(report.total_cells, 430500u);
+  EXPECT_EQ(report.dense_baseline_cells, 430500u);
+  EXPECT_DOUBLE_EQ(report.crossbar_area_ratio(), 1.0);
+  EXPECT_EQ(report.matrices.size(), 4u);
+}
+
+TEST(NcsReport, PaperRanksReproduce13_62Percent) {
+  // The headline LeNet result: factorise at the paper's Table 1 ranks and
+  // the crossbar-area ratio must be exactly 58625/430500 = 13.62%.
+  Rng rng(2);
+  nn::Network dense = build_lenet(rng);
+  FactorizeSpec spec;
+  spec.keep_dense = {lenet_classifier()};
+  spec.ranks = {{"conv1", 5}, {"conv2", 12}, {"fc1", 36}};
+  nn::Network lowrank = to_lowrank(dense, spec);
+
+  const NcsReport report = build_ncs_report(lowrank, hw::paper_technology());
+  EXPECT_EQ(report.total_cells, 58625u);
+  EXPECT_EQ(report.dense_baseline_cells, 430500u);
+  EXPECT_NEAR(report.crossbar_area_ratio(),
+              paper_lenet().crossbar_area_ratio, 5e-5);
+}
+
+TEST(NcsReport, PaperRanksReproduce51_81Percent) {
+  Rng rng(3);
+  nn::Network dense = build_convnet(rng);
+  FactorizeSpec spec;
+  spec.keep_dense = {convnet_classifier()};
+  spec.ranks = {{"conv1", 12}, {"conv2", 19}, {"conv3", 22}};
+  nn::Network lowrank = to_lowrank(dense, spec);
+
+  const NcsReport report = build_ncs_report(lowrank, hw::paper_technology());
+  EXPECT_EQ(report.total_cells, 46340u);
+  EXPECT_EQ(report.dense_baseline_cells, 89440u);
+  EXPECT_NEAR(report.crossbar_area_ratio(),
+              paper_convnet().crossbar_area_ratio, 5e-5);
+}
+
+TEST(NcsReport, MbcSizesMatchTable3) {
+  Rng rng(4);
+  nn::Network dense = build_lenet(rng);
+  FactorizeSpec spec;
+  spec.keep_dense = {lenet_classifier()};
+  spec.ranks = {{"conv1", 5}, {"conv2", 12}, {"fc1", 36}};
+  nn::Network lowrank = to_lowrank(dense, spec);
+  const NcsReport report = build_ncs_report(lowrank, hw::paper_technology());
+
+  const auto find = [&](const std::string& name) -> const MatrixReport& {
+    for (const auto& m : report.matrices) {
+      if (m.name == name) return m;
+    }
+    ADD_FAILURE() << name << " missing";
+    return report.matrices.front();
+  };
+  EXPECT_EQ(find("conv2_u").mbc, (hw::CrossbarSpec{50, 12}));
+  EXPECT_EQ(find("fc1_u").mbc, (hw::CrossbarSpec{50, 36}));
+  EXPECT_EQ(find("fc1_v").mbc, (hw::CrossbarSpec{36, 50}));
+  EXPECT_EQ(find("fc2").mbc, (hw::CrossbarSpec{50, 10}));
+}
+
+TEST(NcsReport, DenseNetworkKeepsAllWires) {
+  Rng rng(5);
+  nn::Network net = build_lenet(rng);
+  const NcsReport report = build_ncs_report(net, hw::paper_technology());
+  EXPECT_EQ(report.remaining_wires, report.total_wires);
+  EXPECT_DOUBLE_EQ(report.mean_routing_area_ratio(), 1.0);
+}
+
+TEST(NcsReport, PaddedPolicyNeverSmallerThanExact) {
+  Rng rng(6);
+  nn::Network net = build_lenet(rng);
+  const NcsReport exact =
+      build_ncs_report(net, hw::paper_technology(),
+                       hw::MappingPolicy::kDivisorExact);
+  const NcsReport padded =
+      build_ncs_report(net, hw::paper_technology(),
+                       hw::MappingPolicy::kPaddedMax);
+  EXPECT_GE(padded.total_cells, exact.total_cells);
+}
+
+TEST(NcsReport, PrintProducesTable) {
+  Rng rng(7);
+  nn::Network net = build_lenet(rng);
+  const NcsReport report = build_ncs_report(net, hw::paper_technology());
+  std::ostringstream oss;
+  print_ncs_report(oss, report);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("conv1"), std::string::npos);
+  EXPECT_NE(text.find("fc2"), std::string::npos);
+  EXPECT_NE(text.find("total cells"), std::string::npos);
+}
+
+TEST(NcsReport, ZeroTolAffectsWireCensus) {
+  Rng rng(8);
+  nn::Network dense = build_lenet(rng);
+  // Zero conv2's weights below 0.01 — census with matching tol sees fewer
+  // wires than with tol 0 only if whole groups drop; at minimum it must not
+  // see more.
+  const NcsReport strict =
+      build_ncs_report(dense, hw::paper_technology(),
+                       hw::MappingPolicy::kDivisorExact, 0.0f);
+  const NcsReport loose =
+      build_ncs_report(dense, hw::paper_technology(),
+                       hw::MappingPolicy::kDivisorExact, 0.05f);
+  EXPECT_LE(loose.remaining_wires, strict.remaining_wires);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,107 @@
+// Integration test of the full Group Scissor pipeline on a reduced-scale
+// LeNet/synthetic-MNIST configuration — every stage must run and the
+// qualitative paper claims must hold (area shrinks, wires get deleted,
+// accuracy stays in a sane band).
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs::core {
+namespace {
+
+PipelineConfig small_config() {
+  PipelineConfig config;
+  config.seed = 7;
+  config.pretrain.iterations = 250;
+  config.pretrain.batch_size = 25;
+  config.pretrain.sgd = {0.02f, 0.9f, 1e-4f};
+
+  config.clipping.epsilon = 0.05;
+  config.clipping.clip_interval = 60;
+  config.clipping.max_iterations = 240;
+  config.clipping_phase.batch_size = 25;
+  config.clipping_phase.sgd = {0.01f, 0.9f, 1e-4f};
+
+  config.deletion.lasso.lambda = 1e-1;
+  config.deletion.train_iterations = 200;
+  config.deletion.finetune_iterations = 120;
+  config.deletion.record_interval = 50;
+  config.deletion_phase.batch_size = 25;
+  config.deletion_phase.sgd = {0.02f, 0.9f, 0.0f};
+
+  config.keep_dense = {lenet_classifier()};
+  config.eval_samples = 100;
+  return config;
+}
+
+TEST(Pipeline, FullLeNetRunProducesConsistentReports) {
+  data::SyntheticMnist train_set(100, 400);
+  data::SyntheticMnist test_set(101, 100);
+  const PipelineConfig config = small_config();
+
+  PipelineResult result = run_group_scissor(
+      [](Rng& rng) { return build_lenet(rng); }, train_set, test_set, config);
+
+  // Baseline learned something real.
+  EXPECT_GT(result.baseline_accuracy, 0.5);
+  // Lossless factorisation kept the accuracy.
+  EXPECT_NEAR(result.lowrank_start_accuracy, result.baseline_accuracy, 0.1);
+
+  // Rank clipping shrank at least one layer and crossbar area dropped.
+  bool any_clipped = false;
+  const auto& ranks = result.clipping_run.final_ranks;
+  ASSERT_EQ(ranks.size(), 3u);  // conv1, conv2, fc1
+  const std::vector<std::size_t> full{20, 50, 500};
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_LE(ranks[i], full[i]);
+    if (ranks[i] < full[i]) any_clipped = true;
+  }
+  EXPECT_TRUE(any_clipped);
+  EXPECT_LT(result.clipped_report.total_cells,
+            result.dense_report.total_cells);
+  EXPECT_LT(result.clipped_report.crossbar_area_ratio(), 1.0);
+
+  // Dense baseline accounting is invariant across stages.
+  EXPECT_EQ(result.clipped_report.dense_baseline_cells,
+            result.dense_report.total_cells);
+
+  // Deletion removed wires; Eq. (8) squares the ratio.
+  EXPECT_LT(result.deletion.mean_wire_ratio, 1.0);
+  EXPECT_LE(result.deletion.mean_routing_area_ratio,
+            result.deletion.mean_wire_ratio + 1e-12);
+  EXPECT_FALSE(result.deletion.reports.empty());
+
+  // The final report reflects the deletion census (same remaining wires for
+  // the regularised matrices).
+  EXPECT_LE(result.final_report.remaining_wires,
+            result.final_report.total_wires);
+
+  // Accuracy after the full pipeline stays in a usable band.
+  EXPECT_GT(result.deletion.accuracy_after_finetune,
+            result.baseline_accuracy - 0.2);
+
+  // The compressed network is returned and still runs.
+  Tensor x(Shape{1, 1, 28, 28});
+  EXPECT_EQ(result.network.forward(x).shape(), (Shape{1, 10}));
+}
+
+TEST(Pipeline, TrainPhaseHelperImprovesAccuracy) {
+  data::SyntheticMnist train_set(110, 200);
+  data::SyntheticMnist test_set(111, 80);
+  Rng rng(1);
+  nn::Network net = build_lenet(rng);
+  const double before = nn::evaluate(net, test_set);
+  TrainPhase phase;
+  phase.iterations = 150;
+  phase.batch_size = 20;
+  phase.sgd = {0.02f, 0.9f, 0.0f};
+  const double after = train_phase(net, train_set, test_set, phase, 2);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.3);
+}
+
+}  // namespace
+}  // namespace gs::core

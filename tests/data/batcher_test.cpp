@@ -1,0 +1,106 @@
+#include "data/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/synthetic_mnist.hpp"
+
+namespace gs::data {
+namespace {
+
+TEST(MakeBatch, StacksImagesAndLabels) {
+  SyntheticMnist ds(1, 20);
+  const Batch batch = make_batch(ds, {0, 5, 10});
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.images.shape(), (Shape{3, 1, 28, 28}));
+  EXPECT_EQ(batch.labels[0], 0u);
+  EXPECT_EQ(batch.labels[1], 5u);
+  EXPECT_EQ(batch.labels[2], 0u);
+}
+
+TEST(MakeBatch, CopiesSampleContent) {
+  SyntheticMnist ds(1, 10);
+  const Batch batch = make_batch(ds, {3});
+  const Sample s = ds.get(3);
+  for (std::size_t i = 0; i < s.image.numel(); ++i) {
+    EXPECT_EQ(batch.images[i], s.image[i]);
+  }
+}
+
+TEST(MakeBatch, EmptyIndicesThrow) {
+  SyntheticMnist ds(1, 10);
+  EXPECT_THROW(make_batch(ds, {}), Error);
+}
+
+TEST(Batcher, BatchSizesAndEpochBoundary) {
+  SyntheticMnist ds(1, 10);
+  Batcher batcher(ds, 4, Rng(1));
+  EXPECT_EQ(batcher.batches_per_epoch(), 3u);
+  EXPECT_EQ(batcher.next().size(), 4u);
+  EXPECT_EQ(batcher.next().size(), 4u);
+  EXPECT_EQ(batcher.next().size(), 2u);  // final partial batch kept
+  EXPECT_TRUE(batcher.epoch_finished());
+  EXPECT_EQ(batcher.next().size(), 4u);  // wraps to next epoch
+}
+
+TEST(Batcher, EpochCoversAllSamplesOnce) {
+  SyntheticMnist ds(1, 30);
+  Batcher batcher(ds, 7, Rng(2));
+  std::map<std::size_t, int> label_counts;
+  std::size_t seen = 0;
+  while (seen < 30) {
+    const Batch b = batcher.next();
+    seen += b.size();
+    for (std::size_t label : b.labels) ++label_counts[label];
+  }
+  EXPECT_EQ(seen, 30u);
+  // 30 balanced samples ⇒ each of the 10 labels appears exactly 3 times.
+  for (const auto& [label, count] : label_counts) {
+    EXPECT_EQ(count, 3) << "label " << label;
+  }
+}
+
+TEST(Batcher, ShuffleChangesOrderAcrossEpochs) {
+  SyntheticMnist ds(1, 40);
+  Batcher batcher(ds, 40, Rng(3));
+  const Batch first = batcher.next();
+  const Batch second = batcher.next();
+  // Same multiset of labels, different order with overwhelming probability.
+  bool same_order = true;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (first.labels[i] != second.labels[i]) {
+      same_order = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(same_order);
+}
+
+TEST(Batcher, SequentialModePreservesOrder) {
+  SyntheticMnist ds(1, 12);
+  Batcher batcher(ds, 5, Rng(4), /*shuffle=*/false);
+  const Batch b = batcher.next();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(b.labels[i], i % 10);
+  }
+}
+
+TEST(Batcher, ZeroBatchSizeRejected) {
+  SyntheticMnist ds(1, 4);
+  EXPECT_THROW(Batcher(ds, 0, Rng(1)), Error);
+}
+
+TEST(Batcher, DeterministicGivenSeed) {
+  SyntheticMnist ds(1, 16);
+  Batcher b1(ds, 4, Rng(99));
+  Batcher b2(ds, 4, Rng(99));
+  for (int i = 0; i < 8; ++i) {
+    const Batch x = b1.next();
+    const Batch y = b2.next();
+    EXPECT_EQ(x.labels, y.labels);
+  }
+}
+
+}  // namespace
+}  // namespace gs::data

@@ -1,0 +1,86 @@
+#include "data/synthetic_cifar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gs::data {
+namespace {
+
+TEST(SyntheticCifar, ShapeAndMetadata) {
+  SyntheticCifar ds(1, 60);
+  EXPECT_EQ(ds.size(), 60u);
+  EXPECT_EQ(ds.num_classes(), 10u);
+  EXPECT_EQ(ds.sample_shape(), (Shape{3, 32, 32}));
+  EXPECT_EQ(ds.name(), "synthetic-cifar");
+}
+
+TEST(SyntheticCifar, RejectsEmpty) { EXPECT_THROW(SyntheticCifar(1, 0), Error); }
+
+TEST(SyntheticCifar, Deterministic) {
+  SyntheticCifar ds(9, 30);
+  EXPECT_TRUE(allclose(ds.get(4).image, ds.get(4).image, 0.0f));
+}
+
+TEST(SyntheticCifar, SameClassSamplesVary) {
+  SyntheticCifar ds(9, 30);
+  const Sample a = ds.get(2);
+  const Sample b = ds.get(12);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_GT(max_abs_diff(a.image, b.image), 0.05f);
+}
+
+TEST(SyntheticCifar, LabelsBalanced) {
+  SyntheticCifar ds(2, 200);
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < 200; ++i) ++counts[ds.get(i).label];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(SyntheticCifar, PixelsInUnitRange) {
+  SyntheticCifar ds(3, 20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Sample s = ds.get(i);
+    EXPECT_GE(s.image.min(), 0.0f);
+    EXPECT_LE(s.image.max(), 1.0f);
+  }
+}
+
+TEST(SyntheticCifar, ImagesNotConstant) {
+  SyntheticCifar ds(4, 20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Tensor& img = ds.get(i).image;
+    EXPECT_GT(img.max() - img.min(), 0.2f) << "sample " << i;
+  }
+}
+
+TEST(SyntheticCifar, IndexOutOfRangeThrows) {
+  SyntheticCifar ds(1, 3);
+  EXPECT_THROW(ds.get(3), Error);
+}
+
+/// Property sweep: classes are statistically separable — the mean image of
+/// a class differs from the mean image of every other class.
+class CifarClassSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CifarClassSweep, ClassMeanDistinct) {
+  const std::size_t cls = GetParam();
+  SyntheticCifar ds(21, 400);
+  const auto class_mean = [&](std::size_t c) {
+    Tensor mean(Shape{3, 32, 32});
+    int count = 0;
+    for (std::size_t i = c; i < 400; i += 10) {
+      mean += ds.get(i).image;
+      ++count;
+    }
+    mean *= 1.0f / static_cast<float>(count);
+    return mean;
+  };
+  const Tensor own = class_mean(cls);
+  const Tensor other = class_mean((cls + 1) % 10);
+  EXPECT_GT((own - other).norm(), 1.0) << "class " << cls;
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, CifarClassSweep,
+                         ::testing::Range<std::size_t>(0, 10));
+
+}  // namespace
+}  // namespace gs::data

@@ -1,0 +1,137 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gs::data {
+namespace {
+
+TEST(SyntheticMnist, ShapeAndMetadata) {
+  SyntheticMnist ds(1, 100);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.num_classes(), 10u);
+  EXPECT_EQ(ds.sample_shape(), (Shape{1, 28, 28}));
+  EXPECT_EQ(ds.name(), "synthetic-mnist");
+}
+
+TEST(SyntheticMnist, RejectsEmpty) {
+  EXPECT_THROW(SyntheticMnist(1, 0), Error);
+}
+
+TEST(SyntheticMnist, SamplesDeterministicPerIndex) {
+  SyntheticMnist ds(42, 50);
+  const Sample a = ds.get(7);
+  const Sample b = ds.get(7);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_TRUE(allclose(a.image, b.image, 0.0f));
+}
+
+TEST(SyntheticMnist, DifferentIndicesDiffer) {
+  SyntheticMnist ds(42, 50);
+  // Indices 3 and 13 share the label (3) but must render differently.
+  const Sample a = ds.get(3);
+  const Sample b = ds.get(13);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_GT(max_abs_diff(a.image, b.image), 0.05f);
+}
+
+TEST(SyntheticMnist, DifferentSeedsDiffer) {
+  SyntheticMnist d1(1, 10);
+  SyntheticMnist d2(2, 10);
+  EXPECT_GT(max_abs_diff(d1.get(0).image, d2.get(0).image), 0.01f);
+}
+
+TEST(SyntheticMnist, LabelsBalancedRoundRobin) {
+  SyntheticMnist ds(3, 100);
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ++counts[ds.get(i).label];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticMnist, PixelsInUnitRange) {
+  SyntheticMnist ds(5, 30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Sample s = ds.get(i);
+    EXPECT_GE(s.image.min(), 0.0f);
+    EXPECT_LE(s.image.max(), 1.0f);
+  }
+}
+
+TEST(SyntheticMnist, GlyphHasInk) {
+  // Every sample must contain a visible stroke (not all background).
+  SyntheticMnist ds(7, 40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_GT(ds.get(i).image.sum(), 10.0f) << "sample " << i;
+  }
+}
+
+TEST(SyntheticMnist, IndexOutOfRangeThrows) {
+  SyntheticMnist ds(1, 5);
+  EXPECT_THROW(ds.get(5), Error);
+}
+
+TEST(SyntheticMnist, PrototypesDistinctAcrossClasses) {
+  SyntheticMnist ds(1, 10);
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      EXPECT_GT(max_abs_diff(ds.prototype(a), ds.prototype(b)), 0.3f)
+          << "classes " << a << " vs " << b;
+    }
+  }
+}
+
+TEST(SyntheticMnist, NoiseFreeStyleIsClean) {
+  MnistStyle style;
+  style.noise_stddev = 0.0;
+  style.max_shift = 0.0;
+  style.max_rotate_rad = 0.0;
+  style.min_scale = style.max_scale = 1.0;
+  style.max_shear = 0.0;
+  style.min_thickness = style.max_thickness = 0.06;
+  SyntheticMnist ds(1, 20, style);
+  // Same label ⇒ identical rendering when all jitter is off.
+  EXPECT_TRUE(allclose(ds.get(0).image, ds.get(10).image, 1e-6f));
+}
+
+/// Property sweep: every class renders a glyph that differs from every other
+/// class's undistorted prototype more than from its own.
+class MnistClassSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MnistClassSweep, CleanSampleClosestToOwnPrototype) {
+  const std::size_t cls = GetParam();
+  MnistStyle gentle;
+  gentle.noise_stddev = 0.01;
+  gentle.max_shift = 0.02;
+  gentle.max_rotate_rad = 0.05;
+  gentle.min_scale = 0.97;
+  gentle.max_scale = 1.03;
+  gentle.max_shear = 0.02;
+  SyntheticMnist ds(11, 100, gentle);
+  const Sample s = ds.get(cls);  // index < 10 ⇒ label == cls
+  ASSERT_EQ(s.label, cls);
+
+  double best = 1e18;
+  std::size_t best_class = 99;
+  for (std::size_t c = 0; c < 10; ++c) {
+    const Tensor proto = ds.prototype(c);
+    double dist = 0.0;
+    for (std::size_t i = 0; i < proto.numel(); ++i) {
+      const double d = static_cast<double>(proto[i]) - s.image[i];
+      dist += d * d;
+    }
+    if (dist < best) {
+      best = dist;
+      best_class = c;
+    }
+  }
+  EXPECT_EQ(best_class, cls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, MnistClassSweep,
+                         ::testing::Range<std::size_t>(0, 10));
+
+}  // namespace
+}  // namespace gs::data

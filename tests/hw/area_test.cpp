@@ -1,0 +1,143 @@
+#include "hw/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gs::hw {
+namespace {
+
+TEST(CrossbarArea, ExactTilingCountsUsedCells) {
+  const CrossbarArea area = crossbar_area(800, 36, paper_technology());
+  EXPECT_EQ(area.used_cells, 800u * 36);
+  EXPECT_EQ(area.cells, 800u * 36);  // divisor policy: no padding
+  EXPECT_EQ(area.tile_count, 16u);
+  EXPECT_EQ(area.area_f2, 800.0 * 36 * 4);
+}
+
+TEST(CrossbarArea, PaddedTilingWastesCells) {
+  const CrossbarArea area = crossbar_area(100, 70, paper_technology(),
+                                          MappingPolicy::kPaddedMax);
+  EXPECT_EQ(area.used_cells, 7000u);
+  EXPECT_EQ(area.cells, 4u * 64 * 64);  // 2×2 grid of full 64×64 crossbars
+  EXPECT_GT(area.cells, area.used_cells);
+}
+
+TEST(FactorArea, PaperEq2Accounting) {
+  const FactorAreaComparison cmp = compare_factor_area(800, 500, 36);
+  EXPECT_EQ(cmp.dense_cells, 400000u);
+  EXPECT_EQ(cmp.factored_cells, 800u * 36 + 36u * 500);
+  EXPECT_NEAR(cmp.ratio(), (28800.0 + 18000.0) / 400000.0, 1e-12);
+}
+
+TEST(WireCount, DenseMatrixKeepsAllWires) {
+  Rng rng(1);
+  Tensor m(Shape{100, 20});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const WireCount wires = count_routing_wires(m, grid);
+  EXPECT_EQ(wires.remaining, wires.total);
+  EXPECT_EQ(wires.deleted(), 0u);
+  EXPECT_EQ(wires.remaining_ratio(), 1.0);
+}
+
+TEST(WireCount, ZeroMatrixDeletesAllWires) {
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const WireCount wires = count_routing_wires(Tensor(Shape{100, 20}), grid);
+  EXPECT_EQ(wires.remaining, 0u);
+  EXPECT_EQ(wires.deleted(), wires.total);
+}
+
+TEST(WireCount, SingleNonzeroKeepsExactlyTwoWires) {
+  // One nonzero weight keeps its row group's input wire and its column
+  // group's output wire — the paper's "traditional sparsity" failure mode.
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  Tensor m(Shape{100, 20});
+  m.at(42, 7) = 1.0f;
+  const WireCount wires = count_routing_wires(m, grid);
+  EXPECT_EQ(wires.remaining, 2u);
+}
+
+TEST(WireCount, ZeroRowGroupDeletesInputWire) {
+  // 100×20 → tile 50×20, grid 2×1. Zeroing matrix row 3 deletes exactly one
+  // row wire (one tile column) but column wires survive via other rows.
+  Rng rng(2);
+  Tensor m(Shape{100, 20});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const WireCount before = count_routing_wires(m, grid);
+  for (std::size_t j = 0; j < 20; ++j) m.at(3, j) = 0.0f;
+  const WireCount after = count_routing_wires(m, grid);
+  EXPECT_EQ(after.remaining + 1, before.remaining);
+}
+
+TEST(WireCount, ZeroColumnInOneTileDeletesOutputWire) {
+  Rng rng(3);
+  Tensor m(Shape{100, 20});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const WireCount before = count_routing_wires(m, grid);
+  // Zero column 5 inside tile row 0 only (rows 0..49).
+  for (std::size_t i = 0; i < 50; ++i) m.at(i, 5) = 0.0f;
+  const WireCount after = count_routing_wires(m, grid);
+  EXPECT_EQ(after.remaining + 1, before.remaining);
+}
+
+TEST(WireCount, ToleranceTreatsSmallAsZero) {
+  const TileGrid grid = make_tile_grid(64, 10, paper_technology());
+  Tensor m(Shape{64, 10}, 1e-6f);
+  EXPECT_EQ(count_routing_wires(m, grid, 0.0f).remaining, 74u);
+  EXPECT_EQ(count_routing_wires(m, grid, 1e-5f).remaining, 0u);
+}
+
+TEST(RoutingArea, QuadraticInWireCount) {
+  const TechnologyParams tech = paper_technology();
+  EXPECT_EQ(routing_area(10, tech), 100.0);
+  EXPECT_EQ(routing_area(0, tech), 0.0);
+  // α scales linearly.
+  TechnologyParams scaled = tech;
+  scaled.routing_alpha = 2.5;
+  EXPECT_EQ(routing_area(10, scaled), 250.0);
+}
+
+TEST(RoutingAreaRatio, SquaresWireRatio) {
+  WireCount wires;
+  wires.total = 100;
+  wires.remaining = 50;
+  EXPECT_NEAR(routing_area_ratio(wires), 0.25, 1e-12);
+  wires.remaining = 100;
+  EXPECT_EQ(routing_area_ratio(wires), 1.0);
+  wires.remaining = 0;
+  EXPECT_EQ(routing_area_ratio(wires), 0.0);
+}
+
+/// Property sweep: wire counting is monotone — zeroing more weights never
+/// increases the remaining wire count.
+class WireMonotonicitySweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WireMonotonicitySweep, MonotoneUnderSparsification) {
+  Rng rng(GetParam());
+  Tensor m(Shape{150, 24});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  const TileGrid grid = make_tile_grid(150, 24, paper_technology());
+  std::size_t prev = count_routing_wires(m, grid).remaining;
+  for (int round = 0; round < 6; ++round) {
+    // Zero a random block of rows.
+    const std::size_t start = rng.uniform_index(150);
+    const std::size_t len = 1 + rng.uniform_index(30);
+    for (std::size_t i = start; i < std::min<std::size_t>(150, start + len);
+         ++i) {
+      for (std::size_t j = 0; j < 24; ++j) m.at(i, j) = 0.0f;
+    }
+    const std::size_t now = count_routing_wires(m, grid).remaining;
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireMonotonicitySweep,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gs::hw

@@ -1,0 +1,126 @@
+#include "hw/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+namespace {
+
+TEST(Technology, PaperDefaultsMatchTable2) {
+  const TechnologyParams tech = paper_technology();
+  EXPECT_EQ(tech.cell_area_f2, 4.0);          // memristor cell area 4F²
+  EXPECT_EQ(tech.max_crossbar_dim, 64u);      // max crossbar 64×64
+  EXPECT_EQ(tech.wire_pitch_f, 2.0);          // wire between memristors 2F
+}
+
+TEST(Technology, ValidationRejectsNonPositive) {
+  TechnologyParams tech;
+  tech.cell_area_f2 = 0.0;
+  EXPECT_THROW(tech.validate(), Error);
+  tech = TechnologyParams{};
+  tech.max_crossbar_dim = 0;
+  EXPECT_THROW(tech.validate(), Error);
+}
+
+TEST(CrossbarSpec, CellsAndWires) {
+  const CrossbarSpec xb{50, 12};
+  EXPECT_EQ(xb.cells(), 600u);
+  EXPECT_EQ(xb.wires(), 62u);
+  EXPECT_EQ(xb.to_string(), "50x12");
+}
+
+TEST(CrossbarSpec, AreaUsesCellArea) {
+  const CrossbarSpec xb{10, 10};
+  EXPECT_EQ(xb.area_f2(paper_technology()), 400.0);  // 100 cells × 4F²
+}
+
+TEST(LargestDivisor, SmallValuePassesThrough) {
+  EXPECT_EQ(largest_divisor_upto(36, 64), 36u);
+  EXPECT_EQ(largest_divisor_upto(64, 64), 64u);
+}
+
+TEST(LargestDivisor, PaperValues) {
+  EXPECT_EQ(largest_divisor_upto(500, 64), 50u);   // conv2_u rows
+  EXPECT_EQ(largest_divisor_upto(800, 64), 50u);   // fc1_u rows
+  EXPECT_EQ(largest_divisor_upto(1024, 64), 64u);  // ConvNet fc rows
+  EXPECT_EQ(largest_divisor_upto(75, 64), 25u);    // ConvNet conv1_u rows
+}
+
+TEST(LargestDivisor, PrimeFallsBackToOne) {
+  EXPECT_EQ(largest_divisor_upto(67, 64), 1u);
+  EXPECT_EQ(largest_divisor_upto(127, 64), 1u);
+}
+
+TEST(LargestDivisor, RejectsZero) {
+  EXPECT_THROW(largest_divisor_upto(0, 64), Error);
+  EXPECT_THROW(largest_divisor_upto(5, 0), Error);
+}
+
+TEST(SelectMbc, SingleCrossbarWhenBothFit) {
+  const CrossbarSpec xb = select_mbc_size(25, 20, paper_technology());
+  EXPECT_EQ(xb, (CrossbarSpec{25, 20}));  // LeNet conv1 in one crossbar
+}
+
+TEST(SelectMbc, PaddedPolicyCapsAtMax) {
+  const CrossbarSpec xb = select_mbc_size(500, 12, paper_technology(),
+                                          MappingPolicy::kPaddedMax);
+  EXPECT_EQ(xb, (CrossbarSpec{64, 12}));
+  const CrossbarSpec small = select_mbc_size(20, 10, paper_technology(),
+                                             MappingPolicy::kPaddedMax);
+  EXPECT_EQ(small, (CrossbarSpec{20, 10}));
+}
+
+TEST(SelectMbc, RejectsZeroDims) {
+  EXPECT_THROW(select_mbc_size(0, 5, paper_technology()), Error);
+}
+
+TEST(Library, ContainsAllSizesUpToMax) {
+  const CrossbarLibrary lib(paper_technology());
+  EXPECT_TRUE(lib.contains({1, 1}));
+  EXPECT_TRUE(lib.contains({64, 64}));
+  EXPECT_FALSE(lib.contains({65, 1}));
+  EXPECT_FALSE(lib.contains({1, 65}));
+  EXPECT_FALSE(lib.contains({0, 5}));
+  EXPECT_EQ(lib.size(), 4096u);
+}
+
+TEST(Library, EnumerateMatchesSize) {
+  TechnologyParams tiny = paper_technology();
+  tiny.max_crossbar_dim = 3;
+  const CrossbarLibrary lib(tiny);
+  EXPECT_EQ(lib.enumerate().size(), 9u);
+}
+
+TEST(Library, SelectedSizesAreAlwaysInLibrary) {
+  const CrossbarLibrary lib(paper_technology());
+  for (std::size_t n : {1u, 10u, 64u, 75u, 500u, 800u, 1024u, 67u}) {
+    for (std::size_t k : {1u, 10u, 36u, 64u, 500u}) {
+      EXPECT_TRUE(lib.contains(select_mbc_size(n, k, paper_technology())))
+          << n << "x" << k;
+    }
+  }
+}
+
+/// Property sweep: the divisor policy always divides both dimensions
+/// exactly (no padded cells), for a grid of sizes.
+class DivisorPolicySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DivisorPolicySweep, ExactDivision) {
+  const std::size_t n = GetParam();
+  for (std::size_t k = 1; k <= 80; k += 7) {
+    const CrossbarSpec xb = select_mbc_size(n, k, paper_technology());
+    EXPECT_EQ(n % xb.rows, 0u) << n << "x" << k;
+    EXPECT_EQ(k % xb.cols, 0u) << n << "x" << k;
+    EXPECT_LE(xb.rows, 64u);
+    EXPECT_LE(xb.cols, 64u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DivisorPolicySweep,
+                         ::testing::Values<std::size_t>(1, 2, 25, 36, 64, 65,
+                                                        75, 128, 500, 800,
+                                                        1024));
+
+}  // namespace
+}  // namespace gs::hw

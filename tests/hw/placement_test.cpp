@@ -1,0 +1,172 @@
+#include "hw/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "hw/area.hpp"
+
+namespace gs::hw {
+namespace {
+
+Tensor random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor m(Shape{r, c});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  return m;
+}
+
+TEST(CommGraph, SingleTileMatrixHasNoIntraEdges) {
+  const Tensor m = random_matrix(25, 20, 1);
+  const CommGraph graph =
+      build_comm_graph({{"conv1", &m}}, paper_technology());
+  EXPECT_EQ(graph.nodes.size(), 1u);
+  EXPECT_TRUE(graph.edges.empty());
+}
+
+TEST(CommGraph, TiledMatrixNodeCount) {
+  const Tensor m = random_matrix(800, 36, 2);  // 16×1 tiles
+  const CommGraph graph = build_comm_graph({{"fc1_u", &m}}, paper_technology());
+  EXPECT_EQ(graph.nodes.size(), 16u);
+  // 16 tiles in one tile column → 15 vertical partial-sum edges.
+  EXPECT_EQ(graph.edges.size(), 15u);
+  for (const CommEdge& e : graph.edges) {
+    EXPECT_EQ(e.weight, 36.0);  // dense matrix: all 36 columns live
+  }
+}
+
+TEST(CommGraph, HorizontalEdgesCountSharedLiveRows) {
+  // 100×100 → tile 50×50, grid 2×2. Zero the row groups of matrix row 3 in
+  // the RIGHT tile column only: the horizontal edge in tile row 0 loses one
+  // shared live row.
+  Tensor m = random_matrix(100, 100, 3);
+  const CommGraph dense_graph =
+      build_comm_graph({{"w", &m}}, paper_technology());
+  double dense_h = 0.0;
+  for (const CommEdge& e : dense_graph.edges) {
+    if (dense_graph.nodes[e.a].tile_row == dense_graph.nodes[e.b].tile_row) {
+      dense_h += e.weight;
+    }
+  }
+  for (std::size_t j = 50; j < 100; ++j) m.at(3, j) = 0.0f;
+  const CommGraph pruned_graph =
+      build_comm_graph({{"w", &m}}, paper_technology());
+  double pruned_h = 0.0;
+  for (const CommEdge& e : pruned_graph.edges) {
+    if (pruned_graph.nodes[e.a].tile_row ==
+        pruned_graph.nodes[e.b].tile_row) {
+      pruned_h += e.weight;
+    }
+  }
+  EXPECT_EQ(pruned_h + 1.0, dense_h);
+}
+
+TEST(CommGraph, DeletionLightensGraph) {
+  // 500×12 → 10 vertical tiles whose edges carry shared live columns.
+  // Zeroing column 3 inside the first two tiles removes that column from
+  // their shared interface; emptying tile 5 entirely kills its edges.
+  Tensor m = random_matrix(500, 12, 4);
+  const double before =
+      build_comm_graph({{"u", &m}}, paper_technology()).total_weight();
+  for (std::size_t i = 0; i < 100; ++i) m.at(i, 3) = 0.0f;
+  for (std::size_t i = 250; i < 300; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) m.at(i, j) = 0.0f;
+  }
+  const double after =
+      build_comm_graph({{"u", &m}}, paper_technology()).total_weight();
+  EXPECT_LT(after, before);
+}
+
+TEST(CommGraph, InterMatrixEdgesConnectConsecutiveMatrices) {
+  const Tensor a = random_matrix(800, 36, 6);  // 16 tiles
+  const Tensor b = random_matrix(36, 500, 7);  // 1×10 tiles
+  const CommGraph graph =
+      build_comm_graph({{"fc1_u", &a}, {"fc1_v", &b}}, paper_technology());
+  EXPECT_EQ(graph.nodes.size(), 26u);
+  bool has_cross = false;
+  for (const CommEdge& e : graph.edges) {
+    if (graph.nodes[e.a].matrix != graph.nodes[e.b].matrix) {
+      has_cross = true;
+      EXPECT_GT(e.weight, 0.0);
+    }
+  }
+  EXPECT_TRUE(has_cross);
+}
+
+TEST(Placement, RowMajorIsValidPermutation) {
+  const Tensor m = random_matrix(800, 36, 8);
+  const CommGraph graph = build_comm_graph({{"u", &m}}, paper_technology());
+  const Placement placement = row_major_placement(graph);
+  EXPECT_GE(placement.grid_width * placement.grid_height,
+            graph.nodes.size());
+  std::set<std::size_t> used(placement.position.begin(),
+                             placement.position.end());
+  EXPECT_EQ(used.size(), graph.nodes.size()) << "no overlapping cores";
+}
+
+TEST(Placement, WireCostOfAdjacentNodes) {
+  CommGraph graph;
+  graph.nodes.resize(2);
+  graph.edges.push_back({0, 1, 3.0});
+  Placement placement;
+  placement.grid_width = 2;
+  placement.grid_height = 1;
+  placement.position = {0, 1};  // adjacent
+  EXPECT_DOUBLE_EQ(wire_cost(graph, placement), 3.0);
+  placement.grid_width = 4;
+  placement.position = {0, 3};  // distance 3
+  EXPECT_DOUBLE_EQ(wire_cost(graph, placement), 9.0);
+}
+
+TEST(Placement, AnnealNeverWorseThanInitial) {
+  const Tensor m = random_matrix(800, 64, 9);
+  const CommGraph graph = build_comm_graph({{"u", &m}}, paper_technology());
+  const Placement initial = row_major_placement(graph);
+  const double initial_cost = wire_cost(graph, initial);
+  AnnealConfig config;
+  config.iterations = 3000;
+  const Placement optimized = anneal_placement(graph, initial, config);
+  EXPECT_LE(wire_cost(graph, optimized), initial_cost);
+}
+
+TEST(Placement, AnnealImprovesScrambledPlacement) {
+  // Start from a deliberately bad placement: reversed order.
+  const Tensor m = random_matrix(800, 36, 10);
+  const CommGraph graph = build_comm_graph({{"u", &m}}, paper_technology());
+  Placement scrambled = row_major_placement(graph);
+  std::reverse(scrambled.position.begin(), scrambled.position.end());
+  const double scrambled_cost = wire_cost(graph, scrambled);
+  AnnealConfig config;
+  config.iterations = 8000;
+  const Placement optimized = anneal_placement(graph, scrambled, config);
+  EXPECT_LT(wire_cost(graph, optimized), scrambled_cost);
+}
+
+TEST(Placement, AnnealPreservesPermutation) {
+  const Tensor m = random_matrix(500, 12, 11);
+  const CommGraph graph = build_comm_graph({{"u", &m}}, paper_technology());
+  const Placement initial = row_major_placement(graph);
+  const Placement optimized = anneal_placement(graph, initial);
+  std::set<std::size_t> used(optimized.position.begin(),
+                             optimized.position.end());
+  EXPECT_EQ(used.size(), graph.nodes.size());
+  for (std::size_t core : optimized.position) {
+    EXPECT_LT(core, optimized.grid_width * optimized.grid_height);
+  }
+}
+
+TEST(Placement, AnnealDeterministicPerSeed) {
+  const Tensor m = random_matrix(500, 12, 12);
+  const CommGraph graph = build_comm_graph({{"u", &m}}, paper_technology());
+  const Placement initial = row_major_placement(graph);
+  AnnealConfig config;
+  config.iterations = 2000;
+  config.seed = 77;
+  const Placement a = anneal_placement(graph, initial, config);
+  const Placement b = anneal_placement(graph, initial, config);
+  EXPECT_EQ(a.position, b.position);
+}
+
+}  // namespace
+}  // namespace gs::hw

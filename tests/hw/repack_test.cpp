@@ -1,0 +1,139 @@
+#include "hw/repack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hw/area.hpp"
+
+namespace gs::hw {
+namespace {
+
+TEST(Repack, DenseMatrixSavesNothing) {
+  Rng rng(1);
+  Tensor m(Shape{100, 20});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const RepackReport report = repack_tiles(m, grid);
+  EXPECT_EQ(report.repacked_cells, report.original_cells);
+  EXPECT_EQ(report.removed_tiles, 0u);
+  EXPECT_DOUBLE_EQ(report.cell_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(report.wire_ratio(), 1.0);
+}
+
+TEST(Repack, ZeroMatrixRemovesEverything) {
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const RepackReport report = repack_tiles(Tensor(Shape{100, 20}), grid);
+  EXPECT_EQ(report.repacked_cells, 0u);
+  EXPECT_EQ(report.removed_tiles, grid.tile_count());
+  EXPECT_DOUBLE_EQ(report.cell_ratio(), 0.0);
+}
+
+TEST(Repack, ZeroRowsShrinkTiles) {
+  // 100×20 → tile 50×20, 2 tiles. Zero 10 rows of the first tile:
+  // repacked = 40×20 + 50×20.
+  Rng rng(2);
+  Tensor m(Shape{100, 20});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) m.at(i, j) = 0.0f;
+  }
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const RepackReport report = repack_tiles(m, grid);
+  EXPECT_EQ(report.tiles[0].repacked, (CrossbarSpec{40, 20}));
+  EXPECT_EQ(report.tiles[1].repacked, (CrossbarSpec{50, 20}));
+  EXPECT_EQ(report.repacked_cells, 40u * 20 + 50u * 20);
+}
+
+TEST(Repack, EmptyTileRemoved) {
+  Rng rng(3);
+  Tensor m(Shape{100, 20});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  for (std::size_t i = 50; i < 100; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) m.at(i, j) = 0.0f;
+  }
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const RepackReport report = repack_tiles(m, grid);
+  EXPECT_EQ(report.removed_tiles, 1u);
+  EXPECT_TRUE(report.tiles[1].removed());
+  EXPECT_EQ(report.tiles[1].saved_cells(), 1000u);
+}
+
+TEST(Repack, WireCountMatchesCensus) {
+  // Invariant: repacked wires == remaining wires of the routing census,
+  // because live tile rows/cols are exactly non-zero wire groups.
+  Rng rng(4);
+  Tensor m(Shape{500, 12});
+  // Random structured sparsity: zero random rows and random tile columns.
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  for (int k = 0; k < 120; ++k) {
+    const std::size_t i = rng.uniform_index(500);
+    for (std::size_t j = 0; j < 12; ++j) m.at(i, j) = 0.0f;
+  }
+  const TileGrid grid = make_tile_grid(500, 12, paper_technology());
+  const RepackReport report = repack_tiles(m, grid);
+  const WireCount census = count_routing_wires(m, grid);
+  EXPECT_EQ(report.repacked_wires, census.remaining);
+  EXPECT_EQ(report.original_wires, census.total);
+}
+
+TEST(Repack, ToleranceForwarded) {
+  Tensor m(Shape{100, 20}, 1e-6f);
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  EXPECT_EQ(repack_tiles(m, grid, 0.0f).removed_tiles, 0u);
+  EXPECT_EQ(repack_tiles(m, grid, 1e-5f).removed_tiles, grid.tile_count());
+}
+
+TEST(Repack, PaddedPolicyEdgeTiles) {
+  // 100×70 padded to 64×64 tiles: edge tiles are physically smaller; the
+  // original spec must reflect the actual extents, not the library tile.
+  Rng rng(5);
+  Tensor m(Shape{100, 70});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  const TileGrid grid =
+      make_tile_grid(100, 70, paper_technology(), MappingPolicy::kPaddedMax);
+  const RepackReport report = repack_tiles(m, grid);
+  // Bottom-right tile covers rows 64..99 (36) × cols 64..69 (6).
+  const RepackedTile& corner = report.tiles.back();
+  EXPECT_EQ(corner.original, (CrossbarSpec{36, 6}));
+  EXPECT_EQ(corner.repacked, (CrossbarSpec{36, 6}));  // dense content
+}
+
+/// Property sweep: repacking never increases cells, and saved cells are
+/// consistent with the per-tile accounting.
+class RepackConsistencySweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RepackConsistencySweep, Accounting) {
+  Rng rng(GetParam());
+  Tensor m(Shape{200, 36});
+  m.fill_gaussian(rng, 0.0f, 1.0f);
+  // Random structured deletion.
+  for (int k = 0; k < 60; ++k) {
+    const std::size_t i = rng.uniform_index(200);
+    for (std::size_t j = 0; j < 36; ++j) m.at(i, j) = 0.0f;
+  }
+  for (int k = 0; k < 12; ++k) {
+    const std::size_t j = rng.uniform_index(36);
+    for (std::size_t i = 0; i < 100; ++i) m.at(i, j) = 0.0f;
+  }
+  const TileGrid grid = make_tile_grid(200, 36, paper_technology());
+  const RepackReport report = repack_tiles(m, grid);
+
+  EXPECT_LE(report.repacked_cells, report.original_cells);
+  std::size_t saved = 0;
+  std::size_t repacked = 0;
+  for (const RepackedTile& tile : report.tiles) {
+    saved += tile.saved_cells();
+    repacked += tile.repacked_cells();
+    EXPECT_LE(tile.repacked.rows, tile.original.rows);
+    EXPECT_LE(tile.repacked.cols, tile.original.cols);
+  }
+  EXPECT_EQ(repacked, report.repacked_cells);
+  EXPECT_EQ(saved + report.repacked_cells, report.original_cells);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepackConsistencySweep,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gs::hw

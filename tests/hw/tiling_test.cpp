@@ -1,0 +1,164 @@
+#include "hw/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gs::hw {
+namespace {
+
+TEST(TileGrid, LeNetFc1uGeometry) {
+  // fc1_u: 800×36 → 50×36 tiles, 16×1 grid.
+  const TileGrid grid = make_tile_grid(800, 36, paper_technology());
+  EXPECT_EQ(grid.tile, (CrossbarSpec{50, 36}));
+  EXPECT_EQ(grid.grid_rows(), 16u);
+  EXPECT_EQ(grid.grid_cols(), 1u);
+  EXPECT_EQ(grid.tile_count(), 16u);
+  EXPECT_TRUE(grid.exact());
+}
+
+TEST(TileGrid, WireAndGroupCounts) {
+  const TileGrid grid = make_tile_grid(800, 36, paper_technology());
+  EXPECT_EQ(grid.row_group_count(), 800u);    // 800 rows × 1 tile column
+  EXPECT_EQ(grid.col_group_count(), 36u * 16);
+  EXPECT_EQ(grid.total_wires(), 800u + 576u);
+  // Identity: total wires = tiles × (P + Q) for exact tilings.
+  EXPECT_EQ(grid.total_wires(), grid.tile_count() * grid.tile.wires());
+}
+
+TEST(TileGrid, PaddedPolicyCeilCounts) {
+  const TileGrid grid =
+      make_tile_grid(100, 70, paper_technology(), MappingPolicy::kPaddedMax);
+  EXPECT_EQ(grid.tile, (CrossbarSpec{64, 64}));
+  EXPECT_EQ(grid.grid_rows(), 2u);
+  EXPECT_EQ(grid.grid_cols(), 2u);
+  EXPECT_FALSE(grid.exact());
+}
+
+TEST(GroupSlice, RowGroupCoversOneTileRowSegment) {
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  // 100×20 → tile 50×20, grid 2×1.
+  const GroupSlice s = row_group_slice(grid, 7, 0);
+  EXPECT_EQ(s.row_begin, 7u);
+  EXPECT_EQ(s.row_end, 8u);
+  EXPECT_EQ(s.col_begin, 0u);
+  EXPECT_EQ(s.col_end, 20u);
+  EXPECT_EQ(s.count(), 20u);
+}
+
+TEST(GroupSlice, ColGroupCoversOneTileColSegment) {
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  const GroupSlice s = col_group_slice(grid, 1, 5);
+  EXPECT_EQ(s.row_begin, 50u);
+  EXPECT_EQ(s.row_end, 100u);
+  EXPECT_EQ(s.col_begin, 5u);
+  EXPECT_EQ(s.col_end, 6u);
+  EXPECT_EQ(s.count(), 50u);
+}
+
+TEST(GroupSlice, BoundsValidated) {
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  EXPECT_THROW(row_group_slice(grid, 100, 0), Error);
+  EXPECT_THROW(row_group_slice(grid, 0, 1), Error);
+  EXPECT_THROW(col_group_slice(grid, 2, 0), Error);
+  EXPECT_THROW(col_group_slice(grid, 0, 20), Error);
+}
+
+TEST(GroupNorm, ComputesL2) {
+  const TileGrid grid = make_tile_grid(4, 4, paper_technology());
+  Tensor m(Shape{4, 4});
+  m.at(1, 0) = 3.0f;
+  m.at(1, 1) = 4.0f;
+  const GroupSlice row = row_group_slice(grid, 1, 0);
+  EXPECT_NEAR(group_norm(m, row), 5.0, 1e-9);
+}
+
+TEST(GroupIsZero, ToleranceRespected) {
+  const TileGrid grid = make_tile_grid(4, 4, paper_technology());
+  Tensor m(Shape{4, 4});
+  m.at(2, 2) = 1e-5f;
+  const GroupSlice row = row_group_slice(grid, 2, 0);
+  EXPECT_FALSE(group_is_zero(m, row, 0.0f));
+  EXPECT_TRUE(group_is_zero(m, row, 1e-4f));
+}
+
+TEST(AnalyzeTiles, OccupancyStatistics) {
+  // 4×4 matrix, tile 2×2 (forced by a tiny technology): 4 tiles.
+  TechnologyParams tiny = paper_technology();
+  tiny.max_crossbar_dim = 2;
+  const TileGrid grid = make_tile_grid(4, 4, tiny);
+  ASSERT_EQ(grid.tile_count(), 4u);
+
+  Tensor m(Shape{4, 4});
+  m.at(0, 0) = 1.0f;  // tile (0,0): one cell
+  m.at(2, 2) = 1.0f;  // tile (1,1)
+  m.at(3, 2) = 1.0f;
+  const auto tiles = analyze_tiles(m, grid);
+  ASSERT_EQ(tiles.size(), 4u);
+
+  EXPECT_EQ(tiles[0].nonzero_cells, 1u);
+  EXPECT_EQ(tiles[0].nonzero_rows, 1u);
+  EXPECT_EQ(tiles[0].nonzero_cols, 1u);
+  EXPECT_FALSE(tiles[0].empty());
+
+  EXPECT_TRUE(tiles[1].empty());   // tile (0,1)
+  EXPECT_TRUE(tiles[2].empty());   // tile (1,0)
+
+  EXPECT_EQ(tiles[3].nonzero_cells, 2u);
+  EXPECT_EQ(tiles[3].nonzero_rows, 2u);
+  EXPECT_EQ(tiles[3].nonzero_cols, 1u);
+}
+
+TEST(AnalyzeTiles, ShapeMismatchThrows) {
+  const TileGrid grid = make_tile_grid(4, 4, paper_technology());
+  EXPECT_THROW(analyze_tiles(Tensor(Shape{5, 4}), grid), Error);
+}
+
+/// Property sweep: groups partition the matrix exactly — every element
+/// belongs to exactly one row group and one column group.
+class GroupPartitionSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(GroupPartitionSweep, RowAndColGroupsPartition) {
+  const auto [n, k] = GetParam();
+  const TileGrid grid = make_tile_grid(n, k, paper_technology());
+
+  Tensor row_cover(Shape{n, k});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
+      const GroupSlice s = row_group_slice(grid, i, tc);
+      for (std::size_t r = s.row_begin; r < s.row_end; ++r) {
+        for (std::size_t c = s.col_begin; c < s.col_end; ++c) {
+          row_cover.at(r, c) += 1.0f;
+        }
+      }
+    }
+  }
+  Tensor col_cover(Shape{n, k});
+  for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const GroupSlice s = col_group_slice(grid, tr, j);
+      for (std::size_t r = s.row_begin; r < s.row_end; ++r) {
+        for (std::size_t c = s.col_begin; c < s.col_end; ++c) {
+          col_cover.at(r, c) += 1.0f;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n * k; ++i) {
+    ASSERT_EQ(row_cover[i], 1.0f) << "row groups must partition";
+    ASSERT_EQ(col_cover[i], 1.0f) << "col groups must partition";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GroupPartitionSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(4, 4),
+                      std::make_pair<std::size_t, std::size_t>(500, 12),
+                      std::make_pair<std::size_t, std::size_t>(800, 36),
+                      std::make_pair<std::size_t, std::size_t>(36, 500),
+                      std::make_pair<std::size_t, std::size_t>(75, 12),
+                      std::make_pair<std::size_t, std::size_t>(1024, 10)));
+
+}  // namespace
+}  // namespace gs::hw

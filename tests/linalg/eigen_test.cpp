@@ -1,0 +1,150 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+namespace {
+
+Tensor random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor a(Shape{n, n});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const float v = static_cast<float>(rng.gaussian());
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  return a;
+}
+
+Tensor random_psd(std::size_t n, std::size_t inner, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor b(Shape{inner, n});
+  b.fill_gaussian(rng, 0.0f, 1.0f);
+  return matmul(b, b, /*ta=*/true, /*tb=*/false);
+}
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSorted) {
+  Tensor d(Shape{3, 3});
+  d.at(0, 0) = 1.0f;
+  d.at(1, 1) = 5.0f;
+  d.at(2, 2) = 3.0f;
+  const EigenResult e = eigen_sym(d);
+  EXPECT_NEAR(e.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Tensor a = Tensor::from_rows({{2, 1}, {1, 2}});
+  const EigenResult e = eigen_sym(a);
+  EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-8);
+  EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-8);
+  // Eigenvector of 3 is (1,1)/√2 up to sign.
+  const float v0 = e.eigenvectors.at(0, 0);
+  const float v1 = e.eigenvectors.at(1, 0);
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-5);
+  EXPECT_NEAR(v0, v1, 1e-5);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(eigen_sym(Tensor(Shape{2, 3})), Error);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  Tensor a = Tensor::from_rows({{1, 2}, {0, 1}});
+  EXPECT_THROW(eigen_sym(a), Error);
+}
+
+TEST(Eigen, IdentityHasUnitEigenvalues) {
+  const EigenResult e = eigen_sym(identity(5));
+  for (double lambda : e.eigenvalues) {
+    EXPECT_NEAR(lambda, 1.0, 1e-10);
+  }
+}
+
+/// Property sweep over sizes: reconstruction, orthonormality, trace and
+/// definiteness invariants.
+class EigenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSweep, ReconstructsInput) {
+  const std::size_t n = GetParam();
+  Tensor a = random_symmetric(n, 42 + n);
+  const EigenResult e = eigen_sym(a);
+  EXPECT_LE(max_abs_diff(eigen_reconstruct(e), a), 1e-3f);
+}
+
+TEST_P(EigenSweep, EigenvectorsOrthonormal) {
+  const std::size_t n = GetParam();
+  const EigenResult e = eigen_sym(random_symmetric(n, 7 + n));
+  Tensor vtv = matmul(e.eigenvectors, e.eigenvectors, /*ta=*/true);
+  EXPECT_LE(max_abs_diff(vtv, identity(n)), 1e-4f);
+}
+
+TEST_P(EigenSweep, TracePreserved) {
+  const std::size_t n = GetParam();
+  Tensor a = random_symmetric(n, 11 + n);
+  const EigenResult e = eigen_sym(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a.at(i, i);
+  double sum = 0.0;
+  for (double lambda : e.eigenvalues) sum += lambda;
+  EXPECT_NEAR(sum, trace, 1e-3);
+}
+
+TEST_P(EigenSweep, PsdMatrixHasNonnegativeEigenvalues) {
+  const std::size_t n = GetParam();
+  const EigenResult e = eigen_sym(random_psd(n, n + 3, 13 + n));
+  for (double lambda : e.eigenvalues) {
+    EXPECT_GE(lambda, -1e-4);
+  }
+}
+
+TEST_P(EigenSweep, EigenpairsSatisfyDefinition) {
+  const std::size_t n = GetParam();
+  Tensor a = random_symmetric(n, 23 + n);
+  const EigenResult e = eigen_sym(a);
+  // A·v_j = λ_j·v_j for every pair.
+  for (std::size_t j = 0; j < n; ++j) {
+    Tensor v(Shape{n});
+    for (std::size_t i = 0; i < n; ++i) v[i] = e.eigenvectors.at(i, j);
+    Tensor av(Shape{n});
+    gemv(a, false, v, av);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], e.eigenvalues[j] * v[i], 2e-3)
+          << "pair " << j << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 10, 20,
+                                                        50));
+
+TEST(Eigen, RankDeficientMatrixHasZeroEigenvalues) {
+  // Rank-2 PSD 5×5 matrix: exactly three (near-)zero eigenvalues.
+  Tensor a = random_psd(5, 2, 99);
+  const EigenResult e = eigen_sym(a);
+  EXPECT_GT(e.eigenvalues[0], 1e-3);
+  EXPECT_GT(e.eigenvalues[1], 1e-3);
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_NEAR(e.eigenvalues[i], 0.0, 1e-3);
+  }
+}
+
+TEST(Eigen, ZeroMatrix) {
+  const EigenResult e = eigen_sym(Tensor(Shape{4, 4}));
+  for (double lambda : e.eigenvalues) {
+    EXPECT_EQ(lambda, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gs::linalg

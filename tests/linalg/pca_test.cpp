@@ -1,0 +1,155 @@
+#include "linalg/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+namespace {
+
+Tensor random_matrix(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor a(Shape{n, m});
+  a.fill_gaussian(rng, 0.0f, 1.0f);
+  return a;
+}
+
+TEST(Pca, FullRankUncenteredIsExact) {
+  Tensor w = random_matrix(10, 6, 1);
+  const PcaResult p = pca(w, 6, /*center=*/false);
+  EXPECT_LE(max_abs_diff(pca_reconstruct(p), w), 1e-4f);
+}
+
+TEST(Pca, FullRankCenteredIsExactWithMean) {
+  // Centered PCA reconstructs W only when the mean is added back —
+  // pca_reconstruct does that.
+  Tensor w = random_matrix(10, 6, 2);
+  // Add a large common mean so centering matters.
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w.at(i, j) += 5.0f;
+  }
+  const PcaResult p = pca(w, 6, /*center=*/true);
+  EXPECT_LE(max_abs_diff(pca_reconstruct(p), w), 1e-3f);
+}
+
+TEST(Pca, CenteredMeanIsRowMean) {
+  Tensor w = Tensor::from_rows({{1, 2}, {3, 6}});
+  const PcaResult p = pca(w, 1, /*center=*/true);
+  EXPECT_FLOAT_EQ(p.mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(p.mean[1], 4.0f);
+}
+
+TEST(Pca, UncenteredMeanIsZero) {
+  const PcaResult p = pca(random_matrix(4, 3, 3), 2, /*center=*/false);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(p.mean[j], 0.0f);
+}
+
+TEST(Pca, BasisRowsOrthonormal) {
+  const PcaResult p = pca(random_matrix(20, 8, 4), 8);
+  Tensor vvt = matmul(p.vt, p.vt, /*ta=*/false, /*tb=*/true);
+  EXPECT_LE(max_abs_diff(vvt, identity(8)), 1e-4f);
+}
+
+TEST(Pca, RankBoundsChecked) {
+  Tensor w = random_matrix(5, 4, 5);
+  EXPECT_THROW(pca(w, 0), Error);
+  EXPECT_THROW(pca(w, 5), Error);
+  EXPECT_NO_THROW(pca(w, 4));
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  const PcaResult p = pca(random_matrix(30, 12, 6), 1);
+  for (std::size_t i = 1; i < p.eigenvalues.size(); ++i) {
+    EXPECT_GE(p.eigenvalues[i - 1], p.eigenvalues[i] - 1e-9);
+  }
+}
+
+TEST(SpectralTailError, FullRankIsZero) {
+  EXPECT_EQ(spectral_tail_error({4.0, 2.0, 1.0}, 3), 0.0);
+}
+
+TEST(SpectralTailError, ZeroRankIsOne) {
+  EXPECT_NEAR(spectral_tail_error({4.0, 2.0, 1.0}, 0), 1.0, 1e-12);
+}
+
+TEST(SpectralTailError, MidRankRatio) {
+  // Keep first of {4,2,1,1}: tail = 4/8 = 0.5.
+  EXPECT_NEAR(spectral_tail_error({4.0, 2.0, 1.0, 1.0}, 1), 0.5, 1e-12);
+}
+
+TEST(SpectralTailError, ClampsNegativeRoundoff) {
+  EXPECT_NEAR(spectral_tail_error({2.0, -1e-18}, 1), 0.0, 1e-15);
+}
+
+TEST(SpectralTailError, ZeroSpectrumIsExact) {
+  EXPECT_EQ(spectral_tail_error({0.0, 0.0}, 1), 0.0);
+}
+
+TEST(MinRankForError, ExactRequirementNeedsFullRank) {
+  EXPECT_EQ(min_rank_for_error({4.0, 2.0, 1.0}, 0.0), 3u);
+}
+
+TEST(MinRankForError, LooseRequirementGivesRankOne) {
+  EXPECT_EQ(min_rank_for_error({100.0, 0.1, 0.1}, 0.1), 1u);
+}
+
+TEST(MinRankForError, RespectsMinRankFloor) {
+  EXPECT_EQ(min_rank_for_error({100.0, 0.1, 0.1}, 0.5, 2), 2u);
+}
+
+TEST(MinRankForError, MonotoneInEpsilon) {
+  const std::vector<double> spectrum{8, 4, 2, 1, 0.5, 0.25};
+  std::size_t prev = 6;
+  for (double eps : {0.0, 0.01, 0.05, 0.1, 0.3, 0.9}) {
+    const std::size_t k = min_rank_for_error(spectrum, eps);
+    EXPECT_LE(k, prev);
+    prev = k;
+  }
+}
+
+/// Property sweep: Eq. (3)'s eigenvalue identity equals the directly
+/// measured relative Frobenius reconstruction error at every rank.
+class PcaErrorIdentitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PcaErrorIdentitySweep, TailEnergyEqualsMeasuredError) {
+  const std::size_t rank = GetParam();
+  Tensor w = random_matrix(24, 10, 77);
+  const PcaResult p = pca(w, rank, /*center=*/false);
+  const double predicted = spectral_tail_error(p.eigenvalues, rank);
+  const double measured =
+      relative_reconstruction_error(w, pca_reconstruct(p));
+  EXPECT_NEAR(measured, predicted, 1e-3) << "rank " << rank;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PcaErrorIdentitySweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 10));
+
+TEST(Pca, LowRankInputRecoveredAtTrueRank) {
+  // W = U·Vᵀ with true rank 3: PCA at rank 3 must be (numerically) exact.
+  Rng rng(8);
+  Tensor u(Shape{20, 3});
+  u.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor v(Shape{3, 9});
+  v.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor w = matmul(u, v);
+  const PcaResult p = pca(w, 3, /*center=*/false);
+  EXPECT_LE(max_abs_diff(pca_reconstruct(p), w), 1e-3f);
+  EXPECT_NEAR(spectral_tail_error(p.eigenvalues, 3), 0.0, 1e-6);
+}
+
+TEST(RelativeReconstructionError, ZeroForIdenticalMatrices) {
+  Tensor w = random_matrix(6, 6, 9);
+  EXPECT_EQ(relative_reconstruction_error(w, w), 0.0);
+}
+
+TEST(RelativeReconstructionError, OneForZeroApproximation) {
+  Tensor w = random_matrix(6, 6, 10);
+  Tensor zero(w.shape());
+  EXPECT_NEAR(relative_reconstruction_error(w, zero), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gs::linalg

@@ -1,0 +1,140 @@
+#include "linalg/rsvd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+namespace {
+
+Tensor random_matrix(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor a(Shape{n, m});
+  a.fill_gaussian(rng, 0.0f, 1.0f);
+  return a;
+}
+
+/// Matrix with geometrically decaying spectrum (the regime rSVD targets).
+Tensor decaying_matrix(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor w(Shape{n, m});
+  double scale = 1.0;
+  for (std::size_t r = 0; r < std::min(n, m); ++r) {
+    Tensor u(Shape{n, 1});
+    u.fill_gaussian(rng, 0.0f, 1.0f);
+    Tensor v(Shape{1, m});
+    v.fill_gaussian(rng, 0.0f, 1.0f);
+    w.add_scaled(matmul(u, v), static_cast<float>(scale));
+    scale *= 0.5;
+  }
+  return w;
+}
+
+TEST(Rsvd, ShapesAndOrdering) {
+  const Tensor a = random_matrix(40, 25, 1);
+  const SvdResult s = randomized_svd(a, 6);
+  EXPECT_EQ(s.rank(), 6u);
+  EXPECT_EQ(s.u.shape(), (Shape{40, 6}));
+  EXPECT_EQ(s.v.shape(), (Shape{25, 6}));
+  for (std::size_t i = 1; i < s.rank(); ++i) {
+    EXPECT_GE(s.singular_values[i - 1], s.singular_values[i]);
+  }
+}
+
+TEST(Rsvd, RankClampedToMinDim) {
+  const Tensor a = random_matrix(10, 6, 2);
+  const SvdResult s = randomized_svd(a, 50);
+  EXPECT_LE(s.rank(), 6u);
+}
+
+TEST(Rsvd, ExactOnLowRankMatrix) {
+  // True rank 4: randomized recovery at rank 4 must reconstruct (nearly)
+  // exactly.
+  Rng rng(3);
+  Tensor u(Shape{50, 4});
+  u.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor v(Shape{4, 30});
+  v.fill_gaussian(rng, 0.0f, 1.0f);
+  const Tensor a = matmul(u, v);
+  const SvdResult s = randomized_svd(a, 4);
+  const Tensor back = svd_reconstruct(s, 50, 30);
+  EXPECT_LE(max_abs_diff(back, a), 1e-2f);
+}
+
+TEST(Rsvd, TopSingularValuesMatchExactSvd) {
+  const Tensor a = decaying_matrix(60, 40, 4);
+  const SvdResult exact = svd(a);
+  const SvdResult approx = randomized_svd(a, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(approx.singular_values[i], exact.singular_values[i],
+                0.05 * exact.singular_values[0])
+        << "sigma_" << i;
+  }
+}
+
+TEST(Rsvd, SingularVectorsOrthonormal) {
+  const Tensor a = decaying_matrix(50, 35, 5);
+  const SvdResult s = randomized_svd(a, 6);
+  EXPECT_LE(max_abs_diff(matmul(s.u, s.u, true), identity(s.rank())), 1e-3f);
+  EXPECT_LE(max_abs_diff(matmul(s.v, s.v, true), identity(s.rank())), 1e-3f);
+}
+
+TEST(Rsvd, DeterministicPerSeed) {
+  const Tensor a = random_matrix(30, 20, 6);
+  RsvdOptions options;
+  options.seed = 42;
+  const SvdResult s1 = randomized_svd(a, 5, options);
+  const SvdResult s2 = randomized_svd(a, 5, options);
+  EXPECT_TRUE(allclose(s1.u, s2.u, 0.0f));
+  EXPECT_EQ(s1.singular_values, s2.singular_values);
+}
+
+TEST(Rsvd, PowerIterationsImproveAccuracy) {
+  // With a slowly decaying spectrum, more power iterations tighten the
+  // reconstruction error (on average; this instance is fixed-seed).
+  const Tensor a = random_matrix(80, 60, 7);
+  const auto error_with = [&](std::size_t iters) {
+    RsvdOptions options;
+    options.power_iterations = iters;
+    options.seed = 11;
+    const SvdResult s = randomized_svd(a, 10, options);
+    const Tensor back = svd_reconstruct(s, 80, 60);
+    return (back - a).norm();
+  };
+  EXPECT_LE(error_with(3), error_with(0) + 1e-6);
+}
+
+TEST(Rsvd, InputValidation) {
+  EXPECT_THROW(randomized_svd(Tensor(Shape{2, 2, 2}), 1), Error);
+  EXPECT_THROW(randomized_svd(Tensor(Shape{4, 4}), 0), Error);
+}
+
+/// Property sweep: Eckart–Young near-optimality — the rank-k randomized
+/// reconstruction error is within a small factor of the exact rank-k error.
+class RsvdQualitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsvdQualitySweep, NearOptimalReconstruction) {
+  const std::size_t k = GetParam();
+  const Tensor a = decaying_matrix(64, 48, 100 + k);
+  const SvdResult exact = svd(a);
+
+  // Exact rank-k error from the tail spectrum.
+  double tail = 0.0;
+  for (std::size_t i = k; i < exact.rank(); ++i) {
+    tail += exact.singular_values[i] * exact.singular_values[i];
+  }
+  const double optimal = std::sqrt(tail);
+
+  const SvdResult approx = randomized_svd(a, k);
+  const double achieved = (svd_reconstruct(approx, 64, 48) - a).norm();
+  EXPECT_LE(achieved, 1.5 * optimal + 1e-3) << "rank " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RsvdQualitySweep,
+                         ::testing::Values<std::size_t>(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace gs::linalg

@@ -1,0 +1,140 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+namespace {
+
+Tensor random_matrix(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor a(Shape{n, m});
+  a.fill_gaussian(rng, 0.0f, 1.0f);
+  return a;
+}
+
+TEST(Svd, DiagonalMatrix) {
+  Tensor a(Shape{2, 2});
+  a.at(0, 0) = 3.0f;
+  a.at(1, 1) = 4.0f;
+  const SvdResult s = svd(a);
+  EXPECT_EQ(s.rank(), 2u);
+  EXPECT_NEAR(s.singular_values[0], 4.0, 1e-6);
+  EXPECT_NEAR(s.singular_values[1], 3.0, 1e-6);
+}
+
+TEST(Svd, SingularValuesDescending) {
+  const SvdResult s = svd(random_matrix(20, 10, 5));
+  for (std::size_t i = 1; i < s.rank(); ++i) {
+    EXPECT_GE(s.singular_values[i - 1], s.singular_values[i]);
+  }
+}
+
+TEST(Svd, RejectsNonMatrix) {
+  EXPECT_THROW(svd(Tensor(Shape{2, 2, 2})), Error);
+}
+
+TEST(Svd, ZeroMatrixHasZeroRank) {
+  const SvdResult s = svd(Tensor(Shape{4, 3}));
+  EXPECT_EQ(s.rank(), 1u);
+  EXPECT_EQ(s.singular_values[0], 0.0);
+}
+
+TEST(Svd, RankOneMatrixDetected) {
+  // Outer product has exactly one nonzero singular value.
+  Rng rng(3);
+  Tensor u(Shape{8, 1});
+  u.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor v(Shape{1, 6});
+  v.fill_gaussian(rng, 0.0f, 1.0f);
+  const SvdResult s = svd(matmul(u, v));
+  EXPECT_EQ(s.rank(), 1u);
+}
+
+TEST(Svd, FrobeniusNormIdentity) {
+  // ||A||_F² = Σ σᵢ².
+  Tensor a = random_matrix(12, 9, 7);
+  const SvdResult s = svd(a);
+  double sum_sq = 0.0;
+  for (double sigma : s.singular_values) sum_sq += sigma * sigma;
+  EXPECT_NEAR(sum_sq, a.squared_norm(), 1e-2);
+}
+
+/// Property sweep across shapes (tall, wide, square, degenerate).
+class SvdSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SvdSweep, Reconstructs) {
+  const auto [n, m] = GetParam();
+  Tensor a = random_matrix(n, m, n * 100 + m);
+  const SvdResult s = svd(a);
+  Tensor back = svd_reconstruct(s, n, m);
+  EXPECT_LE(max_abs_diff(back, a), 5e-3f) << n << "x" << m;
+}
+
+TEST_P(SvdSweep, LeftSingularVectorsOrthonormal) {
+  const auto [n, m] = GetParam();
+  const SvdResult s = svd(random_matrix(n, m, n * 31 + m));
+  Tensor utu = matmul(s.u, s.u, /*ta=*/true);
+  EXPECT_LE(max_abs_diff(utu, identity(s.rank())), 1e-3f);
+}
+
+TEST_P(SvdSweep, RightSingularVectorsOrthonormal) {
+  const auto [n, m] = GetParam();
+  const SvdResult s = svd(random_matrix(n, m, n * 57 + m));
+  Tensor vtv = matmul(s.v, s.v, /*ta=*/true);
+  EXPECT_LE(max_abs_diff(vtv, identity(s.rank())), 1e-3f);
+}
+
+TEST_P(SvdSweep, RankBoundedByMinDim) {
+  const auto [n, m] = GetParam();
+  const SvdResult s = svd(random_matrix(n, m, n * 71 + m));
+  EXPECT_LE(s.rank(), std::min(n, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(5, 5),
+                      std::make_pair<std::size_t, std::size_t>(20, 7),
+                      std::make_pair<std::size_t, std::size_t>(7, 20),
+                      std::make_pair<std::size_t, std::size_t>(25, 20),
+                      std::make_pair<std::size_t, std::size_t>(64, 10),
+                      std::make_pair<std::size_t, std::size_t>(100, 40)));
+
+TEST(Svd, TruncationErrorMatchesTailSigma) {
+  // Best rank-k approximation error (Eckart–Young): ||A−A_k||_F² = Σ_{i>k}σᵢ².
+  Tensor a = random_matrix(15, 10, 11);
+  const SvdResult s = svd(a);
+  const std::size_t k = 4;
+
+  Tensor us(Shape{15, k});
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      us.at(i, j) = static_cast<float>(s.u.at(i, j) * s.singular_values[j]);
+    }
+  }
+  Tensor vk(Shape{10, k});
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < k; ++j) vk.at(i, j) = s.v.at(i, j);
+  }
+  Tensor approx = matmul(us, vk, /*ta=*/false, /*tb=*/true);
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - approx[i];
+    err += d * d;
+  }
+  double tail = 0.0;
+  for (std::size_t i = k; i < s.rank(); ++i) {
+    tail += s.singular_values[i] * s.singular_values[i];
+  }
+  EXPECT_NEAR(err, tail, 1e-2 * std::max(1.0, tail));
+}
+
+}  // namespace
+}  // namespace gs::linalg

@@ -1,0 +1,103 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gs::nn {
+namespace {
+
+TEST(Relu, ForwardClampsNegatives) {
+  ReluLayer relu("relu");
+  Tensor x = Tensor::from_rows({{-1.0f, 0.0f, 2.0f}});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+}
+
+TEST(Relu, BackwardMasksGradient) {
+  ReluLayer relu("relu");
+  Tensor x = Tensor::from_rows({{-1.0f, 3.0f}});
+  relu.forward(x, true);
+  Tensor dy = Tensor::from_rows({{5.0f, 7.0f}});
+  Tensor dx = relu.backward(dy);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 7.0f);
+}
+
+TEST(Relu, ZeroInputHasZeroGradient) {
+  // Subgradient convention: f'(0) = 0.
+  ReluLayer relu("relu");
+  Tensor x(Shape{1, 1});
+  relu.forward(x, true);
+  Tensor dx = relu.backward(Tensor(Shape{1, 1}, 1.0f));
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(Relu, WorksOnRank4) {
+  ReluLayer relu("relu");
+  Rng rng(1);
+  Tensor x(Shape{2, 3, 4, 4});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_GE(y.min(), 0.0f);
+}
+
+TEST(Relu, BackwardBeforeForwardThrows) {
+  ReluLayer relu("relu");
+  EXPECT_THROW(relu.backward(Tensor(Shape{1})), Error);
+}
+
+TEST(Relu, BackwardShapeMismatchThrows) {
+  ReluLayer relu("relu");
+  relu.forward(Tensor(Shape{2, 2}), true);
+  EXPECT_THROW(relu.backward(Tensor(Shape{3, 3})), Error);
+}
+
+TEST(Relu, OutputShapePassThrough) {
+  ReluLayer relu("relu");
+  EXPECT_EQ(relu.output_shape({20, 12, 12}), (Shape{20, 12, 12}));
+}
+
+TEST(Relu, NoParams) {
+  ReluLayer relu("relu");
+  EXPECT_TRUE(relu.params().empty());
+}
+
+TEST(Flatten, CollapsesSpatialDims) {
+  FlattenLayer flat("flatten");
+  Tensor x(Shape{2, 50, 4, 4});
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 800}));
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  FlattenLayer flat("flatten");
+  Tensor x(Shape{3, 2, 5, 5});
+  flat.forward(x, true);
+  Tensor dx = flat.backward(Tensor(Shape{3, 50}));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Flatten, DataOrderPreserved) {
+  FlattenLayer flat("flatten");
+  Tensor x(Shape{1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  Tensor y = flat.forward(x, true);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(y[i], static_cast<float>(i));
+}
+
+TEST(Flatten, BackwardBeforeForwardThrows) {
+  FlattenLayer flat("flatten");
+  EXPECT_THROW(flat.backward(Tensor(Shape{1, 4})), Error);
+}
+
+TEST(Flatten, OutputShapeHelper) {
+  FlattenLayer flat("flatten");
+  EXPECT_EQ(flat.output_shape({50, 4, 4}), (Shape{800}));
+}
+
+}  // namespace
+}  // namespace gs::nn

@@ -1,0 +1,117 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gs::nn {
+namespace {
+
+TEST(Conv2d, WeightIsUnrolledPatchByFilter) {
+  Rng rng(1);
+  Conv2dLayer conv("conv2", Conv2dSpec{20, 50, 5, 1, 0}, rng);
+  EXPECT_EQ(conv.weight().rows(), 500u);  // 20·5·5 (paper's conv2 fan-in)
+  EXPECT_EQ(conv.weight().cols(), 50u);
+  EXPECT_EQ(conv.patch_size(), 500u);
+}
+
+TEST(Conv2d, ForwardShapeLeNetConv1) {
+  Rng rng(2);
+  Conv2dLayer conv("conv1", Conv2dSpec{1, 20, 5, 1, 0}, rng);
+  Tensor x(Shape{2, 1, 28, 28});
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 20, 24, 24}));
+}
+
+TEST(Conv2d, ForwardShapePaddedSame) {
+  Rng rng(3);
+  Conv2dLayer conv("conv1", Conv2dSpec{3, 32, 5, 1, 2}, rng);
+  Tensor x(Shape{1, 3, 32, 32});
+  EXPECT_EQ(conv.forward(x, true).shape(), (Shape{1, 32, 32, 32}));
+}
+
+TEST(Conv2d, KnownAveragingKernel) {
+  Rng rng(4);
+  Conv2dLayer conv("conv", Conv2dSpec{1, 1, 2, 1, 0}, rng);
+  conv.weight().fill(0.25f);  // 2×2 box filter
+  conv.bias().fill(0.0f);
+  Tensor x(Shape{1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 4;
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Conv2d, BiasAddsPerFilter) {
+  Rng rng(5);
+  Conv2dLayer conv("conv", Conv2dSpec{1, 2, 1, 1, 0}, rng);
+  conv.weight().fill(0.0f);
+  conv.bias()[0] = 1.0f;
+  conv.bias()[1] = -2.0f;
+  Tensor x(Shape{1, 1, 3, 3}, 5.0f);
+  Tensor y = conv.forward(x, true);
+  for (std::size_t p = 0; p < 9; ++p) {
+    EXPECT_FLOAT_EQ(y[p], 1.0f);       // filter 0 plane
+    EXPECT_FLOAT_EQ(y[9 + p], -2.0f);  // filter 1 plane
+  }
+}
+
+TEST(Conv2d, ForwardRejectsWrongChannelCount) {
+  Rng rng(6);
+  Conv2dLayer conv("conv", Conv2dSpec{3, 4, 3, 1, 0}, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 2, 8, 8}), true), Error);
+}
+
+TEST(Conv2d, ForwardRejectsNonBatchInput) {
+  Rng rng(7);
+  Conv2dLayer conv("conv", Conv2dSpec{1, 2, 3, 1, 0}, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 8, 8}), true), Error);
+}
+
+TEST(Conv2d, BackwardBeforeForwardThrows) {
+  Rng rng(8);
+  Conv2dLayer conv("conv", Conv2dSpec{1, 2, 3, 1, 0}, rng);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 2, 6, 6})), Error);
+}
+
+TEST(Conv2d, BackwardShape) {
+  Rng rng(9);
+  Conv2dLayer conv("conv", Conv2dSpec{2, 3, 3, 1, 1}, rng);
+  Tensor x(Shape{2, 2, 7, 7});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  conv.forward(x, true);
+  Tensor dy(Shape{2, 3, 7, 7});
+  dy.fill_gaussian(rng, 0.0f, 1.0f);
+  EXPECT_EQ(conv.backward(dy).shape(), x.shape());
+}
+
+TEST(Conv2d, BiasGradSumsOverPositionsAndBatch) {
+  Rng rng(10);
+  Conv2dLayer conv("conv", Conv2dSpec{1, 2, 1, 1, 0}, rng);
+  Tensor x(Shape{3, 1, 4, 4});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  conv.forward(x, true);
+  Tensor dy(Shape{3, 2, 4, 4}, 1.0f);
+  conv.backward(dy);
+  const Tensor& bgrad = *conv.params()[1].grad;
+  EXPECT_FLOAT_EQ(bgrad[0], 48.0f);  // 3 samples × 16 positions
+  EXPECT_FLOAT_EQ(bgrad[1], 48.0f);
+}
+
+TEST(Conv2d, OutputShapeHelperMatchesForward) {
+  Rng rng(11);
+  Conv2dLayer conv("conv", Conv2dSpec{3, 8, 5, 1, 2}, rng);
+  const Shape out = conv.output_shape({3, 32, 32});
+  EXPECT_EQ(out, (Shape{8, 32, 32}));
+}
+
+TEST(Conv2d, StridedGeometry) {
+  Rng rng(12);
+  Conv2dLayer conv("conv", Conv2dSpec{1, 4, 3, 2, 0}, rng);
+  Tensor x(Shape{1, 1, 9, 9});
+  EXPECT_EQ(conv.forward(x, true).shape(), (Shape{1, 4, 4, 4}));
+}
+
+}  // namespace
+}  // namespace gs::nn

@@ -1,0 +1,119 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hpp"
+
+namespace gs::nn {
+namespace {
+
+TEST(Dense, ForwardIsAffineMap) {
+  Rng rng(1);
+  DenseLayer fc("fc", 3, 2, rng);
+  fc.weight() = Tensor::from_rows({{1, 0}, {0, 1}, {1, 1}});
+  fc.bias()[0] = 0.5f;
+  fc.bias()[1] = -0.5f;
+
+  Tensor x = Tensor::from_rows({{1, 2, 3}});
+  Tensor y = fc.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 3 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 3 - 0.5f);
+}
+
+TEST(Dense, ForwardBatch) {
+  Rng rng(2);
+  DenseLayer fc("fc", 4, 3, rng);
+  Tensor x(Shape{5, 4});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  Tensor y = fc.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(Dense, ForwardValidatesWidth) {
+  Rng rng(3);
+  DenseLayer fc("fc", 4, 3, rng);
+  EXPECT_THROW(fc.forward(Tensor(Shape{2, 5}), true), Error);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Rng rng(4);
+  DenseLayer fc("fc", 2, 2, rng);
+  EXPECT_THROW(fc.backward(Tensor(Shape{1, 2})), Error);
+}
+
+TEST(Dense, BackwardShapesAndAccumulation) {
+  Rng rng(5);
+  DenseLayer fc("fc", 3, 2, rng);
+  Tensor x(Shape{4, 3});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  fc.forward(x, true);
+  Tensor dy(Shape{4, 2}, 1.0f);
+  Tensor dx = fc.backward(dy);
+  EXPECT_EQ(dx.shape(), (Shape{4, 3}));
+
+  // dW = Xᵀ·dY; with dy = ones, dW column j = column sums of X.
+  auto params = fc.params();
+  const Tensor& wgrad = *params[0].grad;
+  for (std::size_t i = 0; i < 3; ++i) {
+    double col_sum = 0.0;
+    for (std::size_t b = 0; b < 4; ++b) col_sum += x.at(b, i);
+    EXPECT_NEAR(wgrad.at(i, 0), col_sum, 1e-4);
+    EXPECT_NEAR(wgrad.at(i, 1), col_sum, 1e-4);
+  }
+  // db = Σ dY rows = 4 per output.
+  const Tensor& bgrad = *params[1].grad;
+  EXPECT_FLOAT_EQ(bgrad[0], 4.0f);
+  EXPECT_FLOAT_EQ(bgrad[1], 4.0f);
+}
+
+TEST(Dense, GradsAccumulateAcrossCalls) {
+  Rng rng(6);
+  DenseLayer fc("fc", 2, 2, rng);
+  Tensor x(Shape{1, 2}, 1.0f);
+  fc.forward(x, true);
+  fc.backward(Tensor(Shape{1, 2}, 1.0f));
+  fc.forward(x, true);
+  fc.backward(Tensor(Shape{1, 2}, 1.0f));
+  const Tensor& bgrad = *fc.params()[1].grad;
+  EXPECT_FLOAT_EQ(bgrad[0], 2.0f);  // two accumulated passes
+}
+
+TEST(Dense, ParamsExposeWeightAndBias) {
+  Rng rng(7);
+  DenseLayer fc("mylayer", 3, 4, rng);
+  const auto params = fc.params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "mylayer.weight");
+  EXPECT_EQ(params[1].name, "mylayer.bias");
+  EXPECT_EQ(params[0].value->shape(), (Shape{3, 4}));
+  EXPECT_EQ(params[1].value->shape(), (Shape{4}));
+}
+
+TEST(Dense, OutputShape) {
+  Rng rng(8);
+  DenseLayer fc("fc", 6, 5, rng);
+  EXPECT_EQ(fc.output_shape({6}), (Shape{5}));
+  EXPECT_EQ(fc.output_shape({2, 3}), (Shape{5}));  // numel matches
+  EXPECT_THROW(fc.output_shape({7}), Error);
+}
+
+TEST(Dense, XavierInitBounded) {
+  Rng rng(9);
+  DenseLayer fc("fc", 100, 100, rng);
+  const float bound = std::sqrt(6.0f / 200.0f);
+  EXPECT_GE(fc.weight().min(), -bound);
+  EXPECT_LE(fc.weight().max(), bound);
+  EXPECT_EQ(fc.bias().count_zeros(), 100u);
+}
+
+TEST(Dense, WeightOrientationIsInByOut) {
+  Rng rng(10);
+  DenseLayer fc("fc1", 800, 500, rng);
+  EXPECT_EQ(fc.weight().rows(), 800u);  // fan-in rows (paper convention)
+  EXPECT_EQ(fc.weight().cols(), 500u);
+}
+
+}  // namespace
+}  // namespace gs::nn

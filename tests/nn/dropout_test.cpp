@@ -1,0 +1,85 @@
+#include "nn/dropout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gs::nn {
+namespace {
+
+TEST(Dropout, EvalModeIsIdentity) {
+  DropoutLayer drop("drop", 0.5, Rng(1));
+  Tensor x(Shape{4, 8}, 1.0f);
+  EXPECT_TRUE(allclose(drop.forward(x, /*train=*/false), x, 0.0f));
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityInTraining) {
+  DropoutLayer drop("drop", 0.0, Rng(2));
+  Tensor x(Shape{4, 8}, 2.0f);
+  EXPECT_TRUE(allclose(drop.forward(x, true), x, 0.0f));
+}
+
+TEST(Dropout, InvalidProbabilityRejected) {
+  EXPECT_THROW(DropoutLayer("d", -0.1, Rng(1)), Error);
+  EXPECT_THROW(DropoutLayer("d", 1.0, Rng(1)), Error);
+}
+
+TEST(Dropout, TrainModeDropsApproximatelyP) {
+  DropoutLayer drop("drop", 0.3, Rng(3));
+  Tensor x(Shape{100, 100}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  const double zero_fraction =
+      static_cast<double>(y.count_zeros()) / y.numel();
+  EXPECT_NEAR(zero_fraction, 0.3, 0.02);
+}
+
+TEST(Dropout, SurvivorsScaledByInverseKeepProbability) {
+  DropoutLayer drop("drop", 0.5, Rng(4));
+  Tensor x(Shape{1000}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0f || std::fabs(y[i] - 2.0f) < 1e-6f);
+  }
+}
+
+TEST(Dropout, ExpectationPreserved) {
+  // E[dropout(x)] = x; check the sample mean over many elements.
+  DropoutLayer drop("drop", 0.4, Rng(5));
+  Tensor x(Shape{200, 200}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(y.sum() / static_cast<float>(y.numel()), 1.0f, 0.03f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  DropoutLayer drop("drop", 0.5, Rng(6));
+  Tensor x(Shape{50}, 1.0f);
+  Tensor y = drop.forward(x, true);
+  Tensor dy(Shape{50}, 1.0f);
+  Tensor dx = drop.backward(dy);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_FLOAT_EQ(dx[i], y[i]);  // grad mask == forward mask (x was 1)
+  }
+}
+
+TEST(Dropout, BackwardInEvalModePassesThrough) {
+  DropoutLayer drop("drop", 0.5, Rng(7));
+  Tensor x(Shape{10}, 1.0f);
+  drop.forward(x, false);
+  Tensor dy(Shape{10}, 3.0f);
+  EXPECT_TRUE(allclose(drop.backward(dy), dy, 0.0f));
+}
+
+TEST(Dropout, DeterministicPerSeed) {
+  DropoutLayer a("a", 0.5, Rng(42));
+  DropoutLayer b("b", 0.5, Rng(42));
+  Tensor x(Shape{64}, 1.0f);
+  EXPECT_TRUE(allclose(a.forward(x, true), b.forward(x, true), 0.0f));
+}
+
+TEST(Dropout, NoParams) {
+  DropoutLayer drop("drop", 0.5, Rng(8));
+  EXPECT_TRUE(drop.params().empty());
+}
+
+}  // namespace
+}  // namespace gs::nn

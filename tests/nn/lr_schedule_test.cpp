@@ -1,0 +1,70 @@
+#include "nn/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gs::nn {
+namespace {
+
+TEST(ConstantLr, AlwaysSame) {
+  ConstantLr lr(0.05f);
+  EXPECT_FLOAT_EQ(lr.rate(0), 0.05f);
+  EXPECT_FLOAT_EQ(lr.rate(100000), 0.05f);
+}
+
+TEST(ConstantLr, RejectsNonPositive) {
+  EXPECT_THROW(ConstantLr(0.0f), Error);
+}
+
+TEST(StepLr, DropsAtBoundaries) {
+  StepLr lr(0.1f, 100, 0.5f);
+  EXPECT_FLOAT_EQ(lr.rate(0), 0.1f);
+  EXPECT_FLOAT_EQ(lr.rate(99), 0.1f);
+  EXPECT_FLOAT_EQ(lr.rate(100), 0.05f);
+  EXPECT_FLOAT_EQ(lr.rate(250), 0.025f);
+}
+
+TEST(StepLr, ValidatesArguments) {
+  EXPECT_THROW(StepLr(0.1f, 0, 0.5f), Error);
+  EXPECT_THROW(StepLr(0.1f, 10, 1.5f), Error);
+}
+
+TEST(ExponentialLr, GeometricDecay) {
+  ExponentialLr lr(1.0f, 0.9f);
+  EXPECT_FLOAT_EQ(lr.rate(0), 1.0f);
+  EXPECT_NEAR(lr.rate(10), std::pow(0.9f, 10), 1e-6);
+}
+
+TEST(InverseDecayLr, CaffeInvPolicy) {
+  InverseDecayLr lr(0.01f, 100.0, 0.75);
+  EXPECT_FLOAT_EQ(lr.rate(0), 0.01f);
+  EXPECT_NEAR(lr.rate(100), 0.01 * std::pow(2.0, -0.75), 1e-7);
+}
+
+/// Property: every schedule is non-increasing in the step index.
+template <typename S>
+void expect_monotone(const S& schedule) {
+  float prev = schedule.rate(0);
+  for (std::size_t step = 1; step <= 1000; step += 37) {
+    const float now = schedule.rate(step);
+    EXPECT_LE(now, prev + 1e-9f) << "step " << step;
+    prev = now;
+  }
+}
+
+TEST(LrSchedules, AllMonotoneNonIncreasing) {
+  expect_monotone(ConstantLr(0.1f));
+  expect_monotone(StepLr(0.1f, 50, 0.7f));
+  expect_monotone(ExponentialLr(0.1f, 0.995f));
+  expect_monotone(InverseDecayLr(0.1f, 200.0, 0.5));
+}
+
+TEST(LrSchedules, PolymorphicUse) {
+  StepLr step(0.2f, 10, 0.1f);
+  const LrSchedule& base = step;
+  EXPECT_FLOAT_EQ(base.rate(10), 0.02f);
+}
+
+}  // namespace
+}  // namespace gs::nn

@@ -1,0 +1,112 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "data/synthetic_mnist.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs::nn {
+namespace {
+
+TEST(ConfusionMatrix, StartsEmpty) {
+  ConfusionMatrix cm(3);
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, CountsEntries) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(2, 2), 1u);
+  EXPECT_EQ(cm.count(1, 1), 0u);
+  EXPECT_EQ(cm.total(), 3u);
+}
+
+TEST(ConfusionMatrix, AccuracyIsDiagonalFraction) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, RecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  // class 0: 2 samples, 1 correct. class 1: 1 sample, correct.
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);   // predicted 0 once, correct
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);   // predicted 1 twice, 1 correct
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 0.75);
+}
+
+TEST(ConfusionMatrix, UnseenClassHasZeroRecall) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_EQ(cm.recall(2), 0.0);
+  EXPECT_EQ(cm.precision(2), 0.0);
+  // Macro recall averages only seen classes.
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), Error);
+  EXPECT_THROW(cm.add(0, 2), Error);
+  EXPECT_THROW(cm.count(2, 0), Error);
+  EXPECT_THROW(cm.recall(2), Error);
+}
+
+TEST(ConfusionMatrix, PrintContainsSummary) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  std::ostringstream oss;
+  cm.print(oss);
+  EXPECT_NE(oss.str().find("accuracy 100.00%"), std::string::npos);
+}
+
+TEST(EvaluateConfusion, MatchesPlainAccuracy) {
+  Rng rng(1);
+  Network net;
+  net.add(std::make_unique<FlattenLayer>("flatten"));
+  net.add(std::make_unique<DenseLayer>("fc1", 784, 24, rng));
+  net.add(std::make_unique<ReluLayer>("relu"));
+  net.add(std::make_unique<DenseLayer>("fc2", 24, 10, rng));
+
+  data::SyntheticMnist train_set(5, 200);
+  data::SyntheticMnist test_set(6, 80);
+  data::Batcher batcher(train_set, 20, Rng(2));
+  SgdOptimizer opt({0.05f, 0.9f, 0.0f});
+  train(net, opt, batcher, 150);
+
+  const ConfusionMatrix cm = evaluate_confusion(net, test_set);
+  EXPECT_EQ(cm.total(), 80u);
+  EXPECT_NEAR(cm.accuracy(), evaluate(net, test_set), 1e-12);
+}
+
+TEST(EvaluateConfusion, RespectsSampleLimit) {
+  Rng rng(3);
+  Network net;
+  net.add(std::make_unique<FlattenLayer>("flatten"));
+  net.add(std::make_unique<DenseLayer>("fc", 784, 10, rng));
+  data::SyntheticMnist test_set(7, 60);
+  const ConfusionMatrix cm = evaluate_confusion(net, test_set, 25);
+  EXPECT_EQ(cm.total(), 25u);
+}
+
+}  // namespace
+}  // namespace gs::nn

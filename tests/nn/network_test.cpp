@@ -1,0 +1,108 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/lowrank.hpp"
+
+namespace gs::nn {
+namespace {
+
+Network small_mlp(Rng& rng) {
+  Network net;
+  net.add(std::make_unique<DenseLayer>("fc1", 4, 8, rng));
+  net.add(std::make_unique<ReluLayer>("relu"));
+  net.add(std::make_unique<DenseLayer>("fc2", 8, 3, rng));
+  return net;
+}
+
+TEST(Network, ForwardThroughStack) {
+  Rng rng(1);
+  Network net = small_mlp(rng);
+  Tensor x(Shape{2, 4});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  EXPECT_EQ(net.forward(x).shape(), (Shape{2, 3}));
+}
+
+TEST(Network, EmptyForwardThrows) {
+  Network net;
+  EXPECT_THROW(net.forward(Tensor(Shape{1, 2})), Error);
+}
+
+TEST(Network, AddRejectsNull) {
+  Network net;
+  EXPECT_THROW(net.add(nullptr), Error);
+}
+
+TEST(Network, ParamsCollectedInLayerOrder) {
+  Rng rng(2);
+  Network net = small_mlp(rng);
+  const auto params = net.params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "fc1.weight");
+  EXPECT_EQ(params[3].name, "fc2.bias");
+}
+
+TEST(Network, ZeroGradsClearsAll) {
+  Rng rng(3);
+  Network net = small_mlp(rng);
+  Tensor x(Shape{2, 4}, 1.0f);
+  net.forward(x, true);
+  net.backward(Tensor(Shape{2, 3}, 1.0f));
+  net.zero_grads();
+  for (const auto& p : net.params()) {
+    EXPECT_EQ(p.grad->count_zeros(), p.grad->numel());
+  }
+}
+
+TEST(Network, FindLocatesLayerByName) {
+  Rng rng(4);
+  Network net = small_mlp(rng);
+  EXPECT_NE(net.find("fc2"), nullptr);
+  EXPECT_EQ(net.find("does-not-exist"), nullptr);
+}
+
+TEST(Network, LayerAccessBoundsChecked) {
+  Rng rng(5);
+  Network net = small_mlp(rng);
+  EXPECT_NO_THROW(net.layer(2));
+  EXPECT_THROW(net.layer(3), Error);
+}
+
+TEST(Network, FactorizedLayersDetected) {
+  Rng rng(6);
+  Network net;
+  net.add(std::make_unique<DenseLayer>("fc1", 4, 8, rng));
+  net.add(std::make_unique<LowRankDense>("lr1", 8, 6, 2, rng));
+  net.add(std::make_unique<LowRankDense>("lr2", 6, 3, 2, rng));
+  const auto factorized = net.factorized_layers();
+  ASSERT_EQ(factorized.size(), 2u);
+  EXPECT_EQ(factorized[0]->factor_name(), "lr1");
+  EXPECT_EQ(factorized[1]->factor_name(), "lr2");
+}
+
+TEST(Network, ParameterCountSums) {
+  Rng rng(7);
+  Network net = small_mlp(rng);
+  // fc1: 4·8+8 = 40; fc2: 8·3+3 = 27.
+  EXPECT_EQ(net.parameter_count(), 67u);
+}
+
+TEST(Network, BackwardPropagatesThroughStack) {
+  Rng rng(8);
+  Network net = small_mlp(rng);
+  Tensor x(Shape{2, 4});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  net.forward(x, true);
+  Tensor dx = net.backward(Tensor(Shape{2, 3}, 1.0f));
+  EXPECT_EQ(dx.shape(), x.shape());
+  // Some gradient must reach the first layer's weights.
+  const auto params = net.params();
+  EXPECT_LT(params[0].grad->count_zeros(), params[0].grad->numel());
+}
+
+}  // namespace
+}  // namespace gs::nn

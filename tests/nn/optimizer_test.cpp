@@ -1,0 +1,105 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gs::nn {
+namespace {
+
+TEST(Sgd, PlainStepDescendsGradient) {
+  Tensor w(Shape{2}, 1.0f);
+  Tensor g(Shape{2});
+  g[0] = 0.5f;
+  g[1] = -0.5f;
+  SgdOptimizer opt({0.1f, 0.0f, 0.0f});
+  opt.step({{&w, &g, "w"}});
+  EXPECT_FLOAT_EQ(w[0], 0.95f);
+  EXPECT_FLOAT_EQ(w[1], 1.05f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Tensor w(Shape{1}, 0.0f);
+  Tensor g(Shape{1}, 1.0f);
+  SgdOptimizer opt({0.1f, 0.9f, 0.0f});
+  opt.step({{&w, &g, "w"}});
+  EXPECT_NEAR(w[0], -0.1f, 1e-6f);  // v = −0.1
+  opt.step({{&w, &g, "w"}});
+  EXPECT_NEAR(w[0], -0.1f - 0.19f, 1e-6f);  // v = 0.9·(−0.1) − 0.1 = −0.19
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  Tensor w(Shape{1}, 1.0f);
+  Tensor g(Shape{1}, 0.0f);
+  SgdOptimizer opt({0.1f, 0.0f, 0.5f});
+  opt.step({{&w, &g, "w"}});
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // min ½||w − 3||²: gradient w − 3.
+  Tensor w(Shape{1}, 0.0f);
+  Tensor g(Shape{1});
+  SgdOptimizer opt({0.2f, 0.5f, 0.0f});
+  for (int i = 0; i < 200; ++i) {
+    g[0] = w[0] - 3.0f;
+    opt.step({{&w, &g, "w"}});
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-3f);
+}
+
+TEST(Sgd, ShapeChangeResetsVelocity) {
+  Tensor w(Shape{2}, 0.0f);
+  Tensor g(Shape{2}, 1.0f);
+  SgdOptimizer opt({0.1f, 0.9f, 0.0f});
+  opt.step({{&w, &g, "w"}});
+
+  // Simulate a rank clip: same tensor object, new shape.
+  w = Tensor(Shape{3}, 0.0f);
+  g = Tensor(Shape{3}, 1.0f);
+  opt.step({{&w, &g, "w"}});
+  // Velocity restarted at zero ⇒ first step is exactly −lr·g.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(w[i], -0.1f, 1e-6f);
+  }
+}
+
+TEST(Sgd, ResetStateClearsVelocity) {
+  Tensor w(Shape{1}, 0.0f);
+  Tensor g(Shape{1}, 1.0f);
+  SgdOptimizer opt({0.1f, 0.9f, 0.0f});
+  opt.step({{&w, &g, "w"}});
+  opt.reset_state();
+  const float before = w[0];
+  opt.step({{&w, &g, "w"}});
+  EXPECT_NEAR(w[0] - before, -0.1f, 1e-6f);  // no momentum carry-over
+}
+
+TEST(Sgd, GradShapeMismatchThrows) {
+  Tensor w(Shape{2});
+  Tensor g(Shape{3});
+  SgdOptimizer opt({0.1f, 0.0f, 0.0f});
+  EXPECT_THROW(opt.step({{&w, &g, "w"}}), Error);
+}
+
+TEST(Sgd, LearningRateMutable) {
+  SgdOptimizer opt({0.1f, 0.0f, 0.0f});
+  opt.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01f);
+}
+
+TEST(Sgd, IndependentVelocityPerParameter) {
+  Tensor w1(Shape{1}, 0.0f);
+  Tensor w2(Shape{1}, 0.0f);
+  Tensor g1(Shape{1}, 1.0f);
+  Tensor g2(Shape{1}, 0.0f);
+  SgdOptimizer opt({0.1f, 0.9f, 0.0f});
+  opt.step({{&w1, &g1, "a"}, {&w2, &g2, "b"}});
+  EXPECT_LT(w1[0], 0.0f);
+  EXPECT_FLOAT_EQ(w2[0], 0.0f);  // zero gradient ⇒ untouched
+}
+
+}  // namespace
+}  // namespace gs::nn

@@ -1,0 +1,142 @@
+#include "nn/pool2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gs::nn {
+namespace {
+
+TEST(Pool2d, MaxPool2x2PicksMaximum) {
+  Pool2dLayer pool("pool", PoolMode::kMax, 2, 2);
+  Tensor x(Shape{1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+  EXPECT_FLOAT_EQ(y[2], 13.0f);
+  EXPECT_FLOAT_EQ(y[3], 15.0f);
+}
+
+TEST(Pool2d, AvgPoolAverages) {
+  Pool2dLayer pool("pool", PoolMode::kAvg, 2, 2);
+  Tensor x(Shape{1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 4;
+  Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(Pool2d, CeilModeOutputSizing) {
+  // Caffe ceil mode: 16 → (16−3+1)/2 ceil + 1 = 8 for kernel 3 stride 2.
+  Pool2dLayer pool("pool", PoolMode::kMax, 3, 2);
+  Tensor x(Shape{1, 1, 16, 16});
+  EXPECT_EQ(pool.forward(x, true).shape(), (Shape{1, 1, 8, 8}));
+  // 32 → 16 (the ConvNet pool1 geometry).
+  Tensor x2(Shape{1, 1, 32, 32});
+  EXPECT_EQ(pool.forward(x2, true).shape(), (Shape{1, 1, 16, 16}));
+  // 8 → 4 (pool2), 4 → ... (output of pool3 should be 4 from 8).
+  Tensor x3(Shape{1, 1, 8, 8});
+  EXPECT_EQ(pool.forward(x3, true).shape(), (Shape{1, 1, 4, 4}));
+}
+
+TEST(Pool2d, EdgeWindowsClampedToInput) {
+  // 6×6 input, kernel 3 stride 2 → ceil((6−3)/2)+1 = 3 outputs; the last
+  // window (rows 4..5) is truncated. Max of a truncated window is still
+  // correct.
+  Pool2dLayer pool("pool", PoolMode::kMax, 3, 2);
+  Tensor x(Shape{1, 1, 6, 6});
+  x.at(0, 0, 5, 5) = 9.0f;
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 9.0f);
+}
+
+TEST(Pool2d, AvgPoolDividesByNominalWindow) {
+  // Caffe divides truncated windows by the full kernel area.
+  Pool2dLayer pool("pool", PoolMode::kAvg, 3, 2);
+  Tensor x(Shape{1, 1, 6, 6}, 1.0f);
+  Tensor y = pool.forward(x, true);
+  // Bottom-right window covers 2×2 of the 3×3 kernel: avg = 4/9.
+  EXPECT_NEAR(y.at(0, 0, 2, 2), 4.0f / 9.0f, 1e-6f);
+  // Full window: 9/9 = 1.
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 1.0f, 1e-6f);
+}
+
+TEST(Pool2d, MaxBackwardRoutesToArgmax) {
+  Pool2dLayer pool("pool", PoolMode::kMax, 2, 2);
+  Tensor x(Shape{1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 5;
+  x[2] = 2;
+  x[3] = 3;
+  pool.forward(x, true);
+  Tensor dy(Shape{1, 1, 1, 1}, 7.0f);
+  Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 7.0f);  // argmax position
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);
+}
+
+TEST(Pool2d, AvgBackwardSpreadsEvenly) {
+  Pool2dLayer pool("pool", PoolMode::kAvg, 2, 2);
+  Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+  pool.forward(x, true);
+  Tensor dy(Shape{1, 1, 1, 1}, 4.0f);
+  Tensor dx = pool.backward(dy);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
+}
+
+TEST(Pool2d, BackwardBeforeForwardThrows) {
+  Pool2dLayer pool("pool", PoolMode::kMax, 2, 2);
+  EXPECT_THROW(pool.backward(Tensor(Shape{1, 1, 1, 1})), Error);
+}
+
+TEST(Pool2d, PerChannelIndependence) {
+  Pool2dLayer pool("pool", PoolMode::kMax, 2, 2);
+  Tensor x(Shape{1, 2, 2, 2});
+  x[3] = 4.0f;                  // channel 0 max
+  x[4] = 9.0f;                  // channel 1 max
+  Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+}
+
+TEST(Pool2d, OutputShapeHelper) {
+  Pool2dLayer pool("pool", PoolMode::kMax, 2, 2);
+  EXPECT_EQ(pool.output_shape({20, 24, 24}), (Shape{20, 12, 12}));
+  Pool2dLayer pool3("pool", PoolMode::kAvg, 3, 2);
+  EXPECT_EQ(pool3.output_shape({32, 32, 32}), (Shape{32, 16, 16}));
+}
+
+TEST(Pool2d, RejectsBadConstruction) {
+  EXPECT_THROW(Pool2dLayer("p", PoolMode::kMax, 0, 1), Error);
+  EXPECT_THROW(Pool2dLayer("p", PoolMode::kMax, 2, 0), Error);
+}
+
+/// Property: max pooling forward/backward conserve gradient mass (sum of
+/// input grads equals sum of output grads), for both modes.
+class PoolModeSweep : public ::testing::TestWithParam<PoolMode> {};
+
+TEST_P(PoolModeSweep, GradientMassBounded) {
+  Pool2dLayer pool("pool", GetParam(), 2, 2);
+  Rng rng(13);
+  Tensor x(Shape{2, 3, 8, 8});
+  x.fill_gaussian(rng, 0.0f, 1.0f);
+  pool.forward(x, true);
+  Tensor dy(Shape{2, 3, 4, 4}, 1.0f);
+  Tensor dx = pool.backward(dy);
+  // Max routes each unit of gradient to exactly one input; avg preserves it
+  // too (full windows). Total must equal Σ dy = 96.
+  EXPECT_NEAR(dx.sum(), dy.sum(), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PoolModeSweep,
+                         ::testing::Values(PoolMode::kMax, PoolMode::kAvg));
+
+}  // namespace
+}  // namespace gs::nn

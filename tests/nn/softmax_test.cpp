@@ -1,0 +1,114 @@
+#include "nn/softmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gs::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits(Shape{5, 10});
+  logits.fill_gaussian(rng, 0.0f, 3.0f);
+  Tensor p = softmax(logits);
+  for (std::size_t b = 0; b < 5; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 10; ++c) sum += p.at(b, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Tensor a = Tensor::from_rows({{1.0f, 2.0f, 3.0f}});
+  Tensor b = Tensor::from_rows({{101.0f, 102.0f, 103.0f}});
+  EXPECT_TRUE(allclose(softmax(a), softmax(b), 1e-6f));
+}
+
+TEST(Softmax, NumericallyStableForHugeLogits) {
+  Tensor big = Tensor::from_rows({{1000.0f, 0.0f}});
+  Tensor p = softmax(big);
+  EXPECT_NEAR(p.at(0, 0), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p.at(0, 1)));
+}
+
+TEST(Softmax, UniformLogitsGiveUniformProbs) {
+  Tensor p = softmax(Tensor(Shape{1, 4}, 7.0f));
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(p.at(0, c), 0.25f, 1e-6f);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::from_rows({{20.0f, 0.0f, 0.0f}});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(CrossEntropy, UniformPredictionLossIsLogC) {
+  Tensor logits(Shape{2, 10});
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverBatch) {
+  Tensor logits = Tensor::from_rows({{1.0f, 2.0f}, {3.0f, 0.0f}});
+  const LossResult r = softmax_cross_entropy(logits, {1, 0});
+  const Tensor p = softmax(logits);
+  EXPECT_NEAR(r.grad_logits.at(0, 0), p.at(0, 0) / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad_logits.at(0, 1), (p.at(0, 1) - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad_logits.at(1, 0), (p.at(1, 0) - 1.0f) / 2.0f, 1e-6f);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(2);
+  Tensor logits(Shape{4, 6});
+  logits.fill_gaussian(rng, 0.0f, 2.0f);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (std::size_t b = 0; b < 4; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) sum += r.grad_logits.at(b, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, CountsCorrectPredictions) {
+  Tensor logits = Tensor::from_rows({{5.0f, 0.0f}, {0.0f, 5.0f}, {5.0f, 0.0f}});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 1});
+  EXPECT_EQ(r.correct, 2u);
+}
+
+TEST(CrossEntropy, ValidatesLabelCount) {
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), Error);
+}
+
+TEST(CrossEntropy, ValidatesLabelRange) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), Error);
+}
+
+TEST(CrossEntropy, NumericalGradientCheck) {
+  // Finite-difference validation of dL/dlogits.
+  Rng rng(3);
+  Tensor logits(Shape{2, 5});
+  logits.fill_gaussian(rng, 0.0f, 1.0f);
+  const std::vector<std::size_t> labels{2, 4};
+  const LossResult base = softmax_cross_entropy(logits, labels);
+
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits;
+    plus[i] += h;
+    Tensor minus = logits;
+    minus[i] -= h;
+    const double fd = (softmax_cross_entropy(plus, labels).loss -
+                       softmax_cross_entropy(minus, labels).loss) /
+                      (2.0 * h);
+    EXPECT_NEAR(base.grad_logits[i], fd, 1e-3) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gs::nn
