@@ -1,6 +1,12 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 
 #include "common/string_util.hpp"
@@ -65,6 +71,92 @@ void note(const std::string& text) { std::cout << text << '\n'; }
 void paper_vs(const std::string& label, double measured, double paper_value) {
   std::cout << pad(label, 24) << " measured=" << percent(measured)
             << "  paper=" << percent(paper_value) << '\n';
+}
+
+BenchRecord& BenchRecord::label(std::string key, std::string value) {
+  labels.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+BenchRecord& BenchRecord::metric(std::string key, double value) {
+  metrics.emplace_back(std::move(key), value);
+  return *this;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_bench_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  GS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "{\n  \"bench\": \"" << json_escape(bench_name)
+      << "\",\n  \"records\": [\n";
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const BenchRecord& rec = records[r];
+    out << "    {\"name\": \"" << json_escape(rec.name) << '"';
+    for (const auto& [key, value] : rec.labels) {
+      out << ", \"" << json_escape(key) << "\": \"" << json_escape(value)
+          << '"';
+    }
+    out << std::setprecision(6);
+    for (const auto& [key, value] : rec.metrics) {
+      out << ", \"" << json_escape(key) << "\": ";
+      if (std::isfinite(value)) {
+        out << value;
+      } else {
+        out << "null";
+      }
+    }
+    out << '}' << (r + 1 < records.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  GS_CHECK_MSG(out.good(), "failed writing " << path);
+}
+
+double time_median_seconds(const std::function<void()>& fn, int reps) {
+  fn();  // warm-up: page-in, pool spin-up, cache priming
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 }  // namespace gs::bench

@@ -10,7 +10,9 @@
 // training budget for higher-fidelity runs.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -54,5 +56,29 @@ void paper_vs(const std::string& label, double measured, double paper_value);
 /// Standard SGD settings for each network on the synthetic tasks.
 nn::SgdConfig lenet_sgd();
 nn::SgdConfig convnet_sgd();
+
+// --- Machine-readable benchmark trajectories (BENCH_*.json) ----------------
+
+/// One benchmark case: a name, string labels (shape, variant, …) and numeric
+/// metrics (seconds, gflops, speedup, …). Insertion order is preserved in
+/// the emitted JSON.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  BenchRecord& label(std::string key, std::string value);
+  BenchRecord& metric(std::string key, double value);
+};
+
+/// Writes `{"bench": <bench_name>, "records": [...]}` to `path`, e.g.
+/// BENCH_gemm.json in the working directory. Strings are JSON-escaped;
+/// non-finite metrics are emitted as null.
+void write_bench_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<BenchRecord>& records);
+
+/// Median wall-clock seconds of fn() over `reps` timed runs (after one
+/// untimed warm-up call).
+double time_median_seconds(const std::function<void()>& fn, int reps = 5);
 
 }  // namespace gs::bench

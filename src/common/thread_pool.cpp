@@ -1,0 +1,124 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace gs {
+
+namespace {
+
+// Set while a thread is executing parallel_for work; nested dispatches run
+// inline instead of deadlocking on the shared pool.
+thread_local bool tls_in_parallel_region = false;
+
+std::size_t global_thread_count() {
+  if (const char* env = std::getenv("GS_NUM_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) : size_(threads < 1 ? 1 : threads) {
+  // The calling thread participates in every dispatch, so spawn size-1
+  // workers; a pool of size 1 owns no threads at all.
+  workers_.reserve(size_ - 1);
+  for (std::size_t t = 0; t + 1 < size_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_dispatch(Dispatch& d) {
+  const bool was_in_region = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  for (;;) {
+    const std::size_t i = d.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= d.count) break;
+    try {
+      (*d.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(d.error_mutex);
+      if (!d.error) d.error = std::current_exception();
+    }
+    d.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  tls_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Dispatch* d = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      d = current_;
+      // `attached` is mutated under mutex_ so parallel_for's completion wait
+      // (same mutex) can never observe a worker between wake-up and attach.
+      d->attached.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_dispatch(*d);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      d->attached.fetch_sub(1, std::memory_order_relaxed);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (size_ == 1 || count == 1 || tls_in_parallel_region) {
+    // Inline path: no synchronisation, identical semantics (first exception
+    // propagates after the loop would have been drained — with one thread
+    // that is immediately).
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  Dispatch d;
+  d.fn = &fn;
+  d.count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &d;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_dispatch(d);  // the caller is a full participant
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return d.done.load(std::memory_order_acquire) == count &&
+             d.attached.load(std::memory_order_relaxed) == 0;
+    });
+    // Cleared before ~Dispatch so workers never dangle. Guarded: another
+    // top-level thread may have posted its own dispatch meanwhile, and
+    // clobbering it would strand its workers.
+    if (current_ == &d) current_ = nullptr;
+  }
+  if (d.error) std::rethrow_exception(d.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(global_thread_count());
+  return pool;
+}
+
+}  // namespace gs

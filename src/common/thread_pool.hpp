@@ -1,0 +1,82 @@
+// Persistent worker-thread pool with a blocking parallel_for.
+//
+// Design notes:
+//  * One process-wide pool (ThreadPool::global()) is spun up lazily and
+//    reused for every dispatch, so hot loops (GEMM macro-tiles, gram tiles)
+//    pay no thread-creation cost per call. Ad-hoc pools can still be
+//    constructed for tests.
+//  * parallel_for(count, fn) runs fn(i) for i in [0, count) and blocks until
+//    every index finished. Indices are handed out via an atomic counter, so
+//    work is balanced even when per-index cost varies (edge tiles).
+//  * Determinism: parallel_for promises nothing about *which* thread runs an
+//    index, only that distinct indices never overlap. Callers that need
+//    bit-reproducible results (the GEMM kernel) must make each index own a
+//    disjoint output region — reduction order inside an index is sequential
+//    and therefore deterministic.
+//  * Exceptions thrown by fn are captured; the first one is rethrown on the
+//    calling thread after all workers drained the dispatch.
+//  * GS_NUM_THREADS=N caps the global pool (default: hardware_concurrency).
+//    N=1 short-circuits to inline execution with zero synchronisation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gs {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1; 1 means "run inline").
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute work (≥ 1, counting the caller).
+  std::size_t size() const { return size_; }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all complete.
+  /// The calling thread participates, so a size()==1 pool is a plain loop.
+  /// The first exception thrown by any fn is rethrown here.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized by GS_NUM_THREADS (default: all hardware
+  /// threads). Constructed on first use, torn down at exit.
+  static ThreadPool& global();
+
+ private:
+  struct Dispatch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    /// Workers currently holding a pointer to this dispatch (mutated under
+    /// the pool mutex so completion waits can't race attach).
+    std::atomic<std::size_t> attached{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void run_dispatch(Dispatch& d);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Dispatch* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gs

@@ -1,5 +1,6 @@
 #include "linalg/lra.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/pca.hpp"
@@ -129,16 +130,18 @@ namespace {
 LowRankFactors truncate_factors(const LowRankFactors& f, std::size_t keep) {
   GS_CHECK(keep >= 1 && keep <= f.rank());
   const std::size_t n = f.u.rows();
+  const std::size_t rank = f.rank();
   const std::size_t m = f.vt.cols();
   LowRankFactors out;
+  // Components are ordered by energy, so slicing is row-prefix copies: the
+  // first `keep` entries of each U row, the first `keep` whole Vᵀ rows.
   out.u = Tensor(Shape{n, keep});
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < keep; ++j) out.u.at(i, j) = f.u.at(i, j);
+    const float* src = f.u.data() + i * rank;
+    std::copy(src, src + keep, out.u.data() + i * keep);
   }
   out.vt = Tensor(Shape{keep, m});
-  for (std::size_t j = 0; j < keep; ++j) {
-    for (std::size_t c = 0; c < m; ++c) out.vt.at(j, c) = f.vt.at(j, c);
-  }
+  std::copy(f.vt.data(), f.vt.data() + keep * m, out.vt.data());
   return out;
 }
 

@@ -20,34 +20,35 @@ namespace {
 void orthonormalize_columns(Tensor& q) {
   const std::size_t n = q.rows();
   const std::size_t k = q.cols();
+  // Work on Qᵀ so every column is a contiguous run — the projection dots and
+  // axpys below then stream memory instead of striding by k, and the dots
+  // use the shared vectorised double accumulator.
+  Tensor qt = transposed(q);
+  float* data = qt.data();
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t j = 0; j < k; ++j) {
+      float* cj = data + j * n;
       // Subtract projections onto previous columns.
       for (std::size_t prev = 0; prev < j; ++prev) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-          dot += static_cast<double>(q.at(i, j)) * q.at(i, prev);
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-          q.at(i, j) -= static_cast<float>(dot) * q.at(i, prev);
-        }
+        const float* cp = data + prev * n;
+        const auto scale =
+            static_cast<float>(detail::dot_float_double(cj, cp, n));
+        for (std::size_t i = 0; i < n; ++i) cj[i] -= scale * cp[i];
       }
-      double norm2 = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        norm2 += static_cast<double>(q.at(i, j)) * q.at(i, j);
-      }
+      const double norm2 = detail::dot_float_double(cj, cj, n);
       const double norm = std::sqrt(norm2);
       if (norm < 1e-12) {
         // Degenerate probe: replace with a unit basis vector; the second
         // pass re-orthogonalises it.
-        for (std::size_t i = 0; i < n; ++i) q.at(i, j) = 0.0f;
-        q.at(j % n, j) = 1.0f;
+        std::fill(cj, cj + n, 0.0f);
+        cj[j % n] = 1.0f;
       } else {
-        const float inv = static_cast<float>(1.0 / norm);
-        for (std::size_t i = 0; i < n; ++i) q.at(i, j) *= inv;
+        const auto inv = static_cast<float>(1.0 / norm);
+        for (std::size_t i = 0; i < n; ++i) cj[i] *= inv;
       }
     }
   }
+  q = transposed(qt);
 }
 
 }  // namespace

@@ -46,12 +46,15 @@ Tensor Conv2dLayer::forward(const Tensor& input, bool /*train*/) {
   cached_batch_ = batch;
   Tensor output(Shape{batch, f, oh, ow});
 
+  // Per-sample scratch hoisted out of the loop; gemm writes into the reused
+  // buffer instead of allocating a fresh product per sample.
+  Tensor image(chw);
+  Tensor out_mat(Shape{oh * ow, f});
   for (std::size_t b = 0; b < batch; ++b) {
-    Tensor image(chw);
     std::copy(input.data() + b * sample, input.data() + (b + 1) * sample,
               image.data());
-    Tensor cols = im2col(image, geometry_);       // (oh*ow, patch)
-    Tensor out_mat = matmul(cols, weight_);       // (oh*ow, F)
+    cached_cols_[b] = im2col(image, geometry_);   // (oh*ow, patch)
+    gemm(cached_cols_[b], /*ta=*/false, weight_, /*tb=*/false, out_mat);
     add_row_vector(out_mat, bias_);
     // Transpose (oh*ow, F) into channel-major (F, oh, ow).
     float* dst = output.data() + b * f * oh * ow;
@@ -61,7 +64,6 @@ Tensor Conv2dLayer::forward(const Tensor& input, bool /*train*/) {
         dst[c * oh * ow + p] = row[c];
       }
     }
-    cached_cols_[b] = std::move(cols);
   }
   return output;
 }
@@ -81,9 +83,13 @@ Tensor Conv2dLayer::backward(const Tensor& grad_output) {
   const std::size_t sample = shape_numel(chw);
   Tensor grad_input(Shape{batch, chw[0], chw[1], chw[2]});
 
+  // Per-sample scratch hoisted out of the loop. The dY·Wᵀ product runs
+  // through the packed kernel, which absorbs the transpose during packing —
+  // no per-sample Wᵀ copy.
+  Tensor dy(Shape{oh * ow, f});
+  Tensor dcols(Shape{oh * ow, geometry_.patch_size()});
   for (std::size_t b = 0; b < batch; ++b) {
     // Reassemble dY as an (oh*ow, F) matrix.
-    Tensor dy(Shape{oh * ow, f});
     const float* src = grad_output.data() + b * f * oh * ow;
     for (std::size_t p = 0; p < oh * ow; ++p) {
       float* row = dy.data() + p * f;
@@ -95,7 +101,7 @@ Tensor Conv2dLayer::backward(const Tensor& grad_output) {
     gemm(cached_cols_[b], /*ta=*/true, dy, /*tb=*/false, weight_grad_, 1.0f,
          1.0f);
     bias_grad_ += sum_rows(dy);
-    Tensor dcols = matmul(dy, weight_, /*ta=*/false, /*tb=*/true);
+    gemm(dy, /*ta=*/false, weight_, /*tb=*/true, dcols);
     Tensor dimage = col2im(dcols, geometry_);
     std::copy(dimage.data(), dimage.data() + sample,
               grad_input.data() + b * sample);

@@ -32,7 +32,9 @@ Tensor DenseLayer::backward(const Tensor& grad_output) {
   GS_CHECK(grad_output.rank() == 2 && grad_output.cols() == out_);
   GS_CHECK_MSG(cached_input_.numel() > 0, name_ << ": backward before forward");
   GS_CHECK(grad_output.rows() == cached_input_.rows());
-  // dW += Xᵀ·dY ; db += Σ_rows dY ; dX = dY·Wᵀ.
+  // dW += Xᵀ·dY ; db += Σ_rows dY ; dX = dY·Wᵀ. Both transposed products
+  // run through the packed kernel, which absorbs the transpose during
+  // packing — neither Xᵀ nor Wᵀ is ever materialised.
   gemm(cached_input_, /*ta=*/true, grad_output, /*tb=*/false, weight_grad_,
        1.0f, 1.0f);
   bias_grad_ += sum_rows(grad_output);

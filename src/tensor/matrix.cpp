@@ -2,18 +2,50 @@
 
 #include <algorithm>
 
+#include "linalg/gemm_kernel.hpp"
+
 namespace gs {
 
 namespace {
 
-// Copies op(A) into a contiguous row-major buffer so the inner kernel only
-// handles the no-transpose case. For the matrix sizes in this project
-// (≤ ~1024 per side) the copy is cheap relative to the O(n³) multiply.
-Tensor materialize(const Tensor& a, bool transpose) {
-  GS_CHECK_MSG(a.rank() == 2, "gemm operand must be rank-2, got rank "
-                                  << a.rank());
-  if (!transpose) return a;
-  return transposed(a);
+// Below this flop count the packed kernel's tile set-up costs more than it
+// saves; a straight register-blocked triple loop wins.
+constexpr std::size_t kTinyGemmFlops = 32 * 32 * 32;
+
+// Direct triple-loop GEMM for tiny operands. Transposes are absorbed by
+// index arithmetic (loop order chosen per combination so the innermost
+// stream is contiguous where possible) — no operand is ever copied.
+void gemm_tiny(std::size_t m, std::size_t n, std::size_t k, float alpha,
+               const float* pa, std::size_t lda, bool trans_a,
+               const float* pb, std::size_t ldb, bool trans_b, float beta,
+               float* pc) {
+  if (beta == 0.0f) {
+    std::fill(pc, pc + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) pc[i] *= beta;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    if (!trans_b) {
+      // i-k-j: stream op(B) rows, accumulate into the C row.
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = alpha * (trans_a ? pa[p * lda + i] : pa[i * lda + p]);
+        if (av == 0.0f) continue;
+        const float* brow = pb + p * ldb;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    } else {
+      // i-j-k: B stored n×k, so each dot product streams a contiguous B row.
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * ldb;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += (trans_a ? pa[p * lda + i] : pa[i * lda + p]) * brow[p];
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -43,13 +75,15 @@ Tensor transposed(const Tensor& a) {
 
 void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
           Tensor& c, float alpha, float beta) {
-  const Tensor at = materialize(a, transpose_a);
-  const Tensor bt = materialize(b, transpose_b);
-  const std::size_t m = at.rows();
-  const std::size_t k = at.cols();
-  GS_CHECK_MSG(bt.rows() == k, "gemm inner dimension mismatch: "
-                                   << k << " vs " << bt.rows());
-  const std::size_t n = bt.cols();
+  GS_CHECK_MSG(a.rank() == 2, "gemm operand must be rank-2, got rank "
+                                  << a.rank());
+  GS_CHECK_MSG(b.rank() == 2, "gemm operand must be rank-2, got rank "
+                                  << b.rank());
+  const std::size_t m = transpose_a ? a.cols() : a.rows();
+  const std::size_t k = transpose_a ? a.rows() : a.cols();
+  const std::size_t kb = transpose_b ? b.cols() : b.rows();
+  GS_CHECK_MSG(kb == k, "gemm inner dimension mismatch: " << k << " vs " << kb);
+  const std::size_t n = transpose_b ? b.rows() : b.cols();
   GS_CHECK_MSG(c.rank() == 2 && c.rows() == m && c.cols() == n,
                "gemm output shape " << shape_to_string(c.shape())
                                     << " != expected [" << m << ", " << n
@@ -57,33 +91,15 @@ void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
   GS_CHECK_MSG(c.data() != a.data() && c.data() != b.data(),
                "gemm output must not alias inputs");
 
-  const float* pa = at.data();
-  const float* pb = bt.data();
-  float* pc = c.data();
-
-  if (beta == 0.0f) {
-    std::fill(pc, pc + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) pc[i] *= beta;
-  }
-
-  // i-k-j loop order: streams B rows, accumulates into C rows; vectorises
-  // well. Parallelised over output rows.
-#ifdef GS_HAVE_OPENMP
-#pragma omp parallel for schedule(static) if (m * n * k > 1u << 16)
-#endif
-  for (long long ii = 0; ii < static_cast<long long>(m); ++ii) {
-    const auto i = static_cast<std::size_t>(ii);
-    float* crow = pc + i * n;
-    const float* arow = pa + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
+  // Thin dispatcher: tiny products take the direct triple loop, everything
+  // else goes through the packed/blocked/multithreaded kernel. Both paths
+  // absorb the transpose flags without materialising op(A)/op(B).
+  if (m * n * k <= kTinyGemmFlops) {
+    gemm_tiny(m, n, k, alpha, a.data(), a.cols(), transpose_a, b.data(),
+              b.cols(), transpose_b, beta, c.data());
+  } else {
+    kernel::sgemm(m, n, k, alpha, a.data(), a.cols(), transpose_a, b.data(),
+                  b.cols(), transpose_b, beta, c.data(), n);
   }
 }
 

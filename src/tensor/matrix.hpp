@@ -1,8 +1,10 @@
 // Dense matrix kernels on rank-2 Tensors.
 //
-// gemm() is a cache-blocked, OpenMP-parallel kernel — fast enough to train
-// LeNet/ConvNet-scale networks on CPU in seconds. All kernels are checked:
-// operand ranks and inner dimensions are validated with GS_CHECK.
+// gemm() is a thin dispatcher over linalg/gemm_kernel.hpp: tiny products run
+// a direct triple loop, larger ones the packed/cache-blocked/multithreaded
+// SGEMM. Transposed operands are handled in the kernels' packing/indexing —
+// no transposed copy is ever materialised. All kernels are checked: operand
+// ranks and inner dimensions are validated with GS_CHECK.
 #pragma once
 
 #include "tensor/tensor.hpp"
