@@ -128,9 +128,11 @@ int main() {
     for (const hw::TileOccupancy& occ : tiles) {
       if (occ.empty()) ++empty;
       // Rows/cols of the tile that are all-zero → repackable into a denser,
-      // smaller crossbar (the paper's closing Fig. 9 observation).
-      zero_rows += target.grid.tile.rows - occ.nonzero_rows;
-      zero_cols += target.grid.tile.cols - occ.nonzero_cols;
+      // smaller crossbar (the paper's closing Fig. 9 observation). Logical
+      // extents: ragged edge tiles have fewer rows/cols than the library
+      // crossbar.
+      zero_rows += occ.rows - occ.nonzero_rows;
+      zero_cols += occ.cols - occ.nonzero_cols;
     }
     const double nnz =
         1.0 - static_cast<double>(w.count_zeros()) / w.numel();

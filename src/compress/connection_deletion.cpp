@@ -31,28 +31,9 @@ std::vector<MatrixWireReport> census_wires(const GroupLassoRegularizer& reg) {
 std::vector<Tensor> build_group_masks(const GroupLassoRegularizer& reg) {
   std::vector<Tensor> masks;
   masks.reserve(reg.targets().size());
-  for (const LassoTarget& target : reg.targets()) {
-    const Tensor& w = target.values();
-    Tensor mask(w.shape(), 1.0f);
-    const hw::TileGrid& grid = target.grid;
-    const auto zero_slice = [&](const hw::GroupSlice& slice) {
-      if (!hw::group_is_zero(w, slice, 0.0f)) return;
-      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
-        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
-          mask.at(i, j) = 0.0f;
-        }
-      }
-    };
-    for (std::size_t i = 0; i < grid.rows; ++i) {
-      for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
-        zero_slice(hw::row_group_slice(grid, i, tc));
-      }
-    }
-    for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
-      for (std::size_t j = 0; j < grid.cols; ++j) {
-        zero_slice(hw::col_group_slice(grid, tr, j));
-      }
-    }
+  for (std::size_t t = 0; t < reg.targets().size(); ++t) {
+    Tensor mask(reg.targets()[t].values().shape(), 1.0f);
+    reg.zero_group_mask(t, mask, 0.0f);
     masks.push_back(std::move(mask));
   }
   return masks;
@@ -74,15 +55,20 @@ namespace {
 
 DeletionSnapshot take_snapshot(const GroupLassoRegularizer& reg,
                                std::size_t iteration, double loss,
-                               double accuracy) {
+                               double accuracy, double census_tol) {
   DeletionSnapshot snap;
   snap.iteration = iteration;
   snap.train_loss = loss;
   snap.train_accuracy = accuracy;
-  for (const LassoTarget& target : reg.targets()) {
-    const hw::WireCount wires =
-        hw::count_routing_wires(target.values(), target.grid, 0.0f);
-    snap.names.push_back(target.name);
+  // Cached-norm census at the configured tolerance: O(groups), and — unlike
+  // the old exact-zero scan — visible during kGradient training, where
+  // weights only approach zero until the final snap. With λ = 0 no lasso
+  // sweep ever refreshes the cache, so force a scan.
+  if (reg.config().lambda == 0.0) reg.refresh_group_stats();
+  const std::vector<hw::WireCount> counts = reg.census(census_tol);
+  for (std::size_t t = 0; t < reg.targets().size(); ++t) {
+    const hw::WireCount& wires = counts[t];
+    snap.names.push_back(reg.targets()[t].name);
     snap.deleted_wire_ratio.push_back(
         wires.total == 0
             ? 0.0
@@ -115,6 +101,7 @@ DeletionResult run_group_connection_deletion(
   double loss_acc = 0.0;
   double acc_acc = 0.0;
   std::size_t seen = 0;
+  const double census_tol = config.effective_census_tolerance();
   const auto step_callback = [&](nn::Network&, std::size_t step) {
     if (proximal) {
       reg.apply_proximal(opt.learning_rate());
@@ -124,7 +111,7 @@ DeletionResult run_group_connection_deletion(
          step == config.train_iterations)) {
       result.dynamics.push_back(
           take_snapshot(reg, step, seen ? loss_acc / seen : 0.0,
-                        seen ? acc_acc / seen : 0.0));
+                        seen ? acc_acc / seen : 0.0, census_tol));
       loss_acc = acc_acc = 0.0;
       seen = 0;
     }

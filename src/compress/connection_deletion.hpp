@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,18 @@ struct DeletionConfig {
   std::size_t finetune_iterations = 1000;  ///< masked recovery training
   double snap_tolerance = 1e-4;  ///< group-norm snap for kGradient mode
   std::size_t record_interval = 100;  ///< dynamics sampling (0 = off)
+  /// Group-norm tolerance of the DYNAMICS census (the Fig. 5 curves).
+  /// Defaults to snap_tolerance. During kGradient training weights only
+  /// approach zero — an exact-zero census reports 0 deleted wires for the
+  /// whole run — so the snapshots must count a wire as deleted once its
+  /// group norm falls below the tolerance the final snap will use. In
+  /// kGradient mode, size it above the subgradient oscillation floor
+  /// ≈ η·λ/(1 − momentum). The final post-pruning census is always exact
+  /// (tolerance 0 on exactly-zeroed weights).
+  std::optional<double> census_tolerance;
+  double effective_census_tolerance() const {
+    return census_tolerance.value_or(snap_tolerance);
+  }
   /// Fine-tuning runs at lasso-phase lr × this factor — recovery needs a
   /// gentler step than the shrinkage phase (restored afterwards).
   double finetune_lr_scale = 0.3;

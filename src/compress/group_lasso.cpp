@@ -46,47 +46,25 @@ GroupLassoRegularizer::GroupLassoRegularizer(nn::Network& net,
       add_target(&c->weight(), c->params()[0].grad, c->name());
     }
   }
-}
 
-template <typename PerGroup>
-void GroupLassoRegularizer::for_each_group(const LassoTarget& target,
-                                           PerGroup&& fn) const {
-  const hw::TileGrid& grid = target.grid;
-  if (config_.row_groups) {
-    for (std::size_t i = 0; i < grid.rows; ++i) {
-      for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
-        fn(hw::row_group_slice(grid, i, tc));
-      }
-    }
-  }
-  if (config_.col_groups) {
-    for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
-      for (std::size_t j = 0; j < grid.cols; ++j) {
-        fn(hw::col_group_slice(grid, tr, j));
-      }
-    }
+  indices_.reserve(targets_.size());
+  for (const LassoTarget& target : targets_) {
+    indices_.emplace_back(target.grid);
   }
 }
 
 void GroupLassoRegularizer::add_gradient() {
   GS_CHECK_MSG(config_.mode == LassoMode::kGradient,
                "add_gradient called in proximal mode");
-  const double lambda = config_.lambda;
-  for (const LassoTarget& target : targets_) {
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    const LassoTarget& target = targets_[t];
     Tensor& w = target.values();
     Tensor& g = target.grads();
     GS_CHECK_MSG(w.same_shape(g) && w.rows() == target.grid.rows &&
                      w.cols() == target.grid.cols,
                  target.name << ": stale tile grid — rebuild the regularizer");
-    for_each_group(target, [&](const hw::GroupSlice& slice) {
-      const double norm = hw::group_norm(w, slice);
-      const double scale = lambda / (norm + config_.epsilon);
-      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
-        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
-          g.at(i, j) += static_cast<float>(scale * w.at(i, j));
-        }
-      }
-    });
+    indices_[t].add_gradient(w, g, config_.lambda, config_.epsilon,
+                             config_.row_groups, config_.col_groups, pool_);
   }
 }
 
@@ -94,33 +72,23 @@ void GroupLassoRegularizer::apply_proximal(float learning_rate) {
   GS_CHECK_MSG(config_.mode == LassoMode::kProximal,
                "apply_proximal called in gradient mode");
   GS_CHECK(learning_rate > 0.0f);
+  if (config_.lambda == 0.0) return;  // threshold 0 ⇒ prox is the identity
   const double threshold = static_cast<double>(learning_rate) * config_.lambda;
-  for (const LassoTarget& target : targets_) {
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    const LassoTarget& target = targets_[t];
     Tensor& w = target.values();
     GS_CHECK_MSG(w.rows() == target.grid.rows && w.cols() == target.grid.cols,
                  target.name << ": stale tile grid — rebuild the regularizer");
-    for_each_group(target, [&](const hw::GroupSlice& slice) {
-      const double norm = hw::group_norm(w, slice);
-      const double shrink =
-          norm <= threshold ? 0.0 : 1.0 - threshold / norm;
-      if (shrink == 1.0) return;
-      const float s = static_cast<float>(shrink);
-      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
-        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
-          w.at(i, j) *= s;
-        }
-      }
-    });
+    indices_[t].apply_proximal(w, threshold, config_.row_groups,
+                               config_.col_groups, pool_);
   }
 }
 
 double GroupLassoRegularizer::penalty() const {
   double acc = 0.0;
-  for (const LassoTarget& target : targets_) {
-    const Tensor& w = target.values();
-    for_each_group(target, [&](const hw::GroupSlice& slice) {
-      acc += hw::group_norm(w, slice);
-    });
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    indices_[t].refresh(targets_[t].values(), pool_);
+    acc += indices_[t].penalty_sum(config_.row_groups, config_.col_groups);
   }
   return config_.lambda * acc;
 }
@@ -128,21 +96,39 @@ double GroupLassoRegularizer::penalty() const {
 std::size_t GroupLassoRegularizer::snap_zero_groups(double tol) {
   GS_CHECK(tol >= 0.0);
   std::size_t snapped = 0;
-  for (const LassoTarget& target : targets_) {
-    Tensor& w = target.values();
-    for_each_group(target, [&](const hw::GroupSlice& slice) {
-      const double norm = hw::group_norm(w, slice);
-      if (norm > 0.0 && norm < tol) {
-        for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
-          for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
-            w.at(i, j) = 0.0f;
-          }
-        }
-        ++snapped;
-      }
-    });
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    snapped += indices_[t].snap_zero_groups(targets_[t].values(), tol,
+                                            config_.row_groups,
+                                            config_.col_groups, pool_);
   }
   return snapped;
+}
+
+void GroupLassoRegularizer::refresh_group_stats() const {
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    indices_[t].refresh(targets_[t].values(), pool_);
+  }
+}
+
+std::vector<hw::WireCount> GroupLassoRegularizer::census(double tol) const {
+  GS_CHECK(tol >= 0.0);
+  std::vector<hw::WireCount> counts;
+  counts.reserve(targets_.size());
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    // An exact-zero census cannot tolerate the last-ulp residue that
+    // incremental cache maintenance may leave on an emptied group — rescan.
+    if (!indices_[t].stats_valid() || tol == 0.0) {
+      indices_[t].refresh(targets_[t].values(), pool_);
+    }
+    counts.push_back(indices_[t].census(tol));
+  }
+  return counts;
+}
+
+void GroupLassoRegularizer::zero_group_mask(std::size_t t, Tensor& mask,
+                                            float tol) const {
+  GS_CHECK(t < targets_.size());
+  indices_[t].zero_group_mask(targets_[t].values(), mask, tol, pool_);
 }
 
 }  // namespace gs::compress

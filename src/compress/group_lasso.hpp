@@ -21,8 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "compress/group_index.hpp"
 #include "hw/tiling.hpp"
 #include "nn/network.hpp"
+
+namespace gs {
+class ThreadPool;
+}
 
 namespace gs::compress {
 
@@ -60,6 +65,9 @@ struct LassoTarget {
 };
 
 /// Applies Eq. (4)/(6) to the multi-crossbar weight matrices of a network.
+/// All group sweeps run through the per-target GroupIndex engine: parallel
+/// over tiles, vectorised over contiguous row slices, bitwise-stable at any
+/// GS_NUM_THREADS (see compress/group_index.hpp).
 class GroupLassoRegularizer {
  public:
   GroupLassoRegularizer(nn::Network& net, const hw::TechnologyParams& tech,
@@ -68,27 +76,52 @@ class GroupLassoRegularizer {
   const std::vector<LassoTarget>& targets() const { return targets_; }
   const GroupLassoConfig& config() const { return config_; }
 
+  /// Pool used for every sweep (nullptr = ThreadPool::global()). Injection
+  /// point for the thread-count determinism tests.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// kGradient mode: adds the Eq. (6) regularisation gradient. Call after
-  /// backward(), before the optimiser step.
+  /// backward(), before the optimiser step. Refreshes the cached group
+  /// norms as a byproduct.
   void add_gradient();
 
   /// kProximal mode: group-soft-threshold with step size η = `learning_rate`.
-  /// Call after the optimiser step.
+  /// Call after the optimiser step. No-op when λ = 0; groups whose shrink
+  /// factor rounds to 1.0f are skipped (a true no-op). Maintains the cached
+  /// group norms incrementally.
   void apply_proximal(float learning_rate);
 
-  /// λ·Σ_g ||W_g|| over all registered groups (monitoring).
+  /// λ·Σ_g ||W_g|| over all registered groups (monitoring). Always
+  /// recomputes from the current weights.
   double penalty() const;
 
   /// Forces every group whose norm is < `tol` to exact zero. Used to
   /// finalise kGradient runs before wire counting.
   std::size_t snap_zero_groups(double tol);
 
+  /// Recomputes every target's cached group norms from the current weights.
+  void refresh_group_stats() const;
+
+  /// Per-target wire census from the cached group norms (deleted ⇔ group
+  /// norm ≤ tol), aligned with targets(). For tol > 0: O(groups), reusing
+  /// the stats cached by the latest lasso sweep — at most one SGD update
+  /// old inside the training loop — refreshing only targets never swept
+  /// (call refresh_group_stats() first for an exact current-weight
+  /// census). tol = 0 demands exactness and always rescans.
+  std::vector<hw::WireCount> census(double tol) const;
+
+  /// Zeroes `mask` over every group of target `t` whose weights are all
+  /// ≤ tol in magnitude (both families; elementwise semantics of
+  /// hw::group_is_zero).
+  void zero_group_mask(std::size_t t, Tensor& mask, float tol = 0.0f) const;
+
  private:
   GroupLassoConfig config_;
   std::vector<LassoTarget> targets_;
-
-  template <typename PerGroup>
-  void for_each_group(const LassoTarget& target, PerGroup&& fn) const;
+  /// Engine state per target (cached norms mutate under const monitoring
+  /// calls such as census()).
+  mutable std::vector<GroupIndex> indices_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace gs::compress

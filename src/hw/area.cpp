@@ -1,6 +1,10 @@
 #include "hw/area.hpp"
 
+#include <cmath>
+#include <vector>
+
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gs::hw {
 
@@ -32,26 +36,48 @@ FactorAreaComparison compare_factor_area(std::size_t n, std::size_t m,
 }
 
 WireCount count_routing_wires(const Tensor& m, const TileGrid& grid,
-                              float tol) {
+                              float tol, ThreadPool* pool) {
   GS_CHECK(m.rank() == 2 && m.rows() == grid.rows && m.cols() == grid.cols);
   WireCount wires;
   wires.total = grid.total_wires();
-  // Row groups: one input wire per (matrix row, tile column).
-  for (std::size_t i = 0; i < grid.rows; ++i) {
-    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
-      if (!group_is_zero(m, row_group_slice(grid, i, tc), tol)) {
-        ++wires.remaining;
+  // Every row group (one input wire) and column group (one output wire) lies
+  // inside exactly one tile, so a single fused pass per tile determines the
+  // liveness of all its wires. Per-tile counts land in disjoint slots and
+  // integer summation is order-free — bitwise stable at any pool size.
+  const std::size_t gc = grid.grid_cols();
+  const std::size_t stride = grid.cols;
+  const float* base = m.data();
+  std::vector<std::size_t> live(grid.tile_count(), 0);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  tp.parallel_for(live.size(), [&](std::size_t t) {
+    const GroupSlice s = tile_slice(grid, t / gc, t % gc);
+    const std::size_t width = s.col_end - s.col_begin;
+    // Early-exit scans (a live group usually reveals itself within a few
+    // elements); both orientations stay inside this tile, so the whole
+    // working set is a few KB.
+    std::size_t live_rows = 0;
+    for (std::size_t i = s.row_begin; i < s.row_end; ++i) {
+      const float* row = base + i * stride + s.col_begin;
+      for (std::size_t j = 0; j < width; ++j) {
+        if (std::fabs(row[j]) > tol) {
+          ++live_rows;
+          break;
+        }
       }
     }
-  }
-  // Column groups: one output wire per (tile row, matrix column).
-  for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
-    for (std::size_t j = 0; j < grid.cols; ++j) {
-      if (!group_is_zero(m, col_group_slice(grid, tr, j), tol)) {
-        ++wires.remaining;
+    std::size_t live_cols = 0;
+    for (std::size_t j = 0; j < width; ++j) {
+      const float* cell = base + s.row_begin * stride + s.col_begin + j;
+      for (std::size_t i = s.row_begin; i < s.row_end; ++i, cell += stride) {
+        if (std::fabs(*cell) > tol) {
+          ++live_cols;
+          break;
+        }
       }
     }
-  }
+    live[t] = live_rows + live_cols;
+  });
+  for (const std::size_t count : live) wires.remaining += count;
   return wires;
 }
 

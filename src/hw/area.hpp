@@ -57,9 +57,11 @@ struct WireCount {
 };
 
 /// Counts remaining routing wires: one wire per non-zero row group plus one
-/// per non-zero column group (zero = all |w| ≤ tol).
+/// per non-zero column group (zero = all |w| ≤ tol). Sweeps one parallel
+/// task per tile (`pool` defaults to ThreadPool::global()); the count is
+/// identical at any pool size.
 WireCount count_routing_wires(const Tensor& m, const TileGrid& grid,
-                              float tol = 0.0f);
+                              float tol = 0.0f, ThreadPool* pool = nullptr);
 
 /// Eq. (8): routing area for a given wire count.
 double routing_area(std::size_t wire_count, const TechnologyParams& tech);

@@ -14,11 +14,8 @@ RepackReport repack_tiles(const Tensor& m, const TileGrid& grid, float tol) {
     tile.tile_row = occ.tile_row;
     tile.tile_col = occ.tile_col;
     // Edge tiles of a padded mapping can be smaller than the library tile;
-    // derive actual extents from the grid.
-    const std::size_t r0 = occ.tile_row * grid.tile.rows;
-    const std::size_t c0 = occ.tile_col * grid.tile.cols;
-    tile.original = {std::min(grid.tile.rows, grid.rows - r0),
-                     std::min(grid.tile.cols, grid.cols - c0)};
+    // the occupancy scan reports the clamped extents directly.
+    tile.original = {occ.rows, occ.cols};
     tile.repacked = {occ.nonzero_rows, occ.nonzero_cols};
     if (tile.removed()) {
       ++report.removed_tiles;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gs::hw {
 
@@ -42,6 +43,19 @@ GroupSlice col_group_slice(const TileGrid& grid, std::size_t tr,
   return s;
 }
 
+GroupSlice tile_slice(const TileGrid& grid, std::size_t tr, std::size_t tc) {
+  GS_CHECK_MSG(tr < grid.grid_rows(),
+               "tile row " << tr << " out of " << grid.grid_rows());
+  GS_CHECK_MSG(tc < grid.grid_cols(),
+               "tile col " << tc << " out of " << grid.grid_cols());
+  GroupSlice s;
+  s.row_begin = tr * grid.tile.rows;
+  s.row_end = std::min(s.row_begin + grid.tile.rows, grid.rows);
+  s.col_begin = tc * grid.tile.cols;
+  s.col_end = std::min(s.col_begin + grid.tile.cols, grid.cols);
+  return s;
+}
+
 double group_norm(const Tensor& m, const GroupSlice& slice) {
   GS_CHECK(m.rank() == 2);
   GS_CHECK(slice.row_end <= m.rows() && slice.col_end <= m.cols());
@@ -67,40 +81,46 @@ bool group_is_zero(const Tensor& m, const GroupSlice& slice, float tol) {
 }
 
 std::vector<TileOccupancy> analyze_tiles(const Tensor& m, const TileGrid& grid,
-                                         float tol) {
+                                         float tol, ThreadPool* pool) {
   GS_CHECK(m.rank() == 2);
   GS_CHECK_MSG(m.rows() == grid.rows && m.cols() == grid.cols,
                "matrix shape " << shape_to_string(m.shape())
                                << " does not match grid");
-  std::vector<TileOccupancy> tiles;
-  tiles.reserve(grid.tile_count());
-  for (std::size_t tr = 0; tr < grid.grid_rows(); ++tr) {
-    for (std::size_t tc = 0; tc < grid.grid_cols(); ++tc) {
-      TileOccupancy occ;
-      occ.tile_row = tr;
-      occ.tile_col = tc;
-      occ.cells = grid.tile.cells();
-      const std::size_t r0 = tr * grid.tile.rows;
-      const std::size_t r1 = std::min(r0 + grid.tile.rows, grid.rows);
-      const std::size_t c0 = tc * grid.tile.cols;
-      const std::size_t c1 = std::min(c0 + grid.tile.cols, grid.cols);
-      std::vector<bool> col_hit(c1 - c0, false);
-      for (std::size_t i = r0; i < r1; ++i) {
-        bool row_hit = false;
-        for (std::size_t j = c0; j < c1; ++j) {
-          if (std::fabs(m.at(i, j)) > tol) {
-            ++occ.nonzero_cells;
-            row_hit = true;
-            col_hit[j - c0] = true;
-          }
+  const std::size_t gc = grid.grid_cols();
+  const std::size_t stride = grid.cols;
+  const float* base = m.data();
+  std::vector<TileOccupancy> tiles(grid.tile_count());
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  // One task per tile: each writes only tiles[t], so the result is bitwise
+  // identical no matter how tasks are scheduled.
+  tp.parallel_for(tiles.size(), [&](std::size_t t) {
+    const std::size_t tr = t / gc;
+    const std::size_t tc = t % gc;
+    const GroupSlice s = tile_slice(grid, tr, tc);
+    TileOccupancy occ;
+    occ.tile_row = tr;
+    occ.tile_col = tc;
+    occ.rows = s.row_end - s.row_begin;
+    occ.cols = s.col_end - s.col_begin;
+    occ.cells = occ.rows * occ.cols;
+    occ.physical_cells = grid.tile.cells();
+    std::vector<char> col_hit(occ.cols, 0);
+    for (std::size_t i = s.row_begin; i < s.row_end; ++i) {
+      const float* row = base + i * stride + s.col_begin;
+      bool row_hit = false;
+      for (std::size_t j = 0; j < occ.cols; ++j) {
+        if (std::fabs(row[j]) > tol) {
+          ++occ.nonzero_cells;
+          row_hit = true;
+          col_hit[j] = 1;
         }
-        if (row_hit) ++occ.nonzero_rows;
       }
-      occ.nonzero_cols = static_cast<std::size_t>(
-          std::count(col_hit.begin(), col_hit.end(), true));
-      tiles.push_back(occ);
+      if (row_hit) ++occ.nonzero_rows;
     }
-  }
+    occ.nonzero_cols = static_cast<std::size_t>(
+        std::count(col_hit.begin(), col_hit.end(), 1));
+    tiles[t] = occ;
+  });
   return tiles;
 }
 

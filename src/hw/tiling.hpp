@@ -18,6 +18,10 @@
 #include "hw/crossbar.hpp"
 #include "tensor/tensor.hpp"
 
+namespace gs {
+class ThreadPool;
+}
+
 namespace gs::hw {
 
 /// Geometry of one matrix→crossbar-array mapping.
@@ -68,6 +72,10 @@ GroupSlice row_group_slice(const TileGrid& grid, std::size_t i,
 /// Slice of column group (tile row `tr`, matrix column `j`).
 GroupSlice col_group_slice(const TileGrid& grid, std::size_t tr,
                            std::size_t j);
+/// Element range of tile (tr, tc) — clamped at the matrix edge for padded
+/// mappings. Every row/column group lies inside exactly one tile, which is
+/// why tiles are the parallel work unit of all group sweeps.
+GroupSlice tile_slice(const TileGrid& grid, std::size_t tr, std::size_t tc);
 
 /// L2 norm of the matrix elements in a slice (double accumulation).
 double group_norm(const Tensor& m, const GroupSlice& slice);
@@ -77,18 +85,32 @@ bool group_is_zero(const Tensor& m, const GroupSlice& slice, float tol);
 
 /// Per-tile occupancy statistics — backs the Fig. 9 analysis (empty
 /// crossbars are removable; zero rows/cols allow a smaller dense crossbar).
+///
+/// `cells` counts LOGICAL (weight-holding) cells only: ragged edge tiles of
+/// a kPaddedMax mapping hold fewer than P·Q weights, and occupancy ratios
+/// must be taken against that clamped extent or they are silently
+/// understated. Padding needed for area math stays available through
+/// `physical_cells`.
 struct TileOccupancy {
   std::size_t tile_row = 0;
   std::size_t tile_col = 0;
+  std::size_t rows = 0;          ///< logical tile rows (≤ P at the edge)
+  std::size_t cols = 0;          ///< logical tile cols (≤ Q at the edge)
   std::size_t nonzero_cells = 0;
   std::size_t nonzero_rows = 0;  ///< rows of the tile with any nonzero
   std::size_t nonzero_cols = 0;  ///< cols of the tile with any nonzero
-  std::size_t cells = 0;         ///< tile capacity P·Q
+  std::size_t cells = 0;         ///< logical cells rows·cols
+  std::size_t physical_cells = 0;  ///< crossbar capacity P·Q incl. padding
+  std::size_t padding_cells() const { return physical_cells - cells; }
   bool empty() const { return nonzero_cells == 0; }
 };
 
-/// Scans a matrix and reports occupancy for every tile of the grid.
+/// Scans a matrix and reports occupancy for every tile of the grid (one
+/// parallel task per tile; `pool` defaults to ThreadPool::global()). The
+/// result is ordered row-major by (tile_row, tile_col) and is bitwise
+/// identical at any pool size.
 std::vector<TileOccupancy> analyze_tiles(const Tensor& m, const TileGrid& grid,
-                                         float tol = 0.0f);
+                                         float tol = 0.0f,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace gs::hw

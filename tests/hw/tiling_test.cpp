@@ -109,6 +109,48 @@ TEST(AnalyzeTiles, OccupancyStatistics) {
   EXPECT_EQ(tiles[3].nonzero_cols, 1u);
 }
 
+TEST(AnalyzeTiles, ReportsLogicalAndPhysicalCells) {
+  // 4×4 with 2×2 tiles is exact: logical == physical everywhere.
+  TechnologyParams tiny = paper_technology();
+  tiny.max_crossbar_dim = 2;
+  const TileGrid grid = make_tile_grid(4, 4, tiny);
+  for (const TileOccupancy& occ : analyze_tiles(Tensor(Shape{4, 4}), grid)) {
+    EXPECT_EQ(occ.rows, 2u);
+    EXPECT_EQ(occ.cols, 2u);
+    EXPECT_EQ(occ.cells, 4u);
+    EXPECT_EQ(occ.physical_cells, 4u);
+    EXPECT_EQ(occ.padding_cells(), 0u);
+  }
+}
+
+TEST(AnalyzeTiles, PaddedEdgeTilesClampLogicalCells) {
+  // 100×70 under kPaddedMax: 2×2 grid of 64×64 crossbars; the bottom-right
+  // tile holds only 36×6 weights. `cells` must report that clamped extent
+  // (the old P·Q value overstated edge-tile capacity and skewed occupancy
+  // ratios); the full crossbar stays visible as physical_cells.
+  const TileGrid grid =
+      make_tile_grid(100, 70, paper_technology(), MappingPolicy::kPaddedMax);
+  Tensor m(Shape{100, 70}, 1.0f);
+  const auto tiles = analyze_tiles(m, grid);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[0].cells, 64u * 64);
+  EXPECT_EQ(tiles[1].cells, 64u * 6);
+  EXPECT_EQ(tiles[2].cells, 36u * 64);
+  EXPECT_EQ(tiles[3].cells, 36u * 6);
+  std::size_t cell_sum = 0;
+  for (const TileOccupancy& occ : tiles) {
+    EXPECT_EQ(occ.physical_cells, 64u * 64);
+    EXPECT_EQ(occ.padding_cells(), occ.physical_cells - occ.cells);
+    // A full matrix occupies every logical cell — ratios against `cells`
+    // must come out at exactly 100%.
+    EXPECT_EQ(occ.nonzero_cells, occ.cells);
+    EXPECT_EQ(occ.nonzero_rows, occ.rows);
+    EXPECT_EQ(occ.nonzero_cols, occ.cols);
+    cell_sum += occ.cells;
+  }
+  EXPECT_EQ(cell_sum, 100u * 70);
+}
+
 TEST(AnalyzeTiles, ShapeMismatchThrows) {
   const TileGrid grid = make_tile_grid(4, 4, paper_technology());
   EXPECT_THROW(analyze_tiles(Tensor(Shape{5, 4}), grid), Error);
