@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_repack.dir/bench/ablation_repack.cpp.o"
+  "CMakeFiles/bench_ablation_repack.dir/bench/ablation_repack.cpp.o.d"
+  "bench_ablation_repack"
+  "bench_ablation_repack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_repack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

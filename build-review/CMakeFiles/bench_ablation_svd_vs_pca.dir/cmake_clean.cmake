@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_svd_vs_pca.dir/bench/ablation_svd_vs_pca.cpp.o"
+  "CMakeFiles/bench_ablation_svd_vs_pca.dir/bench/ablation_svd_vs_pca.cpp.o.d"
+  "bench_ablation_svd_vs_pca"
+  "bench_ablation_svd_vs_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_svd_vs_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

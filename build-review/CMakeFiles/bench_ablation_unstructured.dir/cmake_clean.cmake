@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unstructured.dir/bench/ablation_unstructured.cpp.o"
+  "CMakeFiles/bench_ablation_unstructured.dir/bench/ablation_unstructured.cpp.o.d"
+  "bench_ablation_unstructured"
+  "bench_ablation_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

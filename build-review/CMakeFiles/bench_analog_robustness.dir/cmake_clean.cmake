@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analog_robustness.dir/bench/analog_robustness.cpp.o"
+  "CMakeFiles/bench_analog_robustness.dir/bench/analog_robustness.cpp.o.d"
+  "bench_analog_robustness"
+  "bench_analog_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analog_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

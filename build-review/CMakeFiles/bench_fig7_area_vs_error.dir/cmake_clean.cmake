@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_area_vs_error.dir/bench/fig7_area_vs_error.cpp.o"
+  "CMakeFiles/bench_fig7_area_vs_error.dir/bench/fig7_area_vs_error.cpp.o.d"
+  "bench_fig7_area_vs_error"
+  "bench_fig7_area_vs_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_area_vs_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

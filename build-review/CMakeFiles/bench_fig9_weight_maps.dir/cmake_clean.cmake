@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_weight_maps.dir/bench/fig9_weight_maps.cpp.o"
+  "CMakeFiles/bench_fig9_weight_maps.dir/bench/fig9_weight_maps.cpp.o.d"
+  "bench_fig9_weight_maps"
+  "bench_fig9_weight_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_weight_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

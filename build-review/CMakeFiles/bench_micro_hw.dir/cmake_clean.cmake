@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hw.dir/bench/micro_hw.cpp.o"
+  "CMakeFiles/bench_micro_hw.dir/bench/micro_hw.cpp.o.d"
+  "bench_micro_hw"
+  "bench_micro_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lasso.dir/bench/micro_lasso.cpp.o"
+  "CMakeFiles/bench_micro_lasso.dir/bench/micro_lasso.cpp.o.d"
+  "bench_micro_lasso"
+  "bench_micro_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_wirelength.dir/bench/placement_wirelength.cpp.o"
+  "CMakeFiles/bench_placement_wirelength.dir/bench/placement_wirelength.cpp.o.d"
+  "bench_placement_wirelength"
+  "bench_placement_wirelength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_wirelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

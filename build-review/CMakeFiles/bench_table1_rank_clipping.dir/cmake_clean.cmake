@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rank_clipping.dir/bench/table1_rank_clipping.cpp.o"
+  "CMakeFiles/bench_table1_rank_clipping.dir/bench/table1_rank_clipping.cpp.o.d"
+  "bench_table1_rank_clipping"
+  "bench_table1_rank_clipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rank_clipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

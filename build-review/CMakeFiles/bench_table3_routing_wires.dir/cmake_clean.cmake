@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_routing_wires.dir/bench/table3_routing_wires.cpp.o"
+  "CMakeFiles/bench_table3_routing_wires.dir/bench/table3_routing_wires.cpp.o.d"
+  "bench_table3_routing_wires"
+  "bench_table3_routing_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_routing_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cpp" "CMakeFiles/gs.dir/src/common/check.cpp.o" "gcc" "CMakeFiles/gs.dir/src/common/check.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "CMakeFiles/gs.dir/src/common/csv.cpp.o" "gcc" "CMakeFiles/gs.dir/src/common/csv.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/gs.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/gs.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/gs.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/gs.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "CMakeFiles/gs.dir/src/common/string_util.cpp.o" "gcc" "CMakeFiles/gs.dir/src/common/string_util.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/gs.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/gs.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/compress/connection_deletion.cpp" "CMakeFiles/gs.dir/src/compress/connection_deletion.cpp.o" "gcc" "CMakeFiles/gs.dir/src/compress/connection_deletion.cpp.o.d"
+  "/root/repo/src/compress/group_index.cpp" "CMakeFiles/gs.dir/src/compress/group_index.cpp.o" "gcc" "CMakeFiles/gs.dir/src/compress/group_index.cpp.o.d"
+  "/root/repo/src/compress/group_lasso.cpp" "CMakeFiles/gs.dir/src/compress/group_lasso.cpp.o" "gcc" "CMakeFiles/gs.dir/src/compress/group_lasso.cpp.o.d"
+  "/root/repo/src/compress/magnitude_prune.cpp" "CMakeFiles/gs.dir/src/compress/magnitude_prune.cpp.o" "gcc" "CMakeFiles/gs.dir/src/compress/magnitude_prune.cpp.o.d"
+  "/root/repo/src/compress/rank_clipping.cpp" "CMakeFiles/gs.dir/src/compress/rank_clipping.cpp.o" "gcc" "CMakeFiles/gs.dir/src/compress/rank_clipping.cpp.o.d"
+  "/root/repo/src/core/model_config.cpp" "CMakeFiles/gs.dir/src/core/model_config.cpp.o" "gcc" "CMakeFiles/gs.dir/src/core/model_config.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "CMakeFiles/gs.dir/src/core/models.cpp.o" "gcc" "CMakeFiles/gs.dir/src/core/models.cpp.o.d"
+  "/root/repo/src/core/ncs_report.cpp" "CMakeFiles/gs.dir/src/core/ncs_report.cpp.o" "gcc" "CMakeFiles/gs.dir/src/core/ncs_report.cpp.o.d"
+  "/root/repo/src/core/paper_constants.cpp" "CMakeFiles/gs.dir/src/core/paper_constants.cpp.o" "gcc" "CMakeFiles/gs.dir/src/core/paper_constants.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/gs.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/gs.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/data/batcher.cpp" "CMakeFiles/gs.dir/src/data/batcher.cpp.o" "gcc" "CMakeFiles/gs.dir/src/data/batcher.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/gs.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/gs.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/synthetic_cifar.cpp" "CMakeFiles/gs.dir/src/data/synthetic_cifar.cpp.o" "gcc" "CMakeFiles/gs.dir/src/data/synthetic_cifar.cpp.o.d"
+  "/root/repo/src/data/synthetic_mnist.cpp" "CMakeFiles/gs.dir/src/data/synthetic_mnist.cpp.o" "gcc" "CMakeFiles/gs.dir/src/data/synthetic_mnist.cpp.o.d"
+  "/root/repo/src/hw/analog.cpp" "CMakeFiles/gs.dir/src/hw/analog.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/analog.cpp.o.d"
+  "/root/repo/src/hw/area.cpp" "CMakeFiles/gs.dir/src/hw/area.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/area.cpp.o.d"
+  "/root/repo/src/hw/crossbar.cpp" "CMakeFiles/gs.dir/src/hw/crossbar.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/crossbar.cpp.o.d"
+  "/root/repo/src/hw/placement.cpp" "CMakeFiles/gs.dir/src/hw/placement.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/placement.cpp.o.d"
+  "/root/repo/src/hw/repack.cpp" "CMakeFiles/gs.dir/src/hw/repack.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/repack.cpp.o.d"
+  "/root/repo/src/hw/technology.cpp" "CMakeFiles/gs.dir/src/hw/technology.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/technology.cpp.o.d"
+  "/root/repo/src/hw/tiling.cpp" "CMakeFiles/gs.dir/src/hw/tiling.cpp.o" "gcc" "CMakeFiles/gs.dir/src/hw/tiling.cpp.o.d"
+  "/root/repo/src/linalg/eigen.cpp" "CMakeFiles/gs.dir/src/linalg/eigen.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/eigen.cpp.o.d"
+  "/root/repo/src/linalg/gemm_kernel.cpp" "CMakeFiles/gs.dir/src/linalg/gemm_kernel.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/gemm_kernel.cpp.o.d"
+  "/root/repo/src/linalg/gram.cpp" "CMakeFiles/gs.dir/src/linalg/gram.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/gram.cpp.o.d"
+  "/root/repo/src/linalg/lra.cpp" "CMakeFiles/gs.dir/src/linalg/lra.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/lra.cpp.o.d"
+  "/root/repo/src/linalg/pca.cpp" "CMakeFiles/gs.dir/src/linalg/pca.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/pca.cpp.o.d"
+  "/root/repo/src/linalg/rsvd.cpp" "CMakeFiles/gs.dir/src/linalg/rsvd.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/rsvd.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "CMakeFiles/gs.dir/src/linalg/svd.cpp.o" "gcc" "CMakeFiles/gs.dir/src/linalg/svd.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "CMakeFiles/gs.dir/src/nn/activations.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "CMakeFiles/gs.dir/src/nn/checkpoint.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "CMakeFiles/gs.dir/src/nn/conv2d.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "CMakeFiles/gs.dir/src/nn/dense.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "CMakeFiles/gs.dir/src/nn/dropout.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "CMakeFiles/gs.dir/src/nn/init.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "CMakeFiles/gs.dir/src/nn/layer.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/lowrank.cpp" "CMakeFiles/gs.dir/src/nn/lowrank.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/lowrank.cpp.o.d"
+  "/root/repo/src/nn/lr_schedule.cpp" "CMakeFiles/gs.dir/src/nn/lr_schedule.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/lr_schedule.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "CMakeFiles/gs.dir/src/nn/metrics.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/metrics.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "CMakeFiles/gs.dir/src/nn/network.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/gs.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool2d.cpp" "CMakeFiles/gs.dir/src/nn/pool2d.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/pool2d.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "CMakeFiles/gs.dir/src/nn/softmax.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/softmax.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "CMakeFiles/gs.dir/src/nn/trainer.cpp.o" "gcc" "CMakeFiles/gs.dir/src/nn/trainer.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "CMakeFiles/gs.dir/src/tensor/im2col.cpp.o" "gcc" "CMakeFiles/gs.dir/src/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "CMakeFiles/gs.dir/src/tensor/matrix.cpp.o" "gcc" "CMakeFiles/gs.dir/src/tensor/matrix.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "CMakeFiles/gs.dir/src/tensor/serialize.cpp.o" "gcc" "CMakeFiles/gs.dir/src/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/gs.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/gs.dir/src/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_bench_util.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/gs_bench_util.dir/bench/bench_util.cpp.o.d"
+  "libgs_bench_util.a"
+  "libgs_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgs_bench_util.a"
+)

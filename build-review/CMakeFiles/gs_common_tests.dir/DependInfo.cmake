@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/check_test.cpp" "CMakeFiles/gs_common_tests.dir/tests/common/check_test.cpp.o" "gcc" "CMakeFiles/gs_common_tests.dir/tests/common/check_test.cpp.o.d"
+  "/root/repo/tests/common/csv_test.cpp" "CMakeFiles/gs_common_tests.dir/tests/common/csv_test.cpp.o" "gcc" "CMakeFiles/gs_common_tests.dir/tests/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/log_test.cpp" "CMakeFiles/gs_common_tests.dir/tests/common/log_test.cpp.o" "gcc" "CMakeFiles/gs_common_tests.dir/tests/common/log_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "CMakeFiles/gs_common_tests.dir/tests/common/rng_test.cpp.o" "gcc" "CMakeFiles/gs_common_tests.dir/tests/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/string_util_test.cpp" "CMakeFiles/gs_common_tests.dir/tests/common/string_util_test.cpp.o" "gcc" "CMakeFiles/gs_common_tests.dir/tests/common/string_util_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "CMakeFiles/gs_common_tests.dir/tests/common/thread_pool_test.cpp.o" "gcc" "CMakeFiles/gs_common_tests.dir/tests/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_common_tests.dir/tests/common/check_test.cpp.o"
+  "CMakeFiles/gs_common_tests.dir/tests/common/check_test.cpp.o.d"
+  "CMakeFiles/gs_common_tests.dir/tests/common/csv_test.cpp.o"
+  "CMakeFiles/gs_common_tests.dir/tests/common/csv_test.cpp.o.d"
+  "CMakeFiles/gs_common_tests.dir/tests/common/log_test.cpp.o"
+  "CMakeFiles/gs_common_tests.dir/tests/common/log_test.cpp.o.d"
+  "CMakeFiles/gs_common_tests.dir/tests/common/rng_test.cpp.o"
+  "CMakeFiles/gs_common_tests.dir/tests/common/rng_test.cpp.o.d"
+  "CMakeFiles/gs_common_tests.dir/tests/common/string_util_test.cpp.o"
+  "CMakeFiles/gs_common_tests.dir/tests/common/string_util_test.cpp.o.d"
+  "CMakeFiles/gs_common_tests.dir/tests/common/thread_pool_test.cpp.o"
+  "CMakeFiles/gs_common_tests.dir/tests/common/thread_pool_test.cpp.o.d"
+  "gs_common_tests"
+  "gs_common_tests.pdb"
+  "gs_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

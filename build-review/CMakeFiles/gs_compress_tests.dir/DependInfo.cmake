@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/connection_deletion_test.cpp" "CMakeFiles/gs_compress_tests.dir/tests/compress/connection_deletion_test.cpp.o" "gcc" "CMakeFiles/gs_compress_tests.dir/tests/compress/connection_deletion_test.cpp.o.d"
+  "/root/repo/tests/compress/group_index_test.cpp" "CMakeFiles/gs_compress_tests.dir/tests/compress/group_index_test.cpp.o" "gcc" "CMakeFiles/gs_compress_tests.dir/tests/compress/group_index_test.cpp.o.d"
+  "/root/repo/tests/compress/group_lasso_test.cpp" "CMakeFiles/gs_compress_tests.dir/tests/compress/group_lasso_test.cpp.o" "gcc" "CMakeFiles/gs_compress_tests.dir/tests/compress/group_lasso_test.cpp.o.d"
+  "/root/repo/tests/compress/magnitude_prune_test.cpp" "CMakeFiles/gs_compress_tests.dir/tests/compress/magnitude_prune_test.cpp.o" "gcc" "CMakeFiles/gs_compress_tests.dir/tests/compress/magnitude_prune_test.cpp.o.d"
+  "/root/repo/tests/compress/rank_clipping_test.cpp" "CMakeFiles/gs_compress_tests.dir/tests/compress/rank_clipping_test.cpp.o" "gcc" "CMakeFiles/gs_compress_tests.dir/tests/compress/rank_clipping_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

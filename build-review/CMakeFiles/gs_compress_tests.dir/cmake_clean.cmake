@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/connection_deletion_test.cpp.o"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/connection_deletion_test.cpp.o.d"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/group_index_test.cpp.o"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/group_index_test.cpp.o.d"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/group_lasso_test.cpp.o"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/group_lasso_test.cpp.o.d"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/magnitude_prune_test.cpp.o"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/magnitude_prune_test.cpp.o.d"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/rank_clipping_test.cpp.o"
+  "CMakeFiles/gs_compress_tests.dir/tests/compress/rank_clipping_test.cpp.o.d"
+  "gs_compress_tests"
+  "gs_compress_tests.pdb"
+  "gs_compress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_compress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/integration_test.cpp" "CMakeFiles/gs_core_tests.dir/tests/core/integration_test.cpp.o" "gcc" "CMakeFiles/gs_core_tests.dir/tests/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/model_config_test.cpp" "CMakeFiles/gs_core_tests.dir/tests/core/model_config_test.cpp.o" "gcc" "CMakeFiles/gs_core_tests.dir/tests/core/model_config_test.cpp.o.d"
+  "/root/repo/tests/core/models_test.cpp" "CMakeFiles/gs_core_tests.dir/tests/core/models_test.cpp.o" "gcc" "CMakeFiles/gs_core_tests.dir/tests/core/models_test.cpp.o.d"
+  "/root/repo/tests/core/ncs_report_test.cpp" "CMakeFiles/gs_core_tests.dir/tests/core/ncs_report_test.cpp.o" "gcc" "CMakeFiles/gs_core_tests.dir/tests/core/ncs_report_test.cpp.o.d"
+  "/root/repo/tests/core/paper_constants_test.cpp" "CMakeFiles/gs_core_tests.dir/tests/core/paper_constants_test.cpp.o" "gcc" "CMakeFiles/gs_core_tests.dir/tests/core/paper_constants_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "CMakeFiles/gs_core_tests.dir/tests/core/pipeline_test.cpp.o" "gcc" "CMakeFiles/gs_core_tests.dir/tests/core/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

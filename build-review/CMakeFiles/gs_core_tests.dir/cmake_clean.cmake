@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_core_tests.dir/tests/core/integration_test.cpp.o"
+  "CMakeFiles/gs_core_tests.dir/tests/core/integration_test.cpp.o.d"
+  "CMakeFiles/gs_core_tests.dir/tests/core/model_config_test.cpp.o"
+  "CMakeFiles/gs_core_tests.dir/tests/core/model_config_test.cpp.o.d"
+  "CMakeFiles/gs_core_tests.dir/tests/core/models_test.cpp.o"
+  "CMakeFiles/gs_core_tests.dir/tests/core/models_test.cpp.o.d"
+  "CMakeFiles/gs_core_tests.dir/tests/core/ncs_report_test.cpp.o"
+  "CMakeFiles/gs_core_tests.dir/tests/core/ncs_report_test.cpp.o.d"
+  "CMakeFiles/gs_core_tests.dir/tests/core/paper_constants_test.cpp.o"
+  "CMakeFiles/gs_core_tests.dir/tests/core/paper_constants_test.cpp.o.d"
+  "CMakeFiles/gs_core_tests.dir/tests/core/pipeline_test.cpp.o"
+  "CMakeFiles/gs_core_tests.dir/tests/core/pipeline_test.cpp.o.d"
+  "gs_core_tests"
+  "gs_core_tests.pdb"
+  "gs_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_data_tests.dir/tests/data/batcher_test.cpp.o"
+  "CMakeFiles/gs_data_tests.dir/tests/data/batcher_test.cpp.o.d"
+  "CMakeFiles/gs_data_tests.dir/tests/data/synthetic_cifar_test.cpp.o"
+  "CMakeFiles/gs_data_tests.dir/tests/data/synthetic_cifar_test.cpp.o.d"
+  "CMakeFiles/gs_data_tests.dir/tests/data/synthetic_mnist_test.cpp.o"
+  "CMakeFiles/gs_data_tests.dir/tests/data/synthetic_mnist_test.cpp.o.d"
+  "gs_data_tests"
+  "gs_data_tests.pdb"
+  "gs_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/analog_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/analog_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/analog_test.cpp.o.d"
+  "/root/repo/tests/hw/area_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/area_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/area_test.cpp.o.d"
+  "/root/repo/tests/hw/crossbar_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/crossbar_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/crossbar_test.cpp.o.d"
+  "/root/repo/tests/hw/paper_replay_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/paper_replay_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/paper_replay_test.cpp.o.d"
+  "/root/repo/tests/hw/placement_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/placement_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/placement_test.cpp.o.d"
+  "/root/repo/tests/hw/repack_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/repack_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/repack_test.cpp.o.d"
+  "/root/repo/tests/hw/tiling_test.cpp" "CMakeFiles/gs_hw_tests.dir/tests/hw/tiling_test.cpp.o" "gcc" "CMakeFiles/gs_hw_tests.dir/tests/hw/tiling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

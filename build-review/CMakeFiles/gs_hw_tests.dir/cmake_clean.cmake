@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/analog_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/analog_test.cpp.o.d"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/area_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/area_test.cpp.o.d"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/crossbar_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/crossbar_test.cpp.o.d"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/paper_replay_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/paper_replay_test.cpp.o.d"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/placement_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/placement_test.cpp.o.d"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/repack_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/repack_test.cpp.o.d"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/tiling_test.cpp.o"
+  "CMakeFiles/gs_hw_tests.dir/tests/hw/tiling_test.cpp.o.d"
+  "gs_hw_tests"
+  "gs_hw_tests.pdb"
+  "gs_hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/eigen_test.cpp" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/eigen_test.cpp.o" "gcc" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/eigen_test.cpp.o.d"
+  "/root/repo/tests/linalg/lra_test.cpp" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/lra_test.cpp.o" "gcc" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/lra_test.cpp.o.d"
+  "/root/repo/tests/linalg/pca_test.cpp" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/pca_test.cpp.o" "gcc" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/pca_test.cpp.o.d"
+  "/root/repo/tests/linalg/rsvd_test.cpp" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/rsvd_test.cpp.o" "gcc" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/rsvd_test.cpp.o.d"
+  "/root/repo/tests/linalg/svd_test.cpp" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/svd_test.cpp.o" "gcc" "CMakeFiles/gs_linalg_tests.dir/tests/linalg/svd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/eigen_test.cpp.o"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/eigen_test.cpp.o.d"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/lra_test.cpp.o"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/lra_test.cpp.o.d"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/pca_test.cpp.o"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/pca_test.cpp.o.d"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/rsvd_test.cpp.o"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/rsvd_test.cpp.o.d"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/svd_test.cpp.o"
+  "CMakeFiles/gs_linalg_tests.dir/tests/linalg/svd_test.cpp.o.d"
+  "gs_linalg_tests"
+  "gs_linalg_tests.pdb"
+  "gs_linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

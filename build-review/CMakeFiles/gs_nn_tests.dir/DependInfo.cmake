@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activations_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/activations_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/activations_test.cpp.o.d"
+  "/root/repo/tests/nn/checkpoint_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/checkpoint_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/nn/conv2d_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/conv2d_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/conv2d_test.cpp.o.d"
+  "/root/repo/tests/nn/dense_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/dense_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/dense_test.cpp.o.d"
+  "/root/repo/tests/nn/dropout_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/dropout_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/dropout_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/gradcheck_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/lowrank_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/lowrank_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/lowrank_test.cpp.o.d"
+  "/root/repo/tests/nn/lr_schedule_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/lr_schedule_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/lr_schedule_test.cpp.o.d"
+  "/root/repo/tests/nn/metrics_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/metrics_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn/network_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/network_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/network_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/optimizer_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/pool2d_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/pool2d_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/pool2d_test.cpp.o.d"
+  "/root/repo/tests/nn/softmax_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/softmax_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/softmax_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_test.cpp" "CMakeFiles/gs_nn_tests.dir/tests/nn/trainer_test.cpp.o" "gcc" "CMakeFiles/gs_nn_tests.dir/tests/nn/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

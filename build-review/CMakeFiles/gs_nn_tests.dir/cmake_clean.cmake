@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/activations_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/activations_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/checkpoint_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/checkpoint_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/conv2d_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/conv2d_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/dense_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/dense_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/dropout_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/dropout_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/lowrank_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/lowrank_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/lr_schedule_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/lr_schedule_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/metrics_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/metrics_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/network_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/network_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/optimizer_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/optimizer_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/pool2d_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/pool2d_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/softmax_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/softmax_test.cpp.o.d"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/trainer_test.cpp.o"
+  "CMakeFiles/gs_nn_tests.dir/tests/nn/trainer_test.cpp.o.d"
+  "gs_nn_tests"
+  "gs_nn_tests.pdb"
+  "gs_nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/gemm_kernel_test.cpp" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/gemm_kernel_test.cpp.o" "gcc" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/gemm_kernel_test.cpp.o.d"
+  "/root/repo/tests/tensor/im2col_test.cpp" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/im2col_test.cpp.o" "gcc" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/im2col_test.cpp.o.d"
+  "/root/repo/tests/tensor/matrix_test.cpp" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/matrix_test.cpp.o" "gcc" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/matrix_test.cpp.o.d"
+  "/root/repo/tests/tensor/serialize_test.cpp" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/serialize_test.cpp.o" "gcc" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/serialize_test.cpp.o.d"
+  "/root/repo/tests/tensor/tensor_test.cpp" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/tensor_test.cpp.o" "gcc" "CMakeFiles/gs_tensor_tests.dir/tests/tensor/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/gs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/gemm_kernel_test.cpp.o"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/gemm_kernel_test.cpp.o.d"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/im2col_test.cpp.o"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/im2col_test.cpp.o.d"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/matrix_test.cpp.o"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/matrix_test.cpp.o.d"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/serialize_test.cpp.o"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/serialize_test.cpp.o.d"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/tensor_test.cpp.o"
+  "CMakeFiles/gs_tensor_tests.dir/tests/tensor/tensor_test.cpp.o.d"
+  "gs_tensor_tests"
+  "gs_tensor_tests.pdb"
+  "gs_tensor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_tensor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/gs_common_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_compress_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_core_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_data_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_hw_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_linalg_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_nn_tests[1]_include.cmake")
+include("/root/repo/build-review/gs_tensor_tests[1]_include.cmake")
