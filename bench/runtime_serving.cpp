@@ -1,0 +1,270 @@
+// Crossbar-runtime serving benchmark.
+//
+// Trains LeNet briefly, compiles it into an ideal-device CrossbarProgram
+// and measures the three layers of the runtime subsystem:
+//  * compiler — compile latency and the size of the tile schedule;
+//  * executor — digital parity plus direct forward throughput at batch 1
+//    and batch 32 (per_sample_speedup isolates the executor-level batching
+//    win, which needs multiple cores to show);
+//  * serving engine — closed-loop throughput through the production server
+//    config (max_batch 32, 2 ms coalescing deadline) at concurrency 1 vs.
+//    32 concurrent clients, plus a max_batch=1 server under the same
+//    32-client load as the no-coalescing contrast.
+//
+// Reading the serving numbers: serving_single is true low-concurrency
+// behaviour of a deadline-batching server — a lone request pays the
+// coalescing deadline before its batch-1 forward — so speedup_vs_single
+// combines deadline amortisation (dominant on one core) with executor
+// batching (dominant once batch-32 forwards can spread across cores,
+// where a lone request stays latency-bound). serving_unbatched isolates
+// the same-concurrency contrast.
+//
+// Emits BENCH_runtime.json in the working directory; the headline metric is
+// serving_batched.speedup_vs_single. Thread count follows GS_NUM_THREADS.
+// Pass --smoke for a tiny-budget CI run.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/server.hpp"
+
+namespace gs::bench {
+namespace {
+
+struct Budget {
+  std::size_t train_iters;
+  std::size_t parity_batch;
+  std::size_t single_requests;
+  std::size_t clients;
+  std::size_t per_client;
+  std::size_t eval_samples;
+  int reps;
+};
+
+Tensor random_samples(std::size_t count, std::uint64_t seed) {
+  Tensor t(Shape{count, 1, 28, 28});
+  Rng rng(seed);
+  t.fill_uniform(rng, 0.0f, 1.0f);
+  return t;
+}
+
+Tensor slice_sample(const Tensor& batch, std::size_t index) {
+  Tensor s(Shape{1, 28, 28});
+  const std::size_t n = s.numel();
+  std::copy(batch.data() + index * n, batch.data() + (index + 1) * n,
+            s.data());
+  return s;
+}
+
+/// Wall-clock seconds of one closed-loop serving run: `clients` threads, each
+/// issuing `per_client` blocking requests.
+double serve_closed_loop(runtime::BatchingServer& server, const Tensor& pool,
+                         std::size_t clients, std::size_t per_client) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (std::size_t r = 0; r < per_client; ++r) {
+        server.infer(slice_sample(pool, (c * per_client + r) % pool.dim(0)));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+}  // namespace gs::bench
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  using namespace gs::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const Budget budget = smoke ? Budget{30, 4, 24, 8, 4, 16, 1}
+                              : Budget{iters(400), 8, 160, 32, 16, 64, 3};
+
+  section(smoke ? "runtime_serving (smoke): crossbar inference runtime"
+                : "runtime_serving: crossbar inference runtime");
+
+  // A briefly-trained model, so the accuracy records measure real signal
+  // (an untrained net scores chance for every device setting).
+  TrainedModel model = trained_lenet(budget.train_iters);
+  nn::Network& net = model.net;
+  note("lenet trained " + std::to_string(budget.train_iters) +
+       " iters, digital accuracy " + std::to_string(model.accuracy));
+  const Shape sample_shape{1, 28, 28};
+  std::vector<BenchRecord> records;
+
+  // --- Compiler -------------------------------------------------------------
+  runtime::CompileOptions options;  // ideal device, paper technology
+  const double compile_s = time_median_seconds(
+      [&] { runtime::compile(net, sample_shape, options); }, budget.reps);
+  const runtime::CrossbarProgram program =
+      runtime::compile(net, sample_shape, options);
+  {
+    BenchRecord rec;
+    rec.name = "compile";
+    rec.label("network", "lenet").label("device", "ideal");
+    rec.metric("seconds", compile_s)
+        .metric("tiles", static_cast<double>(program.tile_count()))
+        .metric("stages", static_cast<double>(program.stage_count()));
+    records.push_back(rec);
+    std::printf("compile                     %.4fs  %zu tiles, %zu stages\n",
+                compile_s, program.tile_count(), program.stage_count());
+  }
+  const runtime::Executor executor(program);
+
+  // --- Executor: parity and direct batching ---------------------------------
+  {
+    const Tensor batch = random_samples(budget.parity_batch, 5);
+    const Tensor digital = net.forward(batch, /*train=*/false);
+    const Tensor analog = executor.forward(batch);
+    const float diff = max_abs_diff(digital, analog);
+    BenchRecord rec;
+    rec.name = "parity";
+    rec.label("device", "ideal");
+    rec.metric("max_logit_diff", diff)
+        .metric("within_1e-4", diff <= 1e-4f ? 1.0 : 0.0);
+    records.push_back(rec);
+    std::printf("parity                      max |logit diff| %.2e (%s)\n",
+                diff, diff <= 1e-4f ? "ok" : "FAIL");
+  }
+
+  const Tensor pool = random_samples(64, 9);
+  const Tensor one = slice_sample(pool, 0);
+  Tensor single(Shape{1, 1, 28, 28});
+  std::copy(one.data(), one.data() + one.numel(), single.data());
+  const double direct1_s = time_median_seconds(
+      [&] { executor.forward(single); }, budget.reps * 3);
+  Tensor batch32(Shape{32, 1, 28, 28});
+  std::copy(pool.data(), pool.data() + batch32.numel(), batch32.data());
+  const double direct32_s =
+      time_median_seconds([&] { executor.forward(batch32); }, budget.reps);
+  {
+    BenchRecord rec;
+    rec.name = "executor_direct";
+    rec.label("network", "lenet");
+    rec.metric("batch1_seconds", direct1_s)
+        .metric("batch32_seconds", direct32_s)
+        .metric("batch1_rps", 1.0 / direct1_s)
+        .metric("batch32_rps", 32.0 / direct32_s)
+        // Per-sample speedup of batched execution (32 = perfect batching).
+        .metric("per_sample_speedup", 32.0 * direct1_s / direct32_s);
+    records.push_back(rec);
+    std::printf("executor_direct             batch1 %.0f rps   batch32 %.0f rps\n",
+                1.0 / direct1_s, 32.0 / direct32_s);
+  }
+
+  // --- Serving: the production config (max_batch 32, 2 ms coalescing
+  // deadline) driven closed-loop at concurrency 1 (single-request
+  // throughput: a lone request pays the deadline plus one batch-1 forward)
+  // and at `clients` concurrent clients (coalesced batches). A max_batch=1
+  // server under the same concurrent load shows what serving costs without
+  // the batching engine.
+  runtime::BatchingConfig production;
+  production.max_batch = 32;
+  production.max_delay = std::chrono::microseconds(2000);
+
+  double single_rps = 0.0;
+  {
+    runtime::BatchingServer server(executor, production);
+    const double wall =
+        serve_closed_loop(server, pool, 1, budget.single_requests);
+    server.shutdown();
+    const runtime::ServerStats stats = server.stats();
+    single_rps = static_cast<double>(budget.single_requests) / wall;
+    BenchRecord rec;
+    rec.name = "serving_single";
+    rec.label("mode", "closed-loop, 1 client, max_batch 32, 2ms deadline");
+    rec.metric("requests", static_cast<double>(stats.completed))
+        .metric("throughput_rps", single_rps)
+        .metric("latency_p50_ms", stats.latency_p50_ms)
+        .metric("latency_p99_ms", stats.latency_p99_ms);
+    records.push_back(rec);
+    std::printf("serving_single              %.0f rps   p50 %.2fms p99 %.2fms\n",
+                single_rps, stats.latency_p50_ms, stats.latency_p99_ms);
+  }
+  {
+    runtime::BatchingConfig config;
+    config.max_batch = 1;  // queue.size() >= 1 ⇒ launch; no coalescing
+    runtime::BatchingServer server(executor, config);
+    const std::size_t total = budget.clients * budget.per_client;
+    const double wall =
+        serve_closed_loop(server, pool, budget.clients, budget.per_client);
+    server.shutdown();
+    BenchRecord rec;
+    rec.name = "serving_unbatched";
+    rec.label("mode", std::to_string(budget.clients) +
+                          " clients, max_batch 1 (no coalescing)");
+    rec.metric("throughput_rps", static_cast<double>(total) / wall);
+    records.push_back(rec);
+    std::printf("serving_unbatched           %.0f rps\n",
+                static_cast<double>(total) / wall);
+  }
+  {
+    runtime::BatchingServer server(executor, production);
+    const std::size_t total = budget.clients * budget.per_client;
+    const double wall =
+        serve_closed_loop(server, pool, budget.clients, budget.per_client);
+    server.shutdown();
+    const runtime::ServerStats stats = server.stats();
+    const double rps = static_cast<double>(total) / wall;
+    BenchRecord rec;
+    rec.name = "serving_batched";
+    rec.label("mode", std::to_string(budget.clients) +
+                          " clients, max_batch 32, 2ms deadline");
+    rec.metric("requests", static_cast<double>(stats.completed))
+        .metric("throughput_rps", rps)
+        .metric("speedup_vs_single", rps / single_rps)
+        .metric("mean_batch", stats.mean_batch)
+        .metric("max_batch_seen", static_cast<double>(stats.max_batch_seen))
+        .metric("latency_p50_ms", stats.latency_p50_ms)
+        .metric("latency_p95_ms", stats.latency_p95_ms)
+        .metric("latency_p99_ms", stats.latency_p99_ms);
+    records.push_back(rec);
+    std::printf(
+        "serving_batched             %.0f rps (x%.1f vs single)  mean batch "
+        "%.1f  p50 %.2fms p99 %.2fms\n",
+        rps, rps / single_rps, stats.mean_batch, stats.latency_p50_ms,
+        stats.latency_p99_ms);
+  }
+
+  // --- Nonideal end-to-end: accuracy through quantised converters -----------
+  {
+    const data::SyntheticMnist test_set(/*seed=*/2, budget.eval_samples);
+    runtime::CompileOptions nonideal;
+    nonideal.analog.levels = 64;
+    nonideal.converters.dac_levels = 255;
+    nonideal.converters.adc_levels = 4095;
+    const runtime::CrossbarProgram quantized =
+        runtime::compile(net, sample_shape, nonideal);
+    const runtime::Executor qexec(quantized);
+    const double ideal_acc =
+        runtime::evaluate(executor, test_set, budget.eval_samples);
+    const double quant_acc =
+        runtime::evaluate(qexec, test_set, budget.eval_samples);
+    BenchRecord rec;
+    rec.name = "nonideal_accuracy";
+    rec.label("device", "64-level cells, 8-bit DAC, 12-bit ADC");
+    rec.metric("ideal_accuracy", ideal_acc)
+        .metric("quantized_accuracy", quant_acc)
+        .metric("eval_samples", static_cast<double>(budget.eval_samples));
+    records.push_back(rec);
+    std::printf("nonideal_accuracy           ideal %.3f   quantized %.3f\n",
+                ideal_acc, quant_acc);
+  }
+
+  write_bench_json("BENCH_runtime.json", "runtime", records);
+  note("\nwrote BENCH_runtime.json");
+  return 0;
+}

@@ -103,6 +103,17 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
       << report.remaining_wires << "/" << report.total_wires
       << "; mean routing-area ratio "
       << percent(report.mean_routing_area_ratio()) << '\n';
+  if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0) {
+    out << "accuracy:";
+    if (report.digital_accuracy >= 0.0) {
+      out << " digital " << percent(report.digital_accuracy);
+    }
+    if (report.runtime_accuracy >= 0.0) {
+      if (report.digital_accuracy >= 0.0) out << ',';
+      out << " crossbar runtime " << percent(report.runtime_accuracy);
+    }
+    out << '\n';
+  }
 }
 
 }  // namespace gs::core

@@ -35,6 +35,13 @@ struct NcsReport {
   std::size_t remaining_wires = 0;
   std::size_t total_tiles = 0;
 
+  /// Accuracy of the same network through the digital forward pass and
+  /// through the crossbar runtime (runtime/executor.hpp). Negative = not
+  /// measured; the pipeline fills both for its final report so analog
+  /// inference is graded next to the digital reference.
+  double digital_accuracy = -1.0;
+  double runtime_accuracy = -1.0;
+
   /// Cell count the same network would need with every factorised layer
   /// dense (N·M) — the denominator of the paper's crossbar-area ratios.
   std::size_t dense_baseline_cells = 0;

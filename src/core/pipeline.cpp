@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "nn/trainer.hpp"
+#include "runtime/executor.hpp"
 
 namespace gs::core {
 
@@ -72,6 +73,25 @@ PipelineResult run_group_scissor(
   }
   result.final_report =
       build_ncs_report(lowrank, config.tech, config.policy);
+  result.final_report.digital_accuracy =
+      result.deletion.accuracy_after_finetune;
+
+  // End-to-end crossbar inference of the compressed network (ideal device):
+  // the analog execution path, not the weight-write-back approximation.
+  if (config.runtime_eval) {
+    runtime::CompileOptions copts;
+    copts.tech = config.tech;
+    copts.policy = config.policy;
+    const runtime::CrossbarProgram program =
+        runtime::compile(lowrank, test_set.sample_shape(), copts);
+    const runtime::Executor executor(program);
+    result.runtime_accuracy =
+        runtime::evaluate(executor, test_set, config.eval_samples);
+    result.final_report.runtime_accuracy = result.runtime_accuracy;
+    GS_LOG_INFO << "pipeline: crossbar runtime accuracy "
+                << result.runtime_accuracy << " over " << program.tile_count()
+                << " tiles";
+  }
   result.network = std::move(lowrank);
   return result;
 }

@@ -37,6 +37,10 @@ struct PipelineConfig {
   std::size_t eval_samples = 0;      ///< 0 = whole eval set
   hw::TechnologyParams tech;
   hw::MappingPolicy policy = hw::MappingPolicy::kDivisorExact;
+  /// Compile the final compressed network into a crossbar program
+  /// (runtime/program.hpp, ideal device) and measure its inference accuracy
+  /// next to the digital forward in the final report.
+  bool runtime_eval = true;
 };
 
 /// Everything the pipeline produced.
@@ -49,6 +53,9 @@ struct PipelineResult {
   NcsReport clipped_report;   ///< after rank clipping
   compress::DeletionResult deletion;
   NcsReport final_report;     ///< after deletion + fine-tune
+  /// Ideal-device crossbar-runtime accuracy of the final network (negative
+  /// when runtime_eval is off). Also mirrored into final_report.
+  double runtime_accuracy = -1.0;
   /// The compressed network itself (moved out for further use).
   nn::Network network;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -85,14 +86,26 @@ AnalogCrossbar::AnalogCrossbar(const Tensor& weights, double w_max,
 Tensor AnalogCrossbar::matvec(const Tensor& x) const {
   GS_CHECK(x.rank() == 1 && x.dim(0) == effective_.rows());
   Tensor y(Shape{effective_.cols()});
+  std::vector<double> acc(effective_.cols(), 0.0);
+  accumulate_matvec(x.data(), acc.data());
   for (std::size_t j = 0; j < effective_.cols(); ++j) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < effective_.rows(); ++i) {
-      acc += static_cast<double>(x[i]) * effective_.at(i, j);
-    }
-    y[j] = static_cast<float>(acc);
+    y[j] = static_cast<float>(acc[j]);
   }
   return y;
+}
+
+void AnalogCrossbar::accumulate_matvec(const float* x, double* acc) const {
+  const std::size_t p = effective_.rows();
+  const std::size_t q = effective_.cols();
+  const float* w = effective_.data();
+  for (std::size_t i = 0; i < p; ++i) {
+    const double xi = static_cast<double>(x[i]);
+    if (xi == 0.0) continue;  // adds nothing; skipping preserves the sums
+    const float* row = w + i * q;
+    for (std::size_t j = 0; j < q; ++j) {
+      acc[j] += xi * static_cast<double>(row[j]);
+    }
+  }
 }
 
 Tensor analog_effective_matrix(const Tensor& m, const TileGrid& grid,

@@ -66,6 +66,16 @@ class AnalogCrossbar {
   /// direct use; network-level evaluation uses effective_weights()).
   Tensor matvec(const Tensor& x) const;
 
+  /// Raw per-tile MVM kernel: accumulates xᵀ·W_eff into `acc` (length
+  /// cols()), reading exactly rows() floats from `x`. Accumulation is double
+  /// precision in fixed row order, so repeated calls are bitwise
+  /// reproducible — this is the inner kernel of the crossbar runtime
+  /// executor (runtime/executor.hpp).
+  void accumulate_matvec(const float* x, double* acc) const;
+
+  std::size_t rows() const { return effective_.rows(); }
+  std::size_t cols() const { return effective_.cols(); }
+
   const Tensor& conductance_plus() const { return g_plus_; }
   const Tensor& conductance_minus() const { return g_minus_; }
 

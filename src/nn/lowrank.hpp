@@ -75,6 +75,7 @@ class LowRankDense final : public Layer, public FactorizedLayer {
   std::string factor_name() const override { return name_; }
 
   Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   std::string name_;
@@ -128,6 +129,7 @@ class LowRankConv2d final : public Layer, public FactorizedLayer {
 
   const Spec& spec() const { return spec_; }
   Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   std::string name_;

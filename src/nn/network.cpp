@@ -49,8 +49,20 @@ Layer& Network::layer(std::size_t i) {
   return *layers_[i];
 }
 
+const Layer& Network::layer(std::size_t i) const {
+  GS_CHECK_MSG(i < layers_.size(), "layer index " << i << " out of range");
+  return *layers_[i];
+}
+
 Layer* Network::find(const std::string& name) {
   for (auto& layer : layers_) {
+    if (layer->name() == name) return layer.get();
+  }
+  return nullptr;
+}
+
+const Layer* Network::find(const std::string& name) const {
+  for (const auto& layer : layers_) {
     if (layer->name() == name) return layer.get();
   }
   return nullptr;

@@ -35,7 +35,9 @@ class Network {
 
   std::size_t layer_count() const { return layers_.size(); }
   Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
   Layer* find(const std::string& name);
+  const Layer* find(const std::string& name) const;
 
   /// Every layer implementing FactorizedLayer, in network order — the
   /// clipping/deletion targets.

@@ -53,6 +53,16 @@ TrainStats train(Network& net, SgdOptimizer& opt, data::Batcher& batcher,
 
 double evaluate(Network& net, const data::Dataset& dataset,
                 std::size_t max_samples, std::size_t batch_size) {
+  return evaluate_forward(
+      [&net](const Tensor& images) {
+        return net.forward(images, /*train=*/false);
+      },
+      dataset, max_samples, batch_size);
+}
+
+double evaluate_forward(const std::function<Tensor(const Tensor&)>& forward,
+                        const data::Dataset& dataset, std::size_t max_samples,
+                        std::size_t batch_size) {
   const std::size_t total =
       max_samples == 0 ? dataset.size() : std::min(max_samples, dataset.size());
   GS_CHECK(total > 0 && batch_size > 0);
@@ -63,7 +73,7 @@ double evaluate(Network& net, const data::Dataset& dataset,
     std::vector<std::size_t> indices(take);
     std::iota(indices.begin(), indices.end(), done);
     const data::Batch batch = data::make_batch(dataset, indices);
-    Tensor logits = net.forward(batch.images, /*train=*/false);
+    const Tensor logits = forward(batch.images);
     GS_CHECK(logits.rank() == 2 && logits.rows() == take);
     const std::size_t classes = logits.cols();
     for (std::size_t b = 0; b < take; ++b) {

@@ -44,4 +44,13 @@ TrainStats train(Network& net, SgdOptimizer& opt, data::Batcher& batcher,
 double evaluate(Network& net, const data::Dataset& dataset,
                 std::size_t max_samples = 0, std::size_t batch_size = 100);
 
+/// Accuracy of an arbitrary batched forward pass (B×sample images →
+/// B×classes logits) over `dataset` — the shared loop behind nn::evaluate
+/// and runtime::evaluate, so digital and crossbar accuracy are always
+/// measured with identical batching and argmax semantics.
+double evaluate_forward(const std::function<Tensor(const Tensor&)>& forward,
+                        const data::Dataset& dataset,
+                        std::size_t max_samples = 0,
+                        std::size_t batch_size = 100);
+
 }  // namespace gs::nn

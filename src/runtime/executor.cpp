@@ -1,0 +1,302 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::runtime {
+
+namespace {
+
+/// Snaps `v` to the nearest of `levels` uniformly-spaced states across
+/// [-full_scale, +full_scale], clamping at the rails.
+double quantize_uniform(double v, double full_scale, std::size_t levels) {
+  const double step =
+      2.0 * full_scale / static_cast<double>(levels - 1);
+  double idx = std::round((v + full_scale) / step);
+  idx = std::clamp(idx, 0.0, static_cast<double>(levels - 1));
+  return -full_scale + idx * step;
+}
+
+std::size_t pool_out_extent(std::size_t in, std::size_t kernel,
+                            std::size_t stride) {
+  GS_CHECK_MSG(in >= 1, "pooling input too small");
+  if (in <= kernel) return 1;
+  return (in - kernel + stride - 1) / stride + 1;  // Caffe ceil mode
+}
+
+}  // namespace
+
+Executor::Executor(const CrossbarProgram& program, ThreadPool* pool)
+    : program_(&program), pool_(pool) {}
+
+ThreadPool& Executor::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::global();
+}
+
+void Executor::apply_plan(const MatrixPlan& plan, const Tensor& act,
+                          Tensor& out) const {
+  const std::size_t in_dim = plan.grid.rows;
+  const std::size_t out_dim = plan.grid.cols;
+  GS_CHECK(act.rank() == 2 && act.cols() == in_dim);
+  GS_CHECK(out.rank() == 2 && out.rows() == act.rows() &&
+           out.cols() == out_dim);
+  const std::size_t rows = act.rows();
+  const std::size_t grid_rows = plan.grid.grid_rows();
+  const std::size_t grid_cols = plan.grid.grid_cols();
+  const DacAdcParams& conv = program_->options().converters;
+  const bool need_scale = conv.dac_levels > 0 || conv.adc_levels > 0;
+  // ADC no-overload full scale is per tile geometry: P inputs at x_max
+  // through weights at w_max.
+  const double adc_gain =
+      plan.w_max * static_cast<double>(plan.grid.tile.rows);
+
+  // Converter front-end, hoisted out of the per-tile-column tasks: the
+  // per-input-vector full scale and the DAC-quantised activations are pure
+  // per-row functions, so computing them once keeps every task's arithmetic
+  // unchanged while avoiding a grid_cols-fold rescan of the row.
+  std::vector<double> row_scale;
+  Tensor dac_quantized;
+  const Tensor* input = &act;
+  if (need_scale) {
+    row_scale.resize(rows);
+    if (conv.dac_levels > 0) dac_quantized = Tensor(act.shape());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* x = act.data() + r * in_dim;
+      double x_max = 0.0;
+      for (std::size_t i = 0; i < in_dim; ++i) {
+        x_max = std::max(x_max, static_cast<double>(std::fabs(x[i])));
+      }
+      row_scale[r] = x_max;
+      if (conv.dac_levels > 0) {
+        float* q = dac_quantized.data() + r * in_dim;
+        if (x_max > 0.0) {
+          for (std::size_t i = 0; i < in_dim; ++i) {
+            q[i] = static_cast<float>(
+                quantize_uniform(x[i], x_max, conv.dac_levels));
+          }
+        } else {
+          std::copy(x, x + in_dim, q);
+        }
+      }
+    }
+    if (conv.dac_levels > 0) input = &dac_quantized;
+  }
+
+  ThreadPool& tp = pool();
+  // Row blocking only partitions work — per-row arithmetic is partition-
+  // independent — so the block size may track the pool size freely without
+  // affecting results.
+  const std::size_t block = std::clamp<std::size_t>(
+      (rows + tp.size() * 4 - 1) / (tp.size() * 4), 1, 64);
+  const std::size_t row_blocks = (rows + block - 1) / block;
+
+  tp.parallel_for(row_blocks * grid_cols, [&](std::size_t task) {
+    const std::size_t tc = task % grid_cols;
+    const std::size_t r0 = (task / grid_cols) * block;
+    const std::size_t r1 = std::min(r0 + block, rows);
+    const hw::GroupSlice& col = plan.tiles[tc].slice;
+    const std::size_t width = col.col_end - col.col_begin;
+    std::vector<double> acc(width);
+    std::vector<double> partial(width);
+
+    for (std::size_t r = r0; r < r1; ++r) {
+      const float* x = input->data() + r * in_dim;
+      const double x_max = need_scale ? row_scale[r] : 0.0;
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::size_t tr = 0; tr < grid_rows; ++tr) {
+        const ProgramTile& tile = plan.tiles[tr * grid_cols + tc];
+        std::fill(partial.begin(), partial.end(), 0.0);
+        tile.xbar.accumulate_matvec(x + tile.slice.row_begin, partial.data());
+        if (conv.adc_levels > 0 && x_max > 0.0) {
+          const double full_scale = x_max * adc_gain;
+          for (std::size_t j = 0; j < width; ++j) {
+            partial[j] =
+                quantize_uniform(partial[j], full_scale, conv.adc_levels);
+          }
+        }
+        // Digital partial-sum accumulation, fixed tile-row order.
+        for (std::size_t j = 0; j < width; ++j) acc[j] += partial[j];
+      }
+      float* dst = out.data() + r * out_dim + col.col_begin;
+      for (std::size_t j = 0; j < width; ++j) {
+        dst[j] = static_cast<float>(acc[j]);
+      }
+    }
+  });
+}
+
+Tensor Executor::run_linear(const Step& step, const Tensor& act) const {
+  const Tensor* cur = &act;
+  Tensor reshaped;
+  if (act.rank() != 2) {
+    reshaped = act;
+    reshaped.reshape(Shape{act.dim(0), shape_numel(step.in_shape)});
+    cur = &reshaped;
+  }
+  Tensor out;
+  for (const MatrixPlan& plan : step.stages) {
+    Tensor next(Shape{cur->rows(), plan.grid.cols});
+    apply_plan(plan, *cur, next);
+    out = std::move(next);
+    cur = &out;
+  }
+  if (step.bias.numel() > 0) add_row_vector(out, step.bias);
+  return out;
+}
+
+Tensor Executor::run_conv(const Step& step, const Tensor& act) const {
+  GS_CHECK_MSG(act.rank() == 4, step.name << ": conv input must be B×C×H×W");
+  const ConvGeometry& g = step.geometry;
+  const std::size_t batch = act.dim(0);
+  const std::size_t oh = g.out_height();
+  const std::size_t ow = g.out_width();
+  const std::size_t patches = oh * ow;
+  const std::size_t patch = g.patch_size();
+  const std::size_t sample = shape_numel(step.in_shape);
+
+  // Whole-batch im2col: each sample owns a disjoint row range of `cols`.
+  Tensor cols(Shape{batch * patches, patch});
+  pool().parallel_for(batch, [&](std::size_t b) {
+    Tensor image(step.in_shape);
+    std::copy(act.data() + b * sample, act.data() + (b + 1) * sample,
+              image.data());
+    const Tensor c = im2col(image, g);
+    std::copy(c.data(), c.data() + patches * patch,
+              cols.data() + b * patches * patch);
+  });
+
+  Tensor cur = std::move(cols);
+  for (const MatrixPlan& plan : step.stages) {
+    Tensor next(Shape{cur.rows(), plan.grid.cols});
+    apply_plan(plan, cur, next);
+    cur = std::move(next);
+  }
+  const std::size_t filters = step.out_shape[0];
+  GS_CHECK(cur.cols() == filters && oh == step.out_shape[1] &&
+           ow == step.out_shape[2]);
+  if (step.bias.numel() > 0) add_row_vector(cur, step.bias);
+
+  // Re-tile (B·oh·ow, F) patch-major results into channel-major B×F×oh×ow.
+  Tensor out(Shape{batch, filters, oh, ow});
+  pool().parallel_for(batch, [&](std::size_t b) {
+    const float* src = cur.data() + b * patches * filters;
+    float* dst = out.data() + b * filters * patches;
+    for (std::size_t p = 0; p < patches; ++p) {
+      for (std::size_t c = 0; c < filters; ++c) {
+        dst[c * patches + p] = src[p * filters + c];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Executor::run_pool(const Step& step, const Tensor& act) const {
+  GS_CHECK_MSG(act.rank() == 4, step.name << ": pool input must be B×C×H×W");
+  const std::size_t batch = act.dim(0);
+  const std::size_t channels = act.dim(1);
+  const std::size_t ih = act.dim(2);
+  const std::size_t iw = act.dim(3);
+  const std::size_t k = step.pool_kernel;
+  const std::size_t s = step.pool_stride;
+  const std::size_t oh = pool_out_extent(ih, k, s);
+  const std::size_t ow = pool_out_extent(iw, k, s);
+  // Guard against convention drift: the windowing below must stay in step
+  // with nn::Pool2dLayer, whose output_shape fixed out_shape at compile.
+  GS_CHECK(channels == step.out_shape[0] && oh == step.out_shape[1] &&
+           ow == step.out_shape[2]);
+  const bool is_max = step.kind == Step::Kind::kMaxPool;
+
+  Tensor out(Shape{batch, channels, oh, ow});
+  pool().parallel_for(batch * channels, [&](std::size_t plane) {
+    const float* in_plane = act.data() + plane * ih * iw;
+    float* out_plane = out.data() + plane * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t y0 = oy * s;
+        const std::size_t x0 = ox * s;
+        const std::size_t y1 = std::min(y0 + k, ih);
+        const std::size_t x1 = std::min(x0 + k, iw);
+        if (is_max) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::size_t y = y0; y < y1; ++y) {
+            for (std::size_t x = x0; x < x1; ++x) {
+              best = std::max(best, in_plane[y * iw + x]);
+            }
+          }
+          out_plane[oy * ow + ox] = best;
+        } else {
+          double sum = 0.0;
+          for (std::size_t y = y0; y < y1; ++y) {
+            for (std::size_t x = x0; x < x1; ++x) {
+              sum += in_plane[y * iw + x];
+            }
+          }
+          // Caffe divides by the nominal window size (zero padding).
+          out_plane[oy * ow + ox] =
+              static_cast<float>(sum / static_cast<double>(k * k));
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Executor::forward(const Tensor& batch) const {
+  const Shape& sample = program_->input_shape();
+  GS_CHECK_MSG(batch.rank() == sample.size() + 1,
+               "executor input rank " << batch.rank() << ", program expects "
+                                      << sample.size() + 1);
+  for (std::size_t d = 0; d < sample.size(); ++d) {
+    GS_CHECK_MSG(batch.dim(d + 1) == sample[d],
+                 "executor input " << shape_to_string(batch.shape())
+                                   << " does not match program input "
+                                   << shape_to_string(sample));
+  }
+  const std::size_t b = batch.dim(0);
+  GS_CHECK(b > 0);
+
+  Tensor x = batch;
+  for (const Step& step : program_->steps()) {
+    switch (step.kind) {
+      case Step::Kind::kLinear:
+        x = run_linear(step, x);
+        break;
+      case Step::Kind::kConv:
+        x = run_conv(step, x);
+        break;
+      case Step::Kind::kRelu: {
+        float* data = x.data();
+        for (std::size_t i = 0; i < x.numel(); ++i) {
+          data[i] = std::max(0.0f, data[i]);
+        }
+        break;
+      }
+      case Step::Kind::kMaxPool:
+      case Step::Kind::kAvgPool:
+        x = run_pool(step, x);
+        break;
+      case Step::Kind::kFlatten:
+        x.reshape(Shape{b, x.numel() / b});
+        break;
+      case Step::Kind::kIdentity:
+        break;
+    }
+  }
+  return x;
+}
+
+double evaluate(const Executor& executor, const data::Dataset& dataset,
+                std::size_t max_samples, std::size_t batch_size) {
+  return nn::evaluate_forward(
+      [&executor](const Tensor& images) { return executor.forward(images); },
+      dataset, max_samples, batch_size);
+}
+
+}  // namespace gs::runtime

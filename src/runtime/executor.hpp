@@ -1,0 +1,72 @@
+// Batched execution of a compiled CrossbarProgram.
+//
+// The executor is stateless with respect to requests (forward() is const and
+// thread-safe), so one compiled program can serve many concurrent callers —
+// the serving engine (runtime/server.hpp) relies on this.
+//
+// Parallelism & determinism: every crossbar stage is dispatched on the
+// gs::ThreadPool as independent (input-row block × tile column) tasks — the
+// PR 1/PR 2 one-task-per-disjoint-output-region pattern. Within a task each
+// input row is processed alone: DAC-quantise the row, run every tile of the
+// column top to bottom (per-tile double-precision MVM, then ADC), and add
+// the per-tile partial sums in ascending tile-row order. Per-output-element
+// arithmetic is therefore a pure function of the row and the tile schedule,
+// independent of both the thread count and the row blocking — results are
+// bitwise identical for any GS_NUM_THREADS.
+//
+// Converter model: DAC full scale is the per-input-vector max |x| (each
+// sample / im2col patch row carries its own scale, so batched and
+// single-sample execution agree exactly); ADC full scale is the no-overload
+// bound x_max · w_max · P for a P-row tile.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "runtime/program.hpp"
+
+namespace gs {
+class ThreadPool;
+}
+
+namespace gs::runtime {
+
+class Executor {
+ public:
+  /// Binds to `program` (borrowed; must outlive the executor). `pool`
+  /// defaults to ThreadPool::global().
+  explicit Executor(const CrossbarProgram& program,
+                    ThreadPool* pool = nullptr);
+
+  /// Runs a batch (B × sample dims) through the whole program; returns the
+  /// logits (B × classes). Thread-safe; bitwise deterministic at any pool
+  /// size.
+  Tensor forward(const Tensor& batch) const;
+
+  /// Injects an ad-hoc pool (nullptr restores the global pool) — used by the
+  /// determinism tests.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  const CrossbarProgram& program() const { return *program_; }
+
+ private:
+  ThreadPool& pool() const;
+  /// One crossbar stage: out (R × plan cols) = act (R × plan rows) through
+  /// the programmed tiles with DAC/ADC at the stage boundary.
+  void apply_plan(const MatrixPlan& plan, const Tensor& act,
+                  Tensor& out) const;
+  Tensor run_linear(const Step& step, const Tensor& act) const;
+  Tensor run_conv(const Step& step, const Tensor& act) const;
+  Tensor run_pool(const Step& step, const Tensor& act) const;
+
+  const CrossbarProgram* program_;
+  ThreadPool* pool_;
+};
+
+/// Top-1 accuracy of the compiled program over `dataset` (first
+/// `max_samples`, 0 = all) — the runtime counterpart of nn::evaluate, so
+/// analog inference accuracy can be reported next to digital accuracy.
+double evaluate(const Executor& executor, const data::Dataset& dataset,
+                std::size_t max_samples = 0, std::size_t batch_size = 32);
+
+}  // namespace gs::runtime

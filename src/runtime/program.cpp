@@ -1,0 +1,160 @@
+#include "runtime/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/lowrank.hpp"
+#include "nn/pool2d.hpp"
+
+namespace gs::runtime {
+
+void DacAdcParams::validate() const {
+  GS_CHECK_MSG(dac_levels == 0 || dac_levels >= 2,
+               "dac_levels must be 0 (ideal) or >= 2");
+  GS_CHECK_MSG(adc_levels == 0 || adc_levels >= 2,
+               "adc_levels must be 0 (ideal) or >= 2");
+}
+
+std::size_t CrossbarProgram::tile_count() const {
+  std::size_t n = 0;
+  for (const Step& step : steps_) {
+    for (const MatrixPlan& plan : step.stages) n += plan.tile_count();
+  }
+  return n;
+}
+
+std::size_t CrossbarProgram::stage_count() const {
+  std::size_t n = 0;
+  for (const Step& step : steps_) n += step.stages.size();
+  return n;
+}
+
+namespace {
+
+/// Tiles and programs one weight matrix. The Rng is seeded per matrix from
+/// the analog seed and tiles are visited row-major — the exact variation
+/// stream of hw::analog_effective_matrix, so the runtime realises the same
+/// nonideal weights the robustness analysis reports.
+MatrixPlan make_plan(std::string name, const Tensor& w,
+                     const CompileOptions& options) {
+  GS_CHECK(w.rank() == 2);
+  MatrixPlan plan;
+  plan.name = std::move(name);
+  plan.grid =
+      hw::make_tile_grid(w.rows(), w.cols(), options.tech, options.policy);
+
+  plan.w_max = 1e-6;
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    plan.w_max = std::max(plan.w_max, static_cast<double>(std::fabs(w[i])));
+  }
+
+  Rng rng(options.analog.seed);
+  plan.tiles.reserve(plan.grid.tile_count());
+  for (std::size_t tr = 0; tr < plan.grid.grid_rows(); ++tr) {
+    for (std::size_t tc = 0; tc < plan.grid.grid_cols(); ++tc) {
+      const hw::GroupSlice slice = hw::tile_slice(plan.grid, tr, tc);
+      Tensor tile(Shape{slice.row_end - slice.row_begin,
+                        slice.col_end - slice.col_begin});
+      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+          tile.at(i - slice.row_begin, j - slice.col_begin) = w.at(i, j);
+        }
+      }
+      plan.tiles.push_back(ProgramTile{
+          slice, hw::AnalogCrossbar(tile, plan.w_max, options.analog, rng)});
+    }
+  }
+  return plan;
+}
+
+ConvGeometry make_conv_geometry(const Shape& chw, std::size_t kernel,
+                                std::size_t stride, std::size_t pad) {
+  GS_CHECK_MSG(chw.size() == 3, "conv step needs a C×H×W input shape");
+  ConvGeometry g;
+  g.in_channels = chw[0];
+  g.in_height = chw[1];
+  g.in_width = chw[2];
+  g.kernel_h = g.kernel_w = kernel;
+  g.stride_h = g.stride_w = stride;
+  g.pad_h = g.pad_w = pad;
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+CrossbarProgram compile(const nn::Network& net, const Shape& sample_shape,
+                        const CompileOptions& options) {
+  options.tech.validate();
+  options.analog.validate();
+  options.converters.validate();
+  GS_CHECK_MSG(net.layer_count() > 0, "compile of an empty network");
+
+  CrossbarProgram program;
+  program.options_ = options;
+  program.input_shape_ = sample_shape;
+
+  Shape shape = sample_shape;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    Step step;
+    step.name = layer.name();
+    step.in_shape = shape;
+
+    if (const auto* d = dynamic_cast<const nn::DenseLayer*>(&layer)) {
+      step.kind = Step::Kind::kLinear;
+      step.stages.push_back(make_plan(d->name(), d->weight(), options));
+      step.bias = d->bias();
+    } else if (const auto* lr = dynamic_cast<const nn::LowRankDense*>(&layer)) {
+      step.kind = Step::Kind::kLinear;
+      step.stages.push_back(
+          make_plan(lr->factor_name() + "_u", lr->factor_u(), options));
+      step.stages.push_back(
+          make_plan(lr->factor_name() + "_v", lr->factor_vt(), options));
+      step.bias = lr->bias();
+    } else if (const auto* c = dynamic_cast<const nn::Conv2dLayer*>(&layer)) {
+      step.kind = Step::Kind::kConv;
+      step.geometry = make_conv_geometry(shape, c->spec().kernel,
+                                         c->spec().stride, c->spec().pad);
+      step.stages.push_back(make_plan(c->name(), c->weight(), options));
+      step.bias = c->bias();
+    } else if (const auto* lc =
+                   dynamic_cast<const nn::LowRankConv2d*>(&layer)) {
+      step.kind = Step::Kind::kConv;
+      step.geometry = make_conv_geometry(shape, lc->spec().kernel,
+                                         lc->spec().stride, lc->spec().pad);
+      step.stages.push_back(
+          make_plan(lc->factor_name() + "_u", lc->factor_u(), options));
+      step.stages.push_back(
+          make_plan(lc->factor_name() + "_v", lc->factor_vt(), options));
+      step.bias = lc->bias();
+    } else if (const auto* p = dynamic_cast<const nn::Pool2dLayer*>(&layer)) {
+      step.kind = p->mode() == nn::PoolMode::kMax ? Step::Kind::kMaxPool
+                                                  : Step::Kind::kAvgPool;
+      step.pool_kernel = p->kernel();
+      step.pool_stride = p->stride();
+    } else if (dynamic_cast<const nn::ReluLayer*>(&layer) != nullptr) {
+      step.kind = Step::Kind::kRelu;
+    } else if (dynamic_cast<const nn::FlattenLayer*>(&layer) != nullptr) {
+      step.kind = Step::Kind::kFlatten;
+    } else if (dynamic_cast<const nn::DropoutLayer*>(&layer) != nullptr) {
+      step.kind = Step::Kind::kIdentity;  // inference-time identity
+    } else {
+      GS_CHECK_MSG(false, "runtime compile: unsupported layer '"
+                              << layer.name() << "'");
+    }
+
+    shape = layer.output_shape(shape);
+    step.out_shape = shape;
+    program.steps_.push_back(std::move(step));
+  }
+  program.output_shape_ = shape;
+  return program;
+}
+
+}  // namespace gs::runtime

@@ -1,0 +1,130 @@
+// Crossbar program compiler — lowers a trained gs::nn network into a tiled
+// analog execution plan.
+//
+// The rest of the repo *analyzes* the NCS mapping (area, wires, effective
+// weights); this module *runs* it. compile() walks a network layer by layer
+// and lowers every weight matrix the same way the hardware report does:
+//  * dense / low-rank / conv weights (conv via the im2col unrolled view) are
+//    tiled onto library crossbars with hw::make_tile_grid under the chosen
+//    MappingPolicy, and every tile is programmed as an hw::AnalogCrossbar —
+//    differential conductance pairs, programming quantisation, process
+//    variation, IR-drop — seeded exactly like hw::analog_effective_matrix so
+//    runtime weights and the robustness bench agree bit for bit;
+//  * zero weights (deleted groups) program both halves of the differential
+//    pair to g_min, i.e. a zero pair: a deleted wire contributes nothing;
+//  * low-rank layers lower to TWO chained crossbar stages (U then Vᵀ), the
+//    interconnected arrays of Figure 4, each with its own DAC/ADC boundary;
+//  * stateless layers (ReLU, pooling, flatten, dropout-at-eval) become
+//    digital peripheral steps.
+//
+// Execution semantics (runtime/executor.hpp) are fixed by the program:
+// per-input-vector DAC quantisation, per-tile analog MVM, per-tile ADC
+// quantisation, then digital partial-sum accumulation over tile rows in
+// fixed order — bitwise deterministic at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/analog.hpp"
+#include "hw/crossbar.hpp"
+#include "hw/tiling.hpp"
+#include "nn/network.hpp"
+#include "tensor/im2col.hpp"
+
+namespace gs::runtime {
+
+/// Digital/analog converter resolution at each crossbar stage boundary.
+/// `levels` counts uniformly-spaced states across the full scale; 0 keeps
+/// the boundary ideal (float passthrough), mirroring AnalogParams::levels.
+struct DacAdcParams {
+  std::size_t dac_levels = 0;  ///< input-voltage states (0 = ideal DAC)
+  std::size_t adc_levels = 0;  ///< readout states (0 = ideal ADC)
+
+  void validate() const;
+};
+
+/// Everything compile() needs to know about the target hardware. The
+/// defaults are the paper technology with an ideal device (continuous
+/// conductances, no variation, no IR-drop, ideal converters) — the
+/// float-reference mode that must reproduce the digital forward.
+struct CompileOptions {
+  hw::TechnologyParams tech = hw::paper_technology();
+  hw::MappingPolicy policy = hw::MappingPolicy::kDivisorExact;
+  hw::AnalogParams analog;
+  DacAdcParams converters;
+};
+
+/// One programmed crossbar tile and the matrix slice it implements.
+struct ProgramTile {
+  hw::GroupSlice slice;     ///< element range within the weight matrix
+  hw::AnalogCrossbar xbar;  ///< programmed differential-pair array
+};
+
+/// Tiled analog mapping of one (in × out) weight matrix: the schedule is
+/// row-major over (tile_row, tile_col); all tiles of one tile column feed
+/// the same output slice and are accumulated in ascending tile-row order.
+struct MatrixPlan {
+  std::string name;      ///< "fc1", "conv2_u", … (report naming)
+  hw::TileGrid grid;
+  double w_max = 0.0;    ///< shared full-scale weight (per-matrix DAC ref)
+  std::vector<ProgramTile> tiles;
+
+  std::size_t tile_count() const { return tiles.size(); }
+};
+
+/// One executable step of the lowered network.
+struct Step {
+  enum class Kind {
+    kLinear,    ///< dense or low-rank FC: 1–2 crossbar stages + bias
+    kConv,      ///< conv via im2col: 1–2 crossbar stages + bias + re-tile
+    kRelu,      ///< digital peripheral max(0, x)
+    kMaxPool,   ///< digital peripheral pooling (ceil mode)
+    kAvgPool,
+    kFlatten,   ///< B×C×H×W → B×(C·H·W)
+    kIdentity,  ///< eval-time no-op (dropout)
+  };
+
+  Kind kind = Kind::kIdentity;
+  std::string name;
+  std::vector<MatrixPlan> stages;  ///< crossbar stages, executed in order
+  Tensor bias;                     ///< added digitally after the last stage
+  ConvGeometry geometry;           ///< kConv only
+  std::size_t pool_kernel = 0;     ///< pooling steps only
+  std::size_t pool_stride = 0;
+  Shape in_shape;   ///< per-sample shape entering the step
+  Shape out_shape;  ///< per-sample shape leaving the step
+};
+
+/// A compiled network: the full tile schedule plus the shapes it serves.
+class CrossbarProgram {
+ public:
+  const std::vector<Step>& steps() const { return steps_; }
+  const CompileOptions& options() const { return options_; }
+  /// Per-sample input shape the program was compiled for (C,H,W or features).
+  const Shape& input_shape() const { return input_shape_; }
+  /// Per-sample output (logits) shape.
+  const Shape& output_shape() const { return output_shape_; }
+
+  /// Total programmed crossbar tiles across all steps and stages.
+  std::size_t tile_count() const;
+  /// Total crossbar stages (matrix plans) — 2 per low-rank layer.
+  std::size_t stage_count() const;
+
+ private:
+  friend CrossbarProgram compile(const nn::Network&, const Shape&,
+                                 const CompileOptions&);
+  std::vector<Step> steps_;
+  CompileOptions options_;
+  Shape input_shape_;
+  Shape output_shape_;
+};
+
+/// Lowers `net` (dense, low-rank, conv, pooling, ReLU, flatten, dropout
+/// layers) into a crossbar program for samples of `sample_shape`. Throws via
+/// GS_CHECK on unsupported layer types.
+CrossbarProgram compile(const nn::Network& net, const Shape& sample_shape,
+                        const CompileOptions& options = {});
+
+}  // namespace gs::runtime

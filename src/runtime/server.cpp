@@ -1,0 +1,194 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace gs::runtime {
+
+void BatchingConfig::validate() const {
+  GS_CHECK(max_batch >= 1);
+  GS_CHECK(queue_capacity >= 1);
+  GS_CHECK(max_delay.count() >= 0);
+}
+
+BatchingServer::BatchingServer(const Executor& executor, BatchingConfig config)
+    : executor_(&executor), config_(config) {
+  config_.validate();
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+BatchingServer::~BatchingServer() { shutdown(); }
+
+std::future<Tensor> BatchingServer::submit(Tensor sample) {
+  const Shape& expected = executor_->program().input_shape();
+  GS_CHECK_MSG(sample.shape() == expected,
+               "server sample " << shape_to_string(sample.shape())
+                                << " does not match program input "
+                                << shape_to_string(expected));
+  Request request;
+  request.sample = std::move(sample);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> future = request.promise.get_future();
+
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      rejected = true;
+    } else {
+      queue_.push_back(std::move(request));
+    }
+  }
+  if (rejected) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++rejected_;
+    }
+    request.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("BatchingServer: request rejected")));
+    return future;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Tensor BatchingServer::infer(const Tensor& sample) {
+  return submit(sample).get();
+}
+
+void BatchingServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // join_mutex_ serializes the joinable check with join() itself: without
+  // it, shutdown() racing the destructor could join the thread twice.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServerStats BatchingServer::stats() const {
+  std::vector<double> latencies;
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.completed = completed_;
+    stats.rejected = rejected_;
+    stats.failed = failed_;
+    stats.batches = batches_;
+    stats.max_batch_seen = max_batch_seen_;
+    latencies = latencies_ms_;
+  }
+  stats.mean_batch =
+      stats.batches == 0
+          ? 0.0
+          : static_cast<double>(stats.completed) / stats.batches;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double q) {
+      // Nearest-rank: the ⌈q·n⌉-th smallest sample.
+      const double rank = std::ceil(q * static_cast<double>(latencies.size()));
+      const std::size_t idx = std::min(
+          latencies.size() - 1,
+          static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+      return latencies[idx];
+    };
+    stats.latency_p50_ms = at(0.50);
+    stats.latency_p95_ms = at(0.95);
+    stats.latency_p99_ms = at(0.99);
+    stats.latency_max_ms = latencies.back();
+  }
+  return stats;
+}
+
+void BatchingServer::dispatch_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Coalesce: launch when the batch is full or the oldest request's
+      // deadline passes. Shutdown drains immediately.
+      const auto deadline = queue_.front().enqueued + config_.max_delay;
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return stopping_ || queue_.size() >= config_.max_batch;
+      });
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void BatchingServer::run_batch(std::vector<Request>& requests) {
+  const std::size_t count = requests.size();
+  const Shape& sample_shape = executor_->program().input_shape();
+  const std::size_t sample_numel = shape_numel(sample_shape);
+
+  Shape batch_shape;
+  batch_shape.reserve(sample_shape.size() + 1);
+  batch_shape.push_back(count);
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
+                     sample_shape.end());
+  Tensor batch(batch_shape);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::copy(requests[i].sample.data(),
+              requests[i].sample.data() + sample_numel,
+              batch.data() + i * sample_numel);
+  }
+
+  try {
+    const Tensor logits = executor_->forward(batch);
+    const std::size_t classes = logits.numel() / count;
+    const auto finished = std::chrono::steady_clock::now();
+    // Stats are recorded BEFORE the promises resolve, so a caller returning
+    // from infer()/get() always observes its own request in stats().
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      completed_ += count;
+      ++batches_;
+      max_batch_seen_ = std::max(max_batch_seen_, count);
+      for (const Request& request : requests) {
+        const double ms = std::chrono::duration<double, std::milli>(
+                              finished - request.enqueued)
+                              .count();
+        if (latencies_ms_.size() < kLatencyWindow) {
+          latencies_ms_.push_back(ms);
+        } else {
+          latencies_ms_[latency_next_] = ms;
+        }
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      Tensor row(Shape{classes});
+      std::copy(logits.data() + i * classes, logits.data() + (i + 1) * classes,
+                row.data());
+      requests[i].promise.set_value(std::move(row));
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      failed_ += count;
+    }
+    for (Request& request : requests) {
+      request.promise.set_exception(error);
+    }
+  }
+}
+
+}  // namespace gs::runtime

@@ -1,0 +1,113 @@
+// Batched serving engine over a crossbar Executor.
+//
+// Concurrent callers submit single samples; a dedicated dispatch thread
+// coalesces the queue into batches — a batch launches as soon as
+// `max_batch` requests are waiting or the oldest request has waited
+// `max_delay` (the latency deadline), whichever comes first — runs one
+// batched Executor::forward, and completes every request's future with its
+// logits row. Because the executor's DAC scales are per input vector,
+// coalescing never changes a request's result: a sample returns bitwise the
+// same logits at any batch composition.
+//
+// The server records per-request latency (submit → completion) and batch
+// sizes; stats() folds them into throughput-style aggregates and latency
+// percentiles for the serving bench (bench/runtime_serving.cpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace gs::runtime {
+
+/// Coalescing knobs.
+struct BatchingConfig {
+  std::size_t max_batch = 32;  ///< launch as soon as this many are queued
+  std::chrono::microseconds max_delay{1000};  ///< oldest-request deadline
+  std::size_t queue_capacity = 4096;  ///< beyond this, submissions are rejected
+
+  void validate() const;
+};
+
+/// Serving counters; latency aggregates cover the most recent window of
+/// completed requests (BatchingServer::kLatencyWindow samples), so a
+/// long-running server keeps bounded memory and stats() cost.
+struct ServerStats {
+  std::size_t completed = 0;
+  std::size_t rejected = 0;  ///< refused at submit (full queue / shut down)
+  std::size_t failed = 0;    ///< accepted but the executor threw
+  std::size_t batches = 0;   ///< successfully executed batches
+  double mean_batch = 0.0;        ///< completed / batches
+  std::size_t max_batch_seen = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+class BatchingServer {
+ public:
+  /// Starts the dispatch thread. `executor` is borrowed and must outlive the
+  /// server.
+  explicit BatchingServer(const Executor& executor, BatchingConfig config = {});
+  ~BatchingServer();
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  /// Enqueues one sample (the program's per-sample input shape) and returns
+  /// a future for its logits (rank-1, classes). A full queue or a shut-down
+  /// server rejects: the future carries std::runtime_error.
+  std::future<Tensor> submit(Tensor sample);
+
+  /// Blocking convenience: submit + get.
+  Tensor infer(const Tensor& sample);
+
+  /// Stops accepting work, drains the queue, joins the dispatch thread.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  /// Latency samples retained for the percentile window.
+  static constexpr std::size_t kLatencyWindow = 16384;
+
+ private:
+  struct Request {
+    Tensor sample;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatch_loop();
+  void run_batch(std::vector<Request>& requests);
+
+  const Executor* executor_;
+  BatchingConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::size_t completed_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t max_batch_seen_ = 0;
+  std::vector<double> latencies_ms_;  ///< ring buffer of kLatencyWindow
+  std::size_t latency_next_ = 0;      ///< ring write position
+
+  std::mutex join_mutex_;   // serializes shutdown()'s joinable-check + join
+  std::thread dispatcher_;  // started last, joined by shutdown()
+};
+
+}  // namespace gs::runtime

@@ -1,0 +1,141 @@
+#include "runtime/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace gs::runtime {
+namespace {
+
+/// Small FC network + program shared by the serving tests.
+struct Fixture {
+  nn::Network net;
+  CrossbarProgram program;
+  Executor executor;
+
+  static Fixture make() {
+    Rng rng(21);
+    nn::Network net;
+    net.add(std::make_unique<nn::FlattenLayer>("flatten"));
+    net.add(std::make_unique<nn::DenseLayer>("fc1", 64, 48, rng));
+    net.add(std::make_unique<nn::ReluLayer>("relu"));
+    net.add(std::make_unique<nn::DenseLayer>("fc2", 48, 10, rng));
+    CrossbarProgram program = compile(net, Shape{1, 8, 8});
+    return Fixture{std::move(net), std::move(program)};
+  }
+
+  Fixture(nn::Network n, CrossbarProgram p)
+      : net(std::move(n)), program(std::move(p)), executor(program) {}
+};
+
+Tensor sample(std::uint64_t seed) {
+  Tensor t(Shape{1, 8, 8});
+  Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(BatchingServerTest, ConcurrentRequestsGetTheirOwnLogits) {
+  Fixture fx = Fixture::make();
+  BatchingConfig config;
+  config.max_batch = 8;
+  config.max_delay = std::chrono::microseconds(200);
+  BatchingServer server(fx.executor, config);
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 5;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<Tensor>> results(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t r = 0; r < kPerClient; ++r) {
+        results[c].push_back(server.infer(sample(100 + c * kPerClient + r)));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.shutdown();
+
+  // Every request's logits equal a direct batch-1 forward of its sample —
+  // bitwise, because the executor is batch-composition invariant.
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t r = 0; r < kPerClient; ++r) {
+      const Tensor s = sample(100 + c * kPerClient + r);
+      Tensor single(Shape{1, 1, 8, 8});
+      std::copy(s.data(), s.data() + s.numel(), single.data());
+      const Tensor expected = fx.executor.forward(single);
+      const Tensor& got = results[c][r];
+      ASSERT_EQ(got.numel(), expected.numel());
+      EXPECT_EQ(std::memcmp(got.data(), expected.data(),
+                            expected.numel() * sizeof(float)),
+                0)
+          << "client " << c << " request " << r;
+    }
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, (kClients * kPerClient) / config.max_batch);
+  EXPECT_LE(stats.max_batch_seen, config.max_batch);
+  EXPECT_GE(stats.mean_batch, 1.0);
+  EXPECT_GT(stats.latency_max_ms, 0.0);
+  EXPECT_LE(stats.latency_p50_ms, stats.latency_p99_ms);
+}
+
+TEST(BatchingServerTest, CoalescesBurstIntoOneBatch) {
+  Fixture fx = Fixture::make();
+  BatchingConfig config;
+  config.max_batch = 8;
+  // A generous deadline: the burst below lands well inside it.
+  config.max_delay = std::chrono::microseconds(2'000'000);
+  BatchingServer server(fx.executor, config);
+
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < config.max_batch; ++i) {
+    futures.push_back(server.submit(sample(i)));
+  }
+  for (auto& f : futures) f.get();
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, config.max_batch);
+  // The full burst must not have been served one request at a time.
+  EXPECT_GE(stats.max_batch_seen, 2u);
+  EXPECT_LE(stats.batches, config.max_batch - 1);
+}
+
+TEST(BatchingServerTest, DeadlineReleasesLonelyRequest) {
+  Fixture fx = Fixture::make();
+  BatchingConfig config;
+  config.max_batch = 32;
+  config.max_delay = std::chrono::microseconds(1000);
+  BatchingServer server(fx.executor, config);
+  // One request, no batch mates: the deadline must release it.
+  const Tensor logits = server.infer(sample(7));
+  EXPECT_EQ(logits.numel(), 10u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(BatchingServerTest, RejectsAfterShutdownAndBadShapes) {
+  Fixture fx = Fixture::make();
+  BatchingServer server(fx.executor);
+  EXPECT_THROW(server.submit(Tensor(Shape{3, 8, 8})), Error);
+  server.shutdown();
+  auto future = server.submit(sample(1));
+  EXPECT_THROW(future.get(), std::runtime_error);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+}  // namespace
+}  // namespace gs::runtime
