@@ -19,9 +19,27 @@
 // where a lone request stays latency-bound). serving_unbatched isolates
 // the same-concurrency contrast.
 //
-// Emits BENCH_runtime.json in the working directory; the headline metric is
-// serving_batched.speedup_vs_single. Thread count follows GS_NUM_THREADS.
-// Pass --smoke for a tiny-budget CI run.
+// Two further sections measure this PR's serving tier on a HEAVILY-DELETED
+// LeNet (tile-aligned group-deletion masks + masked fine-tune — the
+// workload the paper's pipeline produces, where most crossbars end up
+// completely empty):
+//  * tile_skip — the skip ablation: same program with and without
+//    skip-marked tiles, bitwise-identical logits and identical ideal-device
+//    accuracy, with the forward-time speedup of eliding the empty tiles;
+//  * serving_sharded — the sharded multi-replica server (placement-aware
+//    tile skipping ON) against the single-replica PR 3 serving path
+//    (no skipping) at EQUAL thread budget and equal load; a companion
+//    serving_sharded_same_skip record isolates the replica-overlap
+//    component (sharded vs single, both skipping — this needs more than
+//    one hardware core to exceed 1× and sits slightly below 1 on a
+//    single-core container, where the serving_sharded win is carried by
+//    the skipped tiles).
+//
+// Emits BENCH_runtime.json in the working directory; the headline metrics
+// are serving_batched.speedup_vs_single and
+// serving_sharded.speedup_vs_single_replica. Thread count follows
+// GS_NUM_THREADS. Pass --smoke for a tiny-budget CI run.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,7 +47,12 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "runtime/server.hpp"
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/shard.hpp"
 
 namespace gs::bench {
 namespace {
@@ -41,6 +64,7 @@ struct Budget {
   std::size_t clients;
   std::size_t per_client;
   std::size_t eval_samples;
+  std::size_t finetune_iters;
   int reps;
 };
 
@@ -60,8 +84,10 @@ Tensor slice_sample(const Tensor& batch, std::size_t index) {
 }
 
 /// Wall-clock seconds of one closed-loop serving run: `clients` threads, each
-/// issuing `per_client` blocking requests.
-double serve_closed_loop(runtime::BatchingServer& server, const Tensor& pool,
+/// issuing `per_client` blocking requests. Works for both serving engines
+/// (BatchingServer and ShardedServer expose the same infer()).
+template <typename Server>
+double serve_closed_loop(Server& server, const Tensor& pool,
                          std::size_t clients, std::size_t per_client) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -79,6 +105,30 @@ double serve_closed_loop(runtime::BatchingServer& server, const Tensor& pool,
       .count();
 }
 
+/// Median wall-clock seconds of `reps` closed-loop serving runs on one
+/// server (stats accumulate across reps; the latency window covers them
+/// all). Single serving runs jitter ±20% on a shared vCPU, so the sharded
+/// comparisons take medians like every timed kernel in this suite.
+template <typename Server>
+double serve_closed_loop_median(Server& server, const Tensor& pool,
+                                std::size_t clients, std::size_t per_client,
+                                int reps) {
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    walls.push_back(serve_closed_loop(server, pool, clients, per_client));
+  }
+  std::sort(walls.begin(), walls.end());
+  return walls[walls.size() / 2];
+}
+
+/// Zeroes matrix rows [begin, end) — one tile-aligned group-deletion band.
+void zero_rows(Tensor& w, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w.at(i, j) = 0.0f;
+  }
+}
+
 }  // namespace
 }  // namespace gs::bench
 
@@ -90,8 +140,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
-  const Budget budget = smoke ? Budget{30, 4, 24, 8, 4, 16, 1}
-                              : Budget{iters(400), 8, 160, 32, 16, 64, 3};
+  const Budget budget = smoke ? Budget{30, 4, 24, 8, 4, 16, 20, 1}
+                              : Budget{iters(400), 8, 160, 32, 16, 64,
+                                       iters(300), 3};
 
   section(smoke ? "runtime_serving (smoke): crossbar inference runtime"
                 : "runtime_serving: crossbar inference runtime");
@@ -262,6 +313,182 @@ int main(int argc, char** argv) {
     records.push_back(rec);
     std::printf("nonideal_accuracy           ideal %.3f   quantized %.3f\n",
                 ideal_acc, quant_acc);
+  }
+
+  // --- Heavily-deleted model: the workload group connection deletion
+  // produces. Tile-aligned masks delete conv2 rows [100,500) and fc1 rows
+  // [200,800) — under the paper technology both matrices tile at 50 rows,
+  // so 8/10 conv2 tiles and 120/160 fc1 tiles end up completely empty —
+  // then a masked fine-tune recovers accuracy with the wires gone.
+  nn::Network deleted = core::clone_network(net);
+  {
+    auto* conv2 = dynamic_cast<nn::Conv2dLayer*>(deleted.find("conv2"));
+    auto* fc1 = dynamic_cast<nn::DenseLayer*>(deleted.find("fc1"));
+    GS_CHECK_MSG(conv2 != nullptr && fc1 != nullptr,
+                 "deleted-lenet section expects conv2/fc1 layers");
+    const auto apply_masks = [&] {
+      zero_rows(conv2->weight(), 100, 500);
+      zero_rows(fc1->weight(), 200, 800);
+    };
+    apply_masks();
+    const auto train_set = mnist_train();
+    data::Batcher batcher(train_set, 25, Rng(31));
+    nn::SgdConfig sgd = lenet_sgd();
+    sgd.learning_rate *= 0.3f;  // gentle recovery phase
+    nn::SgdOptimizer opt(sgd);
+    nn::train(deleted, opt, batcher, budget.finetune_iters, {},
+              [&](nn::Network&, std::size_t) { apply_masks(); });
+  }
+  const data::SyntheticMnist eval_set(/*seed=*/2, budget.eval_samples);
+  const double deleted_acc = nn::evaluate(deleted, eval_set);
+  note("deleted lenet fine-tuned " + std::to_string(budget.finetune_iters) +
+       " iters, digital accuracy " + std::to_string(deleted_acc));
+
+  // --- Tile-skip ablation: same deleted network, skip marking on vs off.
+  runtime::CompileOptions skip_options;  // skip_empty_tiles defaults on
+  runtime::CompileOptions noskip_options;
+  noskip_options.skip_empty_tiles = false;
+  const runtime::CrossbarProgram deleted_skip =
+      runtime::compile(deleted, sample_shape, skip_options);
+  const runtime::CrossbarProgram deleted_noskip =
+      runtime::compile(deleted, sample_shape, noskip_options);
+  const Tensor deleted_pool = random_samples(64, 13);
+  {
+    const runtime::Executor skip_exec(deleted_skip);
+    const runtime::Executor noskip_exec(deleted_noskip);
+    Tensor batch(Shape{32, 1, 28, 28});
+    std::copy(deleted_pool.data(), deleted_pool.data() + batch.numel(),
+              batch.data());
+    const Tensor a = skip_exec.forward(batch);
+    const Tensor b = noskip_exec.forward(batch);
+    const bool bitwise =
+        std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+    const double skip_s = time_median_seconds(
+        [&] { skip_exec.forward(batch); }, budget.reps);
+    const double noskip_s = time_median_seconds(
+        [&] { noskip_exec.forward(batch); }, budget.reps);
+    const double acc_skip =
+        runtime::evaluate(skip_exec, eval_set, budget.eval_samples);
+    const double acc_noskip =
+        runtime::evaluate(noskip_exec, eval_set, budget.eval_samples);
+    BenchRecord rec;
+    rec.name = "tile_skip";
+    rec.label("network", "heavily-deleted lenet").label("device", "ideal");
+    rec.metric("tiles", static_cast<double>(deleted_skip.tile_count()))
+        .metric("skipped_tiles",
+                static_cast<double>(deleted_skip.skipped_tile_count()))
+        .metric("noskip_batch32_seconds", noskip_s)
+        .metric("skip_batch32_seconds", skip_s)
+        .metric("speedup", noskip_s / skip_s)
+        // The skip contract: logits bitwise identical, so ideal-device
+        // accuracy is unchanged by construction (both recorded as proof).
+        .metric("bitwise_identical", bitwise ? 1.0 : 0.0)
+        .metric("accuracy_noskip", acc_noskip)
+        .metric("accuracy_skip", acc_skip);
+    records.push_back(rec);
+    std::printf(
+        "tile_skip                   %zu/%zu tiles skipped  x%.2f forward  "
+        "(bitwise %s, accuracy %.3f/%.3f)\n",
+        deleted_skip.skipped_tile_count(), deleted_skip.tile_count(),
+        noskip_s / skip_s, bitwise ? "ok" : "FAIL", acc_noskip, acc_skip);
+  }
+
+  // --- Sharded serving: the new tier (2 replicas, placement-aware tile
+  // skipping) against the single-replica PR 3 path (no skipping) on the
+  // same deleted model, same closed-loop load, equal thread budget.
+  {
+    const std::size_t thread_budget =
+        std::max<std::size_t>(2, ThreadPool::global().size());
+    const std::size_t total = budget.clients * budget.per_client;
+
+    // Baseline: one replica, thread budget in one pool, no tile skipping.
+    double single_replica_rps = 0.0;
+    {
+      ThreadPool pool_threads(thread_budget);
+      runtime::Executor exec(deleted_noskip, &pool_threads);
+      runtime::BatchingServer server(exec, production);
+      const double wall =
+          serve_closed_loop_median(server, deleted_pool, budget.clients,
+                                   budget.per_client, budget.reps);
+      server.shutdown();
+      single_replica_rps = static_cast<double>(total) / wall;
+    }
+    // Same skip setting as the sharded run, to isolate replica overlap.
+    double single_replica_skip_rps = 0.0;
+    {
+      ThreadPool pool_threads(thread_budget);
+      runtime::Executor exec(deleted_skip, &pool_threads);
+      runtime::BatchingServer server(exec, production);
+      const double wall =
+          serve_closed_loop_median(server, deleted_pool, budget.clients,
+                                   budget.per_client, budget.reps);
+      server.shutdown();
+      single_replica_skip_rps = static_cast<double>(total) / wall;
+    }
+
+    runtime::ShardConfig shard;
+    shard.replicas = 2;
+    shard.total_threads = thread_budget;
+    shard.batching = production;
+    runtime::ShardedServer server(deleted, sample_shape, skip_options, shard);
+    const double wall =
+        serve_closed_loop_median(server, deleted_pool, budget.clients,
+                                 budget.per_client, budget.reps);
+    server.shutdown();
+    const runtime::ShardStats stats = server.stats();
+    const double sharded_rps = static_cast<double>(total) / wall;
+
+    BenchRecord rec;
+    rec.name = "serving_sharded";
+    rec.label("mode",
+              std::to_string(budget.clients) + " clients, " +
+                  std::to_string(shard.replicas) + " replicas x " +
+                  std::to_string(server.threads_per_replica()) +
+                  " threads, max_batch 32, 2ms deadline, tile skip on")
+        .label("baseline", "single replica, " + std::to_string(thread_budget) +
+                               " threads, skip off (PR 3 serving path)");
+    // Throughput is the median over budget.reps closed-loop runs; the
+    // server's own counters therefore cover reps × requests_per_run.
+    rec.metric("requests_per_run", static_cast<double>(total))
+        .metric("completed_total",
+                static_cast<double>(stats.aggregate.completed))
+        .metric("throughput_rps", sharded_rps)
+        .metric("single_replica_rps", single_replica_rps)
+        .metric("speedup_vs_single_replica", sharded_rps / single_replica_rps)
+        .metric("skipped_tiles",
+                static_cast<double>(deleted_skip.skipped_tile_count()))
+        .metric("mean_batch", stats.aggregate.mean_batch)
+        .metric("stolen_batches", static_cast<double>(stats.stolen_batches))
+        .metric("replica0_completed",
+                static_cast<double>(stats.replicas[0].completed))
+        .metric("replica1_completed",
+                static_cast<double>(stats.replicas[1].completed))
+        .metric("latency_p50_ms", stats.aggregate.latency_p50_ms)
+        .metric("latency_p95_ms", stats.aggregate.latency_p95_ms)
+        .metric("latency_p99_ms", stats.aggregate.latency_p99_ms);
+    records.push_back(rec);
+    std::printf(
+        "serving_sharded             %.0f rps (x%.2f vs single replica)  "
+        "stolen %zu  p50 %.2fms p99 %.2fms\n",
+        sharded_rps, sharded_rps / single_replica_rps, stats.stolen_batches,
+        stats.aggregate.latency_p50_ms, stats.aggregate.latency_p99_ms);
+
+    // Decomposition: sharded vs single WITH skipping in both — the replica-
+    // overlap component alone. Needs >1 hardware core to exceed 1×; on a
+    // single-core container expect slightly BELOW 1 (two dispatchers and a
+    // split pool add overhead with no cores to overlap), which makes the
+    // decomposition explicit: the serving_sharded headline win there is
+    // carried entirely by the skipped tiles.
+    BenchRecord overlap;
+    overlap.name = "serving_sharded_same_skip";
+    overlap.label("mode", "both configurations skip empty tiles");
+    overlap.metric("single_replica_skip_rps", single_replica_skip_rps)
+        .metric("sharded_rps", sharded_rps)
+        .metric("replica_overlap_speedup",
+                sharded_rps / single_replica_skip_rps);
+    records.push_back(overlap);
+    std::printf("serving_sharded_same_skip   x%.2f replica-overlap component\n",
+                sharded_rps / single_replica_skip_rps);
   }
 
   write_bench_json("BENCH_runtime.json", "runtime", records);

@@ -19,6 +19,7 @@
 #include "nn/lowrank.hpp"
 #include "nn/trainer.hpp"
 #include "runtime/server.hpp"
+#include "runtime/shard.hpp"
 
 int main() {
   using namespace gs;
@@ -75,11 +76,13 @@ int main() {
   // 7. Crossbar inference runtime: compile the compressed network into a
   //    tiled analog execution plan (ideal device here; AnalogParams /
   //    DacAdcParams add nonidealities) and serve requests through the
-  //    batching engine.
+  //    batching engine. The compiler marks the all-zero tiles deletion left
+  //    behind; the executor skips them with bitwise-identical logits.
   const runtime::CrossbarProgram program =
       runtime::compile(net, test_set.sample_shape());
   const runtime::Executor executor(program);
-  std::cout << "crossbar runtime: " << program.tile_count() << " tiles, "
+  std::cout << "crossbar runtime: " << program.tile_count() << " tiles ("
+            << program.skipped_tile_count() << " skipped as empty), "
             << program.stage_count() << " stages, accuracy "
             << runtime::evaluate(executor, test_set) << "\n";
 
@@ -92,5 +95,16 @@ int main() {
   }
   server.shutdown();
   std::cout << "served 20 requests, " << agreement << " correct\n";
+
+  // 8. Sharded serving: the same network on two compiled replicas (distinct
+  //    chips once nonidealities are on) behind one load-balanced,
+  //    work-stealing server — the multi-socket scaling path.
+  runtime::ShardConfig shard;
+  shard.replicas = 2;
+  runtime::ShardedServer sharded(net, test_set.sample_shape(),
+                                 runtime::CompileOptions{}, shard);
+  std::cout << "sharded serving (" << sharded.replica_count()
+            << " replicas): accuracy "
+            << runtime::evaluate(sharded, test_set) << "\n";
   return 0;
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked-looking *.md file (skipping build*/ and hidden
+directories), extracts inline links and images [text](target), and checks
+that every RELATIVE target resolves to an existing file or directory.
+External links (http/https/mailto) and pure in-page anchors (#...) are not
+checked. Anchored file links (FILE.md#section) are checked for the file
+only — section anchors are out of scope for this simple checker.
+
+Usage: python3 scripts/check_markdown_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = at least one broken link.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) / ![alt](target); target ends at the first
+# unescaped ')' (no nested parens in this repo's docs).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", ".github"}  # .github/workflows has no md links to md
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if not d.startswith("build") and d not in SKIP_DIRS and
+            not d.startswith(".")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Strip fenced code blocks so shell snippets with [x](y)-ish text or
+    # example links are not flagged.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if target.startswith("/"):
+            resolved = os.path.join(root, target.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), target)
+        if not os.path.exists(resolved):
+            broken.append((target, os.path.relpath(path, root)))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        for target, source in broken:
+            print(f"BROKEN LINK: {target}  (in {source})")
+        print(f"{len(broken)} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"OK: all intra-repo links resolve ({checked} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,15 +103,23 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
       << report.remaining_wires << "/" << report.total_wires
       << "; mean routing-area ratio "
       << percent(report.mean_routing_area_ratio()) << '\n';
-  if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0) {
+  if (report.runtime_tiles > 0) {
+    out << "runtime tiles " << report.runtime_tiles << " ("
+        << report.runtime_skipped_tiles << " skipped as empty)\n";
+  }
+  if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0 ||
+      report.sharded_accuracy >= 0.0) {
     out << "accuracy:";
-    if (report.digital_accuracy >= 0.0) {
-      out << " digital " << percent(report.digital_accuracy);
-    }
-    if (report.runtime_accuracy >= 0.0) {
-      if (report.digital_accuracy >= 0.0) out << ',';
-      out << " crossbar runtime " << percent(report.runtime_accuracy);
-    }
+    bool first = true;
+    const auto emit = [&](const char* label, double value) {
+      if (value < 0.0) return;
+      if (!first) out << ',';
+      out << ' ' << label << ' ' << percent(value);
+      first = false;
+    };
+    emit("digital", report.digital_accuracy);
+    emit("crossbar runtime", report.runtime_accuracy);
+    emit("sharded serving", report.sharded_accuracy);
     out << '\n';
   }
 }

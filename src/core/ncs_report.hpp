@@ -35,12 +35,21 @@ struct NcsReport {
   std::size_t remaining_wires = 0;
   std::size_t total_tiles = 0;
 
-  /// Accuracy of the same network through the digital forward pass and
-  /// through the crossbar runtime (runtime/executor.hpp). Negative = not
-  /// measured; the pipeline fills both for its final report so analog
+  /// Accuracy of the same network through the digital forward pass, through
+  /// the crossbar runtime (runtime/executor.hpp), and through the sharded
+  /// multi-replica serving path (runtime/shard.hpp). Negative = not
+  /// measured; the pipeline fills these for its final report so analog
   /// inference is graded next to the digital reference.
   double digital_accuracy = -1.0;
   double runtime_accuracy = -1.0;
+  double sharded_accuracy = -1.0;
+
+  /// Tile schedule of the compiled runtime program: total crossbar tiles and
+  /// how many of them the compiler proved skippable (all-zero tiles left by
+  /// group connection deletion — runtime/program.hpp). Only populated when
+  /// the pipeline's runtime evaluation ran.
+  std::size_t runtime_tiles = 0;
+  std::size_t runtime_skipped_tiles = 0;
 
   /// Cell count the same network would need with every factorised layer
   /// dense (N·M) — the denominator of the paper's crossbar-area ratios.

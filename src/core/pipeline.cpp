@@ -3,6 +3,7 @@
 #include "common/log.hpp"
 #include "nn/trainer.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/shard.hpp"
 
 namespace gs::core {
 
@@ -77,7 +78,9 @@ PipelineResult run_group_scissor(
       result.deletion.accuracy_after_finetune;
 
   // End-to-end crossbar inference of the compressed network (ideal device):
-  // the analog execution path, not the weight-write-back approximation.
+  // the analog execution path, not the weight-write-back approximation. The
+  // compile marks the all-zero tiles deletion produced; the executor skips
+  // them, and the counts land in the final report.
   if (config.runtime_eval) {
     runtime::CompileOptions copts;
     copts.tech = config.tech;
@@ -87,10 +90,28 @@ PipelineResult run_group_scissor(
     const runtime::Executor executor(program);
     result.runtime_accuracy =
         runtime::evaluate(executor, test_set, config.eval_samples);
+    result.runtime_tiles = program.tile_count();
+    result.runtime_skipped_tiles = program.skipped_tile_count();
     result.final_report.runtime_accuracy = result.runtime_accuracy;
+    result.final_report.runtime_tiles = result.runtime_tiles;
+    result.final_report.runtime_skipped_tiles = result.runtime_skipped_tiles;
     GS_LOG_INFO << "pipeline: crossbar runtime accuracy "
                 << result.runtime_accuracy << " over " << program.tile_count()
-                << " tiles";
+                << " tiles (" << result.runtime_skipped_tiles
+                << " skipped as empty)";
+
+    if (config.sharded_eval_replicas >= 2) {
+      runtime::ShardConfig shard;
+      shard.replicas = config.sharded_eval_replicas;
+      runtime::ShardedServer server(lowrank, test_set.sample_shape(), copts,
+                                    shard);
+      result.sharded_accuracy =
+          runtime::evaluate(server, test_set, config.eval_samples);
+      result.final_report.sharded_accuracy = result.sharded_accuracy;
+      GS_LOG_INFO << "pipeline: sharded serving accuracy "
+                  << result.sharded_accuracy << " over " << shard.replicas
+                  << " replicas";
+    }
   }
   result.network = std::move(lowrank);
   return result;

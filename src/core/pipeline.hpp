@@ -39,8 +39,16 @@ struct PipelineConfig {
   hw::MappingPolicy policy = hw::MappingPolicy::kDivisorExact;
   /// Compile the final compressed network into a crossbar program
   /// (runtime/program.hpp, ideal device) and measure its inference accuracy
-  /// next to the digital forward in the final report.
+  /// next to the digital forward in the final report. The compile marks the
+  /// empty tiles left by group connection deletion for execution-time
+  /// skipping; the skipped-tile count lands in the final report.
   bool runtime_eval = true;
+  /// When ≥ 2 (and runtime_eval is on), additionally serve the eval set
+  /// through a ShardedServer with this many replicas (ideal device, equal
+  /// thread budget) and report the sharded serving accuracy — on the ideal
+  /// device it must match the single-program runtime accuracy exactly.
+  /// 0 disables the sharded evaluation.
+  std::size_t sharded_eval_replicas = 0;
 };
 
 /// Everything the pipeline produced.
@@ -56,6 +64,15 @@ struct PipelineResult {
   /// Ideal-device crossbar-runtime accuracy of the final network (negative
   /// when runtime_eval is off). Also mirrored into final_report.
   double runtime_accuracy = -1.0;
+  /// Accuracy through the sharded multi-replica serving path (negative when
+  /// sharded_eval_replicas < 2). Also mirrored into final_report.
+  double sharded_accuracy = -1.0;
+  /// Tile schedule of the compiled final network: total tiles and the
+  /// all-zero tiles the compiler marked for execution-time skipping (group
+  /// connection deletion empties whole crossbars). Zero when runtime_eval
+  /// is off. Also mirrored into final_report.
+  std::size_t runtime_tiles = 0;
+  std::size_t runtime_skipped_tiles = 0;
   /// The compressed network itself (moved out for further use).
   nn::Network network;
 };

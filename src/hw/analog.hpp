@@ -49,6 +49,13 @@ struct AnalogParams {
 
 /// One programmed crossbar tile: differential conductances plus the
 /// effective weight matrix it realises.
+///
+/// Thread-safety: immutable after construction — every method is const, so
+/// one programmed tile may serve any number of concurrent readers (the
+/// runtime executor relies on this). Determinism: programming consumes the
+/// caller's Rng stream in a fixed element order, and accumulate_matvec()
+/// accumulates in double precision in fixed row order, so both the
+/// programmed weights and every MVM are bitwise reproducible.
 class AnalogCrossbar {
  public:
   /// Programs `weights` (P×Q) into the array. `w_max` is the full-scale

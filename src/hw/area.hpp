@@ -8,6 +8,11 @@
 // deleted iff its whole connection group is zero. Eq. (8) models routing
 // area as Ar = α·Nw², so a layer whose wire count drops to ratio r keeps
 // routing-area ratio r².
+//
+// Everything here is a pure function of its inputs (count_routing_wires
+// sweeps tiles in parallel but each tile owns disjoint counters, so the
+// census is identical at any pool size); results are value types that are
+// thread-safe to share.
 #pragma once
 
 #include <cstddef>

@@ -10,6 +10,7 @@
 namespace gs::hw {
 
 /// One synapse crossbar of `rows` input lines × `cols` output lines.
+/// Plain value type: freely copyable and thread-safe to share.
 struct CrossbarSpec {
   std::size_t rows = 0;
   std::size_t cols = 0;
@@ -51,6 +52,7 @@ CrossbarSpec select_mbc_size(std::size_t n, std::size_t k,
 /// The "standard library" of §3.3: all crossbar shapes within the maximum
 /// dimension. Enumerated lazily through contains(); enumerate() lists the
 /// (r, c) pairs for inspection/tests (max_dim² entries).
+/// Immutable after construction; all methods are const and thread-safe.
 class CrossbarLibrary {
  public:
   explicit CrossbarLibrary(const TechnologyParams& tech) : tech_(tech) {

@@ -19,6 +19,10 @@
 // The placement bench quantifies both effects the paper appeals to: deletion
 // shrinks total communication, and placement optimisation shortens what
 // remains.
+//
+// All types are value types and all functions are pure; anneal_placement is
+// deterministic for a given AnnealConfig::seed (its randomness comes only
+// from that seed's Rng stream), so placements are reproducible.
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,11 @@
 // all-zero rows (input wires deleted) and all-zero columns (output wires
 // deleted). Repacking replaces every tile with the minimal crossbar holding
 // only its live rows × live columns; fully-empty tiles vanish entirely.
+// (The runtime analogue: the program compiler marks those fully-empty tiles
+// so the executor skips them — runtime/program.hpp.)
+//
+// repack_tiles is a pure, single-threaded function of (matrix, grid, tol);
+// its reports are value types, thread-safe to share.
 #pragma once
 
 #include <vector>

@@ -8,7 +8,8 @@ namespace gs::hw {
 
 /// Process/technology constants. Areas are expressed in F² (F = minimum
 /// feature size), so results are technology-node-independent ratios — the
-/// form the paper reports.
+/// form the paper reports. Plain value type: freely copyable and
+/// thread-safe to share.
 struct TechnologyParams {
   /// Memristor cell area (Table 2: 4F²).
   double cell_area_f2 = 4.0;

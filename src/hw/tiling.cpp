@@ -124,4 +124,16 @@ std::vector<TileOccupancy> analyze_tiles(const Tensor& m, const TileGrid& grid,
   return tiles;
 }
 
+OccupancySummary summarize_occupancy(const std::vector<TileOccupancy>& tiles) {
+  OccupancySummary s;
+  s.tiles = tiles.size();
+  for (const TileOccupancy& t : tiles) {
+    if (t.empty()) ++s.empty_tiles;
+    s.nonzero_cells += t.nonzero_cells;
+    s.logical_cells += t.cells;
+    s.physical_cells += t.physical_cells;
+  }
+  return s;
+}
+
 }  // namespace gs::hw

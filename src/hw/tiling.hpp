@@ -24,7 +24,8 @@ class ThreadPool;
 
 namespace gs::hw {
 
-/// Geometry of one matrix→crossbar-array mapping.
+/// Geometry of one matrix→crossbar-array mapping. Plain value type: freely
+/// copyable and thread-safe to share.
 struct TileGrid {
   std::size_t rows = 0;       ///< matrix rows n
   std::size_t cols = 0;       ///< matrix cols k
@@ -112,5 +113,32 @@ struct TileOccupancy {
 std::vector<TileOccupancy> analyze_tiles(const Tensor& m, const TileGrid& grid,
                                          float tol = 0.0f,
                                          ThreadPool* pool = nullptr);
+
+/// Whole-matrix aggregate of an analyze_tiles() scan — the compact occupancy
+/// query surface consumed by the crossbar runtime (empty tiles are execution
+/// no-ops the compiler can mark for skipping, see runtime/program.hpp) and
+/// by the pipeline/deletion reports. Plain value type; thread-safe to share
+/// by copy, deterministic for a given occupancy vector.
+struct OccupancySummary {
+  std::size_t tiles = 0;
+  std::size_t empty_tiles = 0;     ///< tiles with no nonzero cell
+  std::size_t nonzero_cells = 0;
+  std::size_t logical_cells = 0;   ///< Σ rows·cols (clamped extents)
+  std::size_t physical_cells = 0;  ///< Σ P·Q including edge padding
+
+  /// Fraction of logical cells holding a nonzero weight.
+  double occupancy() const {
+    return logical_cells == 0
+               ? 0.0
+               : static_cast<double>(nonzero_cells) / logical_cells;
+  }
+  /// Fraction of tiles that are completely empty (removable crossbars).
+  double empty_tile_ratio() const {
+    return tiles == 0 ? 0.0 : static_cast<double>(empty_tiles) / tiles;
+  }
+};
+
+/// Folds a per-tile occupancy scan into its whole-matrix summary.
+OccupancySummary summarize_occupancy(const std::vector<TileOccupancy>& tiles);
 
 }  // namespace gs::hw

@@ -21,6 +21,15 @@ double quantize_uniform(double v, double full_scale, std::size_t levels) {
       2.0 * full_scale / static_cast<double>(levels - 1);
   double idx = std::round((v + full_scale) / step);
   idx = std::clamp(idx, 0.0, static_cast<double>(levels - 1));
+  // The mid state of an odd-count quantizer represents exactly 0. Return it
+  // as such: the -fs + idx·step reconstruction below carries rounding error
+  // whenever (levels-1) is not a power of two, and the tile-skip contract
+  // (runtime/program.hpp) requires a zero partial sum to round-trip to
+  // exactly 0 through an odd-count ADC.
+  if (levels % 2 == 1 &&
+      idx == static_cast<double>((levels - 1) / 2)) {
+    return 0.0;
+  }
   return -full_scale + idx * step;
 }
 
@@ -112,6 +121,10 @@ void Executor::apply_plan(const MatrixPlan& plan, const Tensor& act,
       std::fill(acc.begin(), acc.end(), 0.0);
       for (std::size_t tr = 0; tr < grid_rows; ++tr) {
         const ProgramTile& tile = plan.tiles[tr * grid_cols + tc];
+        // Compile-proved zero contribution (empty tile after group deletion):
+        // adding it would add exact zeros, so eliding the MVM and ADC leaves
+        // the remaining fixed-order partial sums bitwise unchanged.
+        if (tile.skip) continue;
         std::fill(partial.begin(), partial.end(), 0.0);
         tile.xbar.accumulate_matvec(x + tile.slice.row_begin, partial.data());
         if (conv.adc_levels > 0 && x_max > 0.0) {

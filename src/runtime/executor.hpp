@@ -14,6 +14,14 @@
 // independent of both the thread count and the row blocking — results are
 // bitwise identical for any GS_NUM_THREADS.
 //
+// Tile skipping: tiles the compiler marked `skip` (provably-zero
+// contribution — the empty crossbars group connection deletion leaves
+// behind) are elided from the MVM→ADC loop. The marking criterion
+// guarantees the elided partial sum is exactly zero, so skipped and
+// unskipped programs of the same network produce bitwise-identical logits;
+// on heavily-deleted networks skipping removes most of the per-forward
+// arithmetic (see BENCH_runtime.json `tile_skip`).
+//
 // Converter model: DAC full scale is the per-input-vector max |x| (each
 // sample / im2col patch row carries its own scale, so batched and
 // single-sample execution agree exactly); ADC full scale is the no-overload
@@ -31,6 +39,11 @@ class ThreadPool;
 
 namespace gs::runtime {
 
+/// Thread-safety: forward() is const and safe from any number of threads
+/// (the serving engines share one executor across dispatchers); the only
+/// mutator is set_thread_pool(), which must not race forward().
+/// Determinism: logits are bitwise identical at any pool size and invariant
+/// to batch composition (per-input-vector converter scales).
 class Executor {
  public:
   /// Binds to `program` (borrowed; must outlive the executor). `pool`

@@ -20,10 +20,28 @@ void DacAdcParams::validate() const {
                "adc_levels must be 0 (ideal) or >= 2");
 }
 
+std::size_t MatrixPlan::skipped_tile_count() const {
+  std::size_t n = 0;
+  for (const ProgramTile& tile : tiles) {
+    if (tile.skip) ++n;
+  }
+  return n;
+}
+
 std::size_t CrossbarProgram::tile_count() const {
   std::size_t n = 0;
   for (const Step& step : steps_) {
     for (const MatrixPlan& plan : step.stages) n += plan.tile_count();
+  }
+  return n;
+}
+
+std::size_t CrossbarProgram::skipped_tile_count() const {
+  std::size_t n = 0;
+  for (const Step& step : steps_) {
+    for (const MatrixPlan& plan : step.stages) {
+      n += plan.skipped_tile_count();
+    }
   }
   return n;
 }
@@ -36,10 +54,28 @@ std::size_t CrossbarProgram::stage_count() const {
 
 namespace {
 
+/// True when the ADC maps a 0.0 partial sum to exactly 0.0: always for an
+/// ideal converter, and for quantised converters only when the level count
+/// is odd (an even count has no mid-scale state — zero would round to
+/// ±step/2, so a skipped tile would not be a no-op).
+bool adc_preserves_zero(const DacAdcParams& converters) {
+  return converters.adc_levels == 0 || converters.adc_levels % 2 == 1;
+}
+
+/// True when every element is exactly 0.0f.
+bool all_zero(const Tensor& t) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    if (t[i] != 0.0f) return false;
+  }
+  return true;
+}
+
 /// Tiles and programs one weight matrix. The Rng is seeded per matrix from
 /// the analog seed and tiles are visited row-major — the exact variation
 /// stream of hw::analog_effective_matrix, so the runtime realises the same
-/// nonideal weights the robustness analysis reports.
+/// nonideal weights the robustness analysis reports. (Skip-marked tiles are
+/// still programmed, keeping that variation stream — and therefore every
+/// non-skipped tile's weights — independent of the skip option.)
 MatrixPlan make_plan(std::string name, const Tensor& w,
                      const CompileOptions& options) {
   GS_CHECK(w.rank() == 2);
@@ -53,6 +89,14 @@ MatrixPlan make_plan(std::string name, const Tensor& w,
     plan.w_max = std::max(plan.w_max, static_cast<double>(std::fabs(w[i])));
   }
 
+  // Occupancy of the source matrix: the empty tiles produced by group
+  // connection deletion are the skip candidates.
+  const std::vector<hw::TileOccupancy> occupancy =
+      hw::analyze_tiles(w, plan.grid);
+  plan.occupancy = hw::summarize_occupancy(occupancy);
+  const bool may_skip =
+      options.skip_empty_tiles && adc_preserves_zero(options.converters);
+
   Rng rng(options.analog.seed);
   plan.tiles.reserve(plan.grid.tile_count());
   for (std::size_t tr = 0; tr < plan.grid.grid_rows(); ++tr) {
@@ -65,8 +109,19 @@ MatrixPlan make_plan(std::string name, const Tensor& w,
           tile.at(i - slice.row_begin, j - slice.col_begin) = w.at(i, j);
         }
       }
-      plan.tiles.push_back(ProgramTile{
-          slice, hw::AnalogCrossbar(tile, plan.w_max, options.analog, rng)});
+      ProgramTile programmed{
+          slice, hw::AnalogCrossbar(tile, plan.w_max, options.analog, rng),
+          /*skip=*/false};
+      // Skip only on compile-time proof of a zero contribution: the weight
+      // tile is empty AND the programmed array realises exactly-zero
+      // effective weights (process variation perturbs the two g_min halves
+      // differently, so a nonideal zero pair may still conduct — the
+      // effective-weight check rejects those tiles automatically).
+      if (may_skip && occupancy[tr * plan.grid.grid_cols() + tc].empty() &&
+          all_zero(programmed.xbar.effective_weights())) {
+        programmed.skip = true;
+      }
+      plan.tiles.push_back(std::move(programmed));
     }
   }
   return plan;

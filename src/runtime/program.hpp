@@ -12,6 +12,10 @@
 //    runtime weights and the robustness bench agree bit for bit;
 //  * zero weights (deleted groups) program both halves of the differential
 //    pair to g_min, i.e. a zero pair: a deleted wire contributes nothing;
+//  * tiles that are COMPLETELY zero (group connection deletion empties whole
+//    crossbars) are marked `skip` when their contribution is provably zero
+//    for every input, so the executor elides their MVM→ADC work — see
+//    CompileOptions::skip_empty_tiles;
 //  * low-rank layers lower to TWO chained crossbar stages (U then Vᵀ), the
 //    interconnected arrays of Figure 4, each with its own DAC/ADC boundary;
 //  * stateless layers (ReLU, pooling, flatten, dropout-at-eval) become
@@ -54,24 +58,42 @@ struct CompileOptions {
   hw::MappingPolicy policy = hw::MappingPolicy::kDivisorExact;
   hw::AnalogParams analog;
   DacAdcParams converters;
+  /// Mark tiles whose analog contribution is provably zero for every input
+  /// (all-zero weight tile per hw::analyze_tiles, all-zero EFFECTIVE weights
+  /// after programming, and an ADC that maps 0→0) so the executor skips
+  /// their MVM→ADC work entirely. Group connection deletion produces exactly
+  /// such tiles. Logits are bitwise identical with skipping on or off — the
+  /// marking criterion admits only tiles that contribute exactly nothing and
+  /// the partial-sum order of the remaining tiles is unchanged — so the
+  /// switch exists only for ablation benches.
+  bool skip_empty_tiles = true;
 };
 
 /// One programmed crossbar tile and the matrix slice it implements.
 struct ProgramTile {
   hw::GroupSlice slice;     ///< element range within the weight matrix
   hw::AnalogCrossbar xbar;  ///< programmed differential-pair array
+  /// Compile-time proof that this tile contributes exactly zero to every
+  /// partial sum (see CompileOptions::skip_empty_tiles); the executor skips
+  /// its MVM and ADC.
+  bool skip = false;
 };
 
 /// Tiled analog mapping of one (in × out) weight matrix: the schedule is
 /// row-major over (tile_row, tile_col); all tiles of one tile column feed
-/// the same output slice and are accumulated in ascending tile-row order.
+/// the same output slice and are accumulated in ascending tile-row order
+/// (skip-marked tiles drop out of the sum without disturbing that order).
 struct MatrixPlan {
   std::string name;      ///< "fc1", "conv2_u", … (report naming)
   hw::TileGrid grid;
   double w_max = 0.0;    ///< shared full-scale weight (per-matrix DAC ref)
   std::vector<ProgramTile> tiles;
+  /// Occupancy of the source matrix at tolerance 0 (hw::summarize_occupancy)
+  /// — recorded at compile so callers can query emptiness without rescans.
+  hw::OccupancySummary occupancy;
 
   std::size_t tile_count() const { return tiles.size(); }
+  std::size_t skipped_tile_count() const;
 };
 
 /// One executable step of the lowered network.
@@ -98,6 +120,8 @@ struct Step {
 };
 
 /// A compiled network: the full tile schedule plus the shapes it serves.
+/// Immutable after compile() returns; safe to share across threads (the
+/// executor and the serving engines only read it).
 class CrossbarProgram {
  public:
   const std::vector<Step>& steps() const { return steps_; }
@@ -109,6 +133,9 @@ class CrossbarProgram {
 
   /// Total programmed crossbar tiles across all steps and stages.
   std::size_t tile_count() const;
+  /// Tiles marked skippable (provably-zero contribution; see
+  /// CompileOptions::skip_empty_tiles) — the executor never touches them.
+  std::size_t skipped_tile_count() const;
   /// Total crossbar stages (matrix plans) — 2 per low-rank layer.
   std::size_t stage_count() const;
 

@@ -9,6 +9,14 @@
 
 namespace gs::runtime {
 
+double latency_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+  return sorted[idx];
+}
+
 void BatchingConfig::validate() const {
   GS_CHECK(max_batch >= 1);
   GS_CHECK(queue_capacity >= 1);
@@ -82,7 +90,7 @@ ServerStats BatchingServer::stats() const {
     stats.failed = failed_;
     stats.batches = batches_;
     stats.max_batch_seen = max_batch_seen_;
-    latencies = latencies_ms_;
+    latencies = latencies_.samples();
   }
   stats.mean_batch =
       stats.batches == 0
@@ -90,17 +98,9 @@ ServerStats BatchingServer::stats() const {
           : static_cast<double>(stats.completed) / stats.batches;
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
-    const auto at = [&](double q) {
-      // Nearest-rank: the ⌈q·n⌉-th smallest sample.
-      const double rank = std::ceil(q * static_cast<double>(latencies.size()));
-      const std::size_t idx = std::min(
-          latencies.size() - 1,
-          static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
-      return latencies[idx];
-    };
-    stats.latency_p50_ms = at(0.50);
-    stats.latency_p95_ms = at(0.95);
-    stats.latency_p99_ms = at(0.99);
+    stats.latency_p50_ms = latency_percentile(latencies, 0.50);
+    stats.latency_p95_ms = latency_percentile(latencies, 0.95);
+    stats.latency_p99_ms = latency_percentile(latencies, 0.99);
     stats.latency_max_ms = latencies.back();
   }
   return stats;
@@ -162,15 +162,9 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
       ++batches_;
       max_batch_seen_ = std::max(max_batch_seen_, count);
       for (const Request& request : requests) {
-        const double ms = std::chrono::duration<double, std::milli>(
+        latencies_.record(std::chrono::duration<double, std::milli>(
                               finished - request.enqueued)
-                              .count();
-        if (latencies_ms_.size() < kLatencyWindow) {
-          latencies_ms_.push_back(ms);
-        } else {
-          latencies_ms_[latency_next_] = ms;
-        }
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+                              .count());
       }
     }
     for (std::size_t i = 0; i < count; ++i) {

@@ -36,6 +36,36 @@ struct BatchingConfig {
   void validate() const;
 };
 
+/// Nearest-rank percentile — the ⌈q·n⌉-th smallest element of `sorted`
+/// (ascending); 0 when empty. Shared by the BatchingServer and ShardedServer
+/// stats folds.
+double latency_percentile(const std::vector<double>& sorted, double q);
+
+/// Bounded ring of the most recent latency samples — shared by the serving
+/// engines so both report identically-windowed percentiles. Not thread-safe;
+/// callers guard it with their stats mutex.
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void record(double ms) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_] = ms;
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  /// Retained samples, unordered (ring layout).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;  ///< ring write position
+};
+
 /// Serving counters; latency aggregates cover the most recent window of
 /// completed requests (BatchingServer::kLatencyWindow samples), so a
 /// long-running server keeps bounded memory and stats() cost.
@@ -52,6 +82,11 @@ struct ServerStats {
   double latency_max_ms = 0.0;
 };
 
+/// Thread-safety: submit()/infer()/stats() are safe from any number of
+/// threads; shutdown() is idempotent and also runs in the destructor.
+/// Determinism: results inherit the Executor contract — a sample's logits
+/// are bitwise independent of batch composition, pool size, and coalescing
+/// timing; only the latency statistics are timing-dependent.
 class BatchingServer {
  public:
   /// Starts the dispatch thread. `executor` is borrowed and must outlive the
@@ -103,8 +138,7 @@ class BatchingServer {
   std::size_t failed_ = 0;
   std::size_t batches_ = 0;
   std::size_t max_batch_seen_ = 0;
-  std::vector<double> latencies_ms_;  ///< ring buffer of kLatencyWindow
-  std::size_t latency_next_ = 0;      ///< ring write position
+  LatencyWindow latencies_{kLatencyWindow};
 
   std::mutex join_mutex_;   // serializes shutdown()'s joinable-check + join
   std::thread dispatcher_;  // started last, joined by shutdown()

@@ -1,0 +1,365 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/trainer.hpp"
+
+namespace gs::runtime {
+
+void ShardConfig::validate() const {
+  GS_CHECK_MSG(replicas >= 1, "ShardConfig: need at least one replica");
+  batching.validate();
+}
+
+ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
+                             const CompileOptions& options, ShardConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  const std::size_t budget = config_.total_threads != 0
+                                 ? config_.total_threads
+                                 : ThreadPool::global().size();
+  threads_per_replica_ = std::max<std::size_t>(1, budget / config_.replicas);
+
+  replicas_.reserve(config_.replicas);
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    auto replica = std::make_unique<Replica>();
+    CompileOptions replica_options = options;
+    replica_options.analog.seed =
+        options.analog.seed + r * config_.seed_stride;
+    replica->program = compile(net, sample_shape, replica_options);
+    replica->pool = std::make_unique<ThreadPool>(threads_per_replica_);
+    replica->executor =
+        std::make_unique<Executor>(replica->program, replica->pool.get());
+    replicas_.push_back(std::move(replica));
+  }
+  // Dispatchers start only after every replica exists — they scan the whole
+  // replica vector for steal victims.
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    replicas_[r]->dispatcher = std::thread([this, r] { dispatch_loop(r); });
+  }
+}
+
+ShardedServer::~ShardedServer() { shutdown(); }
+
+const CrossbarProgram& ShardedServer::program(std::size_t r) const {
+  GS_CHECK(r < replicas_.size());
+  return replicas_[r]->program;
+}
+
+std::future<Tensor> ShardedServer::submit(Tensor sample) {
+  const Shape& expected = replicas_.front()->program.input_shape();
+  GS_CHECK_MSG(sample.shape() == expected,
+               "sharded server sample " << shape_to_string(sample.shape())
+                                        << " does not match program input "
+                                        << shape_to_string(expected));
+  Request request;
+  request.sample = std::move(sample);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> future = request.promise.get_future();
+
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      rejected = true;
+    } else {
+      // Shortest-queue placement; the shortest queue being full means every
+      // queue is full.
+      std::size_t target = 0;
+      for (std::size_t r = 1; r < replicas_.size(); ++r) {
+        if (replicas_[r]->queue.size() < replicas_[target]->queue.size()) {
+          target = r;
+        }
+      }
+      if (replicas_[target]->queue.size() >= config_.batching.queue_capacity) {
+        rejected = true;
+      } else {
+        replicas_[target]->queue.push_back(std::move(request));
+      }
+    }
+  }
+  if (rejected) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++rejected_;
+    }
+    request.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("ShardedServer: request rejected")));
+    return future;
+  }
+  // All dispatchers share one cv: the owner must wake to coalesce, and idle
+  // replicas must wake to re-evaluate their steal horizon.
+  queue_cv_.notify_all();
+  return future;
+}
+
+Tensor ShardedServer::infer(const Tensor& sample) {
+  return submit(sample).get();
+}
+
+void ShardedServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (auto& replica : replicas_) {
+    if (replica->dispatcher.joinable()) replica->dispatcher.join();
+  }
+}
+
+std::vector<ShardedServer::Request> ShardedServer::take_batch(
+    std::size_t victim) {
+  std::deque<Request>& queue = replicas_[victim]->queue;
+  const std::size_t take = std::min(config_.batching.max_batch, queue.size());
+  std::vector<Request> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  return batch;
+}
+
+std::size_t ShardedServer::ripe_victim(
+    std::size_t self, std::chrono::steady_clock::time_point now) const {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::size_t best_depth = 0;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == self) continue;
+    const std::deque<Request>& queue = replicas_[r]->queue;
+    if (queue.empty()) continue;
+    const bool ripe = queue.size() >= config_.batching.max_batch ||
+                      queue.front().enqueued + config_.batching.max_delay <=
+                          now;
+    if (ripe && queue.size() > best_depth) {
+      best = r;
+      best_depth = queue.size();
+    }
+  }
+  return best;
+}
+
+void ShardedServer::dispatch_loop(std::size_t self) {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  Replica& replica = *replicas_[self];
+  for (;;) {
+    std::vector<Request> batch;
+    std::size_t victim = self;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        if (stopping_) {
+          // Drain: own queue first, then — only when stealing is allowed —
+          // whatever is left anywhere. With steal_work off every request
+          // must run on the replica placement chose (the controlled-
+          // experiment guarantee the flag exists for), and each queue's own
+          // dispatcher drains it before returning, so nothing is orphaned.
+          victim = replica.queue.empty() ? kNone : self;
+          if (victim == kNone && config_.steal_work) {
+            for (std::size_t r = 0; r < replicas_.size(); ++r) {
+              if (!replicas_[r]->queue.empty()) {
+                victim = r;
+                break;
+              }
+            }
+          }
+          if (victim == kNone) return;
+          batch = take_batch(victim);
+          break;
+        }
+        if (!replica.queue.empty()) {
+          // Own work: BatchingServer coalescing — launch when full, or when
+          // the oldest request's deadline passes. The launch decision is
+          // made against the CURRENT front; the wait below is only a timed
+          // sleep, re-evaluated from scratch on every wake (a thief may
+          // steal the front mid-sleep, which would leave a stale deadline —
+          // launching on it would fire newer requests early).
+          const auto deadline =
+              replica.queue.front().enqueued + config_.batching.max_delay;
+          if (replica.queue.size() >= config_.batching.max_batch ||
+              deadline <= std::chrono::steady_clock::now()) {
+            victim = self;
+            batch = take_batch(self);
+            break;
+          }
+          queue_cv_.wait_until(lock, deadline, [&] {
+            return stopping_ ||
+                   replica.queue.size() >= config_.batching.max_batch;
+          });
+          continue;
+        }
+        // Idle: steal ripe work (a full batch, or past-deadline requests
+        // whose owner is busy executing).
+        if (config_.steal_work) {
+          const auto now = std::chrono::steady_clock::now();
+          const std::size_t v = ripe_victim(self, now);
+          if (v != kNone) {
+            victim = v;
+            batch = take_batch(v);
+            break;
+          }
+          // Sleep until new work arrives or the earliest foreign deadline
+          // ripens.
+          std::optional<std::chrono::steady_clock::time_point> horizon;
+          for (std::size_t r = 0; r < replicas_.size(); ++r) {
+            if (r == self || replicas_[r]->queue.empty()) continue;
+            const auto t = replicas_[r]->queue.front().enqueued +
+                           config_.batching.max_delay;
+            if (!horizon || t < *horizon) horizon = t;
+          }
+          if (horizon) {
+            queue_cv_.wait_until(lock, *horizon);
+          } else {
+            queue_cv_.wait(lock);
+          }
+        } else {
+          queue_cv_.wait(lock, [&] {
+            return stopping_ || !replica.queue.empty();
+          });
+        }
+      }
+    }
+    run_batch(self, victim, batch);
+  }
+}
+
+void ShardedServer::run_batch(std::size_t self, std::size_t victim,
+                              std::vector<Request>& requests) {
+  Replica& replica = *replicas_[self];
+  const std::size_t count = requests.size();
+  const Shape& sample_shape = replica.program.input_shape();
+  const std::size_t sample_numel = shape_numel(sample_shape);
+
+  Shape batch_shape;
+  batch_shape.reserve(sample_shape.size() + 1);
+  batch_shape.push_back(count);
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
+                     sample_shape.end());
+  Tensor batch(batch_shape);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::copy(requests[i].sample.data(),
+              requests[i].sample.data() + sample_numel,
+              batch.data() + i * sample_numel);
+  }
+
+  try {
+    const Tensor logits = replica.executor->forward(batch);
+    const std::size_t classes = logits.numel() / count;
+    const auto finished = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      replica.completed += count;
+      ++replica.batches;
+      if (victim != self) ++replica.stolen_batches;
+      replica.max_batch_seen = std::max(replica.max_batch_seen, count);
+      for (const Request& request : requests) {
+        replica.latencies.record(std::chrono::duration<double, std::milli>(
+                                     finished - request.enqueued)
+                                     .count());
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      Tensor row(Shape{classes});
+      std::copy(logits.data() + i * classes, logits.data() + (i + 1) * classes,
+                row.data());
+      requests[i].promise.set_value(std::move(row));
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      failed_ += count;
+    }
+    for (Request& request : requests) {
+      request.promise.set_exception(error);
+    }
+  }
+}
+
+ShardStats ShardedServer::stats() const {
+  ShardStats stats;
+  std::vector<double> all_latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.aggregate.rejected = rejected_;
+    stats.aggregate.failed = failed_;
+    stats.replicas.reserve(replicas_.size());
+    for (const auto& replica : replicas_) {
+      ReplicaStats rs;
+      rs.completed = replica->completed;
+      rs.batches = replica->batches;
+      rs.stolen_batches = replica->stolen_batches;
+      rs.max_batch_seen = replica->max_batch_seen;
+      rs.mean_batch = replica->batches == 0
+                          ? 0.0
+                          : static_cast<double>(replica->completed) /
+                                static_cast<double>(replica->batches);
+      std::vector<double> latencies = replica->latencies.samples();
+      std::sort(latencies.begin(), latencies.end());
+      rs.latency_p50_ms = latency_percentile(latencies, 0.50);
+      rs.latency_p95_ms = latency_percentile(latencies, 0.95);
+      rs.latency_p99_ms = latency_percentile(latencies, 0.99);
+
+      stats.aggregate.completed += rs.completed;
+      stats.aggregate.batches += rs.batches;
+      stats.aggregate.max_batch_seen =
+          std::max(stats.aggregate.max_batch_seen, rs.max_batch_seen);
+      stats.stolen_batches += rs.stolen_batches;
+      all_latencies.insert(all_latencies.end(),
+                           replica->latencies.samples().begin(),
+                           replica->latencies.samples().end());
+      stats.replicas.push_back(rs);
+    }
+  }
+  stats.aggregate.mean_batch =
+      stats.aggregate.batches == 0
+          ? 0.0
+          : static_cast<double>(stats.aggregate.completed) /
+                static_cast<double>(stats.aggregate.batches);
+  if (!all_latencies.empty()) {
+    std::sort(all_latencies.begin(), all_latencies.end());
+    stats.aggregate.latency_p50_ms = latency_percentile(all_latencies, 0.50);
+    stats.aggregate.latency_p95_ms = latency_percentile(all_latencies, 0.95);
+    stats.aggregate.latency_p99_ms = latency_percentile(all_latencies, 0.99);
+    stats.aggregate.latency_max_ms = all_latencies.back();
+  }
+  return stats;
+}
+
+double evaluate(ShardedServer& server, const data::Dataset& dataset,
+                std::size_t max_samples, std::size_t batch_size) {
+  return nn::evaluate_forward(
+      [&server](const Tensor& images) {
+        const std::size_t batch = images.dim(0);
+        const Shape sample_shape(images.shape().begin() + 1,
+                                 images.shape().end());
+        const std::size_t sample_numel = shape_numel(sample_shape);
+        std::vector<std::future<Tensor>> futures;
+        futures.reserve(batch);
+        for (std::size_t i = 0; i < batch; ++i) {
+          Tensor sample(sample_shape);
+          std::copy(images.data() + i * sample_numel,
+                    images.data() + (i + 1) * sample_numel, sample.data());
+          futures.push_back(server.submit(std::move(sample)));
+        }
+        Tensor logits;
+        for (std::size_t i = 0; i < batch; ++i) {
+          const Tensor row = futures[i].get();
+          if (i == 0) logits = Tensor(Shape{batch, row.numel()});
+          std::copy(row.data(), row.data() + row.numel(),
+                    logits.data() + i * row.numel());
+        }
+        return logits;
+      },
+      dataset, max_samples, batch_size);
+}
+
+}  // namespace gs::runtime

@@ -1,0 +1,179 @@
+// Sharded multi-replica serving — one server over N independently-compiled
+// crossbar programs.
+//
+// Real multi-chip deployments program the same compressed network onto
+// several physical crossbar arrays; each chip realises its own process
+// variation. ShardedServer models exactly that: it compiles `replicas`
+// CrossbarPrograms from one network, giving replica r its own variation
+// seed (base seed + r·seed_stride) and its own Executor on a private
+// ThreadPool, so a total thread budget is split evenly across replicas and
+// batches execute concurrently — the multi-socket scaling path of the
+// ROADMAP. On an ideal device all replicas are bitwise identical, so a
+// request's logits do not depend on which replica served it; with
+// nonidealities enabled, replica spread IS the chip-to-chip spread the
+// robustness analysis studies.
+//
+// Request flow: submit() places a sample on the queue of the least-loaded
+// replica (shortest-queue placement). Each replica's dispatcher coalesces
+// its own queue into batches under BatchingServer semantics — launch at
+// `max_batch` or when the oldest request's deadline passes. An idle replica
+// additionally WORK-STEALS, but only "ripe" work: a foreign queue already
+// holding a full batch, or whose oldest request has passed its coalescing
+// deadline (its owner is busy executing). Stealing therefore never launches
+// a request earlier than the single-replica server would — coalescing
+// semantics are preserved — it only moves ready work onto an idle executor.
+//
+// Thread-safety: submit()/infer()/stats() are safe from any number of
+// threads; shutdown() is idempotent and runs in the destructor.
+// Determinism: per-replica execution inherits the Executor contract
+// (bitwise identical at any pool size, batch-composition invariant); which
+// replica serves a request is scheduling-dependent and only observable when
+// the device model is nonideal.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/server.hpp"
+
+namespace gs::runtime {
+
+/// Shard-level knobs on top of the per-replica BatchingConfig.
+struct ShardConfig {
+  std::size_t replicas = 2;
+  /// Executor thread budget split evenly across replicas: each replica gets
+  /// max(1, total/replicas) pool threads. 0 = the global pool size
+  /// (GS_NUM_THREADS). Remainder threads are left unused so replicas stay
+  /// symmetric (budget 3 over 2 replicas → 1 thread each); when replicas
+  /// exceed the budget, the floor of one pool thread per replica
+  /// intentionally oversubscribes it — size replicas ≤ total_threads for
+  /// equal-budget comparisons against a single-replica server.
+  std::size_t total_threads = 0;
+  /// Replica r programs its crossbars with analog seed base + r·stride —
+  /// distinct chips realise distinct variation. Stride 0 makes all replicas
+  /// program identical (useful for controlled experiments).
+  std::uint64_t seed_stride = 1;
+  BatchingConfig batching;  ///< per-replica coalescing knobs
+  /// Allow idle replicas to take ripe work from other replicas' queues.
+  bool steal_work = true;
+
+  void validate() const;
+};
+
+/// Per-replica serving counters (latency window per replica:
+/// BatchingServer::kLatencyWindow samples).
+struct ReplicaStats {
+  std::size_t completed = 0;
+  std::size_t batches = 0;
+  std::size_t stolen_batches = 0;  ///< batches taken from another queue
+  std::size_t max_batch_seen = 0;
+  double mean_batch = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+/// Aggregate view plus the per-replica breakdown.
+struct ShardStats {
+  ServerStats aggregate;  ///< counters summed, percentiles over all replicas
+  std::vector<ReplicaStats> replicas;
+  std::size_t stolen_batches = 0;  ///< Σ replicas[i].stolen_batches
+};
+
+class ShardedServer {
+ public:
+  /// Compiles `config.replicas` programs from `net` (per-replica analog
+  /// seeds), builds one Executor + private ThreadPool per replica, and
+  /// starts the dispatchers. `net` is only read during construction.
+  ShardedServer(const nn::Network& net, const Shape& sample_shape,
+                const CompileOptions& options = {}, ShardConfig config = {});
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Enqueues one sample on the least-loaded replica and returns a future
+  /// for its logits (rank-1, classes). A full queue or a shut-down server
+  /// rejects: the future carries std::runtime_error.
+  std::future<Tensor> submit(Tensor sample);
+
+  /// Blocking convenience: submit + get.
+  Tensor infer(const Tensor& sample);
+
+  /// Stops accepting work, drains every queue, joins all dispatchers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  ShardStats stats() const;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  /// Pool threads each replica's executor runs on.
+  std::size_t threads_per_replica() const { return threads_per_replica_; }
+  /// The program replica `r` executes (distinct analog seed per replica).
+  const CrossbarProgram& program(std::size_t r) const;
+
+ private:
+  struct Request {
+    Tensor sample;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// One compiled replica: program, executor, private pool, queue, and the
+  /// dispatcher thread that coalesces/steals for it.
+  struct Replica {
+    CrossbarProgram program;
+    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<Executor> executor;
+    std::deque<Request> queue;  ///< guarded by ShardedServer::mutex_
+    std::thread dispatcher;
+
+    // Counters guarded by ShardedServer::stats_mutex_.
+    std::size_t completed = 0;
+    std::size_t batches = 0;
+    std::size_t stolen_batches = 0;
+    std::size_t max_batch_seen = 0;
+    LatencyWindow latencies{BatchingServer::kLatencyWindow};
+  };
+
+  void dispatch_loop(std::size_t self);
+  /// Pops up to max_batch requests from `victim`'s queue (mutex_ held).
+  std::vector<Request> take_batch(std::size_t victim);
+  /// Ripe steal victim for `self`: a replica whose queue holds a full batch
+  /// or whose oldest request passed its deadline; SIZE_MAX when none
+  /// (mutex_ held).
+  std::size_t ripe_victim(std::size_t self,
+                          std::chrono::steady_clock::time_point now) const;
+  void run_batch(std::size_t self, std::size_t victim,
+                 std::vector<Request>& requests);
+
+  ShardConfig config_;
+  std::size_t threads_per_replica_ = 1;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  mutable std::mutex mutex_;  ///< guards every replica queue + stopping_
+  std::condition_variable queue_cv_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  std::size_t rejected_ = 0;
+  std::size_t failed_ = 0;
+
+  std::mutex join_mutex_;  // serializes shutdown()'s joinable-check + join
+};
+
+/// Top-1 accuracy through the sharded serving path (submit every sample of
+/// the first `max_samples`, 0 = all) — the serving counterpart of
+/// runtime::evaluate, so sharded accuracy can be reported next to
+/// single-program runtime accuracy. On an ideal device the two are
+/// identical by replica bitwise-equality.
+double evaluate(ShardedServer& server, const data::Dataset& dataset,
+                std::size_t max_samples = 0, std::size_t batch_size = 32);
+
+}  // namespace gs::runtime

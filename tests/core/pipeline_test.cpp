@@ -34,6 +34,7 @@ PipelineConfig small_config() {
 
   config.keep_dense = {lenet_classifier()};
   config.eval_samples = 100;
+  config.sharded_eval_replicas = 2;  // exercise the sharded serving report
   return config;
 }
 
@@ -82,6 +83,21 @@ TEST(Pipeline, FullLeNetRunProducesConsistentReports) {
   // Accuracy after the full pipeline stays in a usable band.
   EXPECT_GT(result.deletion.accuracy_after_finetune,
             result.baseline_accuracy - 0.2);
+
+  // Runtime evaluation compiled the final network, counted the empty tiles
+  // deletion produced, and graded analog inference next to digital. With a
+  // λ this strong whole tiles empty out, so some skipping must occur.
+  EXPECT_GT(result.runtime_tiles, 0u);
+  EXPECT_GT(result.runtime_skipped_tiles, 0u);
+  EXPECT_LE(result.runtime_skipped_tiles, result.runtime_tiles);
+  EXPECT_EQ(result.final_report.runtime_tiles, result.runtime_tiles);
+  EXPECT_EQ(result.final_report.runtime_skipped_tiles,
+            result.runtime_skipped_tiles);
+  // Sharded serving on the ideal device is bitwise the single-program
+  // runtime, so the two accuracies must agree exactly.
+  EXPECT_DOUBLE_EQ(result.sharded_accuracy, result.runtime_accuracy);
+  EXPECT_DOUBLE_EQ(result.final_report.sharded_accuracy,
+                   result.sharded_accuracy);
 
   // The compressed network is returned and still runs.
   Tensor x(Shape{1, 1, 28, 28});

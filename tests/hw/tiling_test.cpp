@@ -109,6 +109,42 @@ TEST(AnalyzeTiles, OccupancyStatistics) {
   EXPECT_EQ(tiles[3].nonzero_cols, 1u);
 }
 
+TEST(SummarizeOccupancy, AggregatesTileScan) {
+  TechnologyParams tiny = paper_technology();
+  tiny.max_crossbar_dim = 2;
+  const TileGrid grid = make_tile_grid(4, 4, tiny);
+
+  Tensor m(Shape{4, 4});
+  m.at(0, 0) = 1.0f;  // tile (0,0)
+  m.at(2, 2) = 1.0f;  // tile (1,1)
+  m.at(3, 2) = 1.0f;
+  const OccupancySummary s = summarize_occupancy(analyze_tiles(m, grid));
+  EXPECT_EQ(s.tiles, 4u);
+  EXPECT_EQ(s.empty_tiles, 2u);
+  EXPECT_EQ(s.nonzero_cells, 3u);
+  EXPECT_EQ(s.logical_cells, 16u);
+  EXPECT_EQ(s.physical_cells, 16u);
+  EXPECT_DOUBLE_EQ(s.occupancy(), 3.0 / 16.0);
+  EXPECT_DOUBLE_EQ(s.empty_tile_ratio(), 0.5);
+
+  // Empty scan → well-defined zero ratios.
+  const OccupancySummary none = summarize_occupancy({});
+  EXPECT_DOUBLE_EQ(none.occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(none.empty_tile_ratio(), 0.0);
+}
+
+TEST(SummarizeOccupancy, PaddedMappingSeparatesLogicalAndPhysical) {
+  // 100×70 under kPaddedMax: 4 tiles of 64×64 physical, 100·70 logical.
+  const TileGrid grid =
+      make_tile_grid(100, 70, paper_technology(), MappingPolicy::kPaddedMax);
+  const OccupancySummary s =
+      summarize_occupancy(analyze_tiles(Tensor(Shape{100, 70}), grid));
+  EXPECT_EQ(s.tiles, 4u);
+  EXPECT_EQ(s.empty_tiles, 4u);
+  EXPECT_EQ(s.logical_cells, 100u * 70u);
+  EXPECT_EQ(s.physical_cells, 4u * 64u * 64u);
+}
+
 TEST(AnalyzeTiles, ReportsLogicalAndPhysicalCells) {
   // 4×4 with 2×2 tiles is exact: logical == physical everywhere.
   TechnologyParams tiny = paper_technology();

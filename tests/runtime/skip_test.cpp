@@ -1,0 +1,219 @@
+// Execution-time skipping of the all-zero tiles group connection deletion
+// leaves behind.
+//
+// The contract under test (runtime/program.hpp): a tile is marked `skip`
+// only on compile-time proof that it contributes exactly zero to every
+// partial sum — empty weight tile, exactly-zero programmed effective
+// weights, and an ADC that maps 0→0. Consequently a skipping program must
+// produce BITWISE identical logits to its non-skipping twin, and the mark
+// must be withheld whenever the proof fails (process variation, even ADC
+// level counts).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "core/models.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "runtime/executor.hpp"
+
+namespace gs::runtime {
+namespace {
+
+/// Zeroes matrix rows [begin, end) — deleting whole tile-row bands the way
+/// group connection deletion does when every group of those rows collapses.
+void zero_rows(Tensor& w, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w.at(i, j) = 0.0f;
+  }
+}
+
+/// LeNet with tile-aligned bands of conv2 and fc1 deleted: under the paper
+/// technology both matrices tile at 50 rows, so zeroing conv2 rows
+/// [100, 500) empties 8 of its 10 tiles and zeroing fc1 rows [200, 800)
+/// empties 120 of its 160 tiles.
+nn::Network heavily_deleted_lenet(std::uint64_t seed = 21) {
+  Rng rng(seed);
+  nn::Network net = core::build_lenet(rng);
+  auto* conv2 = dynamic_cast<nn::Conv2dLayer*>(net.find("conv2"));
+  auto* fc1 = dynamic_cast<nn::DenseLayer*>(net.find("fc1"));
+  GS_CHECK(conv2 != nullptr && fc1 != nullptr);
+  zero_rows(conv2->weight(), 100, 500);
+  zero_rows(fc1->weight(), 200, 800);
+  return net;
+}
+
+Tensor random_batch(std::size_t batch, std::uint64_t seed) {
+  Tensor t(Shape{batch, 1, 28, 28});
+  Rng rng(seed);
+  t.fill_uniform(rng, 0.0f, 1.0f);
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const char* label) {
+  ASSERT_TRUE(a.same_shape(b)) << label;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)), 0)
+      << label;
+}
+
+TEST(TileSkipTest, HeavilyDeletedLenetSkipsAndStaysBitwiseIdentical) {
+  nn::Network net = heavily_deleted_lenet();
+  const Tensor batch = random_batch(4, 7);
+
+  for (const auto policy :
+       {hw::MappingPolicy::kDivisorExact, hw::MappingPolicy::kPaddedMax}) {
+    CompileOptions skip_options;
+    skip_options.policy = policy;
+    CompileOptions noskip_options = skip_options;
+    noskip_options.skip_empty_tiles = false;
+
+    const CrossbarProgram skipping =
+        compile(net, Shape{1, 28, 28}, skip_options);
+    const CrossbarProgram dense = compile(net, Shape{1, 28, 28},
+                                          noskip_options);
+    EXPECT_GT(skipping.skipped_tile_count(), 0u);
+    EXPECT_EQ(dense.skipped_tile_count(), 0u);
+    EXPECT_EQ(skipping.tile_count(), dense.tile_count());
+
+    expect_bitwise_equal(Executor(skipping).forward(batch),
+                         Executor(dense).forward(batch),
+                         policy == hw::MappingPolicy::kDivisorExact
+                             ? "divisor-exact"
+                             : "padded-max");
+  }
+}
+
+TEST(TileSkipTest, DivisorExactSkipCountMatchesDeletedBands) {
+  // The deletion pattern is tile-aligned under kDivisorExact, so the skip
+  // count is exactly the emptied-tile count: conv2 8/10 + fc1 120/160.
+  const CrossbarProgram program =
+      compile(heavily_deleted_lenet(), Shape{1, 28, 28});
+  EXPECT_EQ(program.skipped_tile_count(), 128u);
+}
+
+TEST(TileSkipTest, PlanOccupancyRecordsEmptyTiles) {
+  const CrossbarProgram program =
+      compile(heavily_deleted_lenet(), Shape{1, 28, 28});
+  std::size_t empty = 0;
+  std::size_t skipped = 0;
+  for (const Step& step : program.steps()) {
+    for (const MatrixPlan& plan : step.stages) {
+      empty += plan.occupancy.empty_tiles;
+      skipped += plan.skipped_tile_count();
+      EXPECT_EQ(plan.occupancy.tiles, plan.tile_count());
+    }
+  }
+  // Ideal device + ideal converters: every empty tile is provably
+  // skippable.
+  EXPECT_EQ(empty, skipped);
+  EXPECT_EQ(skipped, program.skipped_tile_count());
+}
+
+TEST(TileSkipTest, QuantizedOddAdcStillSkipsBitwise) {
+  // 2^b − 1 level counts (the convention of every converter in the repo)
+  // represent 0 exactly, so skipping remains a bitwise no-op with the
+  // quantisers in the loop.
+  nn::Network net = heavily_deleted_lenet();
+  const Tensor batch = random_batch(3, 11);
+
+  CompileOptions options;
+  options.converters.dac_levels = 255;
+  options.converters.adc_levels = 4095;
+  CompileOptions noskip = options;
+  noskip.skip_empty_tiles = false;
+
+  const CrossbarProgram skipping = compile(net, Shape{1, 28, 28}, options);
+  const CrossbarProgram dense = compile(net, Shape{1, 28, 28}, noskip);
+  EXPECT_GT(skipping.skipped_tile_count(), 0u);
+  expect_bitwise_equal(Executor(skipping).forward(batch),
+                       Executor(dense).forward(batch), "odd adc");
+}
+
+TEST(TileSkipTest, CoarseOddAdcZeroStateIsExactAcrossManyFullScales) {
+  // Regression: the ADC reconstructed its states as -fs + idx·step, which
+  // carries rounding error at the mid (zero) state whenever levels-1 is not
+  // a power of two — a skipped zero tile then differed from its quantised
+  // no-skip twin by ~1 ulp of fs for a sizable fraction of full scales. A
+  // coarse 7-level ADC and many random rows (each row has its own full
+  // scale x_max·w_max·P) make that fraction large, so this test fails
+  // loudly if the zero state ever stops being exact.
+  Rng rng(33);
+  nn::Network net;
+  net.add(std::make_unique<nn::DenseLayer>("fc", 100, 60, rng));
+  auto* fc = dynamic_cast<nn::DenseLayer*>(net.find("fc"));
+  GS_CHECK(fc != nullptr);
+  zero_rows(fc->weight(), 50, 100);  // tile row 1 of the 2×1 grid → empty
+
+  CompileOptions options;
+  options.converters.adc_levels = 7;
+  CompileOptions noskip = options;
+  noskip.skip_empty_tiles = false;
+
+  const CrossbarProgram skipping = compile(net, Shape{100}, options);
+  const CrossbarProgram dense = compile(net, Shape{100}, noskip);
+  ASSERT_EQ(skipping.skipped_tile_count(), 1u);
+
+  Tensor batch(Shape{200, 100});
+  Rng data_rng(34);
+  batch.fill_uniform(data_rng, -1.0f, 1.0f);
+  expect_bitwise_equal(Executor(skipping).forward(batch),
+                       Executor(dense).forward(batch), "7-level adc");
+}
+
+TEST(TileSkipTest, EvenAdcLevelCountBlocksSkipping) {
+  // An even level count has no mid-scale state: the ADC maps 0 to ±step/2,
+  // so an elided tile would NOT be a no-op — the compiler must refuse.
+  CompileOptions options;
+  options.converters.adc_levels = 256;
+  const CrossbarProgram program =
+      compile(heavily_deleted_lenet(), Shape{1, 28, 28}, options);
+  EXPECT_EQ(program.skipped_tile_count(), 0u);
+}
+
+TEST(TileSkipTest, ProcessVariationBlocksSkipping) {
+  // A zero weight programs both differential halves to g_min; lognormal
+  // variation perturbs the halves independently, so the programmed array
+  // still conducts and the effective-weight proof must reject the tile.
+  CompileOptions options;
+  options.analog.variation_sigma = 0.05;
+  const CrossbarProgram program =
+      compile(heavily_deleted_lenet(), Shape{1, 28, 28}, options);
+  EXPECT_EQ(program.skipped_tile_count(), 0u);
+}
+
+TEST(TileSkipTest, SkipOptionNeverChangesProgrammedWeights) {
+  // Skip marking must not disturb the per-matrix variation stream: the
+  // non-skipped tiles of a skipping program realise bitwise the same
+  // effective weights as the same tiles of its non-skipping twin.
+  CompileOptions options;
+  options.analog.variation_sigma = 0.0;
+  options.analog.levels = 64;
+  CompileOptions noskip = options;
+  noskip.skip_empty_tiles = false;
+
+  nn::Network net = heavily_deleted_lenet();
+  const CrossbarProgram a = compile(net, Shape{1, 28, 28}, options);
+  const CrossbarProgram b = compile(net, Shape{1, 28, 28}, noskip);
+  ASSERT_EQ(a.steps().size(), b.steps().size());
+  for (std::size_t s = 0; s < a.steps().size(); ++s) {
+    ASSERT_EQ(a.steps()[s].stages.size(), b.steps()[s].stages.size());
+    for (std::size_t p = 0; p < a.steps()[s].stages.size(); ++p) {
+      const MatrixPlan& pa = a.steps()[s].stages[p];
+      const MatrixPlan& pb = b.steps()[s].stages[p];
+      ASSERT_EQ(pa.tiles.size(), pb.tiles.size());
+      for (std::size_t t = 0; t < pa.tiles.size(); ++t) {
+        const Tensor& wa = pa.tiles[t].xbar.effective_weights();
+        const Tensor& wb = pb.tiles[t].xbar.effective_weights();
+        ASSERT_TRUE(wa.same_shape(wb));
+        EXPECT_EQ(std::memcmp(wa.data(), wb.data(),
+                              wa.numel() * sizeof(float)),
+                  0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gs::runtime
