@@ -5,11 +5,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
 #include "data/batcher.hpp"
 #include "nn/trainer.hpp"
 
@@ -121,8 +124,11 @@ void write_bench_json(const std::string& path, const std::string& bench_name,
                       const std::vector<BenchRecord>& records) {
   std::ofstream out(path);
   GS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  out << "{\n  \"bench\": \"" << json_escape(bench_name)
-      << "\",\n  \"records\": [\n";
+  out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+      << "  \"env\": {\"hardware_concurrency\": "
+      << std::thread::hardware_concurrency()
+      << ", \"gs_num_threads\": " << ThreadPool::global().size() << "},\n"
+      << "  \"records\": [\n";
   for (std::size_t r = 0; r < records.size(); ++r) {
     const BenchRecord& rec = records[r];
     out << "    {\"name\": \"" << json_escape(rec.name) << '"';
@@ -143,6 +149,25 @@ void write_bench_json(const std::string& path, const std::string& bench_name,
   }
   out << "  ]\n}\n";
   GS_CHECK_MSG(out.good(), "failed writing " << path);
+}
+
+std::string weights_checksum(nn::Network& net) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const nn::ParamRef& param : net.params()) {
+    const float* data = param.value->data();
+    for (std::size_t i = 0; i < param.value->numel(); ++i) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &data[i], sizeof bits);
+      for (int b = 0; b < 4; ++b) {
+        h ^= (bits >> (8 * b)) & 0xffu;
+        h *= 0x100000001b3ULL;
+      }
+    }
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 double time_median_seconds(const std::function<void()>& fn, int reps) {

@@ -71,11 +71,20 @@ struct BenchRecord {
   BenchRecord& metric(std::string key, double value);
 };
 
-/// Writes `{"bench": <bench_name>, "records": [...]}` to `path`, e.g.
-/// BENCH_gemm.json in the working directory. Strings are JSON-escaped;
-/// non-finite metrics are emitted as null.
+/// Writes `{"bench": <bench_name>, "env": {...}, "records": [...]}` to
+/// `path`, e.g. BENCH_gemm.json in the working directory. Strings are
+/// JSON-escaped; non-finite metrics are emitted as null. The `env` block
+/// records `hardware_concurrency` (cores the OS reports) and
+/// `gs_num_threads` (the effective global pool size after GS_NUM_THREADS),
+/// so numbers measured on a single-core container — where multi-replica
+/// overlap cannot exceed 1× — are self-describing.
 void write_bench_json(const std::string& path, const std::string& bench_name,
                       const std::vector<BenchRecord>& records);
+
+/// FNV-1a over the raw bytes of every learnable parameter, as a hex string.
+/// Bitwise-equal networks ⇒ equal checksums, so two bench runs (e.g. at
+/// GS_NUM_THREADS=1 vs 4) can assert training determinism across processes.
+std::string weights_checksum(nn::Network& net);
 
 /// Median wall-clock seconds of fn() over `reps` timed runs (after one
 /// untimed warm-up call).

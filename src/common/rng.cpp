@@ -95,4 +95,28 @@ Rng Rng::split() {
   return Rng(a ^ rotl(b, 32));
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::string_view label,
+                                 std::uint64_t index) {
+  // FNV-1a over the label bytes: a stable, platform-independent name hash.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Three splitmix64 steps decorrelate seed, label hash, and index; the
+  // running state mixes each component through the previous ones.
+  std::uint64_t x = seed;
+  std::uint64_t derived = splitmix64(x);
+  x ^= h;
+  derived ^= splitmix64(x);
+  x ^= index;
+  derived ^= splitmix64(x);
+  return derived;
+}
+
+Rng derive_stream(std::uint64_t seed, std::string_view label,
+                  std::uint64_t index) {
+  return Rng(derive_stream_seed(seed, label, index));
+}
+
 }  // namespace gs

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace gs {
@@ -60,5 +61,19 @@ class Rng {
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
 };
+
+/// Seed of the stream a component owns under `(seed, label, index)`: mixes an
+/// FNV-1a hash of `label` and the index into `seed` through splitmix64
+/// finalisation. Streams keyed this way depend only on their own key — never
+/// on how many OTHER streams the run created — so adding or removing one
+/// stochastic component (a dropout layer, a noise-injected matrix) cannot
+/// shift any other component's draws. Use the index for per-label sequences
+/// (e.g. chip-realisation k of matrix "fc1_u").
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::string_view label,
+                                 std::uint64_t index = 0);
+
+/// Convenience: an Rng seeded by derive_stream_seed.
+Rng derive_stream(std::uint64_t seed, std::string_view label,
+                  std::uint64_t index = 0);
 
 }  // namespace gs

@@ -120,6 +120,10 @@ ParsedModel parse_model(std::istream& in, Rng& rng) {
   std::size_t line_no = 0;
   std::size_t auto_name = 0;
   std::string line;
+  // One run seed shared by every dropout layer (drawn lazily so dropout-free
+  // configs consume nothing); each layer derives its own (seed, name) stream.
+  std::uint64_t dropout_seed = 0;
+  bool have_dropout_seed = false;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -191,8 +195,18 @@ ParsedModel parse_model(std::istream& in, Rng& rng) {
     } else if (kind == "dropout") {
       const double p = attrs.get_double("p", 0.5);
       attrs.check_all_used();
+      if (!have_dropout_seed) {
+        dropout_seed = rng.next_u64();
+        have_dropout_seed = true;
+      }
+      // Streams are keyed by (seed, name): a duplicate name would make two
+      // layers drop the same elements in lockstep, so reject it here
+      // (parse_model does not otherwise enforce name uniqueness).
+      GS_CHECK_MSG(model.network.find(name) == nullptr,
+                   "line " << line_no << ": duplicate dropout layer name '"
+                           << name << "' would correlate mask streams");
       model.network.add(
-          std::make_unique<nn::DropoutLayer>(name, p, rng.split()));
+          std::make_unique<nn::DropoutLayer>(name, p, dropout_seed));
     } else if (kind == "flatten") {
       attrs.check_all_used();
       GS_CHECK_MSG(!flat, "line " << line_no << ": duplicate flatten");

@@ -108,7 +108,8 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
         << report.runtime_skipped_tiles << " skipped as empty)\n";
   }
   if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0 ||
-      report.sharded_accuracy >= 0.0) {
+      report.sharded_accuracy >= 0.0 ||
+      report.nonideal_accuracy_after >= 0.0) {
     out << "accuracy:";
     bool first = true;
     const auto emit = [&](const char* label, double value) {
@@ -120,6 +121,8 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
     emit("digital", report.digital_accuracy);
     emit("crossbar runtime", report.runtime_accuracy);
     emit("sharded serving", report.sharded_accuracy);
+    emit("nonideal pre-finetune", report.nonideal_accuracy_before);
+    emit("nonideal post-finetune", report.nonideal_accuracy_after);
     out << '\n';
   }
 }

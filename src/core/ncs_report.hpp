@@ -44,6 +44,15 @@ struct NcsReport {
   double runtime_accuracy = -1.0;
   double sharded_accuracy = -1.0;
 
+  /// Crossbar-runtime accuracy on the NONIDEAL target device before and
+  /// after the nonideal-aware fine-tune stage (noise-injected training from
+  /// the compiled program — runtime/noise_model.hpp). Negative = stage not
+  /// run. The before number is the eval-only baseline the stage exists to
+  /// beat; digital_accuracy is re-measured after the stage so drift of the
+  /// clean network is visible next to the recovered analog accuracy.
+  double nonideal_accuracy_before = -1.0;
+  double nonideal_accuracy_after = -1.0;
+
   /// Tile schedule of the compiled runtime program: total crossbar tiles and
   /// how many of them the compiler proved skippable (all-zero tiles left by
   /// group connection deletion — runtime/program.hpp). Only populated when

@@ -1,11 +1,62 @@
 #include "core/pipeline.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "common/log.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
 #include "nn/trainer.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/noise_model.hpp"
 #include "runtime/shard.hpp"
 
 namespace gs::core {
+
+namespace {
+
+/// Elementwise 0/1 masks freezing the EXACT zeros of every weight matrix —
+/// after group connection deletion those are precisely the deleted groups
+/// (plus the odd coincidental zero, harmless to freeze). Re-applied after
+/// every optimiser step of the nonideal fine-tune, the same projection the
+/// deletion fine-tune uses, so the stage can never regrow deleted wires.
+struct FrozenMasks {
+  std::vector<std::pair<Tensor*, Tensor>> entries;  ///< (live weight, mask)
+
+  void freeze(Tensor& w) {
+    Tensor mask(w.shape());
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      mask[i] = w[i] != 0.0f ? 1.0f : 0.0f;
+    }
+    entries.emplace_back(&w, std::move(mask));
+  }
+
+  void apply() const {
+    for (const auto& [w, mask] : entries) {
+      for (std::size_t i = 0; i < w->numel(); ++i) {
+        (*w)[i] *= mask[i];
+      }
+    }
+  }
+};
+
+FrozenMasks freeze_zero_masks(nn::Network& net) {
+  FrozenMasks masks;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* f = dynamic_cast<nn::FactorizedLayer*>(&layer)) {
+      masks.freeze(f->mutable_u());
+      masks.freeze(f->mutable_vt());
+    } else if (auto* d = dynamic_cast<nn::DenseLayer*>(&layer)) {
+      masks.freeze(d->weight());
+    } else if (auto* c = dynamic_cast<nn::Conv2dLayer*>(&layer)) {
+      masks.freeze(c->weight());
+    }
+  }
+  return masks;
+}
+
+}  // namespace
 
 double train_phase(nn::Network& net, const data::Dataset& train_set,
                    const data::Dataset& test_set, const TrainPhase& phase,
@@ -72,10 +123,63 @@ PipelineResult run_group_scissor(
     result.deletion = compress::run_group_connection_deletion(
         lowrank, opt, batcher, test_set, config.eval_samples, del);
   }
+  // Phase 4 (optional): nonideal-aware fine-tune — recompile the compressed
+  // network for the nonideal target device and train against sampled chip
+  // realisations of ITS OWN compiled program (runtime/noise_model.hpp),
+  // masks frozen so deleted wires stay deleted. Runs before the final
+  // report so every final accuracy reflects the hardware-tuned weights.
+  double digital_accuracy = result.deletion.accuracy_after_finetune;
+  if (config.nonideal_finetune.enabled) {
+    const NonidealFinetuneConfig& nf = config.nonideal_finetune;
+    runtime::CompileOptions nopts;
+    nopts.tech = config.tech;
+    nopts.policy = config.policy;
+    nopts.analog = nf.analog;
+    nopts.converters = nf.converters;
+    {
+      // One compile serves both the eval-only baseline and the noise
+      // model's structure (NoiseModel copies what it needs; the weights it
+      // perturbs are read live from the network every forward).
+      const runtime::CrossbarProgram program =
+          runtime::compile(lowrank, test_set.sample_shape(), nopts);
+      {
+        const runtime::Executor executor(program);
+        result.nonideal_accuracy_before =
+            runtime::evaluate(executor, test_set, config.eval_samples);
+      }
+      GS_LOG_INFO << "pipeline: nonideal fine-tune ("
+                  << nf.phase.iterations << " iters, eval-only accuracy "
+                  << result.nonideal_accuracy_before << ")";
+      runtime::NoiseModel noise(program,
+                                {nf.noise_seed, nf.resample_every});
+      runtime::NoisyForward hook(lowrank, noise);
+      const FrozenMasks masks = freeze_zero_masks(lowrank);
+      Rng ft_rng(config.seed + 4);
+      data::Batcher batcher(train_set, nf.phase.batch_size, ft_rng.split());
+      nn::SgdOptimizer opt(nf.phase.sgd);
+      nn::train(lowrank, opt, batcher, nf.phase.iterations, {},
+                [&masks](nn::Network&, std::size_t) { masks.apply(); });
+    }
+    {
+      const runtime::CrossbarProgram post =
+          runtime::compile(lowrank, test_set.sample_shape(), nopts);
+      const runtime::Executor executor(post);
+      result.nonideal_accuracy_after =
+          runtime::evaluate(executor, test_set, config.eval_samples);
+    }
+    digital_accuracy = nn::evaluate(lowrank, test_set, config.eval_samples);
+    GS_LOG_INFO << "pipeline: nonideal accuracy "
+                << result.nonideal_accuracy_before << " -> "
+                << result.nonideal_accuracy_after << " (digital "
+                << digital_accuracy << ")";
+  }
+
   result.final_report =
       build_ncs_report(lowrank, config.tech, config.policy);
-  result.final_report.digital_accuracy =
-      result.deletion.accuracy_after_finetune;
+  result.final_report.digital_accuracy = digital_accuracy;
+  result.final_report.nonideal_accuracy_before =
+      result.nonideal_accuracy_before;
+  result.final_report.nonideal_accuracy_after = result.nonideal_accuracy_after;
 
   // End-to-end crossbar inference of the compressed network (ideal device):
   // the analog execution path, not the weight-write-back approximation. The

@@ -13,6 +13,7 @@
 #include "core/ncs_report.hpp"
 #include "data/dataset.hpp"
 #include "nn/optimizer.hpp"
+#include "runtime/program.hpp"
 
 namespace gs::core {
 
@@ -23,6 +24,26 @@ struct TrainPhase {
   /// Defaults chosen to train the paper networks stably on the synthetic
   /// tasks (LeNet diverges above ~0.05 with He init on this data).
   nn::SgdConfig sgd{0.02f, 0.9f, 1e-4f};
+};
+
+/// Nonideal-aware fine-tuning — the final training stage: the compressed
+/// network is recompiled for a NONIDEAL target device and fine-tuned with
+/// noise injection derived from that compiled program (fresh chip
+/// realisation per resample period, straight-through backward; see
+/// runtime/noise_model.hpp), with the frozen deletion masks re-applied
+/// after every step so compression survives. Determinism: fixed noise_seed
+/// + fixed resample_every ⇒ bitwise-identical training at any
+/// GS_NUM_THREADS.
+struct NonidealFinetuneConfig {
+  bool enabled = false;
+  TrainPhase phase{/*iterations=*/600, /*batch_size=*/32,
+                   nn::SgdConfig{0.006f, 0.9f, 1e-4f}};
+  /// The nonideal device to train for (quantised conductances, variation,
+  /// IR-drop); also the device the before/after accuracies are measured on.
+  hw::AnalogParams analog;
+  runtime::DacAdcParams converters;  ///< DAC/ADC at stage boundaries
+  std::uint64_t noise_seed = 77;     ///< chip-realisation sampling streams
+  std::size_t resample_every = 1;    ///< forwards per chip realisation
 };
 
 /// Full pipeline configuration.
@@ -49,6 +70,11 @@ struct PipelineConfig {
   /// device it must match the single-program runtime accuracy exactly.
   /// 0 disables the sharded evaluation.
   std::size_t sharded_eval_replicas = 0;
+  /// Final stage: noise-injected fine-tuning for a nonideal target device,
+  /// driven by the compiled crossbar program. Runs after deletion and
+  /// before the final report, so every final accuracy reflects the
+  /// hardware-tuned weights.
+  NonidealFinetuneConfig nonideal_finetune;
 };
 
 /// Everything the pipeline produced.
@@ -67,6 +93,12 @@ struct PipelineResult {
   /// Accuracy through the sharded multi-replica serving path (negative when
   /// sharded_eval_replicas < 2). Also mirrored into final_report.
   double sharded_accuracy = -1.0;
+  /// Crossbar accuracy on the nonideal target device before / after the
+  /// nonideal_finetune stage (negative when the stage is off). Mirrored
+  /// into final_report; the margin (after − before) is the recovery the
+  /// hardware-in-the-loop training buys.
+  double nonideal_accuracy_before = -1.0;
+  double nonideal_accuracy_after = -1.0;
   /// Tile schedule of the compiled final network: total tiles and the
   /// all-zero tiles the compiler marked for execution-time skipping (group
   /// connection deletion empties whole crossbars). Zero when runtime_eval

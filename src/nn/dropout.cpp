@@ -4,8 +4,11 @@
 
 namespace gs::nn {
 
-DropoutLayer::DropoutLayer(std::string name, double drop_probability, Rng rng)
-    : name_(std::move(name)), p_(drop_probability), rng_(rng) {
+DropoutLayer::DropoutLayer(std::string name, double drop_probability,
+                           std::uint64_t run_seed)
+    : name_(std::move(name)),
+      p_(drop_probability),
+      rng_(derive_stream(run_seed, name_)) {
   GS_CHECK_MSG(p_ >= 0.0 && p_ < 1.0,
                name_ << ": drop probability " << p_ << " outside [0, 1)");
 }

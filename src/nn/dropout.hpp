@@ -10,9 +10,13 @@ namespace gs::nn {
 
 class DropoutLayer final : public Layer {
  public:
-  /// `drop_probability` ∈ [0, 1). The layer owns its RNG stream so training
-  /// runs stay reproducible from the construction seed.
-  DropoutLayer(std::string name, double drop_probability, Rng rng);
+  /// `drop_probability` ∈ [0, 1). The layer owns a private RNG stream keyed
+  /// off `(run_seed, name)` (derive_stream), so its mask sequence depends
+  /// only on its own name and the run seed — adding or removing another
+  /// stochastic layer can never shift this layer's draws, and two dropout
+  /// layers of one network (distinct names) draw decorrelated streams.
+  DropoutLayer(std::string name, double drop_probability,
+               std::uint64_t run_seed);
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;

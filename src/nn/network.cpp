@@ -12,10 +12,14 @@ Layer* Network::add(std::unique_ptr<Layer> layer) {
 
 Tensor Network::forward(const Tensor& input, bool train) {
   GS_CHECK_MSG(!layers_.empty(), "forward on empty network");
+  ForwardHook* hook = train ? forward_hook_ : nullptr;
   Tensor x = input;
-  for (auto& layer : layers_) {
-    x = layer->forward(x, train);
+  if (hook) hook->on_forward_begin(*this, x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x, train);
+    if (hook) hook->on_layer_output(*this, i, x);
   }
+  if (hook) hook->on_forward_end(*this);
   return x;
 }
 

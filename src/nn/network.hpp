@@ -14,6 +14,33 @@ namespace gs::nn {
 /// softmax/cross-entropy head lives outside (see softmax.hpp).
 class Network {
  public:
+  /// Observer/perturbation hook around TRAIN-MODE forwards (eval forwards
+  /// never invoke it). This is the seam hardware-in-the-loop training plugs
+  /// into (runtime/noise_model.hpp): on_forward_begin may swap layer weights
+  /// for a sampled chip realisation and pre-condition the input (DAC);
+  /// on_layer_output may transform activations in place (ADC rounding) —
+  /// the next layer consumes the transformed values while backward() is
+  /// untouched, i.e. every hook transform is straight-through; and
+  /// on_forward_end restores clean weights before backward runs.
+  class ForwardHook {
+   public:
+    virtual ~ForwardHook() = default;
+    /// Runs before the first layer; `input` is the working activation copy
+    /// and may be mutated in place.
+    virtual void on_forward_begin(Network& net, Tensor& input) {
+      (void)net;
+      (void)input;
+    }
+    /// Runs after layer `index` produced `x`; may mutate `x` in place.
+    virtual void on_layer_output(Network& net, std::size_t index, Tensor& x) {
+      (void)net;
+      (void)index;
+      (void)x;
+    }
+    /// Runs after the last layer (logits already produced).
+    virtual void on_forward_end(Network& net) { (void)net; }
+  };
+
   Network() = default;
   Network(Network&&) = default;
   Network& operator=(Network&&) = default;
@@ -46,8 +73,16 @@ class Network {
   /// Total learnable scalar count.
   std::size_t parameter_count();
 
+  /// Installs `hook` (borrowed; must outlive the network or be uninstalled
+  /// with nullptr). Only train-mode forwards invoke it. Do not move the
+  /// network while a hook is installed — hooks typically cache the network
+  /// address and per-layer weight pointers.
+  void set_forward_hook(ForwardHook* hook) { forward_hook_ = hook; }
+  ForwardHook* forward_hook() const { return forward_hook_; }
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  ForwardHook* forward_hook_ = nullptr;
 };
 
 }  // namespace gs::nn

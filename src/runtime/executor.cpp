@@ -14,25 +14,6 @@ namespace gs::runtime {
 
 namespace {
 
-/// Snaps `v` to the nearest of `levels` uniformly-spaced states across
-/// [-full_scale, +full_scale], clamping at the rails.
-double quantize_uniform(double v, double full_scale, std::size_t levels) {
-  const double step =
-      2.0 * full_scale / static_cast<double>(levels - 1);
-  double idx = std::round((v + full_scale) / step);
-  idx = std::clamp(idx, 0.0, static_cast<double>(levels - 1));
-  // The mid state of an odd-count quantizer represents exactly 0. Return it
-  // as such: the -fs + idx·step reconstruction below carries rounding error
-  // whenever (levels-1) is not a power of two, and the tile-skip contract
-  // (runtime/program.hpp) requires a zero partial sum to round-trip to
-  // exactly 0 through an odd-count ADC.
-  if (levels % 2 == 1 &&
-      idx == static_cast<double>((levels - 1) / 2)) {
-    return 0.0;
-  }
-  return -full_scale + idx * step;
-}
-
 std::size_t pool_out_extent(std::size_t in, std::size_t kernel,
                             std::size_t stride) {
   GS_CHECK_MSG(in >= 1, "pooling input too small");

@@ -49,6 +49,15 @@ struct DacAdcParams {
   void validate() const;
 };
 
+/// The shared converter model: snaps `v` to the nearest of `levels`
+/// uniformly-spaced states across [-full_scale, +full_scale], clamping at
+/// the rails. The mid state of an odd level count returns exactly 0.0 (the
+/// tile-skip contract requires a zero partial sum to round-trip through an
+/// odd-count ADC). Used by the executor at every DAC/ADC boundary and by
+/// the training-time noise model (noise_model.hpp), so both quantise
+/// identically. Requires levels >= 2.
+double quantize_uniform(double v, double full_scale, std::size_t levels);
+
 /// Everything compile() needs to know about the target hardware. The
 /// defaults are the paper technology with an ideal device (continuous
 /// conductances, no variation, no IR-drop, ideal converters) — the

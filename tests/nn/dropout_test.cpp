@@ -8,24 +8,24 @@ namespace gs::nn {
 namespace {
 
 TEST(Dropout, EvalModeIsIdentity) {
-  DropoutLayer drop("drop", 0.5, Rng(1));
+  DropoutLayer drop("drop", 0.5, /*run_seed=*/1);
   Tensor x(Shape{4, 8}, 1.0f);
   EXPECT_TRUE(allclose(drop.forward(x, /*train=*/false), x, 0.0f));
 }
 
 TEST(Dropout, ZeroProbabilityIsIdentityInTraining) {
-  DropoutLayer drop("drop", 0.0, Rng(2));
+  DropoutLayer drop("drop", 0.0, /*run_seed=*/2);
   Tensor x(Shape{4, 8}, 2.0f);
   EXPECT_TRUE(allclose(drop.forward(x, true), x, 0.0f));
 }
 
 TEST(Dropout, InvalidProbabilityRejected) {
-  EXPECT_THROW(DropoutLayer("d", -0.1, Rng(1)), Error);
-  EXPECT_THROW(DropoutLayer("d", 1.0, Rng(1)), Error);
+  EXPECT_THROW(DropoutLayer("d", -0.1, 1), Error);
+  EXPECT_THROW(DropoutLayer("d", 1.0, 1), Error);
 }
 
 TEST(Dropout, TrainModeDropsApproximatelyP) {
-  DropoutLayer drop("drop", 0.3, Rng(3));
+  DropoutLayer drop("drop", 0.3, /*run_seed=*/3);
   Tensor x(Shape{100, 100}, 1.0f);
   Tensor y = drop.forward(x, true);
   const double zero_fraction =
@@ -34,7 +34,7 @@ TEST(Dropout, TrainModeDropsApproximatelyP) {
 }
 
 TEST(Dropout, SurvivorsScaledByInverseKeepProbability) {
-  DropoutLayer drop("drop", 0.5, Rng(4));
+  DropoutLayer drop("drop", 0.5, /*run_seed=*/4);
   Tensor x(Shape{1000}, 1.0f);
   Tensor y = drop.forward(x, true);
   for (std::size_t i = 0; i < y.numel(); ++i) {
@@ -44,14 +44,14 @@ TEST(Dropout, SurvivorsScaledByInverseKeepProbability) {
 
 TEST(Dropout, ExpectationPreserved) {
   // E[dropout(x)] = x; check the sample mean over many elements.
-  DropoutLayer drop("drop", 0.4, Rng(5));
+  DropoutLayer drop("drop", 0.4, /*run_seed=*/5);
   Tensor x(Shape{200, 200}, 1.0f);
   Tensor y = drop.forward(x, true);
   EXPECT_NEAR(y.sum() / static_cast<float>(y.numel()), 1.0f, 0.03f);
 }
 
 TEST(Dropout, BackwardUsesSameMask) {
-  DropoutLayer drop("drop", 0.5, Rng(6));
+  DropoutLayer drop("drop", 0.5, /*run_seed=*/6);
   Tensor x(Shape{50}, 1.0f);
   Tensor y = drop.forward(x, true);
   Tensor dy(Shape{50}, 1.0f);
@@ -62,22 +62,48 @@ TEST(Dropout, BackwardUsesSameMask) {
 }
 
 TEST(Dropout, BackwardInEvalModePassesThrough) {
-  DropoutLayer drop("drop", 0.5, Rng(7));
+  DropoutLayer drop("drop", 0.5, /*run_seed=*/7);
   Tensor x(Shape{10}, 1.0f);
   drop.forward(x, false);
   Tensor dy(Shape{10}, 3.0f);
   EXPECT_TRUE(allclose(drop.backward(dy), dy, 0.0f));
 }
 
-TEST(Dropout, DeterministicPerSeed) {
-  DropoutLayer a("a", 0.5, Rng(42));
-  DropoutLayer b("b", 0.5, Rng(42));
+TEST(Dropout, DeterministicPerNameAndSeed) {
+  // The stream is keyed by (run_seed, name): same key → identical masks,
+  // different name or different seed → decorrelated masks.
+  DropoutLayer a("drop1", 0.5, 42);
+  DropoutLayer same("drop1", 0.5, 42);
+  DropoutLayer other_name("drop2", 0.5, 42);
+  DropoutLayer other_seed("drop1", 0.5, 43);
   Tensor x(Shape{64}, 1.0f);
-  EXPECT_TRUE(allclose(a.forward(x, true), b.forward(x, true), 0.0f));
+  const Tensor ya = a.forward(x, true);
+  EXPECT_TRUE(allclose(ya, same.forward(x, true), 0.0f));
+  EXPECT_FALSE(allclose(ya, other_name.forward(x, true), 0.0f));
+  EXPECT_FALSE(allclose(ya, other_seed.forward(x, true), 0.0f));
+}
+
+TEST(Dropout, StreamIsolationAcrossLayerInsertion) {
+  // Regression for the stream-shift bug class: layer d2's mask sequence must
+  // be identical whether or not ANOTHER stochastic layer runs before it.
+  // With construction-order Rng handoff (the old scheme) inserting d_extra
+  // would shift every later layer's draws; name-keyed streams cannot.
+  Tensor x(Shape{8, 32}, 1.0f);
+
+  DropoutLayer d2_alone("d2", 0.5, 99);
+  Tensor masks_alone[3];
+  for (Tensor& m : masks_alone) m = d2_alone.forward(x, true);
+
+  DropoutLayer d_extra("d_extra", 0.3, 99);
+  DropoutLayer d2_after("d2", 0.5, 99);
+  for (const Tensor& expected : masks_alone) {
+    d_extra.forward(x, true);  // consumes d_extra's own stream only
+    EXPECT_TRUE(allclose(d2_after.forward(x, true), expected, 0.0f));
+  }
 }
 
 TEST(Dropout, NoParams) {
-  DropoutLayer drop("drop", 0.5, Rng(8));
+  DropoutLayer drop("drop", 0.5, /*run_seed=*/8);
   EXPECT_TRUE(drop.params().empty());
 }
 

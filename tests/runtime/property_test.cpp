@@ -1,0 +1,248 @@
+// Randomized-property sweep of the compile→execute path.
+//
+// Fifty seeded random layer stacks — dense / low-rank / conv / low-rank
+// conv with odd shapes, both mapping policies, interleaved ReLU / pooling /
+// dropout, and randomly-emptied weight bands to exercise tile skipping —
+// each checked against the runtime's two core contracts:
+//  1. ideal-device parity: the compiled program reproduces the digital
+//     forward within float-roundtrip tolerance;
+//  2. determinism: logits are bitwise identical at any pool size and
+//     invariant to batch composition, including under quantised converters
+//     (odd AND even ADC level counts) and device variation.
+// This replaces hand-picked shapes with a generator: every seed is its own
+// ctest case, so a failure names the stack that broke.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/lowrank.hpp"
+#include "nn/pool2d.hpp"
+#include "runtime/executor.hpp"
+
+namespace gs::runtime {
+namespace {
+
+/// Odd, prime-heavy extents so padded-edge tiles and non-divisor grids
+/// appear constantly under both mapping policies.
+std::size_t odd_extent(Rng& rng, std::size_t lo, std::size_t hi) {
+  return lo + static_cast<std::size_t>(rng.uniform_index(hi - lo + 1));
+}
+
+/// Zeroes a random row band of `w` with probability 1/2 — the all-zero
+/// groups connection deletion produces, so some stacks compile skip-marked
+/// tiles.
+void maybe_delete_rows(Tensor& w, Rng& rng) {
+  if (!rng.bernoulli(0.5) || w.rows() < 4) return;
+  const std::size_t begin = rng.uniform_index(w.rows() / 2);
+  const std::size_t end =
+      begin + 1 + rng.uniform_index(w.rows() - begin - 1);
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = 0; j < w.cols(); ++j) w.at(i, j) = 0.0f;
+  }
+}
+
+struct RandomStack {
+  nn::Network net;
+  Shape sample_shape;
+};
+
+/// Builds a random stack: image stacks open with a (low-rank) conv and may
+/// pool; every stack funnels through flatten into 1–2 FC layers (dense or
+/// low-rank) and a final classifier.
+RandomStack build_stack(std::uint64_t seed) {
+  Rng rng(seed * 7919 + 13);
+  RandomStack stack;
+  std::size_t features = 0;
+
+  if (rng.bernoulli(0.5)) {
+    // Image front end.
+    const std::size_t channels = 1 + rng.uniform_index(3);
+    const std::size_t height = odd_extent(rng, 6, 12);
+    const std::size_t width = odd_extent(rng, 6, 12);
+    stack.sample_shape = Shape{channels, height, width};
+    const std::size_t kernel = rng.bernoulli(0.5) ? 3 : 5;
+    const std::size_t pad = rng.bernoulli(0.5) ? kernel / 2 : 0;
+    const std::size_t filters = 1 + rng.uniform_index(5);
+    Shape shape = stack.sample_shape;
+    if (rng.bernoulli(0.5)) {
+      nn::LowRankConv2d::Spec spec;
+      spec.in_channels = channels;
+      spec.out_channels = filters;
+      spec.kernel = kernel;
+      spec.pad = pad;
+      const std::size_t full = std::min(channels * kernel * kernel, filters);
+      const std::size_t rank = 1 + rng.uniform_index(full);
+      auto conv =
+          std::make_unique<nn::LowRankConv2d>("conv", spec, rank, rng);
+      maybe_delete_rows(conv->mutable_u(), rng);
+      shape = conv->output_shape(shape);
+      stack.net.add(std::move(conv));
+    } else {
+      nn::Conv2dSpec spec;
+      spec.in_channels = channels;
+      spec.out_channels = filters;
+      spec.kernel = kernel;
+      spec.pad = pad;
+      auto conv = std::make_unique<nn::Conv2dLayer>("conv", spec, rng);
+      maybe_delete_rows(conv->weight(), rng);
+      shape = conv->output_shape(shape);
+      stack.net.add(std::move(conv));
+    }
+    if (rng.bernoulli(0.5)) {
+      stack.net.add(std::make_unique<nn::ReluLayer>("relu0"));
+    }
+    if (rng.bernoulli(0.5) && shape[1] >= 4 && shape[2] >= 4) {
+      auto pool = std::make_unique<nn::Pool2dLayer>(
+          "pool", rng.bernoulli(0.5) ? nn::PoolMode::kMax : nn::PoolMode::kAvg,
+          2, 2);
+      shape = pool->output_shape(shape);
+      stack.net.add(std::move(pool));
+    }
+    stack.net.add(std::make_unique<nn::FlattenLayer>("flatten"));
+    features = shape_numel(shape);
+  } else {
+    // Flat front end with odd feature counts.
+    features = odd_extent(rng, 5, 43);
+    stack.sample_shape = Shape{features};
+  }
+
+  const std::size_t hidden_layers = rng.uniform_index(2);  // 0 or 1
+  for (std::size_t h = 0; h < hidden_layers; ++h) {
+    const std::size_t out = odd_extent(rng, 4, 30);
+    const std::string name = "fc" + std::to_string(h);
+    if (rng.bernoulli(0.5)) {
+      const std::size_t rank =
+          1 + rng.uniform_index(std::min(features, out));
+      auto fc =
+          std::make_unique<nn::LowRankDense>(name, features, out, rank, rng);
+      maybe_delete_rows(fc->mutable_u(), rng);
+      stack.net.add(std::move(fc));
+    } else {
+      auto fc = std::make_unique<nn::DenseLayer>(name, features, out, rng);
+      maybe_delete_rows(fc->weight(), rng);
+      stack.net.add(std::move(fc));
+    }
+    if (rng.bernoulli(0.5)) {
+      stack.net.add(std::make_unique<nn::ReluLayer>("relu" + name));
+    }
+    if (rng.bernoulli(0.25)) {
+      stack.net.add(std::make_unique<nn::DropoutLayer>("drop" + name, 0.3,
+                                                       /*run_seed=*/seed));
+    }
+    features = out;
+  }
+
+  const std::size_t classes = 2 + rng.uniform_index(6);
+  stack.net.add(
+      std::make_unique<nn::DenseLayer>("head", features, classes, rng));
+  return stack;
+}
+
+Tensor random_batch(const Shape& sample, std::size_t rows, std::uint64_t seed) {
+  Shape shape;
+  shape.push_back(rows);
+  shape.insert(shape.end(), sample.begin(), sample.end());
+  Tensor batch(shape);
+  Rng rng(seed);
+  batch.fill_uniform(rng, -1.0f, 1.0f);
+  return batch;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+class RuntimeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeProperty, CompileExecuteContractsHold) {
+  const std::uint64_t seed = GetParam();
+  RandomStack stack = build_stack(seed);
+  Rng rng(seed * 31 + 5);
+
+  CompileOptions options;
+  options.policy = (seed % 2 == 0) ? hw::MappingPolicy::kDivisorExact
+                                   : hw::MappingPolicy::kPaddedMax;
+
+  // --- Contract 1: ideal-device parity with the digital forward ----------
+  const CrossbarProgram ideal =
+      compile(stack.net, stack.sample_shape, options);
+  EXPECT_EQ(ideal.steps().size(), stack.net.layer_count());
+  const Tensor batch = random_batch(stack.sample_shape, 3, seed + 101);
+  const Executor ideal_exec(ideal);
+  const Tensor digital = stack.net.forward(batch, /*train=*/false);
+  const Tensor analog = ideal_exec.forward(batch);
+  ASSERT_TRUE(digital.same_shape(analog));
+  float max_mag = 1.0f;
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < digital.numel(); ++i) {
+    max_mag = std::max(max_mag, std::fabs(digital[i]));
+    max_diff = std::max(max_diff, std::fabs(digital[i] - analog[i]));
+  }
+  EXPECT_LE(max_diff, 1e-4f * max_mag)
+      << "ideal-device parity broke at seed " << seed;
+
+  // --- Contract 2: bitwise pool-size invariance and batch-composition
+  // invariance, on a randomly nonideal device (odd AND even ADC counts). --
+  CompileOptions nonideal = options;
+  nonideal.analog.levels = 8 + rng.uniform_index(120);
+  nonideal.analog.variation_sigma = rng.bernoulli(0.5) ? 0.05 : 0.0;
+  nonideal.analog.seed = seed + 17;
+  nonideal.converters.dac_levels =
+      rng.bernoulli(0.5) ? 0 : 2 + rng.uniform_index(200);
+  nonideal.converters.adc_levels =
+      2 + rng.uniform_index(200);  // odd and even both land here
+  const CrossbarProgram device =
+      compile(stack.net, stack.sample_shape, nonideal);
+
+  ThreadPool pool1(1);
+  ThreadPool pool3(3);
+  Executor exec1(device, &pool1);
+  Executor exec3(device, &pool3);
+  const Tensor out1 = exec1.forward(batch);
+  const Tensor out3 = exec3.forward(batch);
+  EXPECT_TRUE(bitwise_equal(out1, out3))
+      << "pool-size invariance broke at seed " << seed;
+
+  // A sample's logits may not depend on its batch mates: row 0 run alone
+  // must reproduce row 0 of the batch bitwise.
+  Shape single_shape;
+  single_shape.push_back(1);
+  single_shape.insert(single_shape.end(), stack.sample_shape.begin(),
+                      stack.sample_shape.end());
+  Tensor single(single_shape);
+  std::copy(batch.data(), batch.data() + single.numel(), single.data());
+  const Tensor alone = exec1.forward(single);
+  EXPECT_EQ(std::memcmp(alone.data(), out1.data(),
+                        alone.numel() * sizeof(float)),
+            0)
+      << "batch-composition invariance broke at seed " << seed;
+
+  // Tile-skip soundness whenever the generator emptied enough rows for the
+  // compiler to prove skips: skipping on vs off must be bitwise identical.
+  if (ideal.skipped_tile_count() > 0) {
+    CompileOptions noskip = options;
+    noskip.skip_empty_tiles = false;
+    const CrossbarProgram full =
+        compile(stack.net, stack.sample_shape, noskip);
+    EXPECT_EQ(full.skipped_tile_count(), 0u);
+    const Executor full_exec(full);
+    EXPECT_TRUE(bitwise_equal(analog, full_exec.forward(batch)))
+        << "tile-skip soundness broke at seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStacks, RuntimeProperty,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace gs::runtime
