@@ -35,14 +35,24 @@
 //    single-core container, where the serving_sharded win is carried by
 //    the skipped tiles).
 //
+// A final serving_faults section replays a scripted fault schedule (stuck-at
+// event mid-burst, drift on the other chip) against bursty traffic with
+// recalibration ON vs OFF — SLO attainment, shed/retry counts, and fleet
+// accuracy before/after recalibration, bitwise reproducible across runs
+// (see the section comment for the determinism recipe).
+//
 // Emits BENCH_runtime.json in the working directory; the headline metrics
-// are serving_batched.speedup_vs_single and
-// serving_sharded.speedup_vs_single_replica. Thread count follows
+// are serving_batched.speedup_vs_single,
+// serving_sharded.speedup_vs_single_replica, and
+// serving_faults.slo_vs_no_recalibration /
+// serving_faults.accuracy_vs_no_recalibration. Thread count follows
 // GS_NUM_THREADS. Pass --smoke for a tiny-budget CI run.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -598,6 +608,241 @@ int main(int argc, char** argv) {
         "%.3f, held-out chip %.3f, digital %.3f->%.3f, %s)\n",
         eval_only_acc, noisy_acc, control_acc, heldout_acc, digital_before,
         digital_after, reproducible ? "reproducible" : "NONDETERMINISTIC");
+  }
+
+  // --- Fault-tolerant serving: a scripted fault schedule against bursty
+  // traffic, recalibration ON vs OFF. The schedule (same in both arms):
+  //   A. healthy burst (16 requests, both replicas serve);
+  //   B. stuck-at-g_max event on replica 1 with 8 requests mid-flight — the
+  //      probe quarantines the chip and re-routes its queued half;
+  //      recalibration (ON arm) reprograms and readmits it;
+  //   C. conductance-drift event on replica 0, then a 32-request burst with
+  //      two urgent-deadline stragglers. ON: both chips are clean again and
+  //      the burst splits. OFF: replica 1 is still out, the drifted replica
+  //      0 is clamped to Degraded (last active chip) and its queue
+  //      overflows — queue-full rejections plus two deadline-priority
+  //      displacements;
+  //   D. admission burst: 16 lax then 4 tight-deadline requests against the
+  //      queued backlog. OFF: the deep single queue makes admission control
+  //      predict a miss for the tight ones and reject them at submit.
+  // Determinism: dispatch is frozen (set_paused) while each burst builds,
+  // probes/recalibrations are manual, the admission cost model is pinned
+  // (assumed_batch_cost — far above real execution, so every admitted
+  // real-time deadline is met with huge margin and wall-clock never touches
+  // a counter), replicas program identical chips (seed_stride 0), and fault
+  // realisations are pure functions of (seed, replica, tile). Two ON runs
+  // must agree bitwise: same counters, same FNV-1a fingerprint over every
+  // response's logits (rejections hash a sentinel).
+  {
+    struct ArmResult {
+      std::size_t submitted = 0;
+      std::size_t completed = 0;
+      std::size_t rejected = 0;
+      std::size_t admission_rejected = 0;
+      std::size_t shed = 0;
+      std::size_t retried = 0;
+      std::size_t recalibrations = 0;
+      std::size_t unskipped_tiles = 0;
+      double slo = 0.0;
+      double clean_accuracy = 0.0;
+      double stuck_accuracy = 0.0;
+      double drift_accuracy = 0.0;
+      double final_fleet_accuracy = 0.0;
+      std::uint64_t checksum = 1469598103934665603ULL;  // FNV offset basis
+    };
+    const auto hash_bytes = [](std::uint64_t hash, const void* data,
+                               std::size_t size) {
+      const auto* bytes = static_cast<const unsigned char*>(data);
+      for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+      }
+      return hash;
+    };
+
+    hw::FaultModelConfig stuck_event;  // chip 1: devices stick conducting
+    stuck_event.stuck_rate = 0.05;
+    stuck_event.stuck_at_gmax_fraction = 1.0;
+    stuck_event.seed = 17;
+    hw::FaultModelConfig drift_event;  // chip 0: conductances relax
+    drift_event.drift_nu = 0.2;
+    drift_event.drift_nu_sigma = 0.1;
+    drift_event.drift_time = 999.0;
+    drift_event.seed = 18;
+
+    const auto lax = std::chrono::seconds(20);
+    const auto urgent = std::chrono::seconds(5);
+
+    const auto run_arm = [&](bool recalibrate) {
+      ArmResult res;
+      runtime::ShardConfig shard;
+      shard.replicas = 2;
+      shard.seed_stride = 0;    // identical clean chips
+      shard.steal_work = false;  // placement alone decides routing
+      shard.auto_recalibrate = false;  // the script drives the loop
+      shard.max_retries = 1;
+      shard.batching.max_batch = 16;
+      shard.batching.max_queue_depth = 16;
+      shard.batching.max_delay = std::chrono::microseconds(2000);
+      shard.batching.admission.enabled = true;
+      shard.batching.admission.assumed_batch_cost = std::chrono::seconds(1);
+      runtime::ShardedServer server(deleted, sample_shape, skip_options,
+                                    shard);
+
+      std::vector<std::future<Tensor>> futures;
+      std::size_t next_sample = 0;
+      const auto submit = [&](std::size_t count,
+                              std::chrono::microseconds deadline) {
+        for (std::size_t i = 0; i < count; ++i) {
+          futures.push_back(server.submit(
+              slice_sample(deleted_pool, next_sample++ % 64), deadline));
+        }
+      };
+      const auto collect = [&] {
+        for (std::future<Tensor>& f : futures) {
+          ++res.submitted;
+          try {
+            const Tensor logits = f.get();
+            ++res.completed;
+            res.checksum = hash_bytes(res.checksum, logits.data(),
+                                      logits.numel() * sizeof(float));
+          } catch (const std::runtime_error&) {
+            const std::uint64_t sentinel = 0xDEADull;
+            res.checksum = hash_bytes(res.checksum, &sentinel,
+                                      sizeof(sentinel));
+          }
+        }
+        futures.clear();
+      };
+
+      // A: healthy burst — both chips serve.
+      server.set_paused(true);
+      submit(16, lax);
+      server.set_paused(false);
+      collect();
+      res.clean_accuracy =
+          server.evaluate_replica(1, eval_set, budget.eval_samples);
+
+      // B: stuck-at event with requests mid-flight. The probe quarantines
+      // chip 1 and re-routes its queued half (retries).
+      server.set_paused(true);
+      submit(8, lax);
+      const runtime::FaultInjectionReport injected =
+          server.inject_replica_faults(1, stuck_event);
+      res.unskipped_tiles = injected.unskipped_tiles;
+      server.probe_now(1);
+      server.set_paused(false);
+      collect();
+      res.stuck_accuracy =
+          server.evaluate_replica(1, eval_set, budget.eval_samples);
+      if (recalibrate) server.recalibrate_now(1);
+
+      // C: drift event on chip 0, then a burst with urgent stragglers.
+      server.inject_replica_faults(0, drift_event);
+      res.drift_accuracy =
+          server.evaluate_replica(0, eval_set, budget.eval_samples);
+      server.probe_now(0);  // ON: quarantined; OFF: clamped (last active)
+      if (recalibrate) server.recalibrate_now(0);
+      server.set_paused(true);
+      submit(30, lax);
+      submit(2, urgent);  // displace lax requests when the fleet is full
+      server.set_paused(false);
+      collect();
+
+      // D: admission burst against queued backlog — tight deadlines are
+      // rejected at submit when the predicted wait cannot make them.
+      server.set_paused(true);
+      submit(16, std::chrono::seconds(10));
+      submit(4, std::chrono::microseconds(1'500'000));
+      server.set_paused(false);
+      collect();
+
+      server.shutdown();
+      const runtime::ShardStats stats = server.stats();
+      res.rejected = stats.aggregate.rejected;
+      res.admission_rejected = stats.aggregate.admission_rejected;
+      res.shed = stats.aggregate.shed;
+      res.retried = stats.retried;
+      res.recalibrations = stats.recalibrations;
+      res.slo = static_cast<double>(res.completed) /
+                static_cast<double>(res.submitted);
+      // What the surviving fleet serves: mean accuracy over ACTIVE chips.
+      double sum = 0.0;
+      std::size_t active = 0;
+      for (std::size_t r = 0; r < server.replica_count(); ++r) {
+        if (server.health(r) != runtime::ReplicaHealth::kQuarantined) {
+          sum += server.evaluate_replica(r, eval_set, budget.eval_samples);
+          ++active;
+        }
+      }
+      res.final_fleet_accuracy = sum / static_cast<double>(active);
+      // Counters are part of the reproducibility fingerprint.
+      const std::uint64_t counters[] = {res.completed, res.rejected,
+                                        res.shed, res.retried};
+      res.checksum = hash_bytes(res.checksum, counters, sizeof(counters));
+      return res;
+    };
+
+    const ArmResult healed = run_arm(/*recalibrate=*/true);
+    const ArmResult replay = run_arm(/*recalibrate=*/true);
+    const ArmResult unhealed = run_arm(/*recalibrate=*/false);
+    const bool reproducible = healed.checksum == replay.checksum &&
+                              healed.completed == replay.completed &&
+                              healed.shed == replay.shed &&
+                              healed.retried == replay.retried;
+
+    char checksum_hex[32];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(healed.checksum));
+    BenchRecord rec;
+    rec.name = "serving_faults";
+    rec.label("network", "heavily-deleted lenet")
+        .label("schedule",
+               "stuck-at-g_max on replica 1 mid-burst, drift on replica 0, "
+               "76-request bursty load, manual probe/recalibrate")
+        .label("logit_checksum", checksum_hex);
+    rec.metric("submitted", static_cast<double>(healed.submitted))
+        .metric("completed", static_cast<double>(healed.completed))
+        .metric("slo_attainment", healed.slo)
+        .metric("rejected", static_cast<double>(healed.rejected))
+        .metric("shed", static_cast<double>(healed.shed))
+        .metric("retried", static_cast<double>(healed.retried))
+        .metric("recalibrations", static_cast<double>(healed.recalibrations))
+        .metric("unskipped_tiles",
+                static_cast<double>(healed.unskipped_tiles))
+        .metric("clean_accuracy", healed.clean_accuracy)
+        .metric("stuck_accuracy", healed.stuck_accuracy)
+        .metric("drift_accuracy", healed.drift_accuracy)
+        .metric("final_fleet_accuracy", healed.final_fleet_accuracy)
+        .metric("slo_vs_no_recalibration", healed.slo - unhealed.slo)
+        .metric("accuracy_vs_no_recalibration",
+                healed.final_fleet_accuracy - unhealed.final_fleet_accuracy)
+        .metric("runs_bitwise_identical", reproducible ? 1.0 : 0.0);
+    records.push_back(rec);
+
+    BenchRecord off;
+    off.name = "serving_faults_no_recalibration";
+    off.label("mode",
+              "same schedule, quarantined chips stay out; the drifted last "
+              "active chip serves clamped to Degraded");
+    off.metric("submitted", static_cast<double>(unhealed.submitted))
+        .metric("completed", static_cast<double>(unhealed.completed))
+        .metric("slo_attainment", unhealed.slo)
+        .metric("rejected", static_cast<double>(unhealed.rejected))
+        .metric("admission_rejected",
+                static_cast<double>(unhealed.admission_rejected))
+        .metric("shed", static_cast<double>(unhealed.shed))
+        .metric("retried", static_cast<double>(unhealed.retried))
+        .metric("final_fleet_accuracy", unhealed.final_fleet_accuracy);
+    records.push_back(off);
+
+    std::printf(
+        "serving_faults              SLO %.3f vs %.3f, accuracy %.3f vs %.3f "
+        "(recal on/off), stuck %.3f drift %.3f, %s\n",
+        healed.slo, unhealed.slo, healed.final_fleet_accuracy,
+        unhealed.final_fleet_accuracy, healed.stuck_accuracy,
+        healed.drift_accuracy,
+        reproducible ? "reproducible" : "NONDETERMINISTIC");
   }
 
   write_bench_json("BENCH_runtime.json", "runtime", records);

@@ -71,7 +71,7 @@ linalg::LowRankFactors factorize_weight(const Tensor& w,
 
 }  // namespace
 
-nn::Network clone_network(nn::Network& source) {
+nn::Network clone_network(const nn::Network& source) {
   // Cloning is factorisation with every dense/conv layer kept dense;
   // factorised layers are always copied verbatim by to_lowrank.
   FactorizeSpec spec;
@@ -81,11 +81,11 @@ nn::Network clone_network(nn::Network& source) {
   return to_lowrank(source, spec);
 }
 
-nn::Network to_lowrank(nn::Network& source, const FactorizeSpec& spec) {
+nn::Network to_lowrank(const nn::Network& source, const FactorizeSpec& spec) {
   nn::Network out;
   for (std::size_t i = 0; i < source.layer_count(); ++i) {
-    nn::Layer& layer = source.layer(i);
-    if (auto* conv = dynamic_cast<nn::Conv2dLayer*>(&layer)) {
+    const nn::Layer& layer = source.layer(i);
+    if (auto* conv = dynamic_cast<const nn::Conv2dLayer*>(&layer)) {
       if (spec.keep_dense.count(conv->name()) > 0) {
         auto copy = std::make_unique<nn::Conv2dLayer>(*conv);
         out.add(std::move(copy));
@@ -99,7 +99,7 @@ nn::Network to_lowrank(nn::Network& source, const FactorizeSpec& spec) {
           nn::LowRankConv2d::Spec{cs.in_channels, cs.out_channels, cs.kernel,
                                   cs.stride, cs.pad},
           std::move(f.u), std::move(f.vt), conv->bias()));
-    } else if (auto* dense = dynamic_cast<nn::DenseLayer*>(&layer)) {
+    } else if (auto* dense = dynamic_cast<const nn::DenseLayer*>(&layer)) {
       if (spec.keep_dense.count(dense->name()) > 0) {
         out.add(std::make_unique<nn::DenseLayer>(*dense));
         continue;
@@ -108,16 +108,16 @@ nn::Network to_lowrank(nn::Network& source, const FactorizeSpec& spec) {
           factorize_weight(dense->weight(), spec, dense->name());
       out.add(std::make_unique<nn::LowRankDense>(
           dense->name(), std::move(f.u), std::move(f.vt), dense->bias()));
-    } else if (auto* pool = dynamic_cast<nn::Pool2dLayer*>(&layer)) {
+    } else if (auto* pool = dynamic_cast<const nn::Pool2dLayer*>(&layer)) {
       out.add(std::make_unique<nn::Pool2dLayer>(
           pool->name(), pool->mode(), pool->kernel(), pool->stride()));
-    } else if (auto* relu = dynamic_cast<nn::ReluLayer*>(&layer)) {
+    } else if (auto* relu = dynamic_cast<const nn::ReluLayer*>(&layer)) {
       out.add(std::make_unique<nn::ReluLayer>(relu->name()));
-    } else if (auto* flat = dynamic_cast<nn::FlattenLayer*>(&layer)) {
+    } else if (auto* flat = dynamic_cast<const nn::FlattenLayer*>(&layer)) {
       out.add(std::make_unique<nn::FlattenLayer>(flat->name()));
-    } else if (auto* lr_dense = dynamic_cast<nn::LowRankDense*>(&layer)) {
+    } else if (auto* lr_dense = dynamic_cast<const nn::LowRankDense*>(&layer)) {
       out.add(std::make_unique<nn::LowRankDense>(*lr_dense));
-    } else if (auto* lr_conv = dynamic_cast<nn::LowRankConv2d*>(&layer)) {
+    } else if (auto* lr_conv = dynamic_cast<const nn::LowRankConv2d*>(&layer)) {
       out.add(std::make_unique<nn::LowRankConv2d>(*lr_conv));
     } else {
       GS_FAIL("to_lowrank: unsupported layer type for '" << layer.name()

@@ -45,10 +45,10 @@ struct FactorizeSpec {
 /// trained weights. At full rank the conversion is numerically lossless
 /// (PCA/SVD of W at rank M reconstructs W). Stateless layers are recreated;
 /// biases are copied. Already-factorised layers are copied as-is.
-nn::Network to_lowrank(nn::Network& source, const FactorizeSpec& spec);
+nn::Network to_lowrank(const nn::Network& source, const FactorizeSpec& spec);
 
 /// Deep copy of a network (weights included, gradients reset) — every layer
 /// kept in its current dense/factorised form.
-nn::Network clone_network(nn::Network& source);
+nn::Network clone_network(const nn::Network& source);
 
 }  // namespace gs::core

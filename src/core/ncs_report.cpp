@@ -109,7 +109,8 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
   }
   if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0 ||
       report.sharded_accuracy >= 0.0 ||
-      report.nonideal_accuracy_after >= 0.0) {
+      report.nonideal_accuracy_after >= 0.0 ||
+      report.faulty_accuracy >= 0.0) {
     out << "accuracy:";
     bool first = true;
     const auto emit = [&](const char* label, double value) {
@@ -123,6 +124,12 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
     emit("sharded serving", report.sharded_accuracy);
     emit("nonideal pre-finetune", report.nonideal_accuracy_before);
     emit("nonideal post-finetune", report.nonideal_accuracy_after);
+    if (report.faulty_accuracy >= 0.0) {
+      if (!first) out << ',';
+      out << " faulty (stuck-at rate " << report.fault_rate << ") "
+          << percent(report.faulty_accuracy);
+      first = false;
+    }
     out << '\n';
   }
 }

@@ -53,6 +53,13 @@ struct NcsReport {
   double nonideal_accuracy_before = -1.0;
   double nonideal_accuracy_after = -1.0;
 
+  /// Crossbar-runtime accuracy on a FAULT-INJECTED chip (stuck-at devices
+  /// at `fault_rate`, runtime/inject_faults with the pipeline's fault seed)
+  /// — the compression's fault sensitivity, graded next to
+  /// nonideal/runtime accuracy. Negative = not measured.
+  double faulty_accuracy = -1.0;
+  double fault_rate = 0.0;  ///< per-device stuck-at rate behind the number
+
   /// Tile schedule of the compiled runtime program: total crossbar tiles and
   /// how many of them the compiler proved skippable (all-zero tiles left by
   /// group connection deletion — runtime/program.hpp). Only populated when

@@ -204,6 +204,29 @@ PipelineResult run_group_scissor(
                 << " tiles (" << result.runtime_skipped_tiles
                 << " skipped as empty)";
 
+    if (config.fault_eval_rate > 0.0) {
+      // Fault sensitivity: the same compiled program with stuck-at devices
+      // injected at the documented default rate. The injection mutates a
+      // COPY — the clean program above stays the reference.
+      runtime::CrossbarProgram faulty = program;
+      hw::FaultModelConfig faults;
+      faults.stuck_rate = config.fault_eval_rate;
+      faults.seed = config.fault_eval_seed;
+      const runtime::FaultInjectionReport injected =
+          runtime::inject_faults(faulty, faults, "pipeline:");
+      const runtime::Executor faulty_executor(faulty);
+      result.faulty_accuracy =
+          runtime::evaluate(faulty_executor, test_set, config.eval_samples);
+      result.final_report.faulty_accuracy = result.faulty_accuracy;
+      result.final_report.fault_rate = config.fault_eval_rate;
+      GS_LOG_INFO << "pipeline: faulty-chip runtime accuracy "
+                  << result.faulty_accuracy << " (stuck-at rate "
+                  << config.fault_eval_rate << ", "
+                  << injected.devices.stuck_gmin + injected.devices.stuck_gmax
+                  << " stuck devices, " << injected.unskipped_tiles
+                  << " skip proofs invalidated)";
+    }
+
     if (config.sharded_eval_replicas >= 2) {
       runtime::ShardConfig shard;
       shard.replicas = config.sharded_eval_replicas;

@@ -70,6 +70,14 @@ struct PipelineConfig {
   /// device it must match the single-program runtime accuracy exactly.
   /// 0 disables the sharded evaluation.
   std::size_t sharded_eval_replicas = 0;
+  /// When runtime_eval is on and this rate is > 0, additionally evaluate a
+  /// FAULT-INJECTED copy of the compiled program — per-device stuck-at
+  /// faults at this rate (half g_min / half g_max, runtime/inject_faults
+  /// with fault_eval_seed) — and report `faulty_accuracy` next to the clean
+  /// runtime accuracy: the compression's fault sensitivity at a documented
+  /// default of 1% stuck devices. 0 disables the fault evaluation.
+  double fault_eval_rate = 0.01;
+  std::uint64_t fault_eval_seed = 99;  ///< fault realisation stream
   /// Final stage: noise-injected fine-tuning for a nonideal target device,
   /// driven by the compiled crossbar program. Runs after deletion and
   /// before the final report, so every final accuracy reflects the
@@ -99,6 +107,10 @@ struct PipelineResult {
   /// hardware-in-the-loop training buys.
   double nonideal_accuracy_before = -1.0;
   double nonideal_accuracy_after = -1.0;
+  /// Runtime accuracy of the final network on a fault-injected chip
+  /// (stuck-at rate config.fault_eval_rate; negative when disabled).
+  /// Also mirrored into final_report.
+  double faulty_accuracy = -1.0;
   /// Tile schedule of the compiled final network: total tiles and the
   /// all-zero tiles the compiler marked for execution-time skipping (group
   /// connection deletion empties whole crossbars). Zero when runtime_eval

@@ -64,9 +64,28 @@ AnalogCrossbar::AnalogCrossbar(const Tensor& weights, double w_max,
     }
   }
 
+  recompute_effective();
+}
+
+void AnalogCrossbar::set_conductances(Tensor g_plus, Tensor g_minus) {
+  GS_CHECK_MSG(g_plus.same_shape(g_plus_) && g_minus.same_shape(g_minus_),
+               "set_conductances: shape mismatch with the programmed array");
+  for (std::size_t i = 0; i < g_plus.numel(); ++i) {
+    GS_CHECK_MSG(g_plus[i] > 0.0f && g_minus[i] > 0.0f,
+                 "set_conductances: conductances must be positive");
+  }
+  g_plus_ = std::move(g_plus);
+  g_minus_ = std::move(g_minus);
+  recompute_effective();
+}
+
+void AnalogCrossbar::recompute_effective() {
   // Effective weights: differential read-out with first-order IR-drop.
   // Drivers sit at column 0 (row wires) and row P−1 (column wires, where
   // the sense amplifiers integrate), so the farthest cell is (0, Q−1).
+  const std::size_t p = g_plus_.rows();
+  const std::size_t q = g_plus_.cols();
+  const double scale = (params_.g_max - params_.g_min) / w_max_;
   const double mean_g = 0.5 * (params_.g_min + params_.g_max);
   for (std::size_t i = 0; i < p; ++i) {
     for (std::size_t j = 0; j < q; ++j) {

@@ -52,10 +52,13 @@ struct AnalogParams {
 ///
 /// Thread-safety: immutable after construction — every method is const, so
 /// one programmed tile may serve any number of concurrent readers (the
-/// runtime executor relies on this). Determinism: programming consumes the
-/// caller's Rng stream in a fixed element order, and accumulate_matvec()
-/// accumulates in double precision in fixed row order, so both the
-/// programmed weights and every MVM are bitwise reproducible.
+/// runtime executor relies on this) — EXCEPT set_conductances(), the fault-
+/// injection/reprogramming mutator, which must not race any reader (the
+/// serving tier serialises it against execution with a per-replica program
+/// lock). Determinism: programming consumes the caller's Rng stream in a
+/// fixed element order, and accumulate_matvec() accumulates in double
+/// precision in fixed row order, so both the programmed weights and every
+/// MVM are bitwise reproducible.
 class AnalogCrossbar {
  public:
   /// Programs `weights` (P×Q) into the array. `w_max` is the full-scale
@@ -85,8 +88,24 @@ class AnalogCrossbar {
 
   const Tensor& conductance_plus() const { return g_plus_; }
   const Tensor& conductance_minus() const { return g_minus_; }
+  /// Device parameters the array was programmed with (rails, variation,
+  /// wire resistance) — the fault model reads the g_min/g_max rails here.
+  const AnalogParams& params() const { return params_; }
+
+  /// Overwrites the programmed conductance pairs in place — the fault-
+  /// injection / reprogramming hook (hw/fault_model.hpp) — and re-derives
+  /// the effective weights through the same differential read-out and
+  /// IR-drop attenuation the constructor applied. Shapes must match the
+  /// programmed array; values are Siemens and must be positive.
+  void set_conductances(Tensor g_plus, Tensor g_minus);
+
+  /// Full-scale weight the conductance swing represents (fixed at
+  /// programming; reprogramming via set_conductances keeps it).
+  double w_max() const { return w_max_; }
 
  private:
+  void recompute_effective();
+
   AnalogParams params_;
   double w_max_;
   Tensor g_plus_;    // P×Q Siemens

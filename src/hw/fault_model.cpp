@@ -1,0 +1,96 @@
+#include "hw/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+
+void FaultModelConfig::validate() const {
+  GS_CHECK_MSG(stuck_rate >= 0.0 && stuck_rate <= 1.0,
+               "FaultModelConfig: stuck_rate must be in [0, 1]");
+  GS_CHECK_MSG(
+      stuck_at_gmax_fraction >= 0.0 && stuck_at_gmax_fraction <= 1.0,
+      "FaultModelConfig: stuck_at_gmax_fraction must be in [0, 1]");
+  GS_CHECK_MSG(drift_nu >= 0.0, "FaultModelConfig: drift_nu must be >= 0");
+  GS_CHECK_MSG(drift_nu_sigma >= 0.0,
+               "FaultModelConfig: drift_nu_sigma must be >= 0");
+  GS_CHECK_MSG(drift_time >= 0.0,
+               "FaultModelConfig: drift_time must be >= 0");
+}
+
+FaultSummary& FaultSummary::operator+=(const FaultSummary& other) {
+  devices += other.devices;
+  stuck_gmin += other.stuck_gmin;
+  stuck_gmax += other.stuck_gmax;
+  drifted += other.drifted;
+  return *this;
+}
+
+FaultSummary apply_faults(AnalogCrossbar& xbar, const FaultModelConfig& config,
+                          Rng& stuck_rng, Rng& drift_rng) {
+  config.validate();
+  FaultSummary summary;
+  const std::size_t n = xbar.rows() * xbar.cols();
+  summary.devices = 2 * n;
+  if (!config.has_stuck_faults() && !config.has_drift()) return summary;
+
+  Tensor g_plus = xbar.conductance_plus();
+  Tensor g_minus = xbar.conductance_minus();
+  const float g_lo = static_cast<float>(xbar.params().g_min);
+  const float g_hi = static_cast<float>(xbar.params().g_max);
+  // Device k of the flattened (row, col) order; ⁺ is device 2k, ⁻ is 2k+1.
+  std::vector<bool> stuck(2 * n, false);
+
+  // Stuck-at pass: one decision per device in fixed (row, col, ⁺ then ⁻)
+  // order. Stuck devices land exactly on a rail, so re-injecting the same
+  // realisation is bitwise idempotent.
+  if (config.has_stuck_faults()) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (int half = 0; half < 2; ++half) {
+        if (stuck_rng.uniform() >= config.stuck_rate) continue;
+        Tensor& g = half == 0 ? g_plus : g_minus;
+        const bool at_max =
+            stuck_rng.uniform() < config.stuck_at_gmax_fraction;
+        g[k] = at_max ? g_hi : g_lo;
+        stuck[2 * k + half] = true;
+        if (at_max) {
+          ++summary.stuck_gmax;
+        } else {
+          ++summary.stuck_gmin;
+        }
+      }
+    }
+  }
+
+  // Drift pass: every NON-stuck device decays by (1 + t)^(−ν), ν drawn per
+  // device from its own stream in the same fixed order. The ν draw is
+  // consumed even for stuck devices (which do not respond to anything, so
+  // they do not drift), keeping the ν field a pure function of the drift
+  // stream — independent of which devices happened to stick.
+  if (config.has_drift()) {
+    const double base = 1.0 + config.drift_time;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (int half = 0; half < 2; ++half) {
+        const double nu = std::max(
+            0.0, drift_rng.gaussian(config.drift_nu, config.drift_nu_sigma));
+        if (stuck[2 * k + half] || nu <= 0.0) continue;
+        const double decay = std::pow(base, -nu);
+        Tensor& g = half == 0 ? g_plus : g_minus;
+        // Floor far above float-denormal range: a fully-relaxed device still
+        // reads as a (vanishing) positive conductance.
+        g[k] = static_cast<float>(
+            std::max(static_cast<double>(g[k]) * decay, 1e-30));
+        if (decay < 1.0) ++summary.drifted;
+      }
+    }
+  }
+
+  xbar.set_conductances(std::move(g_plus), std::move(g_minus));
+  return summary;
+}
+
+}  // namespace gs::hw

@@ -1,0 +1,87 @@
+// Device-fault model for programmed memristor crossbars.
+//
+// Real ReRAM fleets degrade after programming: individual devices get stuck
+// at an extreme conductance state (forming/endurance failures — the cell no
+// longer responds to write pulses) and every device's conductance drifts
+// over time (the retention/relaxation behaviour of filamentary cells,
+// conventionally modelled as a power law G(t) = G₀·(1+t/t₀)^(−ν) with a
+// device-specific drift coefficient ν). This module mutates a programmed
+// AnalogCrossbar in place with both fault kinds, deterministically from a
+// caller-provided Rng stream, and reports what it did. The serving tier
+// (runtime/program.hpp inject_faults → runtime/shard.hpp) keys those
+// streams per (seed, fault kind, replica, matrix, tile) with
+// derive_stream_seed, so a fault realisation is a pure function of its key
+// — reproducible across runs, and independent of every other tile's faults.
+//
+// Fault taxonomy:
+//  * stuck-at-g_min / stuck-at-g_max — each physical device (each HALF of a
+//    differential pair, i.e. 2·P·Q devices per tile) independently sticks
+//    with probability `stuck_rate`; a stuck device's conductance is replaced
+//    by exactly g_min or g_max (`stuck_at_gmax_fraction` picks the side).
+//    A stuck g_min⁺/g_min⁻ zero pair stays a zero pair — stuck-ats on
+//    deleted weights are harmless, exactly like real arrays.
+//  * conductance drift — every non-stuck device decays by
+//    (1 + drift_time)^(−ν) with ν drawn per device from
+//    N(drift_nu, drift_nu_sigma) clamped at 0. The ν field is drawn from
+//    its own stream regardless of drift_time, so the SAME chip realisation
+//    can be evaluated at several points in time (time-parameterised decay,
+//    not a fresh fault draw per query).
+//
+// Stuck-at and drift consume two INDEPENDENT streams: enabling or tuning one
+// fault kind never shifts the other's realisation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "hw/analog.hpp"
+
+namespace gs::hw {
+
+/// Knobs of one fault realisation.
+struct FaultModelConfig {
+  /// Per-device stuck-at probability in [0, 1] (0 = no stuck faults).
+  double stuck_rate = 0.0;
+  /// Fraction of stuck devices stuck at g_max (the rest stick at g_min).
+  /// Stuck-at-g_max is the damaging case: a formed-on device conducts hard
+  /// on one side of a differential pair.
+  double stuck_at_gmax_fraction = 0.5;
+  /// Mean power-law drift coefficient ν (0 with sigma 0 = no drift).
+  double drift_nu = 0.0;
+  /// Device-to-device spread of ν (lognormal retention statistics are
+  /// approximated by a clamped Gaussian ν field).
+  double drift_nu_sigma = 0.0;
+  /// Elapsed time since programming, in units of the drift reference t₀.
+  /// The decay factor per device is (1 + drift_time)^(−ν).
+  double drift_time = 0.0;
+  /// Master seed of the fault streams (runtime::inject_faults keys
+  /// per-tile streams from it with derive_stream_seed).
+  std::uint64_t seed = 1;
+
+  bool has_stuck_faults() const { return stuck_rate > 0.0; }
+  bool has_drift() const {
+    return drift_time > 0.0 && (drift_nu > 0.0 || drift_nu_sigma > 0.0);
+  }
+  void validate() const;
+};
+
+/// Tally of one injection pass (summed over tiles by the program hook).
+struct FaultSummary {
+  std::size_t devices = 0;      ///< differential-pair halves visited
+  std::size_t stuck_gmin = 0;   ///< devices forced to g_min
+  std::size_t stuck_gmax = 0;   ///< devices forced to g_max
+  std::size_t drifted = 0;      ///< devices with a decay factor < 1 applied
+
+  FaultSummary& operator+=(const FaultSummary& other);
+};
+
+/// Applies `config`'s stuck-at faults to the programmed array, drawing one
+/// decision per device in fixed (row, col, plus-then-minus) order from
+/// `stuck_rng`, then the drift decay from `drift_rng` in the same order.
+/// Either fault kind with zero rate consumes nothing from its stream.
+/// Effective weights are re-derived once at the end. Deterministic in
+/// (xbar, config, stream states); mutates the crossbar in place.
+FaultSummary apply_faults(AnalogCrossbar& xbar, const FaultModelConfig& config,
+                          Rng& stuck_rng, Rng& drift_rng);
+
+}  // namespace gs::hw

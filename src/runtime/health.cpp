@@ -1,0 +1,125 @@
+#include "runtime/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gs::runtime {
+
+std::uint64_t tensor_checksum(const Tensor& t) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(t.data());
+  const std::size_t size = t.numel() * sizeof(float);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;  // FNV-1a 64-bit prime
+  }
+  return hash;
+}
+
+void HealthConfig::validate() const {
+  GS_CHECK_MSG(canary_samples > 0, "HealthConfig: canary_samples must be > 0");
+  GS_CHECK_MSG(degrade_threshold > 0.0,
+               "HealthConfig: degrade_threshold must be > 0");
+  GS_CHECK_MSG(quarantine_threshold >= degrade_threshold,
+               "HealthConfig: quarantine_threshold must be >= "
+               "degrade_threshold");
+  GS_CHECK_MSG(trip_count > 0, "HealthConfig: trip_count must be > 0");
+  GS_CHECK_MSG(clear_count > 0, "HealthConfig: clear_count must be > 0");
+}
+
+std::string_view to_string(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy: return "healthy";
+    case ReplicaHealth::kDegraded: return "degraded";
+    case ReplicaHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+CanarySet::CanarySet(const Shape& sample_shape, const HealthConfig& config) {
+  config.validate();
+  Shape batch_shape;
+  batch_shape.reserve(sample_shape.size() + 1);
+  batch_shape.push_back(config.canary_samples);
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
+                     sample_shape.end());
+  inputs_ = Tensor(std::move(batch_shape));
+  Rng rng = derive_stream(config.canary_seed, "canary", 0);
+  for (std::size_t i = 0; i < inputs_.numel(); ++i) {
+    inputs_[i] = static_cast<float>(rng.uniform());
+  }
+}
+
+void CanarySet::record_reference(const Executor& executor) {
+  reference_logits_ = executor.forward(inputs_);
+  reference_checksum_ = tensor_checksum(reference_logits_);
+  has_reference_ = true;
+}
+
+CanaryProbe CanarySet::probe(const Executor& executor) const {
+  GS_CHECK_MSG(has_reference_,
+               "CanarySet::probe before record_reference — no clean "
+               "reference to compare against");
+  const Tensor logits = executor.forward(inputs_);
+  GS_CHECK(logits.same_shape(reference_logits_));
+  CanaryProbe result;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    result.divergence = std::max(
+        result.divergence,
+        std::fabs(static_cast<double>(logits[i]) -
+                  static_cast<double>(reference_logits_[i])));
+  }
+  result.checksum = tensor_checksum(logits);
+  result.bitwise_clean = result.checksum == reference_checksum_;
+  return result;
+}
+
+std::uint64_t CanarySet::reference_checksum() const {
+  GS_CHECK_MSG(has_reference_,
+               "CanarySet::reference_checksum before record_reference");
+  return reference_checksum_;
+}
+
+HealthTracker::HealthTracker(const HealthConfig& config) : config_(config) {
+  config_.validate();
+}
+
+ReplicaHealth HealthTracker::observe(double divergence) {
+  ReplicaHealth target = ReplicaHealth::kHealthy;
+  if (divergence >= config_.quarantine_threshold) {
+    target = ReplicaHealth::kQuarantined;
+  } else if (divergence >= config_.degrade_threshold) {
+    target = ReplicaHealth::kDegraded;
+  }
+  if (target == state_) {
+    worse_streak_ = 0;
+    better_streak_ = 0;
+  } else if (static_cast<int>(target) > static_cast<int>(state_)) {
+    ++worse_streak_;
+    better_streak_ = 0;
+    if (worse_streak_ >= config_.trip_count) {
+      state_ = target;
+      worse_streak_ = 0;
+    }
+  } else {
+    ++better_streak_;
+    worse_streak_ = 0;
+    if (better_streak_ >= config_.clear_count) {
+      state_ = target;
+      better_streak_ = 0;
+    }
+  }
+  return state_;
+}
+
+void HealthTracker::reset() {
+  state_ = ReplicaHealth::kHealthy;
+  worse_streak_ = 0;
+  better_streak_ = 0;
+}
+
+}  // namespace gs::runtime

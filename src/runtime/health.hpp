@@ -1,0 +1,141 @@
+// Replica health detection — canary probing and the replica lifecycle
+// state machine.
+//
+// A crossbar replica cannot self-report device faults; the only observable
+// is its output. This module detects faults from the output alone: at
+// program time a CanarySet records the REFERENCE logits (and an FNV-1a
+// checksum of them) of a small fixed probe batch on the freshly-programmed
+// replica. Because the whole runtime stack is bitwise deterministic, a
+// healthy replica reproduces those logits exactly, forever — ANY nonzero
+// probe divergence is a physical change in the chip (stuck-at, drift),
+// never scheduling noise. Probing therefore needs no statistical margin for
+// the healthy case; the thresholds below only grade how BAD a fault is.
+//
+// Replica lifecycle (HealthTracker, hysteresis via consecutive-probe
+// streaks):
+//
+//   Healthy ──(divergence ≥ degrade_threshold, trip_count×)──▶ Degraded
+//   Degraded ──(divergence ≥ quarantine_threshold, trip_count×)──▶ Quarantined
+//   Degraded/Quarantined ──(divergence below, clear_count×)──▶ better state
+//   any ──reset() after reprogramming──▶ Healthy
+//
+// Degraded replicas keep serving (accuracy is reduced but availability is
+// preserved); Quarantined replicas are drained, reprogrammed from the clean
+// weights, and must reproduce the reference checksum bitwise before
+// rejoining (runtime/shard.hpp drives that loop).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "runtime/executor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gs::runtime {
+
+/// FNV-1a 64-bit fingerprint of a tensor's raw float bytes. Bitwise-equal
+/// tensors ⇒ equal checksums; used for canary references and the bench
+/// replay gates.
+std::uint64_t tensor_checksum(const Tensor& t);
+
+/// Health subsystem knobs — the canary probe set and the state-machine
+/// thresholds share one config so the serving tier plumbs a single struct.
+struct HealthConfig {
+  /// Canary batch size. Small on purpose: a probe steals one batch-slot of
+  /// work from serving, and 8 samples through every tile already touch every
+  /// device (the canary detects per-device faults through the MVM sum, not
+  /// through coverage of input space).
+  std::size_t canary_samples = 8;
+  /// Seed of the canary input stream (inputs are uniform in [0, 1), drawn
+  /// from derive_stream(seed, "canary", 0)).
+  std::uint64_t canary_seed = 1;
+  /// Max-abs logit divergence at or above which a probe votes Degraded.
+  /// Default is tiny but nonzero headroom over exact-zero: a healthy replica
+  /// diverges by exactly 0.0, so anything measurable is a real fault.
+  double degrade_threshold = 1e-9;
+  /// Divergence at or above which a probe votes Quarantined (the fault is
+  /// bad enough to pull the replica for reprogramming).
+  double quarantine_threshold = 1e-2;
+  /// Consecutive probes at a worse level before the state worsens
+  /// (hysteresis against one-off glitches; 1 = trip immediately).
+  std::size_t trip_count = 1;
+  /// Consecutive probes at a better level before the state improves.
+  std::size_t clear_count = 1;
+
+  void validate() const;
+};
+
+/// Replica lifecycle states, ordered from best to worst.
+enum class ReplicaHealth : int {
+  kHealthy = 0,     ///< serving, bitwise clean
+  kDegraded = 1,    ///< serving, measurably faulty (graceful degradation)
+  kQuarantined = 2, ///< drained, awaiting reprogramming
+};
+
+std::string_view to_string(ReplicaHealth health);
+
+/// One probe measurement.
+struct CanaryProbe {
+  double divergence = 0.0;      ///< max-abs logit delta vs the reference
+  std::uint64_t checksum = 0;   ///< tensor_checksum of the probe logits
+  bool bitwise_clean = false;   ///< checksum == reference checksum
+};
+
+/// The fixed probe batch and its recorded clean reference.
+///
+/// Thread-safety: record_reference() must not race probe(); after the
+/// reference is recorded, probe() is const and may run from any thread
+/// (the maintenance thread) concurrently with serving — it only calls
+/// Executor::forward, which is thread-safe.
+class CanarySet {
+ public:
+  /// Generates the probe batch (canary_samples × sample_shape, uniform
+  /// [0, 1)) deterministically from config.canary_seed.
+  CanarySet(const Shape& sample_shape, const HealthConfig& config);
+
+  /// Runs the canary batch on a freshly-programmed (clean) replica and
+  /// records its logits as the bitwise reference.
+  void record_reference(const Executor& executor);
+
+  /// Measures the replica against the recorded reference. Requires
+  /// record_reference() to have run.
+  CanaryProbe probe(const Executor& executor) const;
+
+  const Tensor& inputs() const { return inputs_; }
+  bool has_reference() const { return has_reference_; }
+  /// Checksum of the clean reference logits (the recalibration target).
+  std::uint64_t reference_checksum() const;
+
+ private:
+  Tensor inputs_;
+  Tensor reference_logits_;
+  std::uint64_t reference_checksum_ = 0;
+  bool has_reference_ = false;
+};
+
+/// Hysteresis state machine over probe divergences. Not thread-safe; the
+/// serving tier calls observe() from one maintenance context per replica.
+class HealthTracker {
+ public:
+  explicit HealthTracker(const HealthConfig& config);
+
+  /// Feeds one probe divergence; returns the (possibly changed) state.
+  /// A divergence grades to a target level by the config thresholds; the
+  /// state moves to the target only after trip_count consecutive worse-
+  /// than-state probes (or clear_count consecutive better-than-state
+  /// probes). Probes at the current level reset both streaks.
+  ReplicaHealth observe(double divergence);
+
+  /// Back to Healthy with streaks cleared — call after reprogramming.
+  void reset();
+
+  ReplicaHealth state() const { return state_; }
+
+ private:
+  HealthConfig config_;
+  ReplicaHealth state_ = ReplicaHealth::kHealthy;
+  std::size_t worse_streak_ = 0;
+  std::size_t better_streak_ = 0;
+};
+
+}  // namespace gs::runtime

@@ -227,4 +227,71 @@ CrossbarProgram compile(const nn::Network& net, const Shape& sample_shape,
   return program;
 }
 
+FaultInjectionReport inject_faults(CrossbarProgram& program,
+                                   const hw::FaultModelConfig& config,
+                                   std::string_view label) {
+  config.validate();
+  FaultInjectionReport report;
+  for (Step& step : program.steps_) {
+    for (MatrixPlan& plan : step.stages) {
+      const std::string scope = std::string(label) + plan.name;
+      const std::string stuck_label = "fault:stuck:" + scope;
+      const std::string drift_label = "fault:drift:" + scope;
+      for (std::size_t t = 0; t < plan.tiles.size(); ++t) {
+        ProgramTile& tile = plan.tiles[t];
+        Rng stuck_rng = derive_stream(config.seed, stuck_label, t);
+        Rng drift_rng = derive_stream(config.seed, drift_label, t);
+        const hw::FaultSummary summary =
+            hw::apply_faults(tile.xbar, config, stuck_rng, drift_rng);
+        ++report.tiles;
+        report.devices += summary;
+        if (summary.stuck_gmin + summary.stuck_gmax + summary.drifted > 0) {
+          ++report.faulty_tiles;
+        }
+        // A fault can invalidate the compile-time skip proof (a stuck
+        // device makes a provably-zero tile conduct): clear the mark so the
+        // executor runs the tile again. Faults never CREATE a skip — the
+        // proof also requires an all-zero weight tile, which injection
+        // cannot establish.
+        if (tile.skip && !all_zero(tile.xbar.effective_weights())) {
+          tile.skip = false;
+          ++report.unskipped_tiles;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+void checksum_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;  // FNV-1a 64-bit prime
+  }
+}
+
+}  // namespace
+
+std::uint64_t program_checksum(const CrossbarProgram& program) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const Step& step : program.steps()) {
+    for (const MatrixPlan& plan : step.stages) {
+      for (const ProgramTile& tile : plan.tiles) {
+        const Tensor& gp = tile.xbar.conductance_plus();
+        const Tensor& gm = tile.xbar.conductance_minus();
+        const Tensor& eff = tile.xbar.effective_weights();
+        checksum_bytes(hash, gp.data(), gp.numel() * sizeof(float));
+        checksum_bytes(hash, gm.data(), gm.numel() * sizeof(float));
+        checksum_bytes(hash, eff.data(), eff.numel() * sizeof(float));
+        const unsigned char skip = tile.skip ? 1 : 0;
+        checksum_bytes(hash, &skip, 1);
+      }
+    }
+  }
+  return hash;
+}
+
 }  // namespace gs::runtime

@@ -28,11 +28,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/analog.hpp"
 #include "hw/crossbar.hpp"
+#include "hw/fault_model.hpp"
 #include "hw/tiling.hpp"
 #include "nn/network.hpp"
 #include "tensor/im2col.hpp"
@@ -128,6 +131,15 @@ struct Step {
   Shape out_shape;  ///< per-sample shape leaving the step
 };
 
+/// What one inject_faults() pass did to a program (per-device tallies from
+/// hw::FaultSummary plus the tile-level consequences).
+struct FaultInjectionReport {
+  std::size_t tiles = 0;            ///< programmed tiles visited
+  std::size_t faulty_tiles = 0;     ///< tiles with ≥1 stuck or drifted device
+  std::size_t unskipped_tiles = 0;  ///< skip proofs invalidated by a fault
+  hw::FaultSummary devices;         ///< per-device stuck/drift tallies
+};
+
 /// A compiled network: the full tile schedule plus the shapes it serves.
 /// Immutable after compile() returns; safe to share across threads (the
 /// executor and the serving engines only read it).
@@ -151,6 +163,9 @@ class CrossbarProgram {
  private:
   friend CrossbarProgram compile(const nn::Network&, const Shape&,
                                  const CompileOptions&);
+  friend FaultInjectionReport inject_faults(CrossbarProgram&,
+                                            const hw::FaultModelConfig&,
+                                            std::string_view);
   std::vector<Step> steps_;
   CompileOptions options_;
   Shape input_shape_;
@@ -162,5 +177,37 @@ class CrossbarProgram {
 /// GS_CHECK on unsupported layer types.
 CrossbarProgram compile(const nn::Network& net, const Shape& sample_shape,
                         const CompileOptions& options = {});
+
+/// Mutates `program` in place with a deterministic fault realisation:
+/// stuck-at devices and conductance drift per hw::apply_faults, with each
+/// tile's two fault streams keyed by
+///   derive_stream_seed(config.seed, "fault:stuck:<label><plan>", tile)
+///   derive_stream_seed(config.seed, "fault:drift:<label><plan>", tile)
+/// (`label` is the caller's scope — the sharded server passes
+/// "replica<r>:" so each replica chip realises its own faults; `plan` is
+/// the stage name, `tile` the row-major tile index). A realisation is a
+/// pure function of its key: injecting the same (seed, label) into a
+/// bitwise-equal program yields a bitwise-equal faulty program, and no
+/// tile's faults depend on any other tile, matrix, or replica.
+///
+/// Tiles whose skip proof a fault invalidates (a stuck device makes a
+/// provably-zero tile conduct) have `skip` cleared so the executor runs
+/// them again — fault injection never breaks the bitwise skip contract.
+/// Injection composes: calling it twice models two fault events on the
+/// same chip (the second pass mutates the already-faulty conductances).
+///
+/// NOT thread-safe against concurrent executor forwards on the same
+/// program — callers serialise (the sharded server holds the replica's
+/// program lock).
+FaultInjectionReport inject_faults(CrossbarProgram& program,
+                                   const hw::FaultModelConfig& config,
+                                   std::string_view label = {});
+
+/// FNV-1a fingerprint of the full programmed state: every tile's
+/// conductance pairs, effective weights, and skip flag, in schedule order.
+/// Bitwise-equal programs (including their fault state) ⇒ equal checksums;
+/// the fault-determinism tests and the serving_faults bench replay gate
+/// compare these across runs.
+std::uint64_t program_checksum(const CrossbarProgram& program);
 
 }  // namespace gs::runtime

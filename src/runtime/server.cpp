@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -17,11 +18,25 @@ double latency_percentile(const std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
+void AdmissionConfig::validate() const {
+  GS_CHECK(default_deadline.count() >= 0);
+  GS_CHECK(assumed_batch_cost.count() >= 0);
+}
+
 void BatchingConfig::validate() const {
   GS_CHECK(max_batch >= 1);
-  GS_CHECK(queue_capacity >= 1);
+  GS_CHECK(max_queue_depth >= 1);
   GS_CHECK(max_delay.count() >= 0);
+  admission.validate();
 }
+
+namespace {
+
+std::exception_ptr rejection(const std::string& message) {
+  return std::make_exception_ptr(std::runtime_error(message));
+}
+
+}  // namespace
 
 BatchingServer::BatchingServer(const Executor& executor, BatchingConfig config)
     : executor_(&executor), config_(config) {
@@ -32,6 +47,11 @@ BatchingServer::BatchingServer(const Executor& executor, BatchingConfig config)
 BatchingServer::~BatchingServer() { shutdown(); }
 
 std::future<Tensor> BatchingServer::submit(Tensor sample) {
+  return submit(std::move(sample), config_.admission.default_deadline);
+}
+
+std::future<Tensor> BatchingServer::submit(
+    Tensor sample, std::chrono::microseconds deadline) {
   const Shape& expected = executor_->program().input_shape();
   GS_CHECK_MSG(sample.shape() == expected,
                "server sample " << shape_to_string(sample.shape())
@@ -40,24 +60,77 @@ std::future<Tensor> BatchingServer::submit(Tensor sample) {
   Request request;
   request.sample = std::move(sample);
   request.enqueued = std::chrono::steady_clock::now();
+  request.deadline = deadline.count() > 0 ? request.enqueued + deadline
+                                          : kNoDeadline;
   std::future<Tensor> future = request.promise.get_future();
 
-  bool rejected = false;
+  std::string reject_reason;
+  bool admission_miss = false;
+  Request displaced;          // later-deadline victim shed in our favour
+  bool have_displaced = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ || queue_.size() >= config_.queue_capacity) {
-      rejected = true;
-    } else {
+    if (stopping_) {
+      reject_reason = "BatchingServer: rejected — server is shut down";
+    } else if (config_.admission.enabled && request.deadline != kNoDeadline) {
+      // Predicted queueing delay: batches ahead of us × per-batch cost.
+      const double cost_us =
+          config_.admission.assumed_batch_cost.count() > 0
+              ? static_cast<double>(
+                    config_.admission.assumed_batch_cost.count())
+              : ewma_batch_cost_us_.load(std::memory_order_relaxed);
+      const double batches_ahead = std::ceil(
+          static_cast<double>(queue_.size() + 1) /
+          static_cast<double>(config_.max_batch));
+      const auto predicted_wait = std::chrono::microseconds(
+          static_cast<long long>(batches_ahead * cost_us));
+      if (request.enqueued + predicted_wait > request.deadline) {
+        reject_reason =
+            "BatchingServer: rejected — admission control predicts a "
+            "deadline miss";
+        admission_miss = true;
+      }
+    }
+    if (reject_reason.empty() && queue_.size() >= config_.max_queue_depth) {
+      // Deadline-priority displacement: shed the latest-deadline queued
+      // request if ours is strictly earlier; otherwise reject ours.
+      auto victim = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (victim == queue_.end() || it->deadline > victim->deadline) {
+          victim = it;
+        }
+      }
+      if (victim != queue_.end() && request.deadline < victim->deadline) {
+        displaced = std::move(*victim);
+        queue_.erase(victim);
+        have_displaced = true;
+      } else {
+        std::ostringstream msg;
+        msg << "BatchingServer: rejected — queue full (max_queue_depth="
+            << config_.max_queue_depth << ")";
+        reject_reason = msg.str();
+      }
+    }
+    if (reject_reason.empty()) {
       queue_.push_back(std::move(request));
     }
   }
-  if (rejected) {
+  if (have_displaced) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++shed_;
+    }
+    displaced.promise.set_exception(rejection(
+        "BatchingServer: shed — displaced by an earlier-deadline request "
+        "under overload"));
+  }
+  if (!reject_reason.empty()) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++rejected_;
+      if (admission_miss) ++admission_rejected_;
     }
-    request.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("BatchingServer: request rejected")));
+    request.promise.set_exception(rejection(reject_reason));
     return future;
   }
   queue_cv_.notify_one();
@@ -87,6 +160,8 @@ ServerStats BatchingServer::stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats.completed = completed_;
     stats.rejected = rejected_;
+    stats.admission_rejected = admission_rejected_;
+    stats.shed = shed_;
     stats.failed = failed_;
     stats.batches = batches_;
     stats.max_batch_seen = max_batch_seen_;
@@ -109,6 +184,7 @@ ServerStats BatchingServer::stats() const {
 void BatchingServer::dispatch_loop() {
   for (;;) {
     std::vector<Request> batch;
+    std::vector<Request> expired;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -118,18 +194,35 @@ void BatchingServer::dispatch_loop() {
       }
       // Coalesce: launch when the batch is full or the oldest request's
       // deadline passes. Shutdown drains immediately.
-      const auto deadline = queue_.front().enqueued + config_.max_delay;
-      queue_cv_.wait_until(lock, deadline, [&] {
+      const auto launch = queue_.front().enqueued + config_.max_delay;
+      queue_cv_.wait_until(lock, launch, [&] {
         return stopping_ || queue_.size() >= config_.max_batch;
       });
-      const std::size_t take = std::min(config_.max_batch, queue_.size());
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Shed already-expired requests at batch formation: a result past its
+      // deadline is worthless, the batch slot is not.
+      const auto now = std::chrono::steady_clock::now();
+      batch.reserve(std::min(config_.max_batch, queue_.size()));
+      while (!queue_.empty() && batch.size() < config_.max_batch) {
+        Request request = std::move(queue_.front());
         queue_.pop_front();
+        if (request.deadline < now) {
+          expired.push_back(std::move(request));
+        } else {
+          batch.push_back(std::move(request));
+        }
       }
     }
-    run_batch(batch);
+    if (!expired.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        shed_ += expired.size();
+      }
+      for (Request& request : expired) {
+        request.promise.set_exception(rejection(
+            "BatchingServer: shed — deadline expired before execution"));
+      }
+    }
+    if (!batch.empty()) run_batch(batch);
   }
 }
 
@@ -151,9 +244,18 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
   }
 
   try {
+    const auto started = std::chrono::steady_clock::now();
     const Tensor logits = executor_->forward(batch);
     const std::size_t classes = logits.numel() / count;
     const auto finished = std::chrono::steady_clock::now();
+    const double batch_us =
+        std::chrono::duration<double, std::micro>(finished - started).count();
+    // EWMA of batch cost feeds the admission predictor (α = 1/8; the first
+    // sample seeds it directly).
+    const double prev = ewma_batch_cost_us_.load(std::memory_order_relaxed);
+    ewma_batch_cost_us_.store(prev == 0.0 ? batch_us
+                                          : prev + (batch_us - prev) / 8.0,
+                              std::memory_order_relaxed);
     // Stats are recorded BEFORE the promises resolve, so a caller returning
     // from infer()/get() always observes its own request in stats().
     {

@@ -9,11 +9,28 @@
 // coalescing never changes a request's result: a sample returns bitwise the
 // same logits at any batch composition.
 //
+// Overload behaviour (the robustness layer):
+//  * the queue is bounded (`max_queue_depth`); a full queue rejects new
+//    work at submit — EXCEPT when the new request carries an earlier
+//    deadline than the latest-deadline queued request, in which case the
+//    laggard is displaced (shed) in its favour. Overload therefore sheds
+//    the work most likely to miss anyway, not the most recent arrival.
+//  * requests may carry a deadline; with admission control enabled the
+//    server predicts the queueing delay from the current depth and rejects
+//    at submit any request it expects to miss — failing fast beats
+//    accepting work it will throw away.
+//  * at batch formation, requests whose deadline has already passed are
+//    shed instead of executed (their futures reject immediately) — a
+//    late result is worthless, the batch slot is not.
+// Every rejected or shed future carries a std::runtime_error whose message
+// names the reason; no future is ever left dangling (see ServerStats).
+//
 // The server records per-request latency (submit → completion) and batch
 // sizes; stats() folds them into throughput-style aggregates and latency
 // percentiles for the serving bench (bench/runtime_serving.cpp).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -27,11 +44,36 @@
 
 namespace gs::runtime {
 
+/// Deadline-based admission control knobs, shared by BatchingServer and
+/// ShardedServer. Admission predicts the queueing delay of a new request
+/// from the target queue's depth,
+///     predicted_wait = ceil((depth + 1) / max_batch) · batch_cost,
+/// and rejects at submit when now + predicted_wait exceeds the request's
+/// deadline. `batch_cost` is `assumed_batch_cost` when set (fixed cost —
+/// the deterministic mode the fault bench replays), otherwise an EWMA of
+/// measured batch execution times.
+struct AdmissionConfig {
+  /// Off by default: requests without deadlines are never admission-tested,
+  /// and the server behaves exactly as before this knob existed.
+  bool enabled = false;
+  /// Deadline applied to submit(sample) calls that do not pass one
+  /// explicitly; 0 = no deadline (never expires, never admission-tested).
+  std::chrono::microseconds default_deadline{0};
+  /// Fixed per-batch execution cost for the wait prediction; 0 = use the
+  /// EWMA of measured batch times instead.
+  std::chrono::microseconds assumed_batch_cost{0};
+
+  void validate() const;
+};
+
 /// Coalescing knobs.
 struct BatchingConfig {
   std::size_t max_batch = 32;  ///< launch as soon as this many are queued
   std::chrono::microseconds max_delay{1000};  ///< oldest-request deadline
-  std::size_t queue_capacity = 4096;  ///< beyond this, submissions are rejected
+  /// Queue bound: beyond this depth, submissions are rejected (or displace
+  /// a later-deadline queued request — see the overload notes above).
+  std::size_t max_queue_depth = 4096;
+  AdmissionConfig admission;  ///< deadline admission control (default off)
 
   void validate() const;
 };
@@ -69,9 +111,17 @@ class LatencyWindow {
 /// Serving counters; latency aggregates cover the most recent window of
 /// completed requests (BatchingServer::kLatencyWindow samples), so a
 /// long-running server keeps bounded memory and stats() cost.
+/// Every submitted request lands in exactly one of completed / rejected /
+/// shed / failed — futures never dangle.
 struct ServerStats {
   std::size_t completed = 0;
-  std::size_t rejected = 0;  ///< refused at submit (full queue / shut down)
+  std::size_t rejected = 0;  ///< refused at submit (full / shut down / miss)
+  /// Subset of `rejected` refused by admission control (predicted deadline
+  /// miss) rather than by queue depth or shutdown.
+  std::size_t admission_rejected = 0;
+  /// Accepted but dropped before execution: deadline expired in the queue,
+  /// or displaced by an earlier-deadline request under overload.
+  std::size_t shed = 0;
   std::size_t failed = 0;    ///< accepted but the executor threw
   std::size_t batches = 0;   ///< successfully executed batches
   double mean_batch = 0.0;        ///< completed / batches
@@ -84,6 +134,9 @@ struct ServerStats {
 
 /// Thread-safety: submit()/infer()/stats() are safe from any number of
 /// threads; shutdown() is idempotent and also runs in the destructor.
+/// submit() AFTER shutdown() returns an immediately-rejected future (not
+/// UB) — though calling any method on a destroyed server remains UB, as for
+/// every C++ object.
 /// Determinism: results inherit the Executor contract — a sample's logits
 /// are bitwise independent of batch composition, pool size, and coalescing
 /// timing; only the latency statistics are timing-dependent.
@@ -98,15 +151,22 @@ class BatchingServer {
   BatchingServer& operator=(const BatchingServer&) = delete;
 
   /// Enqueues one sample (the program's per-sample input shape) and returns
-  /// a future for its logits (rank-1, classes). A full queue or a shut-down
-  /// server rejects: the future carries std::runtime_error.
+  /// a future for its logits (rank-1, classes). The request carries
+  /// `config.admission.default_deadline`. A full queue, a shut-down server,
+  /// or a predicted deadline miss rejects: the future carries
+  /// std::runtime_error naming the reason.
   std::future<Tensor> submit(Tensor sample);
+
+  /// As above with an explicit per-request deadline (time allowed from
+  /// submit to completion; 0 = none).
+  std::future<Tensor> submit(Tensor sample, std::chrono::microseconds deadline);
 
   /// Blocking convenience: submit + get.
   Tensor infer(const Tensor& sample);
 
   /// Stops accepting work, drains the queue, joins the dispatch thread.
-  /// Idempotent; also run by the destructor.
+  /// Idempotent; also run by the destructor. Queued requests still execute
+  /// (drain, not abort); expired ones are shed as usual.
   void shutdown();
 
   ServerStats stats() const;
@@ -114,11 +174,16 @@ class BatchingServer {
   /// Latency samples retained for the percentile window.
   static constexpr std::size_t kLatencyWindow = 16384;
 
+  /// Absolute time representing "no deadline" (never expires).
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
  private:
   struct Request {
     Tensor sample;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline = kNoDeadline;
   };
 
   void dispatch_loop();
@@ -135,10 +200,16 @@ class BatchingServer {
   mutable std::mutex stats_mutex_;
   std::size_t completed_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t admission_rejected_ = 0;
+  std::size_t shed_ = 0;
   std::size_t failed_ = 0;
   std::size_t batches_ = 0;
   std::size_t max_batch_seen_ = 0;
   LatencyWindow latencies_{kLatencyWindow};
+  /// Measured per-batch execution cost for admission prediction when
+  /// assumed_batch_cost is 0 (atomic: read by submit, written by the
+  /// dispatcher, no lock ordering entanglement).
+  std::atomic<double> ewma_batch_cost_us_{0.0};
 
   std::mutex join_mutex_;   // serializes shutdown()'s joinable-check + join
   std::thread dispatcher_;  // started last, joined by shutdown()

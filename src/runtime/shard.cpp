@@ -1,25 +1,37 @@
 #include "runtime/shard.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "core/models.hpp"
 #include "nn/trainer.hpp"
 
 namespace gs::runtime {
 
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
 void ShardConfig::validate() const {
   GS_CHECK_MSG(replicas >= 1, "ShardConfig: need at least one replica");
+  GS_CHECK(probe_interval.count() >= 0);
   batching.validate();
+  health.validate();
 }
 
 ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
                              const CompileOptions& options, ShardConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      network_(core::clone_network(net)),
+      sample_shape_(sample_shape) {
   config_.validate();
   const std::size_t budget = config_.total_threads != 0
                                  ? config_.total_threads
@@ -32,16 +44,27 @@ ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
     CompileOptions replica_options = options;
     replica_options.analog.seed =
         options.analog.seed + r * config_.seed_stride;
+    replica->options = replica_options;
     replica->program = compile(net, sample_shape, replica_options);
     replica->pool = std::make_unique<ThreadPool>(threads_per_replica_);
     replica->executor =
         std::make_unique<Executor>(replica->program, replica->pool.get());
+    // Record the clean canary reference while the chip is known pristine —
+    // this is the bitwise target every future probe (and recalibration)
+    // compares against.
+    replica->canary =
+        std::make_unique<CanarySet>(sample_shape, config_.health);
+    replica->canary->record_reference(*replica->executor);
+    replica->tracker = std::make_unique<HealthTracker>(config_.health);
     replicas_.push_back(std::move(replica));
   }
   // Dispatchers start only after every replica exists — they scan the whole
   // replica vector for steal victims.
   for (std::size_t r = 0; r < config_.replicas; ++r) {
     replicas_[r]->dispatcher = std::thread([this, r] { dispatch_loop(r); });
+  }
+  if (config_.probe_interval.count() > 0) {
+    maintenance_ = std::thread([this] { maintenance_loop(); });
   }
 }
 
@@ -52,7 +75,26 @@ const CrossbarProgram& ShardedServer::program(std::size_t r) const {
   return replicas_[r]->program;
 }
 
+std::size_t ShardedServer::placement_target(std::size_t exclude) const {
+  std::size_t target = kNone;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == exclude) continue;
+    if (replicas_[r]->health == ReplicaHealth::kQuarantined) continue;
+    if (target == kNone ||
+        replicas_[r]->queue.size() < replicas_[target]->queue.size()) {
+      target = r;
+    }
+  }
+  return target;
+}
+
 std::future<Tensor> ShardedServer::submit(Tensor sample) {
+  return submit(std::move(sample),
+                config_.batching.admission.default_deadline);
+}
+
+std::future<Tensor> ShardedServer::submit(Tensor sample,
+                                          std::chrono::microseconds deadline) {
   const Shape& expected = replicas_.front()->program.input_shape();
   GS_CHECK_MSG(sample.shape() == expected,
                "sharded server sample " << shape_to_string(sample.shape())
@@ -61,36 +103,90 @@ std::future<Tensor> ShardedServer::submit(Tensor sample) {
   Request request;
   request.sample = std::move(sample);
   request.enqueued = std::chrono::steady_clock::now();
+  request.deadline = deadline.count() > 0
+                         ? request.enqueued + deadline
+                         : BatchingServer::kNoDeadline;
   std::future<Tensor> future = request.promise.get_future();
 
-  bool rejected = false;
+  std::string reject_reason;
+  bool admission_miss = false;
+  Request displaced;
+  bool have_displaced = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      rejected = true;
+      reject_reason = "ShardedServer: rejected — server is shut down";
     } else {
-      // Shortest-queue placement; the shortest queue being full means every
-      // queue is full.
-      std::size_t target = 0;
-      for (std::size_t r = 1; r < replicas_.size(); ++r) {
-        if (replicas_[r]->queue.size() < replicas_[target]->queue.size()) {
-          target = r;
-        }
-      }
-      if (replicas_[target]->queue.size() >= config_.batching.queue_capacity) {
-        rejected = true;
+      // Shortest-queue placement over ACTIVE replicas (quarantined chips
+      // take no new work).
+      const std::size_t target = placement_target(kNone);
+      if (target == kNone) {
+        reject_reason = "ShardedServer: rejected — no active replica";
       } else {
-        replicas_[target]->queue.push_back(std::move(request));
+        std::deque<Request>& queue = replicas_[target]->queue;
+        if (config_.batching.admission.enabled &&
+            request.deadline != BatchingServer::kNoDeadline) {
+          const double cost_us =
+              config_.batching.admission.assumed_batch_cost.count() > 0
+                  ? static_cast<double>(
+                        config_.batching.admission.assumed_batch_cost.count())
+                  : ewma_batch_cost_us_.load(std::memory_order_relaxed);
+          const double batches_ahead =
+              std::ceil(static_cast<double>(queue.size() + 1) /
+                        static_cast<double>(config_.batching.max_batch));
+          const auto predicted_wait = std::chrono::microseconds(
+              static_cast<long long>(batches_ahead * cost_us));
+          if (request.enqueued + predicted_wait > request.deadline) {
+            reject_reason =
+                "ShardedServer: rejected — admission control predicts a "
+                "deadline miss";
+            admission_miss = true;
+          }
+        }
+        if (reject_reason.empty() &&
+            queue.size() >= config_.batching.max_queue_depth) {
+          // The shortest active queue being full means every active queue
+          // is full: shed by deadline priority or reject.
+          auto victim = queue.end();
+          for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (victim == queue.end() || it->deadline > victim->deadline) {
+              victim = it;
+            }
+          }
+          if (victim != queue.end() && request.deadline < victim->deadline) {
+            displaced = std::move(*victim);
+            queue.erase(victim);
+            have_displaced = true;
+          } else {
+            std::ostringstream msg;
+            msg << "ShardedServer: rejected — queue full (max_queue_depth="
+                << config_.batching.max_queue_depth << ")";
+            reject_reason = msg.str();
+          }
+        }
+        if (reject_reason.empty()) {
+          queue.push_back(std::move(request));
+        }
       }
     }
   }
-  if (rejected) {
+  if (have_displaced) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++shed_;
+    }
+    displaced.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "ShardedServer: shed — displaced by an earlier-deadline request "
+        "under overload")));
+  }
+  if (!reject_reason.empty()) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++rejected_;
+      if (admission_miss) ++admission_rejected_;
     }
-    request.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("ShardedServer: request rejected")));
+    request.promise.set_exception(
+        std::make_exception_ptr(std::runtime_error(reject_reason)));
     return future;
   }
   // All dispatchers share one cv: the owner must wake to coalesce, and idle
@@ -110,30 +206,201 @@ void ShardedServer::shutdown() {
   }
   queue_cv_.notify_all();
   std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (maintenance_.joinable()) maintenance_.join();
   for (auto& replica : replicas_) {
     if (replica->dispatcher.joinable()) replica->dispatcher.join();
   }
 }
 
+void ShardedServer::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+}
+
+FaultInjectionReport ShardedServer::inject_replica_faults(
+    std::size_t r, const hw::FaultModelConfig& config) {
+  GS_CHECK(r < replicas_.size());
+  Replica& replica = *replicas_[r];
+  const std::string label = "replica" + std::to_string(r) + ":";
+  FaultInjectionReport report;
+  {
+    std::unique_lock<std::shared_mutex> plock(replica.program_mutex);
+    report = inject_faults(replica.program, config, label);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++replica.fault_injections;
+  }
+  return report;
+}
+
+CanaryProbe ShardedServer::probe_now(std::size_t r) {
+  GS_CHECK(r < replicas_.size());
+  Replica& replica = *replicas_[r];
+  CanaryProbe probe;
+  {
+    std::shared_lock<std::shared_mutex> plock(replica.program_mutex);
+    probe = replica.canary->probe(*replica.executor);
+  }
+  std::vector<Request> shed;
+  std::size_t rerouted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ReplicaHealth next = replica.tracker->observe(probe.divergence);
+    if (next == ReplicaHealth::kQuarantined) {
+      std::size_t active_others = 0;
+      for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        if (i != r &&
+            replicas_[i]->health != ReplicaHealth::kQuarantined) {
+          ++active_others;
+        }
+      }
+      if (active_others == 0) {
+        // Never quarantine the last active replica: a degraded answer beats
+        // no answer. Clamp to Degraded; the tracker keeps voting Quarantined
+        // and the clamp is re-evaluated at every probe, so the replica is
+        // pulled as soon as a peer rejoins.
+        replica.health = ReplicaHealth::kDegraded;
+      } else {
+        replica.health = ReplicaHealth::kQuarantined;
+        // Re-route the quarantined replica's queued requests onto active
+        // replicas (the mid-flight retry path). Requests out of retries or
+        // finding every active queue full are shed.
+        while (!replica.queue.empty()) {
+          Request request = std::move(replica.queue.front());
+          replica.queue.pop_front();
+          ++request.attempts;
+          const std::size_t target = placement_target(r);
+          if (request.attempts > config_.max_retries || target == kNone ||
+              replicas_[target]->queue.size() >=
+                  config_.batching.max_queue_depth) {
+            shed.push_back(std::move(request));
+          } else {
+            replicas_[target]->queue.push_back(std::move(request));
+            ++rerouted;
+          }
+        }
+      }
+    } else {
+      replica.health = next;
+    }
+  }
+  if (rerouted > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    retried_ += rerouted;
+  }
+  shed_requests(shed,
+                "ShardedServer: shed — could not re-route off quarantined "
+                "replica");
+  queue_cv_.notify_all();
+  return probe;
+}
+
+bool ShardedServer::recalibrate_now(std::size_t r) {
+  GS_CHECK(r < replicas_.size());
+  Replica& replica = *replicas_[r];
+  {
+    // Reprogramming: a fresh chip from the pristine weights, compiled with
+    // the replica's original options (same analog seed) — bitwise the
+    // program it started with. Move-assignment mutates the program at the
+    // same address, so the borrowed Executor stays valid; the exclusive
+    // lock keeps forwards out while conductances change.
+    std::unique_lock<std::shared_mutex> plock(replica.program_mutex);
+    replica.program = compile(network_, sample_shape_, replica.options);
+  }
+  CanaryProbe probe;
+  {
+    std::shared_lock<std::shared_mutex> plock(replica.program_mutex);
+    probe = replica.canary->probe(*replica.executor);
+  }
+  // Rejoin only on a bitwise-clean canary — the readmission gate.
+  if (!probe.bitwise_clean) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    replica.tracker->reset();
+    replica.health = ReplicaHealth::kHealthy;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++replica.recalibrations;
+  }
+  queue_cv_.notify_all();
+  return true;
+}
+
+ReplicaHealth ShardedServer::health(std::size_t r) const {
+  GS_CHECK(r < replicas_.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_[r]->health;
+}
+
+std::uint64_t ShardedServer::replica_program_checksum(std::size_t r) const {
+  GS_CHECK(r < replicas_.size());
+  std::shared_lock<std::shared_mutex> plock(replicas_[r]->program_mutex);
+  return program_checksum(replicas_[r]->program);
+}
+
+std::uint64_t ShardedServer::replica_reference_checksum(std::size_t r) const {
+  GS_CHECK(r < replicas_.size());
+  return replicas_[r]->canary->reference_checksum();
+}
+
+double ShardedServer::evaluate_replica(std::size_t r,
+                                       const data::Dataset& dataset,
+                                       std::size_t max_samples,
+                                       std::size_t batch_size) const {
+  GS_CHECK(r < replicas_.size());
+  std::shared_lock<std::shared_mutex> plock(replicas_[r]->program_mutex);
+  return runtime::evaluate(*replicas_[r]->executor, dataset, max_samples,
+                           batch_size);
+}
+
+void ShardedServer::shed_requests(std::vector<Request>& requests,
+                                  const char* reason) {
+  if (requests.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    shed_ += requests.size();
+  }
+  for (Request& request : requests) {
+    request.promise.set_exception(
+        std::make_exception_ptr(std::runtime_error(reason)));
+  }
+  requests.clear();
+}
+
 std::vector<ShardedServer::Request> ShardedServer::take_batch(
-    std::size_t victim) {
+    std::size_t victim, std::vector<Request>& expired) {
   std::deque<Request>& queue = replicas_[victim]->queue;
-  const std::size_t take = std::min(config_.batching.max_batch, queue.size());
+  const auto now = std::chrono::steady_clock::now();
   std::vector<Request> batch;
-  batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue.front()));
+  batch.reserve(std::min(config_.batching.max_batch, queue.size()));
+  // Expired requests are shed, not executed — they do not consume batch
+  // slots, so one take can drain more than max_batch queue entries.
+  while (!queue.empty() && batch.size() < config_.batching.max_batch) {
+    Request request = std::move(queue.front());
     queue.pop_front();
+    if (request.deadline < now) {
+      expired.push_back(std::move(request));
+    } else {
+      batch.push_back(std::move(request));
+    }
   }
   return batch;
 }
 
 std::size_t ShardedServer::ripe_victim(
     std::size_t self, std::chrono::steady_clock::time_point now) const {
-  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::size_t best = kNone;
   std::size_t best_depth = 0;
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     if (r == self) continue;
+    // A quarantined replica's queue is re-routed, not stolen (re-routing
+    // counts retries and respects max_retries; stealing would bypass both).
+    if (replicas_[r]->health == ReplicaHealth::kQuarantined) continue;
     const std::deque<Request>& queue = replicas_[r]->queue;
     if (queue.empty()) continue;
     const bool ripe = queue.size() >= config_.batching.max_batch ||
@@ -148,11 +415,12 @@ std::size_t ShardedServer::ripe_victim(
 }
 
 void ShardedServer::dispatch_loop(std::size_t self) {
-  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
   Replica& replica = *replicas_[self];
   for (;;) {
     std::vector<Request> batch;
+    std::vector<Request> expired;
     std::size_t victim = self;
+    bool exit_after_shed = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
@@ -171,9 +439,19 @@ void ShardedServer::dispatch_loop(std::size_t self) {
               }
             }
           }
-          if (victim == kNone) return;
-          batch = take_batch(victim);
+          if (victim == kNone) {
+            exit_after_shed = true;
+            break;
+          }
+          batch = take_batch(victim, expired);
           break;
+        }
+        // Paused dispatchers let work accumulate (the deterministic bench's
+        // burst builder); quarantined replicas take no work at all — their
+        // queue was re-routed at quarantine and placement avoids them.
+        if (paused_ || replica.health == ReplicaHealth::kQuarantined) {
+          queue_cv_.wait(lock);
+          continue;
         }
         if (!replica.queue.empty()) {
           // Own work: BatchingServer coalescing — launch when full, or when
@@ -182,16 +460,16 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           // sleep, re-evaluated from scratch on every wake (a thief may
           // steal the front mid-sleep, which would leave a stale deadline —
           // launching on it would fire newer requests early).
-          const auto deadline =
+          const auto launch =
               replica.queue.front().enqueued + config_.batching.max_delay;
           if (replica.queue.size() >= config_.batching.max_batch ||
-              deadline <= std::chrono::steady_clock::now()) {
+              launch <= std::chrono::steady_clock::now()) {
             victim = self;
-            batch = take_batch(self);
+            batch = take_batch(self, expired);
             break;
           }
-          queue_cv_.wait_until(lock, deadline, [&] {
-            return stopping_ ||
+          queue_cv_.wait_until(lock, launch, [&] {
+            return stopping_ || paused_ ||
                    replica.queue.size() >= config_.batching.max_batch;
           });
           continue;
@@ -203,7 +481,7 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           const std::size_t v = ripe_victim(self, now);
           if (v != kNone) {
             victim = v;
-            batch = take_batch(v);
+            batch = take_batch(v, expired);
             break;
           }
           // Sleep until new work arrives or the earliest foreign deadline
@@ -222,12 +500,39 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           }
         } else {
           queue_cv_.wait(lock, [&] {
-            return stopping_ || !replica.queue.empty();
+            return stopping_ || paused_ || !replica.queue.empty();
           });
         }
       }
     }
-    run_batch(self, victim, batch);
+    shed_requests(expired,
+                  "ShardedServer: shed — deadline expired before execution");
+    if (exit_after_shed) return;
+    if (!batch.empty()) run_batch(self, victim, batch);
+  }
+}
+
+void ShardedServer::maintenance_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto next = std::chrono::steady_clock::now() + config_.probe_interval;
+  while (!stopping_) {
+    if (queue_cv_.wait_until(lock, next) != std::cv_status::timeout) {
+      continue;  // submit traffic or shutdown — re-check and re-sleep
+    }
+    if (stopping_) break;
+    const bool paused = paused_;
+    lock.unlock();
+    if (!paused) {
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        probe_now(r);
+        if (config_.auto_recalibrate &&
+            health(r) == ReplicaHealth::kQuarantined) {
+          recalibrate_now(r);
+        }
+      }
+    }
+    lock.lock();
+    next = std::chrono::steady_clock::now() + config_.probe_interval;
   }
 }
 
@@ -251,9 +556,22 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
   }
 
   try {
-    const Tensor logits = replica.executor->forward(batch);
+    const auto started = std::chrono::steady_clock::now();
+    Tensor logits;
+    {
+      // Shared with other forwards/probes; excluded only by fault injection
+      // and recalibration mutating this replica's program.
+      std::shared_lock<std::shared_mutex> plock(replica.program_mutex);
+      logits = replica.executor->forward(batch);
+    }
     const std::size_t classes = logits.numel() / count;
     const auto finished = std::chrono::steady_clock::now();
+    const double batch_us =
+        std::chrono::duration<double, std::micro>(finished - started).count();
+    const double prev = ewma_batch_cost_us_.load(std::memory_order_relaxed);
+    ewma_batch_cost_us_.store(prev == 0.0 ? batch_us
+                                          : prev + (batch_us - prev) / 8.0,
+                              std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       replica.completed += count;
@@ -286,36 +604,50 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
 
 ShardStats ShardedServer::stats() const {
   ShardStats stats;
+  std::vector<ReplicaHealth> health;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    health.reserve(replicas_.size());
+    for (const auto& replica : replicas_) health.push_back(replica->health);
+  }
   std::vector<double> all_latencies;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats.aggregate.rejected = rejected_;
+    stats.aggregate.admission_rejected = admission_rejected_;
+    stats.aggregate.shed = shed_;
     stats.aggregate.failed = failed_;
+    stats.retried = retried_;
     stats.replicas.reserve(replicas_.size());
-    for (const auto& replica : replicas_) {
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      const Replica& replica = *replicas_[r];
       ReplicaStats rs;
-      rs.completed = replica->completed;
-      rs.batches = replica->batches;
-      rs.stolen_batches = replica->stolen_batches;
-      rs.max_batch_seen = replica->max_batch_seen;
-      rs.mean_batch = replica->batches == 0
+      rs.completed = replica.completed;
+      rs.batches = replica.batches;
+      rs.stolen_batches = replica.stolen_batches;
+      rs.max_batch_seen = replica.max_batch_seen;
+      rs.mean_batch = replica.batches == 0
                           ? 0.0
-                          : static_cast<double>(replica->completed) /
-                                static_cast<double>(replica->batches);
-      std::vector<double> latencies = replica->latencies.samples();
+                          : static_cast<double>(replica.completed) /
+                                static_cast<double>(replica.batches);
+      std::vector<double> latencies = replica.latencies.samples();
       std::sort(latencies.begin(), latencies.end());
       rs.latency_p50_ms = latency_percentile(latencies, 0.50);
       rs.latency_p95_ms = latency_percentile(latencies, 0.95);
       rs.latency_p99_ms = latency_percentile(latencies, 0.99);
+      rs.health = health[r];
+      rs.fault_injections = replica.fault_injections;
+      rs.recalibrations = replica.recalibrations;
 
       stats.aggregate.completed += rs.completed;
       stats.aggregate.batches += rs.batches;
       stats.aggregate.max_batch_seen =
           std::max(stats.aggregate.max_batch_seen, rs.max_batch_seen);
       stats.stolen_batches += rs.stolen_batches;
+      stats.recalibrations += rs.recalibrations;
       all_latencies.insert(all_latencies.end(),
-                           replica->latencies.samples().begin(),
-                           replica->latencies.samples().end());
+                           replica.latencies.samples().begin(),
+                           replica.latencies.samples().end());
       stats.replicas.push_back(rs);
     }
   }

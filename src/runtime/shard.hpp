@@ -1,34 +1,56 @@
-// Sharded multi-replica serving — one server over N independently-compiled
-// crossbar programs.
+// Sharded multi-replica serving — one fault-tolerant server over N
+// independently-compiled crossbar programs.
 //
 // Real multi-chip deployments program the same compressed network onto
 // several physical crossbar arrays; each chip realises its own process
-// variation. ShardedServer models exactly that: it compiles `replicas`
-// CrossbarPrograms from one network, giving replica r its own variation
-// seed (base seed + r·seed_stride) and its own Executor on a private
-// ThreadPool, so a total thread budget is split evenly across replicas and
-// batches execute concurrently — the multi-socket scaling path of the
-// ROADMAP. On an ideal device all replicas are bitwise identical, so a
-// request's logits do not depend on which replica served it; with
-// nonidealities enabled, replica spread IS the chip-to-chip spread the
-// robustness analysis studies.
+// variation — and each chip DEGRADES on its own: devices stick, conductances
+// drift. ShardedServer models the whole fleet lifecycle: it compiles
+// `replicas` CrossbarPrograms from one network (replica r gets analog seed
+// base + r·seed_stride and a private Executor/ThreadPool), serves batched
+// requests across them, and keeps serving within deadline SLOs while faulty
+// replicas are detected, drained, reprogrammed, and readmitted.
 //
 // Request flow: submit() places a sample on the queue of the least-loaded
-// replica (shortest-queue placement). Each replica's dispatcher coalesces
-// its own queue into batches under BatchingServer semantics — launch at
-// `max_batch` or when the oldest request's deadline passes. An idle replica
-// additionally WORK-STEALS, but only "ripe" work: a foreign queue already
-// holding a full batch, or whose oldest request has passed its coalescing
-// deadline (its owner is busy executing). Stealing therefore never launches
-// a request earlier than the single-replica server would — coalescing
-// semantics are preserved — it only moves ready work onto an idle executor.
+// ACTIVE replica (shortest-queue placement over replicas not quarantined).
+// Requests may carry deadlines; admission control (AdmissionConfig) rejects
+// predicted misses at submit, full queues shed by deadline priority, and
+// expired requests are shed at batch formation — the BatchingServer overload
+// semantics, per replica. Each replica's dispatcher coalesces its own queue
+// into batches; an idle replica additionally WORK-STEALS ripe foreign work
+// (a full batch, or past-coalescing-deadline requests), which never launches
+// a request earlier than the single-replica server would.
 //
-// Thread-safety: submit()/infer()/stats() are safe from any number of
-// threads; shutdown() is idempotent and runs in the destructor.
-// Determinism: per-replica execution inherits the Executor contract
-// (bitwise identical at any pool size, batch-composition invariant); which
+// Fault-tolerance loop (see runtime/health.hpp for the state machine):
+//  * inject_replica_faults(r, config) mutates replica r's program in place
+//    (runtime::inject_faults with label "replica<r>:") — the deterministic
+//    stand-in for physical degradation, serialised against that replica's
+//    forwards by a per-replica program lock.
+//  * probe_now(r) runs the replica's canary batch and feeds the divergence
+//    to its HealthTracker. A replica probed into Quarantined stops taking
+//    new work and its QUEUED requests are re-routed to active replicas
+//    (counted as retries; requests exceeding max_retries, or finding every
+//    active queue full past displacement, are shed). The LAST active
+//    replica is never quarantined — it is clamped to Degraded and keeps
+//    serving (graceful degradation beats serving nothing).
+//  * recalibrate_now(r) reprograms the replica from the pristine network
+//    clone with its original CompileOptions — same seeds, so the fresh chip
+//    is bitwise the clean program — then re-probes; the replica rejoins
+//    (Healthy) only when its canary checksum matches the clean reference
+//    bitwise.
+//  * a maintenance thread automates probe → quarantine → recalibrate →
+//    rejoin when probe_interval > 0 (auto_recalibrate gates the reprogram
+//    step); with interval 0 the loop is driven manually — the mode the
+//    deterministic fault bench replays.
+//
+// Thread-safety: submit()/infer()/stats()/health()/probe_now()/
+// recalibrate_now()/inject_replica_faults() are safe from any number of
+// threads; shutdown() is idempotent, runs in the destructor, and submit()
+// after shutdown() returns an immediately-rejected future. Lock order is
+// program_mutex (per replica) → mutex_ → stats_mutex_, never reversed.
+// Determinism: per-replica execution inherits the Executor contract; fault
+// realisations are pure functions of (config.seed, replica, tile); which
 // replica serves a request is scheduling-dependent and only observable when
-// the device model is nonideal.
+// replicas differ (nonideal device or faults).
 #pragma once
 
 #include <condition_variable>
@@ -37,9 +59,11 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "runtime/health.hpp"
 #include "runtime/server.hpp"
 
 namespace gs::runtime {
@@ -59,9 +83,20 @@ struct ShardConfig {
   /// distinct chips realise distinct variation. Stride 0 makes all replicas
   /// program identical (useful for controlled experiments).
   std::uint64_t seed_stride = 1;
-  BatchingConfig batching;  ///< per-replica coalescing knobs
+  BatchingConfig batching;  ///< per-replica coalescing + admission knobs
   /// Allow idle replicas to take ripe work from other replicas' queues.
   bool steal_work = true;
+  HealthConfig health;  ///< canary probe set + lifecycle thresholds
+  /// Reprogram quarantined replicas (maintenance thread only; manual
+  /// recalibrate_now() always works). Off = quarantined replicas stay out —
+  /// the ablation arm of the fault bench.
+  bool auto_recalibrate = true;
+  /// Period of the background probe/recalibrate thread; 0 = no thread,
+  /// probing is manual (probe_now / recalibrate_now).
+  std::chrono::microseconds probe_interval{0};
+  /// Re-route attempts per request after its replica is quarantined;
+  /// beyond this the request is shed.
+  std::size_t max_retries = 1;
 
   void validate() const;
 };
@@ -77,6 +112,9 @@ struct ReplicaStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  ReplicaHealth health = ReplicaHealth::kHealthy;
+  std::size_t fault_injections = 0;  ///< inject_replica_faults calls
+  std::size_t recalibrations = 0;    ///< successful rejoin count
 };
 
 /// Aggregate view plus the per-replica breakdown.
@@ -84,13 +122,18 @@ struct ShardStats {
   ServerStats aggregate;  ///< counters summed, percentiles over all replicas
   std::vector<ReplicaStats> replicas;
   std::size_t stolen_batches = 0;  ///< Σ replicas[i].stolen_batches
+  std::size_t retried = 0;  ///< requests re-routed off a quarantined replica
+  std::size_t recalibrations = 0;  ///< Σ replicas[i].recalibrations
 };
 
 class ShardedServer {
  public:
   /// Compiles `config.replicas` programs from `net` (per-replica analog
-  /// seeds), builds one Executor + private ThreadPool per replica, and
-  /// starts the dispatchers. `net` is only read during construction.
+  /// seeds), builds one Executor + private ThreadPool per replica, records
+  /// each replica's clean canary reference, and starts the dispatchers
+  /// (plus the maintenance thread when probe_interval > 0). A pristine
+  /// clone of `net` is kept for recalibration; `net` is only read during
+  /// construction.
   ShardedServer(const nn::Network& net, const Shape& sample_shape,
                 const CompileOptions& options = {}, ShardConfig config = {});
   ~ShardedServer();
@@ -98,17 +141,69 @@ class ShardedServer {
   ShardedServer(const ShardedServer&) = delete;
   ShardedServer& operator=(const ShardedServer&) = delete;
 
-  /// Enqueues one sample on the least-loaded replica and returns a future
-  /// for its logits (rank-1, classes). A full queue or a shut-down server
-  /// rejects: the future carries std::runtime_error.
+  /// Enqueues one sample on the least-loaded active replica and returns a
+  /// future for its logits (rank-1, classes). The request carries
+  /// `config.batching.admission.default_deadline`. A full fleet queue, a
+  /// shut-down server, or a predicted deadline miss rejects: the future
+  /// carries std::runtime_error naming the reason.
   std::future<Tensor> submit(Tensor sample);
+
+  /// As above with an explicit per-request deadline (time allowed from
+  /// submit to completion; 0 = none).
+  std::future<Tensor> submit(Tensor sample, std::chrono::microseconds deadline);
 
   /// Blocking convenience: submit + get.
   Tensor infer(const Tensor& sample);
 
-  /// Stops accepting work, drains every queue, joins all dispatchers.
-  /// Idempotent; also run by the destructor.
+  /// Stops accepting work, drains every queue, joins all dispatchers and
+  /// the maintenance thread. Idempotent; also run by the destructor.
   void shutdown();
+
+  /// Freezes (true) / thaws (false) every dispatcher without stopping
+  /// submit(): queued work accumulates while paused. The deterministic
+  /// fault bench uses this to build exact queue states before a burst is
+  /// released.
+  void set_paused(bool paused);
+
+  // --- Fault-tolerance surface -------------------------------------------
+
+  /// Injects a deterministic fault realisation into replica r's program
+  /// (runtime::inject_faults, label "replica<r>:"), serialised against that
+  /// replica's forwards. The replica keeps serving the faulty program until
+  /// a probe catches it — detection is observational, as on real hardware.
+  FaultInjectionReport inject_replica_faults(std::size_t r,
+                                             const hw::FaultModelConfig& config);
+
+  /// Runs replica r's canary now and advances its health state machine.
+  /// On a transition into Quarantined the replica's queued requests are
+  /// re-routed to active replicas (or shed). Thread-safe; also called by
+  /// the maintenance thread.
+  CanaryProbe probe_now(std::size_t r);
+
+  /// Reprograms replica r from the pristine network clone (same compile
+  /// options and seeds → bitwise the clean program), re-probes, and
+  /// readmits the replica as Healthy when the probe is bitwise clean.
+  /// Returns true when the replica rejoined.
+  bool recalibrate_now(std::size_t r);
+
+  /// Replica r's current lifecycle state.
+  ReplicaHealth health(std::size_t r) const;
+
+  /// Checksum of replica r's current programmed state (program_checksum
+  /// under the replica's program lock — safe against concurrent
+  /// injection/recalibration).
+  std::uint64_t replica_program_checksum(std::size_t r) const;
+
+  /// Checksum of replica r's clean canary reference logits (the
+  /// recalibration target).
+  std::uint64_t replica_reference_checksum(std::size_t r) const;
+
+  /// Top-1 accuracy of replica r's CURRENT program over `dataset`, measured
+  /// directly through its executor (deterministic — no scheduling
+  /// dependence), under the replica's program lock.
+  double evaluate_replica(std::size_t r, const data::Dataset& dataset,
+                          std::size_t max_samples = 0,
+                          std::size_t batch_size = 32) const;
 
   ShardStats stats() const;
 
@@ -116,6 +211,8 @@ class ShardedServer {
   /// Pool threads each replica's executor runs on.
   std::size_t threads_per_replica() const { return threads_per_replica_; }
   /// The program replica `r` executes (distinct analog seed per replica).
+  /// NOT synchronised against concurrent injection/recalibration — callers
+  /// quiesce those first (prefer replica_program_checksum for fingerprints).
   const CrossbarProgram& program(std::size_t r) const;
 
  private:
@@ -123,14 +220,24 @@ class ShardedServer {
     Tensor sample;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline =
+        BatchingServer::kNoDeadline;
+    std::size_t attempts = 0;  ///< re-routes consumed (quarantine retries)
   };
 
-  /// One compiled replica: program, executor, private pool, queue, and the
-  /// dispatcher thread that coalesces/steals for it.
+  /// One compiled replica: program, executor, private pool, queue, health
+  /// state, and the dispatcher thread that coalesces/steals for it.
   struct Replica {
     CrossbarProgram program;
+    CompileOptions options;  ///< exact options (incl. seed) for reprogramming
     std::unique_ptr<ThreadPool> pool;
     std::unique_ptr<Executor> executor;
+    /// Serialises program mutation (fault injection, recalibration) against
+    /// forwards: forwards/probes hold it shared, mutators exclusive.
+    mutable std::shared_mutex program_mutex;
+    std::unique_ptr<CanarySet> canary;
+    std::unique_ptr<HealthTracker> tracker;  ///< guarded by mutex_
+    ReplicaHealth health = ReplicaHealth::kHealthy;  ///< guarded by mutex_
     std::deque<Request> queue;  ///< guarded by ShardedServer::mutex_
     std::thread dispatcher;
 
@@ -139,31 +246,51 @@ class ShardedServer {
     std::size_t batches = 0;
     std::size_t stolen_batches = 0;
     std::size_t max_batch_seen = 0;
+    std::size_t fault_injections = 0;
+    std::size_t recalibrations = 0;
     LatencyWindow latencies{BatchingServer::kLatencyWindow};
   };
 
   void dispatch_loop(std::size_t self);
-  /// Pops up to max_batch requests from `victim`'s queue (mutex_ held).
-  std::vector<Request> take_batch(std::size_t victim);
-  /// Ripe steal victim for `self`: a replica whose queue holds a full batch
-  /// or whose oldest request passed its deadline; SIZE_MAX when none
-  /// (mutex_ held).
+  void maintenance_loop();
+  /// Pops up to max_batch non-expired requests from `victim`'s queue;
+  /// expired ones land in `expired` (mutex_ held).
+  std::vector<Request> take_batch(std::size_t victim,
+                                  std::vector<Request>& expired);
+  /// Ripe steal victim for `self`: an ACTIVE replica whose queue holds a
+  /// full batch or whose oldest request passed its coalescing deadline;
+  /// SIZE_MAX when none (mutex_ held).
   std::size_t ripe_victim(std::size_t self,
                           std::chrono::steady_clock::time_point now) const;
   void run_batch(std::size_t self, std::size_t victim,
                  std::vector<Request>& requests);
+  /// Sheds `expired` requests (rejects their futures, counts them). Call
+  /// WITHOUT mutex_ held.
+  void shed_requests(std::vector<Request>& expired, const char* reason);
+  /// Active (non-quarantined) replica with the shortest queue; SIZE_MAX
+  /// when none (mutex_ held).
+  std::size_t placement_target(std::size_t exclude) const;
 
   ShardConfig config_;
+  nn::Network network_;  ///< pristine clone — the recalibration source
+  Shape sample_shape_;
   std::size_t threads_per_replica_ = 1;
   std::vector<std::unique_ptr<Replica>> replicas_;
 
-  mutable std::mutex mutex_;  ///< guards every replica queue + stopping_
+  mutable std::mutex mutex_;  ///< guards queues, health, paused_, stopping_
   std::condition_variable queue_cv_;
   bool stopping_ = false;
+  bool paused_ = false;
 
   mutable std::mutex stats_mutex_;
   std::size_t rejected_ = 0;
+  std::size_t admission_rejected_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t retried_ = 0;
   std::size_t failed_ = 0;
+  std::atomic<double> ewma_batch_cost_us_{0.0};
+
+  std::thread maintenance_;  ///< runs when config_.probe_interval > 0
 
   std::mutex join_mutex_;  // serializes shutdown()'s joinable-check + join
 };

@@ -108,6 +108,14 @@ TEST(Pipeline, FullLeNetRunProducesConsistentReports) {
   EXPECT_DOUBLE_EQ(result.final_report.sharded_accuracy,
                    result.sharded_accuracy);
 
+  // The fault-sensitivity evaluation ran at the default 1% stuck-at rate:
+  // a valid accuracy, mirrored into the final report with its rate.
+  EXPECT_GE(result.faulty_accuracy, 0.0);
+  EXPECT_LE(result.faulty_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(result.final_report.faulty_accuracy,
+                   result.faulty_accuracy);
+  EXPECT_DOUBLE_EQ(result.final_report.fault_rate, 0.01);
+
   // The nonideal fine-tune stage ran: both nonideal accuracies were
   // measured on the target device, and they bracket a sane band. (Whether
   // the margin is positive on this tiny budget is the bench's claim, not

@@ -1,0 +1,195 @@
+// Device-fault model: determinism, physical invariants, stream
+// independence. The fault model underpins the serving tier's reproducible
+// fault bench, so the key property is that a realisation is a pure function
+// of its Rng streams — and that the two fault kinds never perturb each
+// other's stream.
+#include "hw/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace gs::hw {
+namespace {
+
+AnalogCrossbar programmed_tile(std::uint64_t seed = 7) {
+  Tensor w(Shape{16, 12});
+  Rng fill(seed);
+  w.fill_uniform(fill, -1.0f, 1.0f);
+  AnalogParams params;
+  Rng rng(seed + 1);
+  return AnalogCrossbar(w, /*w_max=*/1.0, params, rng);
+}
+
+bool same_tensor(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+TEST(FaultModelTest, ZeroConfigIsANoOp) {
+  AnalogCrossbar xbar = programmed_tile();
+  const Tensor before = xbar.effective_weights();
+  Rng stuck(1), drift(2);
+  const FaultSummary summary = apply_faults(xbar, FaultModelConfig{}, stuck,
+                                            drift);
+  EXPECT_EQ(summary.stuck_gmin + summary.stuck_gmax, 0u);
+  EXPECT_EQ(summary.drifted, 0u);
+  EXPECT_TRUE(same_tensor(before, xbar.effective_weights()));
+}
+
+TEST(FaultModelTest, SameStreamsSameRealisationBitwise) {
+  FaultModelConfig config;
+  config.stuck_rate = 0.05;
+  config.drift_nu = 0.1;
+  config.drift_nu_sigma = 0.02;
+  config.drift_time = 10.0;
+
+  AnalogCrossbar a = programmed_tile();
+  AnalogCrossbar b = programmed_tile();
+  Rng stuck_a(11), drift_a(22), stuck_b(11), drift_b(22);
+  const FaultSummary sa = apply_faults(a, config, stuck_a, drift_a);
+  const FaultSummary sb = apply_faults(b, config, stuck_b, drift_b);
+
+  EXPECT_EQ(sa.stuck_gmin, sb.stuck_gmin);
+  EXPECT_EQ(sa.stuck_gmax, sb.stuck_gmax);
+  EXPECT_EQ(sa.drifted, sb.drifted);
+  EXPECT_TRUE(same_tensor(a.conductance_plus(), b.conductance_plus()));
+  EXPECT_TRUE(same_tensor(a.conductance_minus(), b.conductance_minus()));
+  EXPECT_TRUE(same_tensor(a.effective_weights(), b.effective_weights()));
+}
+
+TEST(FaultModelTest, StuckDevicesLandExactlyOnRails) {
+  FaultModelConfig config;
+  config.stuck_rate = 0.2;
+  AnalogCrossbar xbar = programmed_tile();
+  Rng stuck(3), drift(4);
+  const FaultSummary summary = apply_faults(xbar, config, stuck, drift);
+  ASSERT_GT(summary.stuck_gmin + summary.stuck_gmax, 0u);
+
+  const float g_lo = static_cast<float>(xbar.params().g_min);
+  const float g_hi = static_cast<float>(xbar.params().g_max);
+  std::size_t on_rail = 0;
+  for (const Tensor* g : {&xbar.conductance_plus(), &xbar.conductance_minus()}) {
+    for (std::size_t i = 0; i < g->numel(); ++i) {
+      if ((*g)[i] == g_lo || (*g)[i] == g_hi) ++on_rail;
+    }
+  }
+  // Every stuck device reads exactly a rail value (non-stuck devices may
+  // coincide with a rail only if programmed there — the ±w_max extremes).
+  EXPECT_GE(on_rail, summary.stuck_gmin + summary.stuck_gmax);
+}
+
+TEST(FaultModelTest, StuckInjectionIsIdempotent) {
+  // Re-applying the SAME stuck realisation (fresh streams, same seeds) to
+  // the already-faulty array changes nothing: stuck values are exact rails.
+  FaultModelConfig config;
+  config.stuck_rate = 0.15;
+  AnalogCrossbar xbar = programmed_tile();
+  {
+    Rng stuck(5), drift(6);
+    apply_faults(xbar, config, stuck, drift);
+  }
+  const Tensor once_p = xbar.conductance_plus();
+  const Tensor once_m = xbar.conductance_minus();
+  {
+    Rng stuck(5), drift(6);
+    apply_faults(xbar, config, stuck, drift);
+  }
+  EXPECT_TRUE(same_tensor(once_p, xbar.conductance_plus()));
+  EXPECT_TRUE(same_tensor(once_m, xbar.conductance_minus()));
+}
+
+TEST(FaultModelTest, DriftOnlyDecaysAndKeepsPositivity) {
+  FaultModelConfig config;
+  config.drift_nu = 0.15;
+  config.drift_nu_sigma = 0.05;
+  config.drift_time = 100.0;
+  AnalogCrossbar xbar = programmed_tile();
+  const Tensor before_p = xbar.conductance_plus();
+  const Tensor before_m = xbar.conductance_minus();
+  Rng stuck(8), drift(9);
+  const FaultSummary summary = apply_faults(xbar, config, stuck, drift);
+  EXPECT_GT(summary.drifted, 0u);
+  EXPECT_EQ(summary.stuck_gmin + summary.stuck_gmax, 0u);
+
+  const auto check = [](const Tensor& before, const Tensor& after) {
+    for (std::size_t i = 0; i < before.numel(); ++i) {
+      EXPECT_LE(after[i], before[i]) << "device " << i << " gained";
+      EXPECT_GT(after[i], 0.0f) << "device " << i << " non-positive";
+    }
+  };
+  check(before_p, xbar.conductance_plus());
+  check(before_m, xbar.conductance_minus());
+}
+
+TEST(FaultModelTest, LongerDriftTimeDecaysFurther) {
+  FaultModelConfig early;
+  early.drift_nu = 0.1;
+  early.drift_time = 1.0;
+  FaultModelConfig late = early;
+  late.drift_time = 1000.0;
+
+  AnalogCrossbar a = programmed_tile();
+  AnalogCrossbar b = programmed_tile();
+  Rng sa(1), da(2), sb(1), db(2);
+  apply_faults(a, early, sa, da);
+  apply_faults(b, late, sb, db);
+  // Same ν field (same drift stream), longer time ⇒ every device at most as
+  // conductive, and the array strictly less conductive in aggregate.
+  double sum_a = 0.0, sum_b = 0.0;
+  for (std::size_t i = 0; i < a.conductance_plus().numel(); ++i) {
+    EXPECT_LE(b.conductance_plus()[i], a.conductance_plus()[i]);
+    sum_a += a.conductance_plus()[i];
+    sum_b += b.conductance_plus()[i];
+  }
+  EXPECT_LT(sum_b, sum_a);
+}
+
+TEST(FaultModelTest, StuckAndDriftStreamsAreIndependent) {
+  // Enabling drift must not move the stuck realisation: the stuck pass only
+  // reads the stuck stream.
+  FaultModelConfig stuck_only;
+  stuck_only.stuck_rate = 0.1;
+  FaultModelConfig both = stuck_only;
+  both.drift_nu = 0.2;
+  both.drift_time = 10.0;
+
+  const AnalogCrossbar pristine = programmed_tile();
+  AnalogCrossbar a = programmed_tile();
+  AnalogCrossbar b = programmed_tile();
+  Rng sa(31), da(32), sb(31), db(32);
+  const FaultSummary fa = apply_faults(a, stuck_only, sa, da);
+  const FaultSummary fb = apply_faults(b, both, sb, db);
+  EXPECT_EQ(fa.stuck_gmin, fb.stuck_gmin);
+  EXPECT_EQ(fa.stuck_gmax, fb.stuck_gmax);
+
+  // And the stuck devices themselves coincide. A device the stuck-only arm
+  // MOVED is certainly stuck (programmed value ≠ rail it landed on); those
+  // must read identically in the drift arm — stuck devices do not drift,
+  // and enabling drift must not re-deal the stuck realisation.
+  ASSERT_GT(fa.stuck_gmin + fa.stuck_gmax, 0u);
+  for (std::size_t i = 0; i < a.conductance_plus().numel(); ++i) {
+    const bool a_stuck =
+        a.conductance_plus()[i] != pristine.conductance_plus()[i];
+    if (a_stuck) {
+      EXPECT_EQ(a.conductance_plus()[i], b.conductance_plus()[i])
+          << "stuck device " << i << " moved when drift was enabled";
+    }
+  }
+}
+
+TEST(FaultModelTest, ValidatesConfig) {
+  AnalogCrossbar xbar = programmed_tile();
+  Rng stuck(1), drift(2);
+  FaultModelConfig bad;
+  bad.stuck_rate = 1.5;
+  EXPECT_THROW(apply_faults(xbar, bad, stuck, drift), Error);
+  bad = FaultModelConfig{};
+  bad.drift_nu = -0.1;
+  EXPECT_THROW(apply_faults(xbar, bad, stuck, drift), Error);
+}
+
+}  // namespace
+}  // namespace gs::hw

@@ -1,0 +1,161 @@
+// Program-level fault injection: a fault realisation is a pure function of
+// (seed, label, tile key) — the property the serving tier's reproducible
+// fault bench and the per-replica stream scoping depend on — and injection
+// interacts correctly with the tile-skip contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "nn/dense.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/program.hpp"
+
+namespace gs::runtime {
+namespace {
+
+nn::Network plain_net(std::uint64_t seed = 9) {
+  Rng rng(seed);
+  nn::Network net;
+  net.add(std::make_unique<nn::DenseLayer>("fc1", 64, 32, rng));
+  net.add(std::make_unique<nn::DenseLayer>("fc2", 32, 10, rng));
+  return net;
+}
+
+/// Net with fc1 entirely zero — every fc1 tile is provably empty, so the
+/// compiler marks them all skip.
+nn::Network zero_fc1_net(std::uint64_t seed = 9) {
+  nn::Network net = plain_net(seed);
+  auto* fc1 = dynamic_cast<nn::DenseLayer*>(net.find("fc1"));
+  GS_CHECK(fc1 != nullptr);
+  Tensor& w = fc1->weight();
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = 0.0f;
+  return net;
+}
+
+hw::FaultModelConfig stuck_config(double rate, std::uint64_t seed) {
+  hw::FaultModelConfig config;
+  config.stuck_rate = rate;
+  config.seed = seed;
+  return config;
+}
+
+TEST(InjectFaultsTest, SameSeedAndRateBitwiseIdenticalFaultyProgram) {
+  nn::Network net = plain_net();
+  CrossbarProgram a = compile(net, Shape{64});
+  CrossbarProgram b = compile(net, Shape{64});
+  ASSERT_EQ(program_checksum(a), program_checksum(b));
+
+  const auto config = stuck_config(0.03, 42);
+  const FaultInjectionReport ra = inject_faults(a, config);
+  const FaultInjectionReport rb = inject_faults(b, config);
+  EXPECT_EQ(ra.faulty_tiles, rb.faulty_tiles);
+  EXPECT_EQ(ra.devices.stuck_gmin, rb.devices.stuck_gmin);
+  EXPECT_EQ(ra.devices.stuck_gmax, rb.devices.stuck_gmax);
+  EXPECT_EQ(program_checksum(a), program_checksum(b));
+  EXPECT_GT(ra.devices.stuck_gmin + ra.devices.stuck_gmax, 0u);
+}
+
+TEST(InjectFaultsTest, DifferentSeedOrLabelDifferentRealisation) {
+  nn::Network net = plain_net();
+  CrossbarProgram base = compile(net, Shape{64});
+  const std::uint64_t clean = program_checksum(base);
+
+  CrossbarProgram a = compile(net, Shape{64});
+  CrossbarProgram b = compile(net, Shape{64});
+  CrossbarProgram c = compile(net, Shape{64});
+  inject_faults(a, stuck_config(0.05, 1));
+  inject_faults(b, stuck_config(0.05, 2));  // different seed
+  inject_faults(c, stuck_config(0.05, 1), "replica1:");  // different scope
+  EXPECT_NE(program_checksum(a), clean);
+  EXPECT_NE(program_checksum(a), program_checksum(b));
+  EXPECT_NE(program_checksum(a), program_checksum(c));
+}
+
+TEST(InjectFaultsTest, ZeroConfigLeavesProgramUntouched) {
+  nn::Network net = plain_net();
+  CrossbarProgram program = compile(net, Shape{64});
+  const std::uint64_t clean = program_checksum(program);
+  const FaultInjectionReport report =
+      inject_faults(program, hw::FaultModelConfig{});
+  EXPECT_EQ(report.faulty_tiles, 0u);
+  EXPECT_EQ(report.unskipped_tiles, 0u);
+  EXPECT_EQ(program_checksum(program), clean);
+}
+
+TEST(InjectFaultsTest, StuckAtGmaxInvalidatesSkipProofs) {
+  nn::Network net = zero_fc1_net();
+  CrossbarProgram program = compile(net, Shape{64});
+  const std::size_t skipped_before = program.skipped_tile_count();
+  ASSERT_GT(skipped_before, 0u);
+
+  // Stuck-at-g_max on one half of a zero pair makes the tile conduct: its
+  // skip proof no longer holds and the mark must be cleared.
+  hw::FaultModelConfig config;
+  config.stuck_rate = 0.5;
+  config.stuck_at_gmax_fraction = 1.0;
+  config.seed = 3;
+  const FaultInjectionReport report = inject_faults(program, config);
+  EXPECT_GT(report.unskipped_tiles, 0u);
+  EXPECT_EQ(program.skipped_tile_count(),
+            skipped_before - report.unskipped_tiles);
+
+  // The faulty program still executes — the executor runs the formerly
+  // skipped tiles and the faulty contribution shows up in the logits.
+  nn::Network clean_net = zero_fc1_net();
+  const CrossbarProgram clean = compile(clean_net, Shape{64});
+  Tensor batch(Shape{2, 64});
+  Rng rng(4);
+  batch.fill_uniform(rng, -1.0f, 1.0f);
+  const Tensor faulty_logits = Executor(program).forward(batch);
+  const Tensor clean_logits = Executor(clean).forward(batch);
+  ASSERT_TRUE(faulty_logits.same_shape(clean_logits));
+  bool differs = false;
+  for (std::size_t i = 0; i < faulty_logits.numel(); ++i) {
+    if (faulty_logits[i] != clean_logits[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(InjectFaultsTest, StuckAtGminKeepsZeroPairsSkipped) {
+  // A zero pair stuck at g_min is STILL a zero pair: the proof holds and
+  // the mark survives — stuck-ats on deleted weights are harmless.
+  nn::Network net = zero_fc1_net();
+  CrossbarProgram program = compile(net, Shape{64});
+  const std::size_t skipped_before = program.skipped_tile_count();
+  ASSERT_GT(skipped_before, 0u);
+
+  hw::FaultModelConfig config;
+  config.stuck_rate = 0.5;
+  config.stuck_at_gmax_fraction = 0.0;  // every stuck device → g_min
+  config.seed = 3;
+  const FaultInjectionReport report = inject_faults(program, config);
+  EXPECT_EQ(report.unskipped_tiles, 0u);
+  EXPECT_EQ(program.skipped_tile_count(), skipped_before);
+}
+
+TEST(InjectFaultsTest, InjectionComposesAsTwoFaultEvents) {
+  nn::Network net = plain_net();
+  CrossbarProgram once = compile(net, Shape{64});
+  CrossbarProgram twice = compile(net, Shape{64});
+  inject_faults(once, stuck_config(0.05, 7));
+  inject_faults(twice, stuck_config(0.05, 7));
+  ASSERT_EQ(program_checksum(once), program_checksum(twice));
+  // A second, different event moves the program again.
+  inject_faults(twice, stuck_config(0.05, 8));
+  EXPECT_NE(program_checksum(once), program_checksum(twice));
+}
+
+TEST(ProgramChecksumTest, SensitiveToSkipFlagAndConductance) {
+  nn::Network net = zero_fc1_net();
+  CompileOptions skip_on;
+  CompileOptions skip_off;
+  skip_off.skip_empty_tiles = false;
+  const CrossbarProgram a = compile(net, Shape{64}, skip_on);
+  const CrossbarProgram b = compile(net, Shape{64}, skip_off);
+  // Same conductances, different skip marks → different fingerprints.
+  EXPECT_NE(program_checksum(a), program_checksum(b));
+}
+
+}  // namespace
+}  // namespace gs::runtime

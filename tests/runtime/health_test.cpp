@@ -1,0 +1,162 @@
+// Health subsystem: canary probing detects program mutations bitwise, and
+// the lifecycle state machine honours thresholds and hysteresis.
+#include "runtime/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "nn/dense.hpp"
+#include "runtime/program.hpp"
+
+namespace gs::runtime {
+namespace {
+
+struct Fixture {
+  nn::Network net;
+  CrossbarProgram program;
+  Executor executor;
+
+  static Fixture make() {
+    Rng rng(13);
+    nn::Network net;
+    net.add(std::make_unique<nn::DenseLayer>("fc", 32, 10, rng));
+    CrossbarProgram program = compile(net, Shape{32});
+    return Fixture{std::move(net), std::move(program)};
+  }
+
+  Fixture(nn::Network n, CrossbarProgram p)
+      : net(std::move(n)), program(std::move(p)), executor(program) {}
+};
+
+TEST(TensorChecksumTest, EqualTensorsEqualSumsAndOneBitFlips) {
+  Tensor a(Shape{4, 4});
+  Rng rng(1);
+  a.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor b = a;
+  EXPECT_EQ(tensor_checksum(a), tensor_checksum(b));
+  b[7] = std::nextafter(b[7], 2.0f);
+  EXPECT_NE(tensor_checksum(a), tensor_checksum(b));
+}
+
+TEST(CanarySetTest, CleanReplicaProbesBitwiseClean) {
+  Fixture fx = Fixture::make();
+  HealthConfig config;
+  CanarySet canary(Shape{32}, config);
+  EXPECT_FALSE(canary.has_reference());
+  canary.record_reference(fx.executor);
+  ASSERT_TRUE(canary.has_reference());
+
+  // Determinism makes a healthy replica reproduce the reference exactly —
+  // probe after probe.
+  for (int i = 0; i < 3; ++i) {
+    const CanaryProbe probe = canary.probe(fx.executor);
+    EXPECT_EQ(probe.divergence, 0.0);
+    EXPECT_TRUE(probe.bitwise_clean);
+    EXPECT_EQ(probe.checksum, canary.reference_checksum());
+  }
+}
+
+TEST(CanarySetTest, ProbeDetectsInjectedFaults) {
+  Fixture fx = Fixture::make();
+  HealthConfig config;
+  CanarySet canary(Shape{32}, config);
+  canary.record_reference(fx.executor);
+
+  hw::FaultModelConfig faults;
+  faults.stuck_rate = 0.05;
+  faults.stuck_at_gmax_fraction = 1.0;  // the damaging rail
+  faults.seed = 5;
+  const FaultInjectionReport report = inject_faults(fx.program, faults);
+  ASSERT_GT(report.devices.stuck_gmax, 0u);
+
+  const CanaryProbe probe = canary.probe(fx.executor);
+  EXPECT_GT(probe.divergence, 0.0);
+  EXPECT_FALSE(probe.bitwise_clean);
+  EXPECT_NE(probe.checksum, canary.reference_checksum());
+}
+
+TEST(CanarySetTest, SameSeedSameCanaryInputs) {
+  HealthConfig config;
+  CanarySet a(Shape{32}, config);
+  CanarySet b(Shape{32}, config);
+  ASSERT_TRUE(a.inputs().same_shape(b.inputs()));
+  EXPECT_EQ(tensor_checksum(a.inputs()), tensor_checksum(b.inputs()));
+
+  HealthConfig other = config;
+  other.canary_seed = 2;
+  CanarySet c(Shape{32}, other);
+  EXPECT_NE(tensor_checksum(a.inputs()), tensor_checksum(c.inputs()));
+}
+
+TEST(CanarySetTest, ProbeBeforeReferenceThrows) {
+  Fixture fx = Fixture::make();
+  CanarySet canary(Shape{32}, HealthConfig{});
+  EXPECT_THROW(canary.probe(fx.executor), Error);
+  EXPECT_THROW(canary.reference_checksum(), Error);
+}
+
+TEST(HealthTrackerTest, GradesDivergenceByThreshold) {
+  HealthConfig config;
+  config.degrade_threshold = 1e-6;
+  config.quarantine_threshold = 1e-2;
+  HealthTracker tracker(config);
+  EXPECT_EQ(tracker.state(), ReplicaHealth::kHealthy);
+
+  EXPECT_EQ(tracker.observe(0.0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(tracker.observe(1e-4), ReplicaHealth::kDegraded);
+  EXPECT_EQ(tracker.observe(0.5), ReplicaHealth::kQuarantined);
+  // Recovery (e.g. after reprogramming observed through probes).
+  EXPECT_EQ(tracker.observe(0.0), ReplicaHealth::kHealthy);
+}
+
+TEST(HealthTrackerTest, TripCountDebouncesWorsening) {
+  HealthConfig config;
+  config.trip_count = 3;
+  HealthTracker tracker(config);
+
+  EXPECT_EQ(tracker.observe(1.0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(tracker.observe(1.0), ReplicaHealth::kHealthy);
+  // A clean probe in between resets the streak.
+  EXPECT_EQ(tracker.observe(0.0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(tracker.observe(1.0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(tracker.observe(1.0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(tracker.observe(1.0), ReplicaHealth::kQuarantined);
+}
+
+TEST(HealthTrackerTest, ClearCountDebouncesRecovery) {
+  HealthConfig config;
+  config.clear_count = 2;
+  HealthTracker tracker(config);
+  EXPECT_EQ(tracker.observe(1.0), ReplicaHealth::kQuarantined);
+  EXPECT_EQ(tracker.observe(0.0), ReplicaHealth::kQuarantined);
+  EXPECT_EQ(tracker.observe(0.0), ReplicaHealth::kHealthy);
+}
+
+TEST(HealthTrackerTest, ResetReturnsToHealthy) {
+  HealthTracker tracker(HealthConfig{});
+  tracker.observe(1.0);
+  ASSERT_EQ(tracker.state(), ReplicaHealth::kQuarantined);
+  tracker.reset();
+  EXPECT_EQ(tracker.state(), ReplicaHealth::kHealthy);
+}
+
+TEST(HealthTrackerTest, ValidatesConfig) {
+  HealthConfig bad;
+  bad.quarantine_threshold = 1e-12;  // below degrade_threshold
+  EXPECT_THROW(HealthTracker{bad}, Error);
+  bad = HealthConfig{};
+  bad.trip_count = 0;
+  EXPECT_THROW(HealthTracker{bad}, Error);
+}
+
+TEST(ReplicaHealthTest, ToStringNamesEveryState) {
+  EXPECT_EQ(to_string(ReplicaHealth::kHealthy), "healthy");
+  EXPECT_EQ(to_string(ReplicaHealth::kDegraded), "degraded");
+  EXPECT_EQ(to_string(ReplicaHealth::kQuarantined), "quarantined");
+}
+
+}  // namespace
+}  // namespace gs::runtime

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -132,9 +135,80 @@ TEST(BatchingServerTest, RejectsAfterShutdownAndBadShapes) {
   BatchingServer server(fx.executor);
   EXPECT_THROW(server.submit(Tensor(Shape{3, 8, 8})), Error);
   server.shutdown();
+  // submit() after shutdown() is a defined path: an immediately-rejected
+  // future naming the reason — never UB, never a hang.
   auto future = server.submit(sample(1));
-  EXPECT_THROW(future.get(), std::runtime_error);
+  try {
+    future.get();
+    FAIL() << "expected a shutdown rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shut down"), std::string::npos);
+  }
   EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(BatchingServerTest, AdmissionControlRejectsPredictedDeadlineMisses) {
+  Fixture fx = Fixture::make();
+  BatchingConfig config;
+  config.admission.enabled = true;
+  // Deterministic cost model: a batch "costs" 10ms, so a 1ms deadline is a
+  // predicted miss at submit time.
+  config.admission.assumed_batch_cost = std::chrono::microseconds(10'000);
+  config.max_delay = std::chrono::microseconds(200);
+  BatchingServer server(fx.executor, config);
+
+  auto doomed = server.submit(sample(1), std::chrono::milliseconds(1));
+  try {
+    doomed.get();
+    FAIL() << "expected an admission rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("admission"), std::string::npos);
+  }
+  // Generous deadline → admitted; no deadline → nothing to predict.
+  EXPECT_EQ(server.submit(sample(2), std::chrono::seconds(10)).get().numel(),
+            10u);
+  EXPECT_EQ(server.infer(sample(3)).numel(), 10u);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission_rejected, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(BatchingServerTest, FullQueueShedsByDeadlinePriority) {
+  Fixture fx = Fixture::make();
+  BatchingConfig config;
+  config.max_queue_depth = 1;
+  // Long coalescing window: the queued request stays queued while the test
+  // submits competitors against the full queue.
+  config.max_delay = std::chrono::microseconds(200'000);
+  BatchingServer server(fx.executor, config);
+
+  // A no-deadline request holds the only slot…
+  auto lax = server.submit(sample(1));
+  // …an urgent request displaces it (earlier deadline wins the slot)…
+  auto urgent = server.submit(sample(2), std::chrono::seconds(5));
+  // …and a later-deadline request bounces off the full queue.
+  auto bounced = server.submit(sample(3), std::chrono::seconds(30));
+
+  try {
+    lax.get();
+    FAIL() << "expected the displaced request to be shed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("displaced"), std::string::npos);
+  }
+  try {
+    bounced.get();
+    FAIL() << "expected a queue-full rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+  }
+  EXPECT_EQ(urgent.get().numel(), 10u);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
 }
 
 }  // namespace

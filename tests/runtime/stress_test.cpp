@@ -5,11 +5,15 @@
 //  * destructor racing in-flight submits — futures issued before teardown
 //    must all resolve (logits or the documented rejection error) while the
 //    destructor drains, never hang or crash; and shutdown() must be safe
-//    concurrently with live submitters (the documented thread contract —
-//    calling submit() on an already-destroyed object is caller UB and is
-//    deliberately NOT exercised);
+//    concurrently with live submitters. submit() AFTER shutdown() (object
+//    alive) is a defined, tested path — an immediately-rejected future —
+//    only calling into an already-destroyed object remains caller UB and is
+//    deliberately NOT exercised;
 //  * sharded shutdown during a steal storm — tiny deadlines force
-//    work stealing while shutdown() drains the queues from another thread.
+//    work stealing while shutdown() drains the queues from another thread;
+//  * fault injection / probing / recalibration racing live traffic — the
+//    per-replica program lock must serialise reprogramming against forwards
+//    without ever failing or dropping a request.
 // Counters are cross-checked afterwards so drained work is fully accounted.
 #include <gtest/gtest.h>
 
@@ -17,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -221,6 +226,37 @@ TEST(ShardStressTest, ConcurrentShutdownRacesStealStorm) {
   }
 }
 
+TEST(ServerStressTest, PostShutdownSubmitsRejectImmediatelyFromManyThreads) {
+  nn::Network net = tiny_net(9);
+  const CrossbarProgram program = compile(net, Shape{12});
+  const Executor executor(program);
+  BatchingServer server(executor);
+  server.shutdown();
+
+  // Regression: submit() after shutdown() used to be caller UB; it is now a
+  // defined path returning an immediately-rejected future — from any number
+  // of threads.
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> rejected{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&server, &rejected] {
+      for (int i = 0; i < 16; ++i) {
+        auto future = server.submit(sample(0.5f));
+        try {
+          future.get();
+        } catch (const std::runtime_error& e) {
+          if (std::string(e.what()).find("shut down") != std::string::npos) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(rejected.load(), 64u);
+  EXPECT_EQ(server.stats().rejected, 64u);
+}
+
 TEST(ShardStressTest, ShutdownDuringStealDrainsEveryQueue) {
   nn::Network net = tiny_net(13);
   ShardConfig config;
@@ -245,6 +281,52 @@ TEST(ShardStressTest, ShutdownDuringStealDrainsEveryQueue) {
   std::size_t per_replica = 0;
   for (const ReplicaStats& r : stats.replicas) per_replica += r.completed;
   EXPECT_EQ(per_replica, stats.aggregate.completed);
+}
+
+TEST(ShardStressTest, FaultLifecycleRacesServingTraffic) {
+  nn::Network net = tiny_net(17);
+
+  for (int round = 0; round < 2; ++round) {
+    ShardConfig config;
+    config.replicas = 2;
+    config.total_threads = 2;
+    config.seed_stride = 0;
+    config.batching.max_batch = 4;
+    config.batching.max_delay = std::chrono::microseconds(100);
+    ShardedServer server(net, Shape{12}, CompileOptions{}, config);
+
+    ClientStorm storm;
+    storm.launch(4, [&server](Tensor s) {
+      return server.submit(std::move(s));
+    });
+    // Chaos thread: degrade / detect / heal replica 1 in a tight loop while
+    // traffic flows. Every forward holds the program lock shared; injection
+    // and recalibration hold it exclusive — TSan validates the ordering.
+    std::thread chaos([&server] {
+      hw::FaultModelConfig faults;
+      faults.stuck_rate = 0.2;
+      faults.stuck_at_gmax_fraction = 1.0;
+      for (int i = 0; i < 20; ++i) {
+        faults.seed = 100 + i;
+        server.inject_replica_faults(1, faults);
+        server.probe_now(1);
+        server.recalibrate_now(1);
+        std::this_thread::yield();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    chaos.join();
+    server.shutdown();
+    storm.join();
+
+    // After the last heal the replica is fully readmitted, and no request
+    // ever failed — shed/retried requests surface as rejections client-side.
+    EXPECT_EQ(server.health(1), ReplicaHealth::kHealthy);
+    const ShardStats stats = server.stats();
+    EXPECT_EQ(stats.aggregate.failed, 0u);
+    EXPECT_EQ(stats.aggregate.completed, storm.completed.load());
+    EXPECT_GT(stats.replicas[1].recalibrations, 0u);
+  }
 }
 
 }  // namespace
