@@ -83,7 +83,10 @@ void run_network(const std::string& name, bench::TrainedModel model,
                                     CsvWriter::num(row.accuracy)};
     std::string rank_list;
     for (std::size_t r : row.ranks) {
-      rank_list += (rank_list.empty() ? "" : " ") + std::to_string(r);
+      if (!rank_list.empty()) {
+        rank_list += ' ';
+      }
+      rank_list += std::to_string(r);
     }
     fields.push_back(rank_list);
     csv.row(fields);

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""clang-format gate over CHANGED C++ files only.
+
+Whole-tree reformats are deliberately out of scope: the gate formats exactly
+the .hpp/.cpp files that differ from the merge base, so a PR is only ever
+asked to format code it touched. Fixture files under scripts/gslint/fixtures
+are exempt (their layout is part of the lint test vectors).
+
+Usage:
+    python3 scripts/check_format.py [--base REF] [--require] [--fix]
+
+--base defaults to origin/main when it exists, else HEAD~1. Without
+clang-format on PATH the script exits 0 (skipped); pass --require (CI does)
+to turn a missing tool into a failure. --fix rewrites files in place instead
+of checking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_EXEMPT_PREFIXES = ("scripts/gslint/fixtures/",)
+
+
+def _git(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(["git", "-C", _REPO, *argv],
+                          capture_output=True, text=True, check=False)
+
+
+def default_base() -> str:
+    if _git("rev-parse", "--verify", "origin/main").returncode == 0:
+        return "origin/main"
+    return "HEAD~1"
+
+
+def changed_cpp_files(base: str) -> list[str]:
+    merge_base = _git("merge-base", base, "HEAD")
+    anchor = merge_base.stdout.strip() if merge_base.returncode == 0 else base
+    diff = _git("diff", "--name-only", "--diff-filter=ACMR", anchor, "--")
+    if diff.returncode != 0:
+        print(f"check_format: git diff against {anchor!r} failed:\n"
+              f"{diff.stderr.strip()}", file=sys.stderr)
+        sys.exit(2)
+    files = []
+    for rel in diff.stdout.splitlines():
+        rel = rel.strip()
+        if not rel.endswith((".hpp", ".cpp")):
+            continue
+        if rel.startswith(_EXEMPT_PREFIXES):
+            continue
+        path = os.path.join(_REPO, rel)
+        if os.path.exists(path):  # deleted files stay out via --diff-filter
+            files.append(rel)
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default=None,
+                        help="ref to diff against (default: origin/main, "
+                             "else HEAD~1)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-format is unavailable")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite files in place instead of checking")
+    args = parser.parse_args()
+
+    tool = shutil.which("clang-format")
+    if tool is None:
+        print("check_format: clang-format not on PATH — skipped"
+              " (pass --require to make this an error)")
+        return 2 if args.require else 0
+
+    files = changed_cpp_files(args.base or default_base())
+    if not files:
+        print("check_format: no changed C++ files")
+        return 0
+
+    bad = []
+    for rel in files:
+        path = os.path.join(_REPO, rel)
+        if args.fix:
+            subprocess.run([tool, "-i", path], check=True)
+            continue
+        proc = subprocess.run([tool, "--dry-run", "--Werror", path],
+                              capture_output=True, text=True, check=False)
+        if proc.returncode != 0:
+            bad.append(rel)
+    if args.fix:
+        print(f"check_format: reformatted {len(files)} file(s)")
+        return 0
+    for rel in bad:
+        print(f"NEEDS FORMAT: {rel}   (python3 scripts/check_format.py --fix)")
+    if bad:
+        print(f"check_format: {len(bad)}/{len(files)} changed file(s) "
+              "need formatting")
+        return 1
+    print(f"check_format: OK ({len(files)} changed file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo markdown links.
+"""Fail on broken intra-repo markdown links and stale path references.
 
 Scans every tracked-looking *.md file (skipping build*/ and hidden
 directories), extracts inline links and images [text](target), and checks
@@ -8,8 +8,14 @@ External links (http/https/mailto) and pure in-page anchors (#...) are not
 checked. Anchored file links (FILE.md#section) are checked for the file
 only — section anchors are out of scope for this simple checker.
 
+Additionally, in README.md and docs/*.md, every backtick-quoted repo path
+(`src/...`, `tests/...`, `bench/...`, `scripts/...`, `docs/...`) must exist
+on disk, so docs cannot silently go stale when files move. `path:line`
+references are checked for the file part; spans containing glob characters
+or placeholders (`...`, `*`, `<`) are skipped.
+
 Usage: python3 scripts/check_markdown_links.py [repo_root]
-Exit status: 0 = all links resolve, 1 = at least one broken link.
+Exit status: 0 = everything resolves, 1 = at least one broken reference.
 """
 
 import os
@@ -21,6 +27,11 @@ import sys
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 SKIP_DIRS = {".git", ".github"}  # .github/workflows has no md links to md
 EXTERNAL = ("http://", "https://", "mailto:")
+
+# Backtick spans that look like repo paths rooted at a first-party dir.
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+PATH_REF_RE = re.compile(
+    r"^(?:src|tests|bench|scripts|docs)/[\w./+-]+$")
 
 
 def markdown_files(root):
@@ -59,6 +70,36 @@ def check_file(path, root):
     return broken
 
 
+def check_path_refs(path, root):
+    """Backtick-quoted repo paths in README/docs must exist on disk."""
+    broken = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in CODE_SPAN_RE.finditer(text):
+        span = match.group(1)
+        # `path:line` references: check the file part only.
+        span = re.sub(r":\d+(-\d+)?$", "", span)
+        if any(ch in span for ch in "*<>{}$") or "..." in span:
+            continue  # glob / placeholder, not a concrete path
+        if not PATH_REF_RE.match(span):
+            continue
+        resolved = os.path.join(root, span.rstrip("/"))
+        # The docs refer to an hpp/cpp module pair by its extension-less
+        # basename (`src/hw/tiling`); accept it when either half exists.
+        candidates = [resolved]
+        if not os.path.splitext(span)[1]:
+            candidates += [resolved + ".hpp", resolved + ".cpp"]
+        if not any(os.path.exists(c) for c in candidates):
+            broken.append((span, os.path.relpath(path, root)))
+    return broken
+
+
+def wants_path_refs(path, root):
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    return rel == "README.md" or rel.startswith("docs/")
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     broken = []
@@ -66,12 +107,16 @@ def main():
     for path in markdown_files(root):
         checked += 1
         broken.extend(check_file(path, root))
+        if wants_path_refs(path, root):
+            broken.extend(check_path_refs(path, root))
     if broken:
         for target, source in broken:
             print(f"BROKEN LINK: {target}  (in {source})")
-        print(f"{len(broken)} broken link(s) across {checked} markdown files")
+        print(f"{len(broken)} broken reference(s) across {checked} "
+              "markdown files")
         return 1
-    print(f"OK: all intra-repo links resolve ({checked} markdown files)")
+    print(f"OK: all intra-repo links and path references resolve "
+          f"({checked} markdown files)")
     return 0
 
 

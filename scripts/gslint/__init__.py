@@ -1,0 +1,4 @@
+"""gslint — the repo's determinism/concurrency contract linter.
+
+See docs/STATIC_ANALYSIS.md for the rule catalogue and rationale.
+"""

@@ -1,0 +1,20 @@
+// gslint-fixture: compress/banned_rng.cpp
+// Violations of banned-rng: raw randomness outside common/rng. Mentioning
+// rand() or std::random_device in a comment must NOT fire, nor must the
+// string literal below.
+#include <cstdlib>
+#include <random>
+
+namespace gs::compress {
+
+int bad_draws() {
+  std::random_device dev;  // EXPECT: 11 banned-rng
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // EXPECT: 12 banned-rng
+  // EXPECT: 12 banned-rng
+  std::mt19937 engine(dev());  // EXPECT: 14 banned-rng
+  const char* prose = "call rand() for chaos";  // strings never fire
+  (void)prose;
+  return std::rand() + static_cast<int>(engine());  // EXPECT: 17 banned-rng
+}
+
+}  // namespace gs::compress

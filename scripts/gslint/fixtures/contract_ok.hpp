@@ -1,0 +1,14 @@
+// gslint-fixture: runtime/contract_ok.hpp
+// A public runtime/ header carrying both mandatory contract lines.
+//
+// Thread-safety: value type, freely shareable.
+// Determinism: pure arithmetic.
+#pragma once
+
+namespace gs::runtime {
+
+struct Gauge {
+  int value = 0;
+};
+
+}  // namespace gs::runtime

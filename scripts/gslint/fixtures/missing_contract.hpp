@@ -1,0 +1,13 @@
+// gslint-fixture: hw/missing_contract.hpp
+// A public hw/ header with neither contract line: two findings at line 1.
+// EXPECT: 1 missing-contract
+// EXPECT: 1 missing-contract
+#pragma once
+
+namespace gs::hw {
+
+struct Widget {
+  int cells = 0;
+};
+
+}  // namespace gs::hw

@@ -1,0 +1,15 @@
+// gslint-fixture: compress/parallel_stl.cpp
+// parallel-stl fires on std::execution policies and std::reduce (unordered
+// reduction); std::accumulate (ordered left fold) is fine.
+#include <numeric>
+#include <vector>
+
+namespace gs::compress {
+
+double fold(const std::vector<double>& values) {
+  double ordered = std::accumulate(values.begin(), values.end(), 0.0);
+  double unordered = std::reduce(values.begin(), values.end());  // EXPECT: 11 parallel-stl
+  return ordered + unordered;
+}
+
+}  // namespace gs::compress

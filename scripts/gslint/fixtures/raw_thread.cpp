@@ -1,0 +1,20 @@
+// gslint-fixture: linalg/raw_thread.cpp
+// raw-thread fires on std::thread outside gs::ThreadPool and the serving
+// allowlist. Comment/string mentions of std::thread never fire — this
+// comment is itself the negative test. A suppression with the WRONG rule id
+// does not silence a finding.
+#include <thread>
+
+namespace gs::linalg {
+
+void spawn() {
+  std::thread worker([] {});  // EXPECT: 11 raw-thread
+  worker.join();
+  const char* prose = "std::thread in a string is fine";
+  (void)prose;
+  // gslint: allow(banned-rng) — wrong rule id, finding below survives
+  std::thread other([] {});  // EXPECT: 16 raw-thread
+  other.join();
+}
+
+}  // namespace gs::linalg

@@ -1,0 +1,13 @@
+// gslint-fixture: common/rng.cpp
+// The seeded-stream facade itself is the one place allowed to own a raw
+// engine — no findings here.
+#include <random>
+
+namespace gs {
+
+unsigned facade_draw(unsigned seed) {
+  std::mt19937 engine(seed);
+  return engine();
+}
+
+}  // namespace gs

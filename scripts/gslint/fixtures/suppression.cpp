@@ -1,0 +1,16 @@
+// gslint-fixture: runtime/suppression.cpp
+// A correctly-spelled suppression (same line or the line directly above)
+// silences exactly its own rule.
+#include <thread>
+
+namespace gs::runtime {
+
+void lifecycle() {
+  // gslint: allow(raw-thread) — fixture: lifecycle thread, joined below
+  std::thread maintenance([] {});
+  maintenance.join();
+  std::thread probe([] {});  // gslint: allow(raw-thread) — fixture: same line
+  probe.join();
+}
+
+}  // namespace gs::runtime

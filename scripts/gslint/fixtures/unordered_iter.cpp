@@ -1,0 +1,30 @@
+// gslint-fixture: hw/unordered_iter.cpp
+// unordered-iteration fires on range-for / iterator walks over unordered
+// containers in determinism-critical namespaces; keyed lookups are fine,
+// and ordered containers are always fine.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gs::hw {
+
+std::size_t census(const std::unordered_map<std::string, int>& wires,
+                   const std::unordered_set<int>& live) {
+  std::size_t total = wires.at("fc1");  // keyed lookup: no finding
+  for (const auto& entry : wires) {  // EXPECT: 16 unordered-iteration
+    total += static_cast<std::size_t>(entry.second);
+  }
+  for (auto it = live.begin(); it != live.end(); ++it) {  // EXPECT: 19 unordered-iteration
+    total += static_cast<std::size_t>(*it);
+  }
+  std::map<std::string, int> ordered;
+  ordered["fc1"] = wires.at("fc1");
+  for (const auto& entry : ordered) {  // ordered: no finding
+    total += static_cast<std::size_t>(entry.second);
+  }
+  return total;
+}
+
+}  // namespace gs::hw

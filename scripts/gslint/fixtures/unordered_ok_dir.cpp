@@ -1,0 +1,19 @@
+// gslint-fixture: nn/unordered_ok_dir.cpp
+// The same iteration OUTSIDE the determinism-critical namespaces (here: nn,
+// whose per-key state is read back by pointer identity, never folded in
+// iteration order) produces no findings.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace gs::nn {
+
+std::size_t sweep(const std::unordered_map<std::string, int>& state) {
+  std::size_t total = 0;
+  for (const auto& entry : state) {
+    total += static_cast<std::size_t>(entry.second);
+  }
+  return total;
+}
+
+}  // namespace gs::nn

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""gslint — walk src/ and fail on the project's banned nondeterminism and
+concurrency escapes.
+
+Usage:
+    python3 scripts/gslint/gslint.py [--root DIR] [files...]
+
+With no file arguments, lints every .hpp/.cpp under <root>/src. Exit status
+is 1 when any finding survives suppression, 0 otherwise. Findings print as
+
+    src/foo/bar.cpp:LINE: [rule-id] message
+
+Suppress a deliberate violation with a same-line (or preceding-line) comment
+`// gslint: allow(rule-id) — reason`; see docs/STATIC_ANALYSIS.md for the
+rule catalogue and the review policy for suppressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from lexer import lex  # noqa: E402
+from rules import Finding, check_file  # noqa: E402
+
+
+def lint_file(repo_root: str, path: str) -> list[Finding]:
+    rel = os.path.relpath(path, os.path.join(repo_root, "src"))
+    rel = rel.replace(os.sep, "/")
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    lexed = lex(path, text)
+    findings = check_file(lexed, rel)
+    # Report paths repo-relative so CI output is clickable.
+    repo_rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+    return [Finding(repo_rel, f.line, f.rule, f.message) for f in findings]
+
+
+def collect_sources(src_root: str) -> list[str]:
+    sources: list[str] = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith((".hpp", ".cpp")):
+                sources.append(os.path.join(dirpath, name))
+    return sorted(sources)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    src_root = os.path.join(repo_root, "src")
+
+    files = args.files or collect_sources(src_root)
+    findings: list[Finding] = []
+    for path in files:
+        findings += lint_file(repo_root, path)
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(finding.render())
+    if findings:
+        print(f"gslint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"gslint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

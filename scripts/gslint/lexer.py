@@ -1,0 +1,175 @@
+"""Minimal C++ lexical pass for gslint.
+
+The rules must never fire on prose: `std::thread` in a comment explaining why
+raw threads are banned is not a violation. This module strips comments and
+string/character literals from a translation unit while PRESERVING the line
+structure (every remaining token sits on its original line), and returns the
+comment text per line so comment-driven rules (contract lines, suppressions)
+can still see it.
+
+This is a lexical pass, not a parser: it understands //, /* */, "...",
+'...', raw strings R"delim(...)delim", and their escapes — which is exactly
+the set of constructs that can hide rule-pattern text from a regex. Rules
+then run over the comment-free code with ordinary regexes. The engine is
+deliberately self-contained (no libclang dependency): it must run on the
+GCC-only build containers as well as in CI.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LexedFile:
+    """A file split into comment-free code and per-line comment text."""
+
+    path: str
+    #: Source with comments and literal contents blanked to spaces, one
+    #: entry per physical line (1-based access via code_line()).
+    code_lines: list[str] = field(default_factory=list)
+    #: line number -> concatenated comment text on that line.
+    comments: dict[int, str] = field(default_factory=dict)
+
+    def code_line(self, lineno: int) -> str:
+        return self.code_lines[lineno - 1]
+
+    @property
+    def comment_text(self) -> str:
+        return "\n".join(self.comments.get(i + 1, "")
+                         for i in range(len(self.code_lines)))
+
+
+_RAW_STRING_OPEN = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+def lex(path: str, text: str) -> LexedFile:
+    """Lexes `text` into comment-free code plus per-line comments."""
+    code: list[str] = []
+    comments: dict[int, str] = {}
+    line = 1
+
+    def add_comment(lineno: int, fragment: str) -> None:
+        if fragment:
+            comments[lineno] = comments.get(lineno, "") + fragment
+
+    i = 0
+    n = len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_delim = ""
+    out: list[str] = []  # current code line being built
+
+    def flush_line() -> None:
+        nonlocal out, line
+        code.append("".join(out))
+        out = []
+        line += 1
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = _RAW_STRING_OPEN.match(text, i)
+                # Only treat as a raw string when not part of a longer
+                # identifier (e.g. `FOUR"..."` macros are not raw strings).
+                prev = text[i - 1] if i > 0 else ""
+                if m and not (prev.isalnum() or prev == "_"):
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = RAW_STRING
+                    out.append('""')
+                    i = m.end()
+                    continue
+            if c == '"':
+                state = STRING
+                out.append('""')
+                i += 1
+                continue
+            if c == "'":
+                # Distinguish char literals from digit separators (1'000).
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isdigit():
+                    out.append(c)
+                    i += 1
+                    continue
+                state = CHAR
+                out.append("''")
+                i += 1
+                continue
+            if c == "\n":
+                flush_line()
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                # A backslash-newline continues a // comment.
+                if text[i - 1] == "\\":
+                    add_comment(line, " ")
+                    flush_line()
+                    i += 1
+                    continue
+                state = NORMAL
+                flush_line()
+                i += 1
+            else:
+                add_comment(line, c)
+                i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                i += 2
+            elif c == "\n":
+                flush_line()
+                i += 1
+            else:
+                add_comment(line, c)
+                i += 1
+        elif state == STRING:
+            if c == "\\":
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                i += 1
+            elif c == "\n":  # unterminated; recover
+                state = NORMAL
+                flush_line()
+                i += 1
+            else:
+                i += 1
+        elif state == CHAR:
+            if c == "\\":
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                i += 1
+            elif c == "\n":  # unterminated; recover
+                state = NORMAL
+                flush_line()
+                i += 1
+            else:
+                i += 1
+        else:  # RAW_STRING
+            if text.startswith(raw_delim, i):
+                state = NORMAL
+                i += len(raw_delim)
+            elif c == "\n":
+                flush_line()
+                i += 1
+            else:
+                i += 1
+
+    code.append("".join(out))
+    return LexedFile(path=path, code_lines=code, comments=comments)

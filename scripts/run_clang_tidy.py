@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over src/ and diff the diagnostics against the baseline.
+
+The repo pins its clang-tidy debt in scripts/clang_tidy_baseline.txt: one
+normalised diagnostic per line, `<repo-rel-path>:<check-id>: <message>`
+(line/column numbers are stripped so unrelated edits don't shift the
+baseline). CI fails when a diagnostic appears that is not in the baseline;
+it also fails when the baseline lists diagnostics that no longer fire, so
+fixed debt must be deleted from the file in the same PR.
+
+Usage:
+    python3 scripts/run_clang_tidy.py [--build-dir build] [--jobs N]
+        [--update-baseline] [--require]
+
+Without clang-tidy on PATH the script exits 0 (skipped) so GCC-only dev
+containers are not blocked; pass --require (CI does) to turn a missing tool
+into a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BASELINE = os.path.join(_REPO, "scripts", "clang_tidy_baseline.txt")
+
+# clang-tidy diagnostic lines: /abs/path:LINE:COL: warning: msg [check-id]
+_DIAG = re.compile(
+    r"^(?P<path>/[^:]+):\d+:\d+:\s+(?:warning|error):\s+"
+    r"(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def normalise(raw_line: str) -> str | None:
+    match = _DIAG.match(raw_line)
+    if match is None:
+        return None
+    path = os.path.relpath(match.group("path"), _REPO).replace(os.sep, "/")
+    if path.startswith(".."):
+        return None  # system/third-party header
+    return f"{path}:{match.group('check')}: {match.group('msg')}"
+
+
+def tidy_one(tool: str, build_dir: str, source: str) -> list[str]:
+    proc = subprocess.run(
+        [tool, "-p", build_dir, "--quiet", source],
+        capture_output=True, text=True, check=False)
+    diags = []
+    for line in proc.stdout.splitlines():
+        norm = normalise(line)
+        if norm is not None:
+            diags.append(norm)
+    return diags
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(_REPO, "build"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's output")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is unavailable")
+    args = parser.parse_args()
+
+    tool = shutil.which("clang-tidy")
+    if tool is None:
+        print("run_clang_tidy: clang-tidy not on PATH — skipped"
+              " (pass --require to make this an error)")
+        return 2 if args.require else 0
+
+    compdb = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(compdb):
+        print(f"run_clang_tidy: {compdb} missing — configure CMake first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+        return 2
+
+    with open(compdb, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    sources = sorted({
+        os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        for entry in entries
+        if os.path.abspath(os.path.join(
+            entry["directory"], entry["file"])).startswith(
+                os.path.join(_REPO, "src") + os.sep)})
+    if not sources:
+        print("run_clang_tidy: no src/ entries in compile_commands.json")
+        return 2
+
+    got: set[str] = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for diags in pool.map(
+                lambda s: tidy_one(tool, args.build_dir, s), sources):
+            got.update(diags)
+
+    if args.update_baseline:
+        with open(_BASELINE, "w", encoding="utf-8") as handle:
+            handle.write(
+                "# clang-tidy debt baseline — regenerate with\n"
+                "#   python3 scripts/run_clang_tidy.py --update-baseline\n"
+                "# New diagnostics fail CI; delete lines here as they are "
+                "fixed.\n")
+            for line in sorted(got):
+                handle.write(line + "\n")
+        print(f"run_clang_tidy: baseline updated ({len(got)} diagnostics)")
+        return 0
+
+    baseline: set[str] = set()
+    if os.path.exists(_BASELINE):
+        with open(_BASELINE, encoding="utf-8") as handle:
+            baseline = {line.strip() for line in handle
+                        if line.strip() and not line.startswith("#")}
+
+    new = sorted(got - baseline)
+    stale = sorted(baseline - got)
+    for line in new:
+        print(f"NEW: {line}")
+    for line in stale:
+        print(f"STALE (fixed — remove from baseline): {line}")
+    if new or stale:
+        print(f"run_clang_tidy: {len(new)} new, {len(stale)} stale "
+              f"diagnostic(s) vs baseline ({len(sources)} files)")
+        return 1
+    print(f"run_clang_tidy: OK — {len(got)} diagnostic(s), all baselined "
+          f"({len(sources)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap the capability-based static race detector documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the prose
+// "Thread-safety:" contracts in the concurrent subsystems (common/thread_pool,
+// runtime/server, runtime/shard) become compiler-checked: a member annotated
+// GS_GUARDED_BY(mutex_) cannot be read or written without holding mutex_, a
+// function annotated GS_REQUIRES(mutex_) cannot be called without it, and the
+// `static-analysis` CI job compiles the whole library with
+// -Werror=thread-safety so a violation is a build break, not a TSan roll of
+// the dice.
+//
+// On compilers without the attributes (GCC builds the container image uses)
+// every macro expands to nothing — annotated code is plain C++ there, and the
+// analysis runs only in the Clang CI job. Use the gs::Mutex / gs::CondVar
+// wrappers from common/sync.hpp rather than std::mutex directly: the standard
+// library's types carry no capability attributes, so the analysis can only
+// see locks taken through annotated wrappers.
+//
+// Thread-safety: macros only — no state.
+// Determinism: macros only — no runtime behaviour at all.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Class attribute: instances of this type are capabilities (lockable).
+#define GS_CAPABILITY(x) GS_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII object that acquires a capability in its
+/// constructor and releases it in its destructor.
+#define GS_SCOPED_CAPABILITY GS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member attribute: reads/writes require holding the given capability.
+#define GS_GUARDED_BY(x) GS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member attribute: the pointee is protected by the capability
+/// (the pointer itself may be read freely).
+#define GS_PT_GUARDED_BY(x) GS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: acquires the capability (exclusively) and does not
+/// release it before returning.
+#define GS_ACQUIRE(...) GS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability in shared (reader) mode.
+#define GS_ACQUIRE_SHARED(...) \
+  GS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the (exclusively held) capability.
+#define GS_RELEASE(...) GS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: releases the shared-mode capability.
+#define GS_RELEASE_SHARED(...) \
+  GS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: callable only while holding the capability
+/// exclusively; it is still held on return.
+#define GS_REQUIRES(...) GS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: callable only while holding the capability in at
+/// least shared mode.
+#define GS_REQUIRES_SHARED(...) \
+  GS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: callable only while NOT holding the capability
+/// (deadlock prevention for non-reentrant locks).
+#define GS_EXCLUDES(...) GS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: the function returns a reference to the capability
+/// that guards its result.
+#define GS_RETURN_CAPABILITY(x) GS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: disables the analysis inside this function. Reserved
+/// for the sync wrappers themselves (which manipulate the underlying
+/// std::mutex in ways the analysis cannot model); runtime/serving code must
+/// not use it — the CI gate greps for that.
+#define GS_NO_THREAD_SAFETY_ANALYSIS \
+  GS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,178 @@
+// Annotated synchronisation primitives — std::mutex / std::shared_mutex /
+// std::condition_variable wrapped with the Clang capability attributes from
+// common/annotations.hpp.
+//
+// The standard library's lock types carry no thread-safety attributes, so
+// code that uses them directly is invisible to -Werror=thread-safety. Every
+// mutex in the concurrent subsystems is therefore one of these wrappers:
+//
+//   gs::Mutex            annotated std::mutex (a "mutex" capability)
+//   gs::SharedMutex      annotated std::shared_mutex (reader/writer)
+//   gs::MutexLock        scoped exclusive lock, with manual unlock()/lock()
+//                        for the drop-the-lock-mid-loop pattern
+//   gs::SharedReaderLock scoped shared (reader) lock
+//   gs::CondVar          condition variable bound to gs::Mutex at each wait
+//
+// CondVar intentionally has NO predicate-taking wait: the analysis treats a
+// lambda as a separate unannotated function, so guarded reads inside a
+// predicate lambda would need suppressions. Callers write the standard
+// explicit form instead, which the analysis follows naturally:
+//
+//   MutexLock lock(mutex_);
+//   while (!done_) cv_.wait(mutex_);
+//
+// Thread-safety: these ARE the thread-safety primitives; each method's
+// contract is its capability annotation.
+// Determinism: lock acquisition order under contention is OS-scheduled and
+// never observable in results — every deterministic path orders its writes
+// by index, not by lock arrival (see docs/ARCHITECTURE.md).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.hpp"
+
+namespace gs {
+
+/// std::mutex as a Clang capability. lock()/unlock() are annotated, so the
+/// analysis tracks manual use; prefer MutexLock for scopes.
+class GS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GS_ACQUIRE() { mutex_.lock(); }
+  void unlock() GS_RELEASE() { mutex_.unlock(); }
+
+  /// Underlying std::mutex, for CondVar's adopt-lock dance only.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex as a Clang capability: exclusive for mutators, shared
+/// for readers (the per-replica program lock in runtime/shard).
+class GS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() GS_ACQUIRE() { mutex_.lock(); }
+  void unlock() GS_RELEASE() { mutex_.unlock(); }
+  void lock_shared() GS_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() GS_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// Scoped exclusive lock over gs::Mutex. Supports the explicit
+/// unlock()/lock() pair for loops that must drop the lock around a blocking
+/// call (runtime/shard's maintenance loop); the destructor releases only
+/// when the lock is still held.
+class GS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GS_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Manual release before scope end (must currently be held).
+  void unlock() GS_RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+
+  /// Reacquire after a manual unlock().
+  void lock() GS_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = true;
+};
+
+/// Scoped exclusive lock over gs::SharedMutex (mutator side).
+class GS_SCOPED_CAPABILITY SharedWriterLock {
+ public:
+  explicit SharedWriterLock(SharedMutex& mutex) GS_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~SharedWriterLock() GS_RELEASE() { mutex_.unlock(); }
+
+  SharedWriterLock(const SharedWriterLock&) = delete;
+  SharedWriterLock& operator=(const SharedWriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock over gs::SharedMutex.
+class GS_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mutex) GS_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedReaderLock() GS_RELEASE() { mutex_.unlock_shared(); }
+
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable bound to a gs::Mutex at each wait site. Waits REQUIRE
+/// the mutex (checked); notify never does. No predicate overloads — see the
+/// header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Atomically releases `mutex`, sleeps, and reacquires before returning.
+  /// The analysis sees the capability held across the call, matching the
+  /// caller's view.
+  void wait(Mutex& mutex) GS_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait, then release() so
+    // the temporary unique_lock's destructor leaves it held for the caller.
+    std::unique_lock<std::mutex> native(mutex.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `deadline` passed.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+      GS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> native(mutex.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gs

@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t threads) : size_(threads < 1 ? 1 : threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -48,7 +48,7 @@ void ThreadPool::run_dispatch(Dispatch& d) {
     try {
       (*d.fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(d.error_mutex);
+      MutexLock lock(d.error_mutex);
       if (!d.error) d.error = std::current_exception();
     }
     d.done.fetch_add(1, std::memory_order_acq_rel);
@@ -61,10 +61,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Dispatch* d = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || (current_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mutex_);
+      while (!shutdown_ &&
+             !(current_ != nullptr && generation_ != seen_generation)) {
+        work_cv_.wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       d = current_;
@@ -74,7 +75,7 @@ void ThreadPool::worker_loop() {
     }
     run_dispatch(*d);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       d->attached.fetch_sub(1, std::memory_order_relaxed);
     }
     done_cv_.notify_all();
@@ -96,24 +97,31 @@ void ThreadPool::parallel_for(std::size_t count,
   d.fn = &fn;
   d.count = count;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_ = &d;
     ++generation_;
   }
   work_cv_.notify_all();
   run_dispatch(d);  // the caller is a full participant
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
-      return d.done.load(std::memory_order_acquire) == count &&
-             d.attached.load(std::memory_order_relaxed) == 0;
-    });
+    MutexLock lock(mutex_);
+    while (!(d.done.load(std::memory_order_acquire) == count &&
+             d.attached.load(std::memory_order_relaxed) == 0)) {
+      done_cv_.wait(mutex_);
+    }
     // Cleared before ~Dispatch so workers never dangle. Guarded: another
     // top-level thread may have posted its own dispatch meanwhile, and
     // clobbering it would strand its workers.
     if (current_ == &d) current_ = nullptr;
   }
-  if (d.error) std::rethrow_exception(d.error);
+  std::exception_ptr error;
+  {
+    // All workers detached above, but the read still takes the error mutex:
+    // the annotation on Dispatch::error is unconditional.
+    MutexLock lock(d.error_mutex);
+    error = d.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -20,14 +20,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace gs {
 
@@ -62,8 +63,8 @@ class ThreadPool {
     /// Workers currently holding a pointer to this dispatch (mutated under
     /// the pool mutex so completion waits can't race attach).
     std::atomic<std::size_t> attached{0};
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
+    std::exception_ptr error GS_GUARDED_BY(error_mutex);
   };
 
   void worker_loop();
@@ -71,12 +72,12 @@ class ThreadPool {
 
   std::size_t size_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Dispatch* current_ = nullptr;
-  std::uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  Dispatch* current_ GS_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ GS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gs

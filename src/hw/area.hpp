@@ -13,6 +13,12 @@
 // sweeps tiles in parallel but each tile owns disjoint counters, so the
 // census is identical at any pool size); results are value types that are
 // thread-safe to share.
+//
+// Thread-safety: all functions are const sweeps over caller-owned data;
+// concurrent calls on distinct outputs are safe. Results are value types.
+// Determinism: pure functions of their inputs — the parallel tile census
+// gives each tile disjoint counters and folds in fixed index order, so
+// results are bitwise identical at any GS_NUM_THREADS.
 #pragma once
 
 #include <cstddef>

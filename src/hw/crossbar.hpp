@@ -1,4 +1,9 @@
 // Crossbar specification and the §4.2 MBC size-selection criteria.
+//
+// Thread-safety: plain value types and pure selection functions — freely
+// copyable and safe to share across threads.
+// Determinism: size selection is a pure function of (matrix dims, spec
+// library); no randomness, no iteration over unordered containers.
 #pragma once
 
 #include <cstddef>

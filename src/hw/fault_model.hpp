@@ -29,6 +29,13 @@
 //
 // Stuck-at and drift consume two INDEPENDENT streams: enabling or tuning one
 // fault kind never shifts the other's realisation.
+//
+// Thread-safety: inject_* mutate the caller-owned AnalogCrossbar in place;
+// the caller serialises against concurrent reads (the serving tier holds
+// the replica's program lock exclusively — runtime/shard.hpp).
+// Determinism: every fault realisation is a pure function of its Rng
+// stream key (seed, fault kind, label, tile) — bitwise reproducible across
+// runs and independent of pool size and injection order.
 #pragma once
 
 #include <cstdint>

@@ -23,6 +23,12 @@
 // All types are value types and all functions are pure; anneal_placement is
 // deterministic for a given AnnealConfig::seed (its randomness comes only
 // from that seed's Rng stream), so placements are reproducible.
+//
+// Thread-safety: pure functions over caller-owned inputs returning value
+// types; safe to call concurrently on distinct outputs.
+// Determinism: graph construction and the greedy placement sweep are
+// single-threaded pure functions with fixed tie-breaking by index order —
+// bitwise identical on every run.
 #pragma once
 
 #include <cstdint>

@@ -13,6 +13,11 @@
 //
 // repack_tiles is a pure, single-threaded function of (matrix, grid, tol);
 // its reports are value types, thread-safe to share.
+//
+// Thread-safety: repack_tiles is a pure function of caller-owned inputs;
+// safe to call concurrently.
+// Determinism: single-threaded, fixed tile order, exact zero tests at the
+// caller's tolerance — bitwise identical on every run.
 #pragma once
 
 #include <vector>

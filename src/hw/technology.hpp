@@ -1,5 +1,9 @@
 // Technology parameters of the memristor-based crossbar (MBC) NCS design —
 // Table 2 of the paper, §3.3 area model.
+//
+// Thread-safety: plain value type of process constants — freely copyable
+// and safe to share across threads.
+// Determinism: constants only; no computation.
 #pragma once
 
 #include <cstddef>

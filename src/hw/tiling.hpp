@@ -10,6 +10,11 @@
 // hardware wire counter (hw/area.hpp) and the group-Lasso regulariser
 // (compress/group_lasso.hpp), so "what the trainer zeroes" and "what the
 // wire counter deletes" are the same object by construction.
+//
+// Thread-safety: pure functions of the matrix/crossbar dimensions
+// returning value types; safe to call concurrently.
+// Determinism: tile and group enumeration is arithmetic on indices in
+// fixed order — no randomness, no unordered iteration.
 #pragma once
 
 #include <cstddef>

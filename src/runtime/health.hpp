@@ -23,6 +23,13 @@
 // preserved); Quarantined replicas are drained, reprogrammed from the clean
 // weights, and must reproduce the reference checksum bitwise before
 // rejoining (runtime/shard.hpp drives that loop).
+//
+// Thread-safety: CanarySet::probe is const and safe from any thread once the
+// reference is recorded; HealthTracker is not thread-safe — the serving tier
+// calls observe() under its own mutex (see runtime/shard.hpp).
+// Determinism: the canary batch is a pure function of (canary_seed,
+// sample_shape), and a healthy replica reproduces the reference logits
+// bitwise — probe divergence is physical change, never scheduling noise.
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,14 @@
 // per-input-vector DAC quantisation, per-tile analog MVM, per-tile ADC
 // quantisation, then digital partial-sum accumulation over tile rows in
 // fixed order — bitwise deterministic at any thread count.
+//
+// Thread-safety: compile() is a pure function; a CrossbarProgram is
+// immutable under the executor EXCEPT through inject_faults(), which the
+// caller must serialise against concurrent forwards (the sharded server
+// holds the replica's program lock exclusively — runtime/shard.hpp).
+// Determinism: programming is seeded identically to
+// hw::analog_effective_matrix and fault realisations are pure functions of
+// their stream keys, so programs and checksums replay bitwise.
 #pragma once
 
 #include <cstddef>

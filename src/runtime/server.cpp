@@ -41,6 +41,7 @@ std::exception_ptr rejection(const std::string& message) {
 BatchingServer::BatchingServer(const Executor& executor, BatchingConfig config)
     : executor_(&executor), config_(config) {
   config_.validate();
+  MutexLock join_lock(join_mutex_);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -69,7 +70,7 @@ std::future<Tensor> BatchingServer::submit(
   Request displaced;          // later-deadline victim shed in our favour
   bool have_displaced = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       reject_reason = "BatchingServer: rejected — server is shut down";
     } else if (config_.admission.enabled && request.deadline != kNoDeadline) {
@@ -117,7 +118,7 @@ std::future<Tensor> BatchingServer::submit(
   }
   if (have_displaced) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++shed_;
     }
     displaced.promise.set_exception(rejection(
@@ -126,7 +127,7 @@ std::future<Tensor> BatchingServer::submit(
   }
   if (!reject_reason.empty()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++rejected_;
       if (admission_miss) ++admission_rejected_;
     }
@@ -143,13 +144,13 @@ Tensor BatchingServer::infer(const Tensor& sample) {
 
 void BatchingServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
   // join_mutex_ serializes the joinable check with join() itself: without
   // it, shutdown() racing the destructor could join the thread twice.
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -157,7 +158,7 @@ ServerStats BatchingServer::stats() const {
   std::vector<double> latencies;
   ServerStats stats;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats.completed = completed_;
     stats.rejected = rejected_;
     stats.admission_rejected = admission_rejected_;
@@ -186,8 +187,8 @@ void BatchingServer::dispatch_loop() {
     std::vector<Request> batch;
     std::vector<Request> expired;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(mutex_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -195,9 +196,11 @@ void BatchingServer::dispatch_loop() {
       // Coalesce: launch when the batch is full or the oldest request's
       // deadline passes. Shutdown drains immediately.
       const auto launch = queue_.front().enqueued + config_.max_delay;
-      queue_cv_.wait_until(lock, launch, [&] {
-        return stopping_ || queue_.size() >= config_.max_batch;
-      });
+      while (!stopping_ && queue_.size() < config_.max_batch) {
+        if (queue_cv_.wait_until(mutex_, launch) == std::cv_status::timeout) {
+          break;
+        }
+      }
       // Shed already-expired requests at batch formation: a result past its
       // deadline is worthless, the batch slot is not.
       const auto now = std::chrono::steady_clock::now();
@@ -214,7 +217,7 @@ void BatchingServer::dispatch_loop() {
     }
     if (!expired.empty()) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         shed_ += expired.size();
       }
       for (Request& request : expired) {
@@ -259,7 +262,7 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
     // Stats are recorded BEFORE the promises resolve, so a caller returning
     // from infer()/get() always observes its own request in stats().
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       completed_ += count;
       ++batches_;
       max_batch_seen_ = std::max(max_batch_seen_, count);
@@ -278,7 +281,7 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       failed_ += count;
     }
     for (Request& request : requests) {

@@ -32,14 +32,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "runtime/executor.hpp"
 
 namespace gs::runtime {
@@ -187,32 +187,33 @@ class BatchingServer {
   };
 
   void dispatch_loop();
-  void run_batch(std::vector<Request>& requests);
+  void run_batch(std::vector<Request>& requests) GS_EXCLUDES(mutex_);
 
   const Executor* executor_;
   BatchingConfig config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar queue_cv_;
+  std::deque<Request> queue_ GS_GUARDED_BY(mutex_);
+  bool stopping_ GS_GUARDED_BY(mutex_) = false;
 
-  mutable std::mutex stats_mutex_;
-  std::size_t completed_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t admission_rejected_ = 0;
-  std::size_t shed_ = 0;
-  std::size_t failed_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t max_batch_seen_ = 0;
-  LatencyWindow latencies_{kLatencyWindow};
+  mutable Mutex stats_mutex_;
+  std::size_t completed_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t admission_rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t shed_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t failed_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t batches_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t max_batch_seen_ GS_GUARDED_BY(stats_mutex_) = 0;
+  LatencyWindow latencies_ GS_GUARDED_BY(stats_mutex_){kLatencyWindow};
   /// Measured per-batch execution cost for admission prediction when
   /// assumed_batch_cost is 0 (atomic: read by submit, written by the
   /// dispatcher, no lock ordering entanglement).
   std::atomic<double> ewma_batch_cost_us_{0.0};
 
-  std::mutex join_mutex_;   // serializes shutdown()'s joinable-check + join
-  std::thread dispatcher_;  // started last, joined by shutdown()
+  Mutex join_mutex_;  ///< serializes shutdown()'s joinable-check + join
+  /// Started last in the constructor, joined by shutdown().
+  std::thread dispatcher_ GS_GUARDED_BY(join_mutex_);
 };
 
 }  // namespace gs::runtime

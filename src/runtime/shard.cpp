@@ -39,32 +39,51 @@ ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
   threads_per_replica_ = std::max<std::size_t>(1, budget / config_.replicas);
 
   replicas_.reserve(config_.replicas);
+  {
+    MutexLock lock(mutex_);
+    queues_.resize(config_.replicas);
+    health_.assign(config_.replicas, ReplicaHealth::kHealthy);
+    trackers_.reserve(config_.replicas);
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      trackers_.push_back(std::make_unique<HealthTracker>(config_.health));
+    }
+  }
+  {
+    MutexLock lock(stats_mutex_);
+    counters_.resize(config_.replicas);
+  }
   for (std::size_t r = 0; r < config_.replicas; ++r) {
     auto replica = std::make_unique<Replica>();
     CompileOptions replica_options = options;
     replica_options.analog.seed =
         options.analog.seed + r * config_.seed_stride;
     replica->options = replica_options;
-    replica->program = compile(net, sample_shape, replica_options);
-    replica->pool = std::make_unique<ThreadPool>(threads_per_replica_);
-    replica->executor =
-        std::make_unique<Executor>(replica->program, replica->pool.get());
-    // Record the clean canary reference while the chip is known pristine —
-    // this is the bitwise target every future probe (and recalibration)
-    // compares against.
-    replica->canary =
-        std::make_unique<CanarySet>(sample_shape, config_.health);
-    replica->canary->record_reference(*replica->executor);
-    replica->tracker = std::make_unique<HealthTracker>(config_.health);
+    {
+      SharedWriterLock plock(replica->program_mutex);
+      replica->program = compile(net, sample_shape, replica_options);
+      replica->pool = std::make_unique<ThreadPool>(threads_per_replica_);
+      replica->executor =
+          std::make_unique<Executor>(replica->program, replica->pool.get());
+      // Record the clean canary reference while the chip is known pristine —
+      // this is the bitwise target every future probe (and recalibration)
+      // compares against.
+      replica->canary =
+          std::make_unique<CanarySet>(sample_shape, config_.health);
+      replica->canary->record_reference(*replica->executor);
+    }
     replicas_.push_back(std::move(replica));
   }
   // Dispatchers start only after every replica exists — they scan the whole
   // replica vector for steal victims.
-  for (std::size_t r = 0; r < config_.replicas; ++r) {
-    replicas_[r]->dispatcher = std::thread([this, r] { dispatch_loop(r); });
-  }
-  if (config_.probe_interval.count() > 0) {
-    maintenance_ = std::thread([this] { maintenance_loop(); });
+  {
+    MutexLock join_lock(join_mutex_);
+    dispatchers_.reserve(config_.replicas);
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      dispatchers_.emplace_back([this, r] { dispatch_loop(r); });
+    }
+    if (config_.probe_interval.count() > 0) {
+      maintenance_ = std::thread([this] { maintenance_loop(); });
+    }
   }
 }
 
@@ -72,6 +91,10 @@ ShardedServer::~ShardedServer() { shutdown(); }
 
 const CrossbarProgram& ShardedServer::program(std::size_t r) const {
   GS_CHECK(r < replicas_.size());
+  // The reader lock satisfies the guard for the access itself; as documented
+  // in the header, the RETURNED reference is not synchronised against later
+  // mutation — callers quiesce injection/recalibration first.
+  SharedReaderLock plock(replicas_[r]->program_mutex);
   return replicas_[r]->program;
 }
 
@@ -79,9 +102,8 @@ std::size_t ShardedServer::placement_target(std::size_t exclude) const {
   std::size_t target = kNone;
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     if (r == exclude) continue;
-    if (replicas_[r]->health == ReplicaHealth::kQuarantined) continue;
-    if (target == kNone ||
-        replicas_[r]->queue.size() < replicas_[target]->queue.size()) {
+    if (health_[r] == ReplicaHealth::kQuarantined) continue;
+    if (target == kNone || queues_[r].size() < queues_[target].size()) {
       target = r;
     }
   }
@@ -95,11 +117,12 @@ std::future<Tensor> ShardedServer::submit(Tensor sample) {
 
 std::future<Tensor> ShardedServer::submit(Tensor sample,
                                           std::chrono::microseconds deadline) {
-  const Shape& expected = replicas_.front()->program.input_shape();
-  GS_CHECK_MSG(sample.shape() == expected,
+  // Every replica program's input_shape() is the sample_shape_ the server
+  // compiled with, so validation needs no program lock.
+  GS_CHECK_MSG(sample.shape() == sample_shape_,
                "sharded server sample " << shape_to_string(sample.shape())
                                         << " does not match program input "
-                                        << shape_to_string(expected));
+                                        << shape_to_string(sample_shape_));
   Request request;
   request.sample = std::move(sample);
   request.enqueued = std::chrono::steady_clock::now();
@@ -113,7 +136,7 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
   Request displaced;
   bool have_displaced = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       reject_reason = "ShardedServer: rejected — server is shut down";
     } else {
@@ -123,7 +146,7 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
       if (target == kNone) {
         reject_reason = "ShardedServer: rejected — no active replica";
       } else {
-        std::deque<Request>& queue = replicas_[target]->queue;
+        std::deque<Request>& queue = queues_[target];
         if (config_.batching.admission.enabled &&
             request.deadline != BatchingServer::kNoDeadline) {
           const double cost_us =
@@ -172,7 +195,7 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
   }
   if (have_displaced) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++shed_;
     }
     displaced.promise.set_exception(std::make_exception_ptr(std::runtime_error(
@@ -181,7 +204,7 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
   }
   if (!reject_reason.empty()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++rejected_;
       if (admission_miss) ++admission_rejected_;
     }
@@ -201,20 +224,20 @@ Tensor ShardedServer::infer(const Tensor& sample) {
 
 void ShardedServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   if (maintenance_.joinable()) maintenance_.join();
-  for (auto& replica : replicas_) {
-    if (replica->dispatcher.joinable()) replica->dispatcher.join();
+  for (std::thread& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
   }
 }
 
 void ShardedServer::set_paused(bool paused) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     paused_ = paused;
   }
   queue_cv_.notify_all();
@@ -227,12 +250,12 @@ FaultInjectionReport ShardedServer::inject_replica_faults(
   const std::string label = "replica" + std::to_string(r) + ":";
   FaultInjectionReport report;
   {
-    std::unique_lock<std::shared_mutex> plock(replica.program_mutex);
+    SharedWriterLock plock(replica.program_mutex);
     report = inject_faults(replica.program, config, label);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++replica.fault_injections;
+    MutexLock lock(stats_mutex_);
+    ++counters_[r].fault_injections;
   }
   return report;
 }
@@ -242,19 +265,18 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
   Replica& replica = *replicas_[r];
   CanaryProbe probe;
   {
-    std::shared_lock<std::shared_mutex> plock(replica.program_mutex);
+    SharedReaderLock plock(replica.program_mutex);
     probe = replica.canary->probe(*replica.executor);
   }
   std::vector<Request> shed;
   std::size_t rerouted = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const ReplicaHealth next = replica.tracker->observe(probe.divergence);
+    MutexLock lock(mutex_);
+    const ReplicaHealth next = trackers_[r]->observe(probe.divergence);
     if (next == ReplicaHealth::kQuarantined) {
       std::size_t active_others = 0;
       for (std::size_t i = 0; i < replicas_.size(); ++i) {
-        if (i != r &&
-            replicas_[i]->health != ReplicaHealth::kQuarantined) {
+        if (i != r && health_[i] != ReplicaHealth::kQuarantined) {
           ++active_others;
         }
       }
@@ -263,33 +285,32 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
         // no answer. Clamp to Degraded; the tracker keeps voting Quarantined
         // and the clamp is re-evaluated at every probe, so the replica is
         // pulled as soon as a peer rejoins.
-        replica.health = ReplicaHealth::kDegraded;
+        health_[r] = ReplicaHealth::kDegraded;
       } else {
-        replica.health = ReplicaHealth::kQuarantined;
+        health_[r] = ReplicaHealth::kQuarantined;
         // Re-route the quarantined replica's queued requests onto active
         // replicas (the mid-flight retry path). Requests out of retries or
         // finding every active queue full are shed.
-        while (!replica.queue.empty()) {
-          Request request = std::move(replica.queue.front());
-          replica.queue.pop_front();
+        while (!queues_[r].empty()) {
+          Request request = std::move(queues_[r].front());
+          queues_[r].pop_front();
           ++request.attempts;
           const std::size_t target = placement_target(r);
           if (request.attempts > config_.max_retries || target == kNone ||
-              replicas_[target]->queue.size() >=
-                  config_.batching.max_queue_depth) {
+              queues_[target].size() >= config_.batching.max_queue_depth) {
             shed.push_back(std::move(request));
           } else {
-            replicas_[target]->queue.push_back(std::move(request));
+            queues_[target].push_back(std::move(request));
             ++rerouted;
           }
         }
       }
     } else {
-      replica.health = next;
+      health_[r] = next;
     }
   }
   if (rerouted > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     retried_ += rerouted;
   }
   shed_requests(shed,
@@ -308,24 +329,24 @@ bool ShardedServer::recalibrate_now(std::size_t r) {
     // program it started with. Move-assignment mutates the program at the
     // same address, so the borrowed Executor stays valid; the exclusive
     // lock keeps forwards out while conductances change.
-    std::unique_lock<std::shared_mutex> plock(replica.program_mutex);
+    SharedWriterLock plock(replica.program_mutex);
     replica.program = compile(network_, sample_shape_, replica.options);
   }
   CanaryProbe probe;
   {
-    std::shared_lock<std::shared_mutex> plock(replica.program_mutex);
+    SharedReaderLock plock(replica.program_mutex);
     probe = replica.canary->probe(*replica.executor);
   }
   // Rejoin only on a bitwise-clean canary — the readmission gate.
   if (!probe.bitwise_clean) return false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    replica.tracker->reset();
-    replica.health = ReplicaHealth::kHealthy;
+    MutexLock lock(mutex_);
+    trackers_[r]->reset();
+    health_[r] = ReplicaHealth::kHealthy;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++replica.recalibrations;
+    MutexLock lock(stats_mutex_);
+    ++counters_[r].recalibrations;
   }
   queue_cv_.notify_all();
   return true;
@@ -333,13 +354,13 @@ bool ShardedServer::recalibrate_now(std::size_t r) {
 
 ReplicaHealth ShardedServer::health(std::size_t r) const {
   GS_CHECK(r < replicas_.size());
-  std::lock_guard<std::mutex> lock(mutex_);
-  return replicas_[r]->health;
+  MutexLock lock(mutex_);
+  return health_[r];
 }
 
 std::uint64_t ShardedServer::replica_program_checksum(std::size_t r) const {
   GS_CHECK(r < replicas_.size());
-  std::shared_lock<std::shared_mutex> plock(replicas_[r]->program_mutex);
+  SharedReaderLock plock(replicas_[r]->program_mutex);
   return program_checksum(replicas_[r]->program);
 }
 
@@ -353,7 +374,7 @@ double ShardedServer::evaluate_replica(std::size_t r,
                                        std::size_t max_samples,
                                        std::size_t batch_size) const {
   GS_CHECK(r < replicas_.size());
-  std::shared_lock<std::shared_mutex> plock(replicas_[r]->program_mutex);
+  SharedReaderLock plock(replicas_[r]->program_mutex);
   return runtime::evaluate(*replicas_[r]->executor, dataset, max_samples,
                            batch_size);
 }
@@ -362,7 +383,7 @@ void ShardedServer::shed_requests(std::vector<Request>& requests,
                                   const char* reason) {
   if (requests.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     shed_ += requests.size();
   }
   for (Request& request : requests) {
@@ -374,7 +395,7 @@ void ShardedServer::shed_requests(std::vector<Request>& requests,
 
 std::vector<ShardedServer::Request> ShardedServer::take_batch(
     std::size_t victim, std::vector<Request>& expired) {
-  std::deque<Request>& queue = replicas_[victim]->queue;
+  std::deque<Request>& queue = queues_[victim];
   const auto now = std::chrono::steady_clock::now();
   std::vector<Request> batch;
   batch.reserve(std::min(config_.batching.max_batch, queue.size()));
@@ -400,8 +421,8 @@ std::size_t ShardedServer::ripe_victim(
     if (r == self) continue;
     // A quarantined replica's queue is re-routed, not stolen (re-routing
     // counts retries and respects max_retries; stealing would bypass both).
-    if (replicas_[r]->health == ReplicaHealth::kQuarantined) continue;
-    const std::deque<Request>& queue = replicas_[r]->queue;
+    if (health_[r] == ReplicaHealth::kQuarantined) continue;
+    const std::deque<Request>& queue = queues_[r];
     if (queue.empty()) continue;
     const bool ripe = queue.size() >= config_.batching.max_batch ||
                       queue.front().enqueued + config_.batching.max_delay <=
@@ -415,14 +436,13 @@ std::size_t ShardedServer::ripe_victim(
 }
 
 void ShardedServer::dispatch_loop(std::size_t self) {
-  Replica& replica = *replicas_[self];
   for (;;) {
     std::vector<Request> batch;
     std::vector<Request> expired;
     std::size_t victim = self;
     bool exit_after_shed = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (;;) {
         if (stopping_) {
           // Drain: own queue first, then — only when stealing is allowed —
@@ -430,10 +450,10 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           // must run on the replica placement chose (the controlled-
           // experiment guarantee the flag exists for), and each queue's own
           // dispatcher drains it before returning, so nothing is orphaned.
-          victim = replica.queue.empty() ? kNone : self;
+          victim = queues_[self].empty() ? kNone : self;
           if (victim == kNone && config_.steal_work) {
             for (std::size_t r = 0; r < replicas_.size(); ++r) {
-              if (!replicas_[r]->queue.empty()) {
+              if (!queues_[r].empty()) {
                 victim = r;
                 break;
               }
@@ -449,11 +469,11 @@ void ShardedServer::dispatch_loop(std::size_t self) {
         // Paused dispatchers let work accumulate (the deterministic bench's
         // burst builder); quarantined replicas take no work at all — their
         // queue was re-routed at quarantine and placement avoids them.
-        if (paused_ || replica.health == ReplicaHealth::kQuarantined) {
-          queue_cv_.wait(lock);
+        if (paused_ || health_[self] == ReplicaHealth::kQuarantined) {
+          queue_cv_.wait(mutex_);
           continue;
         }
-        if (!replica.queue.empty()) {
+        if (!queues_[self].empty()) {
           // Own work: BatchingServer coalescing — launch when full, or when
           // the oldest request's deadline passes. The launch decision is
           // made against the CURRENT front; the wait below is only a timed
@@ -461,17 +481,20 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           // steal the front mid-sleep, which would leave a stale deadline —
           // launching on it would fire newer requests early).
           const auto launch =
-              replica.queue.front().enqueued + config_.batching.max_delay;
-          if (replica.queue.size() >= config_.batching.max_batch ||
+              queues_[self].front().enqueued + config_.batching.max_delay;
+          if (queues_[self].size() >= config_.batching.max_batch ||
               launch <= std::chrono::steady_clock::now()) {
             victim = self;
             batch = take_batch(self, expired);
             break;
           }
-          queue_cv_.wait_until(lock, launch, [&] {
-            return stopping_ || paused_ ||
-                   replica.queue.size() >= config_.batching.max_batch;
-          });
+          while (!stopping_ && !paused_ &&
+                 queues_[self].size() < config_.batching.max_batch) {
+            if (queue_cv_.wait_until(mutex_, launch) ==
+                std::cv_status::timeout) {
+              break;
+            }
+          }
           continue;
         }
         // Idle: steal ripe work (a full batch, or past-deadline requests
@@ -488,20 +511,20 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           // ripens.
           std::optional<std::chrono::steady_clock::time_point> horizon;
           for (std::size_t r = 0; r < replicas_.size(); ++r) {
-            if (r == self || replicas_[r]->queue.empty()) continue;
-            const auto t = replicas_[r]->queue.front().enqueued +
+            if (r == self || queues_[r].empty()) continue;
+            const auto t = queues_[r].front().enqueued +
                            config_.batching.max_delay;
             if (!horizon || t < *horizon) horizon = t;
           }
           if (horizon) {
-            queue_cv_.wait_until(lock, *horizon);
+            queue_cv_.wait_until(mutex_, *horizon);
           } else {
-            queue_cv_.wait(lock);
+            queue_cv_.wait(mutex_);
           }
         } else {
-          queue_cv_.wait(lock, [&] {
-            return stopping_ || paused_ || !replica.queue.empty();
-          });
+          while (!stopping_ && !paused_ && queues_[self].empty()) {
+            queue_cv_.wait(mutex_);
+          }
         }
       }
     }
@@ -513,10 +536,10 @@ void ShardedServer::dispatch_loop(std::size_t self) {
 }
 
 void ShardedServer::maintenance_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto next = std::chrono::steady_clock::now() + config_.probe_interval;
   while (!stopping_) {
-    if (queue_cv_.wait_until(lock, next) != std::cv_status::timeout) {
+    if (queue_cv_.wait_until(mutex_, next) != std::cv_status::timeout) {
       continue;  // submit traffic or shutdown — re-check and re-sleep
     }
     if (stopping_) break;
@@ -540,14 +563,15 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
                               std::vector<Request>& requests) {
   Replica& replica = *replicas_[self];
   const std::size_t count = requests.size();
-  const Shape& sample_shape = replica.program.input_shape();
-  const std::size_t sample_numel = shape_numel(sample_shape);
+  // Every replica program's input shape is sample_shape_ (the compile-time
+  // contract), so batch assembly needs no program lock.
+  const std::size_t sample_numel = shape_numel(sample_shape_);
 
   Shape batch_shape;
-  batch_shape.reserve(sample_shape.size() + 1);
+  batch_shape.reserve(sample_shape_.size() + 1);
   batch_shape.push_back(count);
-  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
-                     sample_shape.end());
+  batch_shape.insert(batch_shape.end(), sample_shape_.begin(),
+                     sample_shape_.end());
   Tensor batch(batch_shape);
   for (std::size_t i = 0; i < count; ++i) {
     std::copy(requests[i].sample.data(),
@@ -561,7 +585,7 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
     {
       // Shared with other forwards/probes; excluded only by fault injection
       // and recalibration mutating this replica's program.
-      std::shared_lock<std::shared_mutex> plock(replica.program_mutex);
+      SharedReaderLock plock(replica.program_mutex);
       logits = replica.executor->forward(batch);
     }
     const std::size_t classes = logits.numel() / count;
@@ -573,15 +597,16 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
                                           : prev + (batch_us - prev) / 8.0,
                               std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      replica.completed += count;
-      ++replica.batches;
-      if (victim != self) ++replica.stolen_batches;
-      replica.max_batch_seen = std::max(replica.max_batch_seen, count);
+      MutexLock lock(stats_mutex_);
+      ReplicaCounters& counters = counters_[self];
+      counters.completed += count;
+      ++counters.batches;
+      if (victim != self) ++counters.stolen_batches;
+      counters.max_batch_seen = std::max(counters.max_batch_seen, count);
       for (const Request& request : requests) {
-        replica.latencies.record(std::chrono::duration<double, std::milli>(
-                                     finished - request.enqueued)
-                                     .count());
+        counters.latencies.record(std::chrono::duration<double, std::milli>(
+                                      finished - request.enqueued)
+                                      .count());
       }
     }
     for (std::size_t i = 0; i < count; ++i) {
@@ -593,7 +618,7 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       failed_ += count;
     }
     for (Request& request : requests) {
@@ -606,13 +631,12 @@ ShardStats ShardedServer::stats() const {
   ShardStats stats;
   std::vector<ReplicaHealth> health;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    health.reserve(replicas_.size());
-    for (const auto& replica : replicas_) health.push_back(replica->health);
+    MutexLock lock(mutex_);
+    health = health_;
   }
   std::vector<double> all_latencies;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats.aggregate.rejected = rejected_;
     stats.aggregate.admission_rejected = admission_rejected_;
     stats.aggregate.shed = shed_;
@@ -620,24 +644,24 @@ ShardStats ShardedServer::stats() const {
     stats.retried = retried_;
     stats.replicas.reserve(replicas_.size());
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
-      const Replica& replica = *replicas_[r];
+      const ReplicaCounters& counters = counters_[r];
       ReplicaStats rs;
-      rs.completed = replica.completed;
-      rs.batches = replica.batches;
-      rs.stolen_batches = replica.stolen_batches;
-      rs.max_batch_seen = replica.max_batch_seen;
-      rs.mean_batch = replica.batches == 0
+      rs.completed = counters.completed;
+      rs.batches = counters.batches;
+      rs.stolen_batches = counters.stolen_batches;
+      rs.max_batch_seen = counters.max_batch_seen;
+      rs.mean_batch = counters.batches == 0
                           ? 0.0
-                          : static_cast<double>(replica.completed) /
-                                static_cast<double>(replica.batches);
-      std::vector<double> latencies = replica.latencies.samples();
+                          : static_cast<double>(counters.completed) /
+                                static_cast<double>(counters.batches);
+      std::vector<double> latencies = counters.latencies.samples();
       std::sort(latencies.begin(), latencies.end());
       rs.latency_p50_ms = latency_percentile(latencies, 0.50);
       rs.latency_p95_ms = latency_percentile(latencies, 0.95);
       rs.latency_p99_ms = latency_percentile(latencies, 0.99);
       rs.health = health[r];
-      rs.fault_injections = replica.fault_injections;
-      rs.recalibrations = replica.recalibrations;
+      rs.fault_injections = counters.fault_injections;
+      rs.recalibrations = counters.recalibrations;
 
       stats.aggregate.completed += rs.completed;
       stats.aggregate.batches += rs.batches;
@@ -646,8 +670,8 @@ ShardStats ShardedServer::stats() const {
       stats.stolen_batches += rs.stolen_batches;
       stats.recalibrations += rs.recalibrations;
       all_latencies.insert(all_latencies.end(),
-                           replica.latencies.samples().begin(),
-                           replica.latencies.samples().end());
+                           counters.latencies.samples().begin(),
+                           counters.latencies.samples().end());
       stats.replicas.push_back(rs);
     }
   }

@@ -53,16 +53,15 @@
 // replicas differ (nonideal device or faults).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "runtime/health.hpp"
 #include "runtime/server.hpp"
 
@@ -225,23 +224,26 @@ class ShardedServer {
     std::size_t attempts = 0;  ///< re-routes consumed (quarantine retries)
   };
 
-  /// One compiled replica: program, executor, private pool, queue, health
-  /// state, and the dispatcher thread that coalesces/steals for it.
+  /// One compiled replica: the program plus its private executor/pool. Only
+  /// the program is mutable after construction (fault injection and
+  /// recalibration), so only it carries a lock — everything the SERVING
+  /// state machine mutates (queues, health, counters) lives in the parallel
+  /// per-replica vectors below, where the guarding mutex is a sibling member
+  /// the thread-safety analysis can name.
   struct Replica {
-    CrossbarProgram program;
+    /// Serialises program mutation (fault injection, recalibration) against
+    /// forwards: forwards/probes hold it shared, mutators exclusive.
+    mutable SharedMutex program_mutex;
+    CrossbarProgram program GS_GUARDED_BY(program_mutex);
     CompileOptions options;  ///< exact options (incl. seed) for reprogramming
     std::unique_ptr<ThreadPool> pool;
     std::unique_ptr<Executor> executor;
-    /// Serialises program mutation (fault injection, recalibration) against
-    /// forwards: forwards/probes hold it shared, mutators exclusive.
-    mutable std::shared_mutex program_mutex;
     std::unique_ptr<CanarySet> canary;
-    std::unique_ptr<HealthTracker> tracker;  ///< guarded by mutex_
-    ReplicaHealth health = ReplicaHealth::kHealthy;  ///< guarded by mutex_
-    std::deque<Request> queue;  ///< guarded by ShardedServer::mutex_
-    std::thread dispatcher;
+  };
 
-    // Counters guarded by ShardedServer::stats_mutex_.
+  /// Per-replica serving counters (guarded by stats_mutex_ as a whole
+  /// vector; indexed by replica).
+  struct ReplicaCounters {
     std::size_t completed = 0;
     std::size_t batches = 0;
     std::size_t stolen_batches = 0;
@@ -254,45 +256,60 @@ class ShardedServer {
   void dispatch_loop(std::size_t self);
   void maintenance_loop();
   /// Pops up to max_batch non-expired requests from `victim`'s queue;
-  /// expired ones land in `expired` (mutex_ held).
+  /// expired ones land in `expired`.
   std::vector<Request> take_batch(std::size_t victim,
-                                  std::vector<Request>& expired);
+                                  std::vector<Request>& expired)
+      GS_REQUIRES(mutex_);
   /// Ripe steal victim for `self`: an ACTIVE replica whose queue holds a
   /// full batch or whose oldest request passed its coalescing deadline;
-  /// SIZE_MAX when none (mutex_ held).
+  /// SIZE_MAX when none.
   std::size_t ripe_victim(std::size_t self,
-                          std::chrono::steady_clock::time_point now) const;
+                          std::chrono::steady_clock::time_point now) const
+      GS_REQUIRES(mutex_);
   void run_batch(std::size_t self, std::size_t victim,
-                 std::vector<Request>& requests);
-  /// Sheds `expired` requests (rejects their futures, counts them). Call
-  /// WITHOUT mutex_ held.
-  void shed_requests(std::vector<Request>& expired, const char* reason);
+                 std::vector<Request>& requests) GS_EXCLUDES(mutex_);
+  /// Sheds `expired` requests (rejects their futures, counts them). Takes
+  /// stats_mutex_; must be called without mutex_ held.
+  void shed_requests(std::vector<Request>& expired, const char* reason)
+      GS_EXCLUDES(mutex_);
   /// Active (non-quarantined) replica with the shortest queue; SIZE_MAX
-  /// when none (mutex_ held).
-  std::size_t placement_target(std::size_t exclude) const;
+  /// when none.
+  std::size_t placement_target(std::size_t exclude) const GS_REQUIRES(mutex_);
 
   ShardConfig config_;
   nn::Network network_;  ///< pristine clone — the recalibration source
-  Shape sample_shape_;
+  Shape sample_shape_;   ///< == every replica program's input_shape()
   std::size_t threads_per_replica_ = 1;
+  /// Immutable vector (built in the constructor); per-replica program state
+  /// is guarded by each Replica's own program_mutex.
   std::vector<std::unique_ptr<Replica>> replicas_;
 
-  mutable std::mutex mutex_;  ///< guards queues, health, paused_, stopping_
-  std::condition_variable queue_cv_;
-  bool stopping_ = false;
-  bool paused_ = false;
+  mutable Mutex mutex_;  ///< guards queues, health, paused_, stopping_
+  CondVar queue_cv_;
+  bool stopping_ GS_GUARDED_BY(mutex_) = false;
+  bool paused_ GS_GUARDED_BY(mutex_) = false;
+  /// Request queue of replica r (placement, coalescing, stealing and
+  /// re-routing all mutate these under mutex_).
+  std::vector<std::deque<Request>> queues_ GS_GUARDED_BY(mutex_);
+  /// Lifecycle state of replica r.
+  std::vector<ReplicaHealth> health_ GS_GUARDED_BY(mutex_);
+  /// Hysteresis tracker of replica r (observe() only under mutex_).
+  std::vector<std::unique_ptr<HealthTracker>> trackers_ GS_GUARDED_BY(mutex_);
 
-  mutable std::mutex stats_mutex_;
-  std::size_t rejected_ = 0;
-  std::size_t admission_rejected_ = 0;
-  std::size_t shed_ = 0;
-  std::size_t retried_ = 0;
-  std::size_t failed_ = 0;
+  mutable Mutex stats_mutex_;
+  std::vector<ReplicaCounters> counters_ GS_GUARDED_BY(stats_mutex_);
+  std::size_t rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t admission_rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t shed_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t retried_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t failed_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::atomic<double> ewma_batch_cost_us_{0.0};
 
-  std::thread maintenance_;  ///< runs when config_.probe_interval > 0
-
-  std::mutex join_mutex_;  // serializes shutdown()'s joinable-check + join
+  Mutex join_mutex_;  ///< serializes shutdown()'s joinable-check + join
+  /// Dispatcher thread of replica r (started last in the constructor).
+  std::vector<std::thread> dispatchers_ GS_GUARDED_BY(join_mutex_);
+  /// Runs when config_.probe_interval > 0.
+  std::thread maintenance_ GS_GUARDED_BY(join_mutex_);
 };
 
 /// Top-1 accuracy through the sharded serving path (submit every sample of

@@ -256,7 +256,9 @@ TEST_P(GroupIndexSweep, OccupancyLogicalCellsPartitionMatrix) {
     EXPECT_LE(occ.cells, occ.physical_cells);
     EXPECT_LE(occ.nonzero_cells, occ.cells)
         << "occupancy must be taken against logical cells";
-    if (grid.exact()) EXPECT_EQ(occ.cells, occ.physical_cells);
+    if (grid.exact()) {
+      EXPECT_EQ(occ.cells, occ.physical_cells);
+    }
   }
   EXPECT_EQ(cell_sum, n * k) << "logical cells must partition the matrix";
   EXPECT_EQ(nonzero_sum, w.numel() - w.count_zeros());
