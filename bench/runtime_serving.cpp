@@ -63,6 +63,8 @@
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/trainer.hpp"
+#include "obs/exec_profile.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/noise_model.hpp"
 #include "runtime/shard.hpp"
 
@@ -501,6 +503,153 @@ int main(int argc, char** argv) {
     records.push_back(overlap);
     std::printf("serving_sharded_same_skip   x%.2f replica-overlap component\n",
                 sharded_rps / single_replica_skip_rps);
+  }
+
+  // --- Observability: the unified metrics/tracing/profiling layer. Two
+  // records form the runtime_observability family:
+  //  * runtime_observability_profile — the paper's per-request energy
+  //    proxies (DAC/ADC conversions, analog MVMs, partial-sum traffic) on
+  //    the heavily-deleted model, tile skipping on vs off. The profile is a
+  //    static program walk, so the skipped-tile count must equal the
+  //    compile-time marks exactly.
+  //  * runtime_observability_overhead — the closed-loop drill with FULL
+  //    observability (metrics + every-request tracing) vs disabled on the
+  //    same executor, alternating runs so machine drift hits both arms
+  //    equally, median wall each. The acceptance budget is <= 3% throughput
+  //    cost; logits must stay bitwise identical either way.
+  {
+    const obs::ExecProfile with_skip = obs::profile_program(deleted_skip);
+    const obs::ExecProfile no_skip = obs::profile_program(deleted_noskip);
+    const bool profile_matches =
+        with_skip.tiles_skipped == deleted_skip.skipped_tile_count() &&
+        with_skip.tiles_executed + with_skip.tiles_skipped ==
+            deleted_skip.tile_count();
+    BenchRecord prof;
+    prof.name = "runtime_observability_profile";
+    prof.label("network", "heavily-deleted lenet")
+        .label("unit", "per sample (one inference)");
+    prof.metric("tiles", static_cast<double>(deleted_skip.tile_count()))
+        .metric("tiles_skipped", static_cast<double>(with_skip.tiles_skipped))
+        .metric("tiles_executed",
+                static_cast<double>(with_skip.tiles_executed))
+        .metric("dac_conversions",
+                static_cast<double>(with_skip.dac_conversions))
+        .metric("adc_conversions",
+                static_cast<double>(with_skip.adc_conversions))
+        .metric("analog_mvms", static_cast<double>(with_skip.analog_mvms))
+        .metric("digital_flops",
+                static_cast<double>(with_skip.digital_flops))
+        .metric("partial_sum_bytes",
+                static_cast<double>(with_skip.partial_sum_bytes))
+        .metric("noskip_adc_conversions",
+                static_cast<double>(no_skip.adc_conversions))
+        .metric("noskip_analog_mvms",
+                static_cast<double>(no_skip.analog_mvms))
+        // Energy-proxy saving the deletion-aware skipping buys at runtime.
+        .metric("adc_conversions_saved_pct",
+                100.0 * (1.0 - static_cast<double>(with_skip.adc_conversions) /
+                                   static_cast<double>(no_skip.adc_conversions)))
+        .metric("profile_matches_compile", profile_matches ? 1.0 : 0.0);
+    records.push_back(prof);
+    std::printf(
+        "runtime_observability       profile: %llu/%llu tiles skipped, "
+        "%llu ADC conv/sample (%.0f%% saved vs no-skip, %s)\n",
+        static_cast<unsigned long long>(with_skip.tiles_skipped),
+        static_cast<unsigned long long>(deleted_skip.tile_count()),
+        static_cast<unsigned long long>(with_skip.adc_conversions),
+        100.0 * (1.0 - static_cast<double>(with_skip.adc_conversions) /
+                           static_cast<double>(no_skip.adc_conversions)),
+        profile_matches ? "matches compile" : "MISMATCH");
+
+    const auto fnv = [](std::uint64_t hash, const void* data,
+                        std::size_t size) {
+      const auto* bytes = static_cast<const unsigned char*>(data);
+      for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+      }
+      return hash;
+    };
+
+    const runtime::Executor obs_exec(deleted_skip);
+    obs::Registry registry;
+    runtime::BatchingConfig obs_on = production;
+    obs_on.observability.registry = &registry;
+    obs_on.observability.trace_sample_every = 1;  // trace EVERY request
+    obs_on.observability.trace_keep = 16;
+    runtime::BatchingConfig obs_off = production;
+    obs_off.observability.metrics = false;
+
+    runtime::BatchingServer lit(obs_exec, obs_on);
+    runtime::BatchingServer dark(obs_exec, obs_off);
+
+    // Bitwise contract first (serial, so the checksums cover identical
+    // request sets): observability may only observe.
+    std::uint64_t lit_checksum = 1469598103934665603ULL;
+    std::uint64_t dark_checksum = 1469598103934665603ULL;
+    for (std::size_t s = 0; s < 16; ++s) {
+      const Tensor sample = slice_sample(deleted_pool, s);
+      const Tensor a = lit.infer(sample);
+      const Tensor b = dark.infer(sample);
+      lit_checksum = fnv(lit_checksum, a.data(), a.numel() * sizeof(float));
+      dark_checksum = fnv(dark_checksum, b.data(), b.numel() * sizeof(float));
+    }
+    const bool bitwise = lit_checksum == dark_checksum;
+
+    // Overhead: alternating closed-loop pairs, median wall per arm. More
+    // pairs than the usual reps because the gate is a small (<=3%) delta.
+    constexpr int kPairs = 9;
+    const std::size_t total = budget.clients * budget.per_client;
+    std::vector<double> lit_walls, dark_walls;
+    for (int p = 0; p < kPairs; ++p) {
+      dark_walls.push_back(serve_closed_loop(dark, deleted_pool,
+                                             budget.clients,
+                                             budget.per_client));
+      lit_walls.push_back(serve_closed_loop(lit, deleted_pool, budget.clients,
+                                            budget.per_client));
+    }
+    std::sort(lit_walls.begin(), lit_walls.end());
+    std::sort(dark_walls.begin(), dark_walls.end());
+    const double lit_rps =
+        static_cast<double>(total) / lit_walls[lit_walls.size() / 2];
+    const double dark_rps =
+        static_cast<double>(total) / dark_walls[dark_walls.size() / 2];
+    const double overhead_pct = 100.0 * (dark_rps - lit_rps) / dark_rps;
+
+    lit.shutdown();
+    dark.shutdown();
+    // Registry/stats reconciliation across everything the lit server did.
+    const runtime::ServerStats lit_stats = lit.stats();
+    const std::uint64_t counted =
+        registry
+            .counter("gs_server_requests_total", "",
+                     obs::Labels{{"engine", "batching"},
+                                 {"result", "completed"}})
+            .value();
+    const bool metrics_match = counted == lit_stats.completed;
+
+    BenchRecord rec;
+    rec.name = "runtime_observability_overhead";
+    rec.label("mode", std::to_string(budget.clients) +
+                          " clients closed-loop, metrics + every-request "
+                          "tracing vs observability off, " +
+                          std::to_string(kPairs) + " alternating pairs");
+    rec.metric("throughput_enabled_rps", lit_rps)
+        .metric("throughput_disabled_rps", dark_rps)
+        .metric("overhead_pct", overhead_pct)
+        .metric("overhead_budget_pct", 3.0)
+        .metric("overhead_within_budget", overhead_pct <= 3.0 ? 1.0 : 0.0)
+        .metric("obs_bitwise_identical", bitwise ? 1.0 : 0.0)
+        .metric("metrics_match_stats", metrics_match ? 1.0 : 0.0)
+        .metric("traced_requests",
+                static_cast<double>(lit_stats.latency_samples_total));
+    records.push_back(rec);
+    std::printf(
+        "runtime_observability       overhead: %.0f rps on vs %.0f rps off "
+        "(%.2f%%, budget 3%%, %s; logits %s)\n",
+        lit_rps, dark_rps, overhead_pct,
+        overhead_pct <= 3.0 ? "within" : "OVER",
+        bitwise ? "bitwise identical" : "DIVERGED");
   }
 
   // --- Noisy fine-tune: nonideal-aware training from the compiled program.

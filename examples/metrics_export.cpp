@@ -1,0 +1,39 @@
+// Serves a burst of requests through the batching engine with full
+// observability on, then writes the metrics registry to stdout in Prometheus
+// text exposition format (version 0.0.4) — and nothing else, so the output
+// can be piped straight into a scraper or the CI format checker
+// (scripts/check_metrics_export.py).
+//
+//   ./metrics_export | promtool check metrics   # (or the bundled checker)
+#include <iostream>
+#include <memory>
+
+#include "nn/dense.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/server.hpp"
+
+int main() {
+  using namespace gs;
+
+  Rng rng(3);
+  nn::Network net;
+  net.add(std::make_unique<nn::DenseLayer>("fc", 64, 10, rng));
+  const runtime::CrossbarProgram program = runtime::compile(net, Shape{64});
+  const runtime::Executor executor(program);
+
+  obs::Registry registry;
+  runtime::BatchingConfig config;
+  config.observability.registry = &registry;
+  config.observability.trace_sample_every = 4;
+  runtime::BatchingServer server(executor, config);
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    Tensor sample(Shape{64});
+    Rng sample_rng(100 + s);
+    sample.fill_uniform(sample_rng, -1.0f, 1.0f);
+    (void)server.infer(sample);
+  }
+  server.shutdown();
+
+  std::cout << registry.prometheus_text();
+  return 0;
+}

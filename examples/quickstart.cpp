@@ -8,6 +8,7 @@
 //   ./quickstart
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "compress/connection_deletion.hpp"
 #include "compress/rank_clipping.hpp"
@@ -18,6 +19,8 @@
 #include "nn/dense.hpp"
 #include "nn/lowrank.hpp"
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/server.hpp"
 #include "runtime/shard.hpp"
 
@@ -86,7 +89,15 @@ int main() {
             << program.stage_count() << " stages, accuracy "
             << runtime::evaluate(executor, test_set) << "\n";
 
-  runtime::BatchingServer server(executor);
+  //    Observability: a private metrics registry plus every-10th-request
+  //    tracing. Both only observe — logits are bitwise identical with them
+  //    on or off — and the execution profile prices one inference in the
+  //    paper's energy proxies (conversions, analog MVMs, skipped tiles).
+  obs::Registry registry;
+  runtime::BatchingConfig serve_config;
+  serve_config.observability.registry = &registry;
+  serve_config.observability.trace_sample_every = 10;
+  runtime::BatchingServer server(executor, serve_config);
   std::size_t agreement = 0;
   for (std::size_t i = 0; i < 20; ++i) {
     const data::Sample sample = test_set.get(i);
@@ -95,6 +106,29 @@ int main() {
   }
   server.shutdown();
   std::cout << "served 20 requests, " << agreement << " correct\n";
+
+  const obs::ExecProfile profile = executor.profile();
+  std::cout << "per-sample profile: " << profile.dac_conversions
+            << " DAC + " << profile.adc_conversions << " ADC conversions, "
+            << profile.analog_mvms << " analog MVMs, "
+            << profile.tiles_executed << " tiles executed ("
+            << profile.tiles_skipped << " skipped)\n";
+  std::cout << "metrics (prometheus excerpt):\n";
+  std::istringstream exposition(registry.prometheus_text());
+  std::string line;
+  int shown = 0;
+  while (std::getline(exposition, line) && shown < 5) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("gs_server_", 0) == 0 || line.rfind("gs_exec_", 0) == 0) {
+      std::cout << "  " << line << "\n";
+      ++shown;
+    }
+  }
+  const auto traces = server.tracer()->completed();
+  if (!traces.empty()) {
+    std::cout << "trace of request " << traces.front()->request_id() << ":\n"
+              << obs::render(*traces.front());
+  }
 
   // 8. Sharded serving: the same network on two compiled replicas (distinct
   //    chips once nonidealities are on) behind one load-balanced,

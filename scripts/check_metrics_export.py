@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4) — stdlib only.
+
+Usage:
+    check_metrics_export.py <exporter-binary> [args...]   # run it, parse stdout
+    check_metrics_export.py --file <exposition.txt>
+    check_metrics_export.py -                              # read stdin
+
+Checks, per the exposition format spec:
+  * every sample line parses: name, optional {key="value",...} labels, float
+    value (label values may contain escaped \\" \\\\ \\n);
+  * metric names match the repo convention gs_[a-z0-9_]+ (histogram series
+    may append _bucket/_sum/_count);
+  * samples follow their family's # TYPE line, and HELP/TYPE appear at most
+    once per family;
+  * histogram series are complete and coherent for every child: _bucket
+    counts are cumulative (non-decreasing in le order), the le="+Inf" bucket
+    exists and equals _count, and _sum/_count are present;
+  * counter and gauge sample names equal the family name exactly.
+
+Exit code 0 when the exposition is clean, 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import subprocess
+import sys
+
+NAME_RE = re.compile(r"^gs_[a-z0-9_]+$")
+# name{labels} value  |  name value   — timestamps are not used in this repo.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(text, errors, lineno):
+    """Returns the label dict of a `k="v",k2="v2"` body."""
+    labels = {}
+    rest = text
+    while rest:
+        match = LABEL_RE.match(rest)
+        if not match:
+            errors.append(f"line {lineno}: malformed labels near '{rest}'")
+            return labels
+        labels[match.group("key")] = match.group("value")
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: expected ',' in labels at '{rest}'")
+            return labels
+    return labels
+
+
+def family_of(name, types):
+    """The declared family a sample name belongs to, or None."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(text):
+    errors = []
+    types = {}  # family -> type string
+    helps = set()
+    # (family, child-label-key) -> {"buckets": [(le, value)], "sum": x,
+    #                                "count": n}
+    children = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[2]:
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            if parts[2] in helps:
+                errors.append(f"line {lineno}: duplicate HELP for {parts[2]}")
+            helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            if parts[2] in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            if not NAME_RE.match(parts[2]):
+                errors.append(
+                    f"line {lineno}: family '{parts[2]}' violates gs_[a-z0-9_]+"
+                )
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample '{line}'")
+            continue
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "", errors, lineno)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: non-numeric value '{match.group('value')}'"
+            )
+            continue
+
+        family = family_of(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: sample '{name}' has no TYPE line")
+            continue
+        kind = types[family]
+        if kind in ("counter", "gauge"):
+            if name != family:
+                errors.append(
+                    f"line {lineno}: {kind} sample '{name}' != family name"
+                )
+            if kind == "counter" and value < 0:
+                errors.append(f"line {lineno}: negative counter '{name}'")
+            continue
+
+        # Histogram series: group by child (labels minus le).
+        child_labels = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        child = children.setdefault(
+            (family, child_labels), {"buckets": [], "sum": None, "count": None}
+        )
+        if name == family + "_bucket":
+            if "le" not in labels:
+                errors.append(f"line {lineno}: bucket without le label")
+                continue
+            le = (
+                math.inf
+                if labels["le"] == "+Inf"
+                else float(labels["le"])
+            )
+            child["buckets"].append((le, value))
+        elif name == family + "_sum":
+            child["sum"] = value
+        elif name == family + "_count":
+            child["count"] = value
+        else:
+            errors.append(
+                f"line {lineno}: '{name}' is not a histogram series of "
+                f"'{family}'"
+            )
+
+    for (family, child_labels), child in children.items():
+        where = f"{family}{dict(child_labels)}"
+        if child["count"] is None or child["sum"] is None:
+            errors.append(f"{where}: missing _count or _sum")
+            continue
+        if not child["buckets"]:
+            errors.append(f"{where}: histogram with no buckets")
+            continue
+        buckets = sorted(child["buckets"])
+        previous = -1.0
+        for le, value in buckets:
+            if value < previous:
+                errors.append(
+                    f"{where}: bucket le={le} count {value} < previous "
+                    f"{previous} (not cumulative)"
+                )
+            previous = value
+        if buckets[-1][0] != math.inf:
+            errors.append(f"{where}: missing le=\"+Inf\" bucket")
+        elif buckets[-1][1] != child["count"]:
+            errors.append(
+                f"{where}: +Inf bucket {buckets[-1][1]} != _count "
+                f"{child['count']}"
+            )
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    elif argv[1] == "--file":
+        with open(argv[2], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        result = subprocess.run(
+            argv[1:], capture_output=True, text=True, timeout=300
+        )
+        if result.returncode != 0:
+            print(
+                f"exporter exited {result.returncode}: {result.stderr}",
+                file=sys.stderr,
+            )
+            return 1
+        text = result.stdout
+
+    errors = check(text)
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    if errors:
+        for error in errors:
+            print(f"check_metrics_export: {error}", file=sys.stderr)
+        return 1
+    if samples == 0:
+        print("check_metrics_export: exposition has no samples", file=sys.stderr)
+        return 1
+    print(f"check_metrics_export: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

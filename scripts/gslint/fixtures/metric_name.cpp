@@ -1,0 +1,18 @@
+// gslint-fixture: obs/bad_metrics.cpp
+// Metric registrations must use names matching gs_[a-z0-9_]+. The call site
+// is located in the BLANKED code, so this comment's registry.counter("no")
+// prose can never fire the rule.
+#include "obs/metrics.hpp"
+
+void register_metrics(gs::obs::Registry& registry) {
+  registry.counter("server_requests_total", "missing gs_ prefix");  // EXPECT: 8 metric-name
+  registry.gauge("gs_Queue_Depth", "uppercase");  // EXPECT: 9 metric-name
+  registry.histogram(
+      "gs-latency-ms",  // EXPECT: 11 metric-name
+      "dashes", {1.0, 2.0});
+  registry.counter("gs_requests_total", "fine");
+  registry.histogram("gs_batch_size", "fine", {1.0, 8.0});
+  // Suppression works as for every other rule:
+  // gslint: allow(metric-name) — legacy dashboard name kept for continuity
+  registry.counter("legacy_total", "suppressed");
+}

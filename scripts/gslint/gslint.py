@@ -19,15 +19,20 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from lexer import lex  # noqa: E402
-from rules import Finding, check_file  # noqa: E402
+from rules import Finding, check_file, metric_registrations  # noqa: E402
+
+#: One registered metric call site: (repo-relative path, line, family name).
+Registration = tuple[str, int, str]
 
 
-def lint_file(repo_root: str, path: str) -> list[Finding]:
+def lint_file(repo_root: str,
+              path: str) -> tuple[list[Finding], list[Registration]]:
     rel = os.path.relpath(path, os.path.join(repo_root, "src"))
     rel = rel.replace(os.sep, "/")
     with open(path, encoding="utf-8") as handle:
@@ -36,7 +41,83 @@ def lint_file(repo_root: str, path: str) -> list[Finding]:
     findings = check_file(lexed, rel)
     # Report paths repo-relative so CI output is clickable.
     repo_rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
-    return [Finding(repo_rel, f.line, f.rule, f.message) for f in findings]
+    registrations = [(repo_rel, line, name)
+                     for line, _method, name in metric_registrations(lexed)]
+    return ([Finding(repo_rel, f.line, f.rule, f.message) for f in findings],
+            registrations)
+
+
+def check_single_registration(
+        registrations: list[Registration]) -> list[Finding]:
+    """Each metric family name must be registered at exactly ONE call site.
+
+    One site per family keeps the catalogue greppable and makes help-text /
+    bucket-bound conflicts impossible (the Registry only validates them at
+    runtime, on paths tests may not cover). Multi-child families register
+    through one helper that the single site wraps (see
+    obs/serving_metrics.cpp).
+    """
+    sites: dict[str, list[tuple[str, int]]] = {}
+    for path, line, name in registrations:
+        sites.setdefault(name, []).append((path, line))
+    findings: list[Finding] = []
+    for name, where in sorted(sites.items()):
+        if len(where) <= 1:
+            continue
+        locations = ", ".join(f"{p}:{ln}" for p, ln in sorted(where))
+        for path, line in sorted(where):
+            findings.append(Finding(
+                path=path, line=line, rule="metric-name",
+                message=f"metric family '{name}' is registered at multiple "
+                        f"sites ({locations}) — register once and share the "
+                        "handle"))
+    return findings
+
+
+#: Catalogue section markers in docs/OBSERVABILITY.md; only backticked
+#: `gs_*` names between them are treated as the documented catalogue.
+_CATALOGUE_BEGIN = "<!-- metric-catalogue:begin -->"
+_CATALOGUE_END = "<!-- metric-catalogue:end -->"
+
+
+def documented_metrics(doc_text: str) -> set[str] | None:
+    """Backticked metric names inside the catalogue markers; None when the
+    markers are missing."""
+    begin = doc_text.find(_CATALOGUE_BEGIN)
+    end = doc_text.find(_CATALOGUE_END)
+    if begin < 0 or end < 0 or end < begin:
+        return None
+    section = doc_text[begin:end]
+    return set(re.findall(r"`(gs_[a-z0-9_]+)`", section))
+
+
+def check_docs_catalogue(repo_root: str,
+                         registrations: list[Registration]) -> list[Finding]:
+    """docs/OBSERVABILITY.md must list EXACTLY the registered families."""
+    doc_rel = "docs/OBSERVABILITY.md"
+    doc_path = os.path.join(repo_root, doc_rel)
+    if not os.path.exists(doc_path):
+        return [Finding(doc_rel, 1, "metric-catalogue",
+                        "missing — every registered metric family must be "
+                        "catalogued here")]
+    with open(doc_path, encoding="utf-8") as handle:
+        doc_text = handle.read()
+    documented = documented_metrics(doc_text)
+    if documented is None:
+        return [Finding(doc_rel, 1, "metric-catalogue",
+                        f"missing the '{_CATALOGUE_BEGIN}' / "
+                        f"'{_CATALOGUE_END}' catalogue markers")]
+    registered = {name for _path, _line, name in registrations}
+    findings: list[Finding] = []
+    for name in sorted(registered - documented):
+        findings.append(Finding(
+            doc_rel, 1, "metric-catalogue",
+            f"registered metric '{name}' is not in the catalogue"))
+    for name in sorted(documented - registered):
+        findings.append(Finding(
+            doc_rel, 1, "metric-catalogue",
+            f"catalogued metric '{name}' is registered nowhere in src/"))
+    return findings
 
 
 def collect_sources(src_root: str) -> list[str]:
@@ -62,8 +143,17 @@ def main(argv: list[str] | None = None) -> int:
 
     files = args.files or collect_sources(src_root)
     findings: list[Finding] = []
+    registrations: list[Registration] = []
     for path in files:
-        findings += lint_file(repo_root, path)
+        file_findings, file_registrations = lint_file(repo_root, path)
+        findings += file_findings
+        registrations += file_registrations
+
+    # Project-wide passes need the whole tree; skip them when linting an
+    # explicit file subset (pre-commit style invocations).
+    if not args.files:
+        findings += check_single_registration(registrations)
+        findings += check_docs_catalogue(repo_root, registrations)
 
     for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
         print(finding.render())

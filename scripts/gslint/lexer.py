@@ -31,6 +31,10 @@ class LexedFile:
     code_lines: list[str] = field(default_factory=list)
     #: line number -> concatenated comment text on that line.
     comments: dict[int, str] = field(default_factory=dict)
+    #: Original source lines, untouched — for rules that must read string
+    #: literal CONTENTS (e.g. metric names) after locating the call site in
+    #: the blanked code.
+    raw_lines: list[str] = field(default_factory=list)
 
     def code_line(self, lineno: int) -> str:
         return self.code_lines[lineno - 1]
@@ -172,4 +176,5 @@ def lex(path: str, text: str) -> LexedFile:
                 i += 1
 
     code.append("".join(out))
-    return LexedFile(path=path, code_lines=code, comments=comments)
+    return LexedFile(path=path, code_lines=code, comments=comments,
+                     raw_lines=text.split("\n"))

@@ -23,10 +23,19 @@ Rules (ids are stable; CI prints them verbatim):
   parallel-stl        std::execution policies / std::reduce: parallel STL
                       reductions have unspecified operand order, which
                       breaks bitwise float reproducibility.
-  missing-contract    public src/hw and src/runtime headers must carry the
-                      mandatory `Thread-safety:` and `Determinism:`
-                      contract lines (the prose the Clang annotations and
-                      this linter machine-check).
+  missing-contract    public src/hw, src/runtime and src/obs headers must
+                      carry the mandatory `Thread-safety:` and
+                      `Determinism:` contract lines (the prose the Clang
+                      annotations and this linter machine-check).
+  metric-name         metric registrations (registry.counter/gauge/
+                      histogram) whose name literal violates the repo
+                      convention gs_[a-z0-9_]+ — the Registry throws on
+                      these at runtime; the linter catches them statically.
+                      gslint.py additionally runs project-wide passes on
+                      full-tree runs: every family name must be registered
+                      at exactly one call site, and the catalogue in
+                      docs/OBSERVABILITY.md must list exactly the
+                      registered families (rule id metric-catalogue).
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ class Finding:
 
 
 #: Top-level src/ directories whose results must be bitwise reproducible.
-DETERMINISM_CRITICAL_DIRS = ("hw", "runtime", "compress", "linalg")
+DETERMINISM_CRITICAL_DIRS = ("hw", "runtime", "compress", "linalg", "obs")
 
 #: Files allowed to own randomness primitives: the seeded-stream facade.
 RNG_ALLOWED = ("common/rng.hpp", "common/rng.cpp")
@@ -67,7 +76,7 @@ THREAD_ALLOWED = (
 )
 
 #: Directories whose public headers must carry contract lines.
-CONTRACT_DIRS = ("hw", "runtime")
+CONTRACT_DIRS = ("hw", "runtime", "obs")
 
 _ALLOW = re.compile(r"gslint:\s*allow\(([a-z-]+)\)")
 
@@ -85,6 +94,14 @@ _ITER_CALL = re.compile(r"\b(\w+)\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\(")
 
 _STD_THREAD = re.compile(r"\bstd\s*::\s*thread\b")
 _PARALLEL_STL = re.compile(r"\bstd\s*::\s*(execution\b|reduce\s*\()")
+
+#: A metric registration in the BLANKED code: `.counter(""` / `->gauge(""` —
+#: the lexer collapses the name literal to "", so matching here can never
+#: fire on prose in comments; the actual name is read from raw_lines.
+_METRIC_CALL = re.compile(
+    r"[.>]\s*(counter|gauge|histogram)\s*\(\s*\"\"", re.S)
+_METRIC_NAME = re.compile(r"^gs_[a-z0-9_]+$")
+_STRING_LITERAL = re.compile(r'"([^"\\]*)"')
 
 
 def _suppressed(lexed: LexedFile, line: int, rule: str) -> bool:
@@ -196,12 +213,44 @@ def check_missing_contract(lexed: LexedFile, rel: str) -> list[Finding]:
     return findings
 
 
+def metric_registrations(lexed: LexedFile) -> list[tuple[int, str, str]]:
+    """(line, method, name) for every registry.counter/gauge/histogram call.
+
+    Call sites are located in the blanked code (so comments can't fake
+    them); the name is the first string literal on the raw line holding the
+    blanked `""` argument — registrations keep the name on the call's first
+    literal line, which the exactly-once project check enforces anyway.
+    """
+    code_text = "\n".join(lexed.code_lines)
+    found: list[tuple[int, str, str]] = []
+    for match in _METRIC_CALL.finditer(code_text):
+        lineno = code_text.count("\n", 0, match.end()) + 1
+        raw = lexed.raw_lines[lineno - 1] if lineno <= len(
+            lexed.raw_lines) else ""
+        name_match = _STRING_LITERAL.search(raw)
+        name = name_match.group(1) if name_match else ""
+        found.append((lineno, match.group(1), name))
+    return found
+
+
+def check_metric_name(lexed: LexedFile, rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for lineno, method, name in metric_registrations(lexed):
+        if not _METRIC_NAME.match(name):
+            findings += _finding(
+                lexed, rel, lineno, "metric-name",
+                f"{method} registration '{name}' violates the metric naming "
+                "convention gs_[a-z0-9_]+ (lowercase, gs_ prefix)")
+    return findings
+
+
 ALL_RULES = (
     check_banned_rng,
     check_unordered_iteration,
     check_raw_thread,
     check_parallel_stl,
     check_missing_contract,
+    check_metric_name,
 )
 
 

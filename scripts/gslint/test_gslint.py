@@ -25,8 +25,10 @@ import unittest
 _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, _HERE)
 
+from gslint import (check_docs_catalogue, check_single_registration,  # noqa: E402
+                    documented_metrics)
 from lexer import lex  # noqa: E402
-from rules import check_file  # noqa: E402
+from rules import check_file, metric_registrations  # noqa: E402
 
 _FIXTURES = os.path.join(_HERE, "fixtures")
 _FIXTURE_REL = re.compile(r"gslint-fixture:\s*(\S+)")
@@ -48,7 +50,7 @@ class FixtureTest(unittest.TestCase):
 
     def test_fixtures_exist(self) -> None:
         names = sorted(os.listdir(_FIXTURES))
-        self.assertGreaterEqual(len(names), 9)
+        self.assertGreaterEqual(len(names), 10)
         # Every rule must be exercised by at least one fixture.
         all_expected = set()
         for name in names:
@@ -58,7 +60,7 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(
             all_expected,
             {"banned-rng", "unordered-iteration", "raw-thread",
-             "parallel-stl", "missing-contract"})
+             "parallel-stl", "missing-contract", "metric-name"})
 
     def test_fixture_findings(self) -> None:
         for name in sorted(os.listdir(_FIXTURES)):
@@ -105,6 +107,50 @@ class LexerTest(unittest.TestCase):
         self.assertIn("int ok;", lexed.code_lines[1])
         self.assertIn("std::thread", lexed.comments[1])
         self.assertIn("rand()", lexed.comments[2])
+
+
+class MetricRegistrationTest(unittest.TestCase):
+    def test_multiline_call_site_yields_name(self) -> None:
+        lexed = lex("t.cpp",
+                    'Counter& c = registry.counter(\n'
+                    '    "gs_requests_total",\n'
+                    '    "help text", labels);\n')
+        self.assertEqual(metric_registrations(lexed),
+                         [(2, "counter", "gs_requests_total")])
+
+    def test_comment_prose_never_registers(self) -> None:
+        lexed = lex("t.cpp",
+                    '// call registry.counter("gs_fake_total") to register\n'
+                    'int x = 0;\n')
+        self.assertEqual(metric_registrations(lexed), [])
+
+    def test_duplicate_site_flagged_once_per_site(self) -> None:
+        registrations = [("src/a.cpp", 3, "gs_dup_total"),
+                         ("src/b.cpp", 9, "gs_dup_total"),
+                         ("src/a.cpp", 5, "gs_unique_total")]
+        findings = check_single_registration(registrations)
+        self.assertEqual(len(findings), 2)
+        self.assertTrue(all(f.rule == "metric-name" for f in findings))
+        self.assertTrue(all("gs_dup_total" in f.message for f in findings))
+
+    def test_catalogue_extraction_requires_markers(self) -> None:
+        self.assertIsNone(documented_metrics("no markers `gs_x_total`"))
+        doc = ("prose `gs_outside_total`\n"
+               "<!-- metric-catalogue:begin -->\n"
+               "| `gs_a_total` | counter |\n"
+               "and `gs_b_ms` inline\n"
+               "<!-- metric-catalogue:end -->\n")
+        self.assertEqual(documented_metrics(doc), {"gs_a_total", "gs_b_ms"})
+
+    def test_catalogue_must_match_registrations(self) -> None:
+        repo_root = os.path.dirname(os.path.dirname(_HERE))
+        registrations = [("src/x.cpp", 1, "gs_never_registered_total")]
+        findings = check_docs_catalogue(repo_root, registrations)
+        # The real docs file exists; the fake registration is missing from
+        # it, and everything the doc lists is "registered nowhere".
+        self.assertTrue(any(
+            "gs_never_registered_total" in f.message and
+            "not in the catalogue" in f.message for f in findings))
 
 
 class CliTest(unittest.TestCase):

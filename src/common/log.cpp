@@ -1,11 +1,24 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
+
+#include "common/sync.hpp"
 
 namespace gs {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+thread_local std::uint64_t t_trace_id = 0;
+
+/// Serialises sink writes so concurrent serving threads never interleave
+/// characters within a line. Function-local so any static logger users
+/// constructed before main() still find it initialised.
+Mutex& sink_mutex() {
+  static Mutex* mutex = new Mutex();  // leaked on purpose: logging may
+                                      // outlive static destruction order
+  return *mutex;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,15 +35,37 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_trace_id(std::uint64_t id) { t_trace_id = id; }
+
+std::uint64_t log_trace_id() { return t_trace_id; }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::cerr << "[gs " << level_tag(level) << "] " << message << '\n';
+  // Format the whole line before taking the sink mutex, so the critical
+  // section is exactly one buffered write + flush.
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += "[gs ";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  if (t_trace_id != 0) {
+    line += " trace=";
+    line += std::to_string(t_trace_id);
+  }
+  line += '\n';
+  MutexLock lock(sink_mutex());
+  std::cerr << line;
 }
 
 }  // namespace gs

@@ -1,11 +1,21 @@
 // Minimal leveled logger.
 //
 // The library itself logs nothing by default (Info threshold, stderr sink);
-// experiment binaries raise verbosity to narrate progress. Not thread-safe by
-// design — all training in this repo is single-threaded at the call level
-// (parallelism lives inside GEMM loops).
+// experiment binaries raise verbosity to narrate progress. Thread-safe: the
+// level is atomic and every emitted line is a single formatted write under
+// an internal mutex, so concurrent dispatch/maintenance/steal threads in the
+// serving tier never interleave characters.
+//
+// Structure: GS_LOG lines carry optional key=value fields
+//   GS_LOG_INFO.field("replica", r).field("state", "quarantined")
+//       << "replica quarantined";
+// renders as "[gs INFO ] replica quarantined replica=0 state=quarantined".
+// When the calling thread has a trace id set (set_log_trace_id — the serving
+// engines set it around traced request handling), "trace=<id>" is appended
+// so log lines correlate with the request's span tree.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -17,7 +27,29 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// Sets the calling thread's trace-correlation id; 0 clears it. Every line
+/// the thread logs while the id is nonzero carries "trace=<id>".
+void set_log_trace_id(std::uint64_t id);
+std::uint64_t log_trace_id();
+
+/// RAII trace-id scope: sets the calling thread's id on construction and
+/// restores the previous id on destruction.
+class LogTraceScope {
+ public:
+  explicit LogTraceScope(std::uint64_t id) : previous_(log_trace_id()) {
+    set_log_trace_id(id);
+  }
+  ~LogTraceScope() { set_log_trace_id(previous_); }
+  LogTraceScope(const LogTraceScope&) = delete;
+  LogTraceScope& operator=(const LogTraceScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// Emits one line to stderr if `level` passes the threshold — a single
+/// formatted write under the logger mutex (safe from any thread). Appends
+/// the calling thread's trace id when set.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
@@ -26,7 +58,7 @@ namespace detail {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, oss_.str()); }
+  ~LogLine() { log_message(level_, oss_.str() + fields_.str()); }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
@@ -36,9 +68,17 @@ class LogLine {
     return *this;
   }
 
+  /// Appends a structured " key=value" field after the message body.
+  template <typename T>
+  LogLine& field(const std::string& key, const T& value) {
+    fields_ << ' ' << key << '=' << value;
+    return *this;
+  }
+
  private:
   LogLevel level_;
   std::ostringstream oss_;
+  std::ostringstream fields_;
 };
 
 }  // namespace detail

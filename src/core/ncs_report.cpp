@@ -107,6 +107,13 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
     out << "runtime tiles " << report.runtime_tiles << " ("
         << report.runtime_skipped_tiles << " skipped as empty)\n";
   }
+  if (report.runtime_analog_mvms > 0) {
+    out << "per-sample energy proxies: " << report.runtime_dac_conversions
+        << " DAC conv, " << report.runtime_adc_conversions << " ADC conv, "
+        << report.runtime_analog_mvms << " analog MVMs, "
+        << report.runtime_digital_flops << " digital FLOPs, "
+        << report.runtime_partial_sum_bytes << " partial-sum bytes\n";
+  }
   if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0 ||
       report.sharded_accuracy >= 0.0 ||
       report.nonideal_accuracy_after >= 0.0 ||

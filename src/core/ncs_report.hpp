@@ -3,6 +3,7 @@
 // area claims, Table 3, and Figures 7–8.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -66,6 +67,17 @@ struct NcsReport {
   /// the pipeline's runtime evaluation ran.
   std::size_t runtime_tiles = 0;
   std::size_t runtime_skipped_tiles = 0;
+
+  /// Per-sample energy proxies of the same compiled program — one
+  /// inference's converter/MVM/digital work under the paper's cost model
+  /// (obs/exec_profile.hpp counts them from the tile schedule; skipped
+  /// tiles contribute nothing). Only populated when the pipeline's runtime
+  /// evaluation ran.
+  std::uint64_t runtime_dac_conversions = 0;
+  std::uint64_t runtime_adc_conversions = 0;
+  std::uint64_t runtime_analog_mvms = 0;
+  std::uint64_t runtime_digital_flops = 0;
+  std::uint64_t runtime_partial_sum_bytes = 0;
 
   /// Cell count the same network would need with every factorised layer
   /// dense (N·M) — the denominator of the paper's crossbar-area ratios.

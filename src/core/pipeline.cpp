@@ -7,6 +7,7 @@
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/trainer.hpp"
+#include "obs/exec_profile.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/noise_model.hpp"
 #include "runtime/shard.hpp"
@@ -199,10 +200,22 @@ PipelineResult run_group_scissor(
     result.final_report.runtime_accuracy = result.runtime_accuracy;
     result.final_report.runtime_tiles = result.runtime_tiles;
     result.final_report.runtime_skipped_tiles = result.runtime_skipped_tiles;
+    // Per-sample energy proxies of the compiled program (the observability
+    // layer's cost model): what one inference costs in converter and MVM
+    // work after deletion's tile skipping.
+    const obs::ExecProfile profile = obs::profile_program(program);
+    result.final_report.runtime_dac_conversions = profile.dac_conversions;
+    result.final_report.runtime_adc_conversions = profile.adc_conversions;
+    result.final_report.runtime_analog_mvms = profile.analog_mvms;
+    result.final_report.runtime_digital_flops = profile.digital_flops;
+    result.final_report.runtime_partial_sum_bytes =
+        profile.partial_sum_bytes;
     GS_LOG_INFO << "pipeline: crossbar runtime accuracy "
                 << result.runtime_accuracy << " over " << program.tile_count()
                 << " tiles (" << result.runtime_skipped_tiles
-                << " skipped as empty)";
+                << " skipped as empty; per-sample " << profile.adc_conversions
+                << " ADC conversions, " << profile.analog_mvms
+                << " analog MVMs)";
 
     if (config.fault_eval_rate > 0.0) {
       // Fault sensitivity: the same compiled program with stuck-at devices

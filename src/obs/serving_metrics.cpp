@@ -1,0 +1,155 @@
+#include "obs/serving_metrics.hpp"
+
+namespace gs::obs {
+
+namespace {
+
+/// Latency buckets in milliseconds — sub-ms serving through slow CI runs.
+const std::vector<double> kLatencyBoundsMs = {0.05, 0.1,  0.25, 0.5, 1.0,
+                                              2.5,  5.0,  10.0, 25.0, 50.0,
+                                              100.0, 250.0, 1000.0};
+
+/// Batch-size buckets up to the serving tier's default max_batch and beyond.
+const std::vector<double> kBatchBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+
+Labels engine_labels(const std::string& engine) {
+  return Labels{{"engine", engine}};
+}
+
+Labels result_labels(const std::string& engine, const std::string& result) {
+  return Labels{{"engine", engine}, {"result", result}};
+}
+
+Counter& requests_total(Registry& registry, const std::string& engine,
+                        const std::string& result) {
+  return registry.counter(
+      "gs_server_requests_total",
+      "Requests by final disposition (completed/rejected/shed/failed)",
+      result_labels(engine, result));
+}
+
+Labels replica_labels(std::size_t replica) {
+  return Labels{{"replica", std::to_string(replica)}};
+}
+
+Counter& transitions_total(Registry& registry, std::size_t replica,
+                           const std::string& to) {
+  Labels labels = replica_labels(replica);
+  labels.emplace("to", to);
+  return registry.counter(
+      "gs_replica_health_transitions_total",
+      "Replica health-state transitions by destination state", labels);
+}
+
+}  // namespace
+
+ServingMetrics::ServingMetrics(Registry& registry, const std::string& engine)
+    : completed(requests_total(registry, engine, "completed")),
+      rejected(requests_total(registry, engine, "rejected")),
+      shed(requests_total(registry, engine, "shed")),
+      failed(requests_total(registry, engine, "failed")),
+      admission_rejected(registry.counter(
+          "gs_server_admission_rejected_total",
+          "Rejections issued by deadline admission control (subset of "
+          "rejected requests)",
+          engine_labels(engine))),
+      batches(registry.counter("gs_server_batches_total",
+                               "Successfully executed batches",
+                               engine_labels(engine))),
+      batches_stolen(registry.counter(
+          "gs_server_batches_stolen_total",
+          "Batches executed by a replica other than the one placement chose",
+          engine_labels(engine))),
+      retries(registry.counter(
+          "gs_server_retries_total",
+          "Requests re-routed off a quarantined replica",
+          engine_labels(engine))),
+      queue_depth(registry.gauge("gs_server_queue_depth",
+                                 "Requests currently queued (all queues)",
+                                 engine_labels(engine))),
+      inflight(registry.gauge(
+          "gs_server_inflight",
+          "Accepted requests not yet completed, shed, or failed",
+          engine_labels(engine))),
+      latency_ms(registry.histogram(
+          "gs_server_latency_ms",
+          "Submit-to-completion latency in milliseconds (cumulative, unlike "
+          "the windowed ServerStats percentiles)",
+          kLatencyBoundsMs, engine_labels(engine))),
+      batch_size(registry.histogram("gs_server_batch_size",
+                                    "Executed batch sizes", kBatchBounds,
+                                    engine_labels(engine))),
+      exec_forwards(registry.counter("gs_exec_forwards_total",
+                                     "Batched Executor::forward calls",
+                                     engine_labels(engine))),
+      exec_samples(registry.counter("gs_exec_samples_total",
+                                    "Samples executed through the crossbar "
+                                    "program",
+                                    engine_labels(engine))),
+      exec_dac_conversions(registry.counter(
+          "gs_exec_dac_conversions_total",
+          "DAC conversions priced by the per-sample execution profile",
+          engine_labels(engine))),
+      exec_adc_conversions(registry.counter(
+          "gs_exec_adc_conversions_total",
+          "ADC conversions priced by the per-sample execution profile",
+          engine_labels(engine))),
+      exec_analog_mvms(registry.counter(
+          "gs_exec_analog_mvms_total",
+          "Per-tile analog matrix-vector multiplies",
+          engine_labels(engine))),
+      exec_tiles_executed(registry.counter(
+          "gs_exec_tiles_executed_total",
+          "Non-skipped tiles in the schedule, summed per executed sample",
+          engine_labels(engine))),
+      exec_tiles_skipped(registry.counter(
+          "gs_exec_tiles_skipped_total",
+          "Skip-proved tiles elided from the schedule, summed per executed "
+          "sample",
+          engine_labels(engine))),
+      exec_digital_flops(registry.counter(
+          "gs_exec_digital_flops_total",
+          "Digital peripheral operations (partial sums, bias, ReLU, pooling)",
+          engine_labels(engine))),
+      exec_partial_sum_bytes(registry.counter(
+          "gs_exec_partial_sum_bytes_total",
+          "Bytes of per-tile partial sums handed to the digital accumulator",
+          engine_labels(engine))) {}
+
+void ServingMetrics::record_forward(const ExecProfile& per_sample,
+                                    std::size_t batch) {
+  const ExecProfile scaled = per_sample.scaled(batch);
+  exec_forwards.inc();
+  exec_samples.inc(batch);
+  exec_dac_conversions.inc(scaled.dac_conversions);
+  exec_adc_conversions.inc(scaled.adc_conversions);
+  exec_analog_mvms.inc(scaled.analog_mvms);
+  exec_tiles_executed.inc(per_sample.tiles_executed * batch);
+  exec_tiles_skipped.inc(per_sample.tiles_skipped * batch);
+  exec_digital_flops.inc(scaled.digital_flops);
+  exec_partial_sum_bytes.inc(scaled.partial_sum_bytes);
+}
+
+ReplicaMetrics::ReplicaMetrics(Registry& registry, std::size_t replica)
+    : queue_depth(registry.gauge("gs_replica_queue_depth",
+                                 "Requests queued on this replica",
+                                 replica_labels(replica))),
+      health_state(registry.gauge(
+          "gs_replica_health_state",
+          "Replica lifecycle state (0 healthy, 1 degraded, 2 quarantined)",
+          replica_labels(replica))),
+      probes(registry.counter("gs_replica_probes_total",
+                              "Canary probes run against this replica",
+                              replica_labels(replica))),
+      fault_injections(registry.counter(
+          "gs_replica_fault_injections_total",
+          "Deterministic fault-injection passes applied to this replica",
+          replica_labels(replica))),
+      recalibrations(registry.counter(
+          "gs_replica_recalibrations_total",
+          "Successful reprogram-and-rejoin cycles", replica_labels(replica))),
+      transitions_to{&transitions_total(registry, replica, "healthy"),
+                     &transitions_total(registry, replica, "degraded"),
+                     &transitions_total(registry, replica, "quarantined")} {}
+
+}  // namespace gs::obs

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gs::obs {
+
+Trace::Trace(std::uint64_t request_id) : request_id_(request_id) {
+  SpanRecord root;
+  root.id = kRoot;
+  root.parent = 0;
+  root.name = "request";
+  root.start = std::chrono::steady_clock::now();
+  root.end = root.start;
+  MutexLock lock(mutex_);
+  spans_.push_back(std::move(root));
+}
+
+std::uint64_t Trace::begin_span(const std::string& name,
+                                std::uint64_t parent) {
+  MutexLock lock(mutex_);
+  GS_CHECK_MSG(parent >= 1 && parent <= spans_.size(),
+               "trace " << request_id_ << ": span parent " << parent
+                        << " does not exist");
+  SpanRecord span;
+  span.id = spans_.size() + 1;  // ids are 1-based creation indices
+  span.parent = parent;
+  span.name = name;
+  span.start = std::chrono::steady_clock::now();
+  span.end = span.start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::end_span(std::uint64_t span) {
+  MutexLock lock(mutex_);
+  GS_CHECK_MSG(span >= 1 && span <= spans_.size(),
+               "trace " << request_id_ << ": span " << span
+                        << " does not exist");
+  SpanRecord& record = spans_[span - 1];
+  if (record.end == record.start) {
+    record.end = std::chrono::steady_clock::now();
+  }
+}
+
+void Trace::annotate(std::uint64_t span, const std::string& key,
+                     const std::string& value) {
+  MutexLock lock(mutex_);
+  GS_CHECK_MSG(span >= 1 && span <= spans_.size(),
+               "trace " << request_id_ << ": span " << span
+                        << " does not exist");
+  spans_[span - 1].notes.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> Trace::spans() const {
+  MutexLock lock(mutex_);
+  return spans_;
+}
+
+std::size_t Trace::span_count() const {
+  MutexLock lock(mutex_);
+  return spans_.size();
+}
+
+Tracer::Tracer(std::size_t sample_every, std::size_t keep, Registry* registry)
+    : sample_every_(sample_every), keep_(keep == 0 ? 1 : keep) {
+  if (registry != nullptr && sample_every_ > 0) {
+    sampled_total_ = &registry->counter(
+        "gs_trace_sampled_total", "Requests selected for tracing");
+    spans_total_ = &registry->counter(
+        "gs_trace_spans_total", "Spans recorded across completed traces");
+    dropped_total_ = &registry->counter(
+        "gs_trace_dropped_total",
+        "Completed traces evicted from the bounded retention ring");
+  }
+}
+
+std::shared_ptr<Trace> Tracer::start(std::uint64_t request_id) {
+  if (!sampled(request_id)) return nullptr;
+  if (sampled_total_ != nullptr) sampled_total_->inc();
+  return std::make_shared<Trace>(request_id);
+}
+
+void Tracer::finish(const std::shared_ptr<Trace>& trace) {
+  if (trace == nullptr) return;
+  trace->end_span(Trace::kRoot);
+  if (spans_total_ != nullptr) spans_total_->inc(trace->span_count());
+  std::shared_ptr<Trace> dropped;
+  {
+    MutexLock lock(mutex_);
+    if (ring_.size() >= keep_) {
+      dropped = std::move(ring_.front());
+      ring_.pop_front();
+    }
+    ring_.push_back(trace);
+  }
+  if (dropped != nullptr && dropped_total_ != nullptr) dropped_total_->inc();
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::completed() const {
+  MutexLock lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string render(const Trace& trace) {
+  const std::vector<SpanRecord> spans = trace.spans();
+  std::ostringstream out;
+  out << "trace request_id=" << trace.request_id() << '\n';
+  // Depth of each span follows the parent chain; spans_ is in creation
+  // order, and parents always precede children, so one pass suffices.
+  std::vector<std::size_t> depth(spans.size(), 0);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (span.parent >= 1) depth[i] = depth[span.parent - 1] + 1;
+    const double ms =
+        std::chrono::duration<double, std::milli>(span.end - span.start)
+            .count();
+    out << std::string(2 * depth[i], ' ') << span.name << " ("
+        << std::fixed << std::setprecision(3) << ms << " ms)";
+    for (const auto& [key, value] : span.notes) {
+      out << ' ' << key << '=' << value;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace gs::obs

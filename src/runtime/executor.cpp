@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 #include "tensor/matrix.hpp"
 
 namespace gs::runtime {
@@ -19,6 +20,35 @@ std::size_t pool_out_extent(std::size_t in, std::size_t kernel,
   GS_CHECK_MSG(in >= 1, "pooling input too small");
   if (in <= kernel) return 1;
   return (in - kernel + stride - 1) / stride + 1;  // Caffe ceil mode
+}
+
+/// Opens a per-stage span annotated with the stage's energy-proxy counts
+/// (tile schedule, DAC/ADC conversions for `rows` input vectors). Returns 0
+/// when untraced. Pure observation — never touches the stage arithmetic.
+std::uint64_t begin_stage_span(const ForwardTrace& trace,
+                               const MatrixPlan& plan, std::size_t rows) {
+  if (trace.trace == nullptr) return 0;
+  const std::uint64_t span =
+      trace.trace->begin_span("stage:" + plan.name, trace.parent);
+  std::uint64_t executed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t adc_per_row = 0;
+  for (const ProgramTile& tile : plan.tiles) {
+    if (tile.skip) {
+      ++skipped;
+    } else {
+      ++executed;
+      adc_per_row += tile.slice.col_end - tile.slice.col_begin;
+    }
+  }
+  trace.trace->annotate(span, "rows", std::to_string(rows));
+  trace.trace->annotate(span, "tiles", std::to_string(executed));
+  trace.trace->annotate(span, "skipped", std::to_string(skipped));
+  trace.trace->annotate(span, "dac_conversions",
+                        std::to_string(rows * plan.grid.rows));
+  trace.trace->annotate(span, "adc_conversions",
+                        std::to_string(rows * adc_per_row));
+  return span;
 }
 
 }  // namespace
@@ -126,7 +156,8 @@ void Executor::apply_plan(const MatrixPlan& plan, const Tensor& act,
   });
 }
 
-Tensor Executor::run_linear(const Step& step, const Tensor& act) const {
+Tensor Executor::run_linear(const Step& step, const Tensor& act,
+                            const ForwardTrace& trace) const {
   const Tensor* cur = &act;
   Tensor reshaped;
   if (act.rank() != 2) {
@@ -136,8 +167,10 @@ Tensor Executor::run_linear(const Step& step, const Tensor& act) const {
   }
   Tensor out;
   for (const MatrixPlan& plan : step.stages) {
+    const std::uint64_t span = begin_stage_span(trace, plan, cur->rows());
     Tensor next(Shape{cur->rows(), plan.grid.cols});
     apply_plan(plan, *cur, next);
+    if (span != 0) trace.trace->end_span(span);
     out = std::move(next);
     cur = &out;
   }
@@ -145,7 +178,8 @@ Tensor Executor::run_linear(const Step& step, const Tensor& act) const {
   return out;
 }
 
-Tensor Executor::run_conv(const Step& step, const Tensor& act) const {
+Tensor Executor::run_conv(const Step& step, const Tensor& act,
+                          const ForwardTrace& trace) const {
   GS_CHECK_MSG(act.rank() == 4, step.name << ": conv input must be B×C×H×W");
   const ConvGeometry& g = step.geometry;
   const std::size_t batch = act.dim(0);
@@ -168,8 +202,10 @@ Tensor Executor::run_conv(const Step& step, const Tensor& act) const {
 
   Tensor cur = std::move(cols);
   for (const MatrixPlan& plan : step.stages) {
+    const std::uint64_t span = begin_stage_span(trace, plan, cur.rows());
     Tensor next(Shape{cur.rows(), plan.grid.cols});
     apply_plan(plan, cur, next);
+    if (span != 0) trace.trace->end_span(span);
     cur = std::move(next);
   }
   const std::size_t filters = step.out_shape[0];
@@ -243,6 +279,10 @@ Tensor Executor::run_pool(const Step& step, const Tensor& act) const {
 }
 
 Tensor Executor::forward(const Tensor& batch) const {
+  return forward(batch, ForwardTrace{});
+}
+
+Tensor Executor::forward(const Tensor& batch, const ForwardTrace& trace) const {
   const Shape& sample = program_->input_shape();
   GS_CHECK_MSG(batch.rank() == sample.size() + 1,
                "executor input rank " << batch.rank() << ", program expects "
@@ -258,12 +298,19 @@ Tensor Executor::forward(const Tensor& batch) const {
 
   Tensor x = batch;
   for (const Step& step : program_->steps()) {
+    // Per-step execute span; crossbar steps nest per-stage detail spans.
+    std::uint64_t step_span = 0;
+    ForwardTrace step_trace = trace;
+    if (trace.trace != nullptr) {
+      step_span = trace.trace->begin_span("step:" + step.name, trace.parent);
+      step_trace.parent = step_span;
+    }
     switch (step.kind) {
       case Step::Kind::kLinear:
-        x = run_linear(step, x);
+        x = run_linear(step, x, step_trace);
         break;
       case Step::Kind::kConv:
-        x = run_conv(step, x);
+        x = run_conv(step, x, step_trace);
         break;
       case Step::Kind::kRelu: {
         float* data = x.data();
@@ -282,6 +329,7 @@ Tensor Executor::forward(const Tensor& batch) const {
       case Step::Kind::kIdentity:
         break;
     }
+    if (step_span != 0) trace.trace->end_span(step_span);
   }
   return x;
 }

@@ -29,21 +29,38 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "data/dataset.hpp"
+#include "obs/exec_profile.hpp"
 #include "runtime/program.hpp"
 
 namespace gs {
 class ThreadPool;
 }
 
+namespace gs::obs {
+class Trace;
+}
+
 namespace gs::runtime {
+
+/// Optional per-request trace attachment for a forward: when `trace` is
+/// non-null the executor records per-step and per-stage spans (annotated
+/// with tile/ADC counts) under `parent`. Tracing only observes — it never
+/// touches the arithmetic, so traced and untraced forwards are bitwise
+/// identical.
+struct ForwardTrace {
+  obs::Trace* trace = nullptr;
+  std::uint64_t parent = 0;  ///< span id the execute detail nests under
+};
 
 /// Thread-safety: forward() is const and safe from any number of threads
 /// (the serving engines share one executor across dispatchers); the only
 /// mutator is set_thread_pool(), which must not race forward().
 /// Determinism: logits are bitwise identical at any pool size and invariant
-/// to batch composition (per-input-vector converter scales).
+/// to batch composition (per-input-vector converter scales); a traced
+/// forward returns bitwise the same logits as an untraced one.
 class Executor {
  public:
   /// Binds to `program` (borrowed; must outlive the executor). `pool`
@@ -55,6 +72,15 @@ class Executor {
   /// logits (B × classes). Thread-safe; bitwise deterministic at any pool
   /// size.
   Tensor forward(const Tensor& batch) const;
+
+  /// As above, recording execution-detail spans into `trace.trace` when
+  /// set (see ForwardTrace).
+  Tensor forward(const Tensor& batch, const ForwardTrace& trace) const;
+
+  /// Per-sample energy-proxy profile of the bound program's CURRENT state
+  /// (skip flags are live; see obs/exec_profile.hpp). Callers serialise
+  /// against program mutation exactly as for forward().
+  obs::ExecProfile profile() const { return obs::profile_program(*program_); }
 
   /// Injects an ad-hoc pool (nullptr restores the global pool) — used by the
   /// determinism tests.
@@ -68,8 +94,10 @@ class Executor {
   /// the programmed tiles with DAC/ADC at the stage boundary.
   void apply_plan(const MatrixPlan& plan, const Tensor& act,
                   Tensor& out) const;
-  Tensor run_linear(const Step& step, const Tensor& act) const;
-  Tensor run_conv(const Step& step, const Tensor& act) const;
+  Tensor run_linear(const Step& step, const Tensor& act,
+                    const ForwardTrace& trace) const;
+  Tensor run_conv(const Step& step, const Tensor& act,
+                  const ForwardTrace& trace) const;
   Tensor run_pool(const Step& step, const Tensor& act) const;
 
   const CrossbarProgram* program_;

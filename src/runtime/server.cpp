@@ -41,6 +41,25 @@ std::exception_ptr rejection(const std::string& message) {
 BatchingServer::BatchingServer(const Executor& executor, BatchingConfig config)
     : executor_(&executor), config_(config) {
   config_.validate();
+  // The program is immutable for this server's lifetime, so the per-sample
+  // energy-proxy profile is priced once here — record_forward() then only
+  // multiplies by batch size (no per-tile work on the hot path).
+  profile_ = executor.profile();
+  obs::Registry& registry = config_.observability.registry != nullptr
+                                ? *config_.observability.registry
+                                : obs::Registry::global();
+  if (config_.observability.metrics) {
+    metrics_ = std::make_unique<obs::ServingMetrics>(registry, "batching");
+  }
+  if (config_.observability.tracer != nullptr) {
+    tracer_ = config_.observability.tracer;
+  } else if (config_.observability.trace_sample_every > 0) {
+    owned_tracer_ = std::make_unique<obs::Tracer>(
+        config_.observability.trace_sample_every,
+        config_.observability.trace_keep,
+        config_.observability.metrics ? &registry : nullptr);
+    tracer_ = owned_tracer_.get();
+  }
   MutexLock join_lock(join_mutex_);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
@@ -63,12 +82,19 @@ std::future<Tensor> BatchingServer::submit(
   request.enqueued = std::chrono::steady_clock::now();
   request.deadline = deadline.count() > 0 ? request.enqueued + deadline
                                           : kNoDeadline;
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) request.trace = tracer_->start(request.id);
+  std::uint64_t submit_span = 0;
+  if (request.trace) {
+    submit_span = request.trace->begin_span("submit", obs::Trace::kRoot);
+  }
   std::future<Tensor> future = request.promise.get_future();
 
   std::string reject_reason;
   bool admission_miss = false;
   Request displaced;          // later-deadline victim shed in our favour
   bool have_displaced = false;
+  std::size_t depth_after = 0;
   {
     MutexLock lock(mutex_);
     if (stopping_) {
@@ -113,7 +139,13 @@ std::future<Tensor> BatchingServer::submit(
       }
     }
     if (reject_reason.empty()) {
+      if (request.trace) {
+        request.trace->end_span(submit_span);
+        request.queue_span =
+            request.trace->begin_span("queue", obs::Trace::kRoot);
+      }
       queue_.push_back(std::move(request));
+      depth_after = queue_.size();
     }
   }
   if (have_displaced) {
@@ -121,6 +153,11 @@ std::future<Tensor> BatchingServer::submit(
       MutexLock lock(stats_mutex_);
       ++shed_;
     }
+    if (metrics_) {
+      metrics_->shed.inc();
+      metrics_->inflight.add(-1.0);
+    }
+    finish_dropped(displaced, "displaced");
     displaced.promise.set_exception(rejection(
         "BatchingServer: shed — displaced by an earlier-deadline request "
         "under overload"));
@@ -131,11 +168,34 @@ std::future<Tensor> BatchingServer::submit(
       ++rejected_;
       if (admission_miss) ++admission_rejected_;
     }
+    if (metrics_) {
+      metrics_->rejected.inc();
+      if (admission_miss) metrics_->admission_rejected.inc();
+    }
+    if (request.trace) request.trace->end_span(submit_span);
+    finish_dropped(request,
+                   admission_miss ? "admission_rejected" : "rejected");
     request.promise.set_exception(rejection(reject_reason));
     return future;
   }
+  if (metrics_) {
+    metrics_->inflight.add(1.0);
+    metrics_->queue_depth.set(static_cast<double>(depth_after));
+  }
   queue_cv_.notify_one();
   return future;
+}
+
+void BatchingServer::finish_dropped(Request& request,
+                                    const char* result) const {
+  if (!request.trace) return;
+  if (request.queue_span != 0) {
+    request.trace->end_span(request.queue_span);
+    request.queue_span = 0;
+  }
+  request.trace->annotate(obs::Trace::kRoot, "result", result);
+  if (tracer_ != nullptr) tracer_->finish(request.trace);
+  request.trace.reset();
 }
 
 Tensor BatchingServer::infer(const Tensor& sample) {
@@ -166,6 +226,7 @@ ServerStats BatchingServer::stats() const {
     stats.failed = failed_;
     stats.batches = batches_;
     stats.max_batch_seen = max_batch_seen_;
+    stats.latency_samples_total = latencies_.total();
     latencies = latencies_.samples();
   }
   stats.mean_batch =
@@ -177,6 +238,7 @@ ServerStats BatchingServer::stats() const {
     stats.latency_p50_ms = latency_percentile(latencies, 0.50);
     stats.latency_p95_ms = latency_percentile(latencies, 0.95);
     stats.latency_p99_ms = latency_percentile(latencies, 0.99);
+    stats.latency_p999_ms = latency_percentile(latencies, 0.999);
     stats.latency_max_ms = latencies.back();
   }
   return stats;
@@ -186,6 +248,7 @@ void BatchingServer::dispatch_loop() {
   for (;;) {
     std::vector<Request> batch;
     std::vector<Request> expired;
+    std::size_t depth_after = 0;
     {
       MutexLock lock(mutex_);
       while (!stopping_ && queue_.empty()) queue_cv_.wait(mutex_);
@@ -214,13 +277,22 @@ void BatchingServer::dispatch_loop() {
           batch.push_back(std::move(request));
         }
       }
+      depth_after = queue_.size();
+    }
+    if (metrics_) {
+      metrics_->queue_depth.set(static_cast<double>(depth_after));
     }
     if (!expired.empty()) {
       {
         MutexLock lock(stats_mutex_);
         shed_ += expired.size();
       }
+      if (metrics_) {
+        metrics_->shed.inc(expired.size());
+        metrics_->inflight.add(-static_cast<double>(expired.size()));
+      }
       for (Request& request : expired) {
+        finish_dropped(request, "expired");
         request.promise.set_exception(rejection(
             "BatchingServer: shed — deadline expired before execution"));
       }
@@ -246,9 +318,33 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
               batch.data() + i * sample_numel);
   }
 
+  // Close queue spans, open batch/execute spans on every sampled request.
+  // Execution-detail spans (per step/stage) go to the FIRST sampled trace
+  // only — the batch runs once, so the detail belongs to one tree.
+  std::vector<std::uint64_t> batch_spans(count, 0);
+  std::vector<std::uint64_t> execute_spans(count, 0);
+  ForwardTrace forward_trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    Request& request = requests[i];
+    if (!request.trace) continue;
+    if (request.queue_span != 0) {
+      request.trace->end_span(request.queue_span);
+      request.queue_span = 0;
+    }
+    batch_spans[i] = request.trace->begin_span("batch", obs::Trace::kRoot);
+    request.trace->annotate(batch_spans[i], "batch_size",
+                            std::to_string(count));
+    execute_spans[i] =
+        request.trace->begin_span("execute", batch_spans[i]);
+    if (forward_trace.trace == nullptr) {
+      forward_trace.trace = request.trace.get();
+      forward_trace.parent = execute_spans[i];
+    }
+  }
+
   try {
     const auto started = std::chrono::steady_clock::now();
-    const Tensor logits = executor_->forward(batch);
+    const Tensor logits = executor_->forward(batch, forward_trace);
     const std::size_t classes = logits.numel() / count;
     const auto finished = std::chrono::steady_clock::now();
     const double batch_us =
@@ -272,11 +368,37 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
                               .count());
       }
     }
+    if (metrics_) {
+      metrics_->completed.inc(count);
+      metrics_->batches.inc();
+      metrics_->batch_size.observe(static_cast<double>(count));
+      metrics_->inflight.add(-static_cast<double>(count));
+      metrics_->record_forward(profile_, count);
+      for (const Request& request : requests) {
+        metrics_->latency_ms.observe(
+            std::chrono::duration<double, std::milli>(finished -
+                                                      request.enqueued)
+                .count());
+      }
+    }
     for (std::size_t i = 0; i < count; ++i) {
+      Request& request = requests[i];
+      std::uint64_t reply_span = 0;
+      if (request.trace) {
+        request.trace->end_span(execute_spans[i]);
+        request.trace->end_span(batch_spans[i]);
+        reply_span = request.trace->begin_span("reply", obs::Trace::kRoot);
+      }
       Tensor row(Shape{classes});
       std::copy(logits.data() + i * classes, logits.data() + (i + 1) * classes,
                 row.data());
-      requests[i].promise.set_value(std::move(row));
+      request.promise.set_value(std::move(row));
+      if (request.trace) {
+        request.trace->end_span(reply_span);
+        request.trace->annotate(obs::Trace::kRoot, "result", "ok");
+        if (tracer_ != nullptr) tracer_->finish(request.trace);
+        request.trace.reset();
+      }
     }
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
@@ -284,7 +406,19 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
       MutexLock lock(stats_mutex_);
       failed_ += count;
     }
-    for (Request& request : requests) {
+    if (metrics_) {
+      metrics_->failed.inc(count);
+      metrics_->inflight.add(-static_cast<double>(count));
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      Request& request = requests[i];
+      if (request.trace) {
+        request.trace->end_span(execute_spans[i]);
+        request.trace->end_span(batch_spans[i]);
+        request.trace->annotate(obs::Trace::kRoot, "result", "failed");
+        if (tracer_ != nullptr) tracer_->finish(request.trace);
+        request.trace.reset();
+      }
       request.promise.set_exception(error);
     }
   }

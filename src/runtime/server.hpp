@@ -33,13 +33,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/sync.hpp"
+#include "obs/serving_metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/executor.hpp"
 
 namespace gs::runtime {
@@ -74,6 +78,9 @@ struct BatchingConfig {
   /// a later-deadline queued request — see the overload notes above).
   std::size_t max_queue_depth = 4096;
   AdmissionConfig admission;  ///< deadline admission control (default off)
+  /// Metrics/tracing knobs (obs/trace.hpp). Metrics are on by default (a
+  /// handful of lock-free counter bumps per batch); tracing defaults off.
+  obs::ObservabilityConfig observability;
 
   void validate() const;
 };
@@ -91,6 +98,7 @@ class LatencyWindow {
   explicit LatencyWindow(std::size_t capacity) : capacity_(capacity) {}
 
   void record(double ms) {
+    ++total_;
     if (samples_.size() < capacity_) {
       samples_.push_back(ms);
     } else {
@@ -102,10 +110,16 @@ class LatencyWindow {
   /// Retained samples, unordered (ring layout).
   const std::vector<double>& samples() const { return samples_; }
 
+  /// Samples EVER recorded — the percentile-provenance counter: when it
+  /// exceeds samples().size(), the window has discarded (the percentiles
+  /// cover only the most recent `capacity` samples).
+  std::uint64_t total() const { return total_; }
+
  private:
   std::size_t capacity_;
   std::vector<double> samples_;
   std::size_t next_ = 0;  ///< ring write position
+  std::uint64_t total_ = 0;
 };
 
 /// Serving counters; latency aggregates cover the most recent window of
@@ -129,7 +143,13 @@ struct ServerStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
   double latency_max_ms = 0.0;
+  /// Latency samples EVER recorded (percentile provenance): when this
+  /// exceeds the window capacity, the percentiles above cover only the most
+  /// recent kLatencyWindow samples — older ones were silently discarded
+  /// before this counter existed.
+  std::uint64_t latency_samples_total = 0;
 };
 
 /// Thread-safety: submit()/infer()/stats() are safe from any number of
@@ -139,7 +159,9 @@ struct ServerStats {
 /// every C++ object.
 /// Determinism: results inherit the Executor contract — a sample's logits
 /// are bitwise independent of batch composition, pool size, and coalescing
-/// timing; only the latency statistics are timing-dependent.
+/// timing; only the latency statistics are timing-dependent. Observability
+/// (metrics, deterministic request-id-keyed trace sampling, execution
+/// profiling) only observes: logits are bitwise identical with it on or off.
 class BatchingServer {
  public:
   /// Starts the dispatch thread. `executor` is borrowed and must outlive the
@@ -171,6 +193,10 @@ class BatchingServer {
 
   ServerStats stats() const;
 
+  /// The tracer sampling this server's requests (nullptr when tracing is
+  /// off) — completed span trees are read through it.
+  const obs::Tracer* tracer() const { return tracer_; }
+
   /// Latency samples retained for the percentile window.
   static constexpr std::size_t kLatencyWindow = 16384;
 
@@ -184,13 +210,26 @@ class BatchingServer {
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline = kNoDeadline;
+    std::uint64_t id = 0;  ///< submit-order id (trace sampling key)
+    std::shared_ptr<obs::Trace> trace;  ///< non-null when sampled
+    std::uint64_t queue_span = 0;       ///< open "queue" span id
   };
 
   void dispatch_loop();
   void run_batch(std::vector<Request>& requests) GS_EXCLUDES(mutex_);
+  /// Rejects + finishes the traces of requests dropped before execution.
+  void finish_dropped(Request& request, const char* result) const;
 
   const Executor* executor_;
   BatchingConfig config_;
+  /// Per-sample energy-proxy profile of the (immutable) program, priced once
+  /// at construction (obs/exec_profile.hpp).
+  obs::ExecProfile profile_;
+  /// Registry-backed serving metrics (null when observability.metrics off).
+  std::unique_ptr<obs::ServingMetrics> metrics_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::Tracer* tracer_ = nullptr;  ///< external or owned; null = no tracing
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   mutable Mutex mutex_;
   CondVar queue_cv_;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "core/models.hpp"
 #include "nn/trainer.hpp"
@@ -37,6 +38,29 @@ ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
                                  ? config_.total_threads
                                  : ThreadPool::global().size();
   threads_per_replica_ = std::max<std::size_t>(1, budget / config_.replicas);
+
+  const obs::ObservabilityConfig& obs_config = config_.batching.observability;
+  obs::Registry& registry = obs_config.registry != nullptr
+                                ? *obs_config.registry
+                                : obs::Registry::global();
+  if (obs_config.metrics) {
+    metrics_ = std::make_unique<obs::ServingMetrics>(registry, "sharded");
+    replica_metrics_.reserve(config_.replicas);
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      replica_metrics_.push_back(
+          std::make_unique<obs::ReplicaMetrics>(registry, r));
+      replica_metrics_.back()->health_state.set(
+          static_cast<double>(static_cast<int>(ReplicaHealth::kHealthy)));
+    }
+  }
+  if (obs_config.tracer != nullptr) {
+    tracer_ = obs_config.tracer;
+  } else if (obs_config.trace_sample_every > 0) {
+    owned_tracer_ = std::make_unique<obs::Tracer>(
+        obs_config.trace_sample_every, obs_config.trace_keep,
+        obs_config.metrics ? &registry : nullptr);
+    tracer_ = owned_tracer_.get();
+  }
 
   replicas_.reserve(config_.replicas);
   {
@@ -110,6 +134,36 @@ std::size_t ShardedServer::placement_target(std::size_t exclude) const {
   return target;
 }
 
+void ShardedServer::finish_dropped(Request& request,
+                                   const char* result) const {
+  if (!request.trace) return;
+  if (request.queue_span != 0) {
+    request.trace->end_span(request.queue_span);
+    request.queue_span = 0;
+  }
+  request.trace->annotate(obs::Trace::kRoot, "result", result);
+  if (tracer_ != nullptr) tracer_->finish(request.trace);
+  request.trace.reset();
+}
+
+void ShardedServer::update_queue_gauges() const {
+  if (!metrics_) return;
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < queues_.size(); ++r) {
+    total += queues_[r].size();
+    replica_metrics_[r]->queue_depth.set(
+        static_cast<double>(queues_[r].size()));
+  }
+  metrics_->queue_depth.set(static_cast<double>(total));
+}
+
+void ShardedServer::record_health(std::size_t r, ReplicaHealth state) const {
+  if (!metrics_) return;
+  const int index = static_cast<int>(state);
+  replica_metrics_[r]->health_state.set(static_cast<double>(index));
+  replica_metrics_[r]->transitions_to[static_cast<std::size_t>(index)]->inc();
+}
+
 std::future<Tensor> ShardedServer::submit(Tensor sample) {
   return submit(std::move(sample),
                 config_.batching.admission.default_deadline);
@@ -129,12 +183,19 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
   request.deadline = deadline.count() > 0
                          ? request.enqueued + deadline
                          : BatchingServer::kNoDeadline;
+  request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) request.trace = tracer_->start(request.id);
+  std::uint64_t submit_span = 0;
+  if (request.trace) {
+    submit_span = request.trace->begin_span("submit", obs::Trace::kRoot);
+  }
   std::future<Tensor> future = request.promise.get_future();
 
   std::string reject_reason;
   bool admission_miss = false;
   Request displaced;
   bool have_displaced = false;
+  bool accepted = false;
   {
     MutexLock lock(mutex_);
     if (stopping_) {
@@ -188,7 +249,16 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
           }
         }
         if (reject_reason.empty()) {
+          if (request.trace) {
+            request.trace->end_span(submit_span);
+            request.queue_span =
+                request.trace->begin_span("queue", obs::Trace::kRoot);
+            request.trace->annotate(request.queue_span, "replica",
+                                    std::to_string(target));
+          }
           queue.push_back(std::move(request));
+          accepted = true;
+          update_queue_gauges();
         }
       }
     }
@@ -198,6 +268,11 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
       MutexLock lock(stats_mutex_);
       ++shed_;
     }
+    if (metrics_) {
+      metrics_->shed.inc();
+      metrics_->inflight.add(-1.0);
+    }
+    finish_dropped(displaced, "displaced");
     displaced.promise.set_exception(std::make_exception_ptr(std::runtime_error(
         "ShardedServer: shed — displaced by an earlier-deadline request "
         "under overload")));
@@ -208,10 +283,18 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
       ++rejected_;
       if (admission_miss) ++admission_rejected_;
     }
+    if (metrics_) {
+      metrics_->rejected.inc();
+      if (admission_miss) metrics_->admission_rejected.inc();
+    }
+    if (request.trace) request.trace->end_span(submit_span);
+    finish_dropped(request,
+                   admission_miss ? "admission_rejected" : "rejected");
     request.promise.set_exception(
         std::make_exception_ptr(std::runtime_error(reject_reason)));
     return future;
   }
+  if (accepted && metrics_) metrics_->inflight.add(1.0);
   // All dispatchers share one cv: the owner must wake to coalesce, and idle
   // replicas must wake to re-evaluate their steal horizon.
   queue_cv_.notify_all();
@@ -257,6 +340,11 @@ FaultInjectionReport ShardedServer::inject_replica_faults(
     MutexLock lock(stats_mutex_);
     ++counters_[r].fault_injections;
   }
+  if (metrics_) replica_metrics_[r]->fault_injections.inc();
+  GS_LOG_DEBUG.field("replica", r)
+          .field("faulty_tiles", report.faulty_tiles)
+          .field("unskipped_tiles", report.unskipped_tiles)
+      << "fault injection";
   return report;
 }
 
@@ -268,10 +356,14 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
     SharedReaderLock plock(replica.program_mutex);
     probe = replica.canary->probe(*replica.executor);
   }
+  if (metrics_) replica_metrics_[r]->probes.inc();
   std::vector<Request> shed;
   std::size_t rerouted = 0;
+  ReplicaHealth prev = ReplicaHealth::kHealthy;
+  ReplicaHealth current = ReplicaHealth::kHealthy;
   {
     MutexLock lock(mutex_);
+    prev = health_[r];
     const ReplicaHealth next = trackers_[r]->observe(probe.divergence);
     if (next == ReplicaHealth::kQuarantined) {
       std::size_t active_others = 0;
@@ -300,18 +392,37 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
               queues_[target].size() >= config_.batching.max_queue_depth) {
             shed.push_back(std::move(request));
           } else {
+            if (request.trace && request.queue_span != 0) {
+              request.trace->annotate(
+                  request.queue_span, "reroute",
+                  std::to_string(r) + "->" + std::to_string(target));
+            }
             queues_[target].push_back(std::move(request));
             ++rerouted;
           }
         }
+        update_queue_gauges();
       }
     } else {
       health_[r] = next;
     }
+    current = health_[r];
+  }
+  if (current != prev) {
+    record_health(r, current);
+    GS_LOG_DEBUG.field("replica", r)
+            .field("state", to_string(current))
+            .field("divergence", probe.divergence)
+            .field("rerouted", rerouted)
+            .field("shed", shed.size())
+        << "replica health transition";
   }
   if (rerouted > 0) {
-    MutexLock lock(stats_mutex_);
-    retried_ += rerouted;
+    {
+      MutexLock lock(stats_mutex_);
+      retried_ += rerouted;
+    }
+    if (metrics_) metrics_->retries.inc(rerouted);
   }
   shed_requests(shed,
                 "ShardedServer: shed — could not re-route off quarantined "
@@ -339,8 +450,10 @@ bool ShardedServer::recalibrate_now(std::size_t r) {
   }
   // Rejoin only on a bitwise-clean canary — the readmission gate.
   if (!probe.bitwise_clean) return false;
+  ReplicaHealth prev = ReplicaHealth::kHealthy;
   {
     MutexLock lock(mutex_);
+    prev = health_[r];
     trackers_[r]->reset();
     health_[r] = ReplicaHealth::kHealthy;
   }
@@ -348,6 +461,12 @@ bool ShardedServer::recalibrate_now(std::size_t r) {
     MutexLock lock(stats_mutex_);
     ++counters_[r].recalibrations;
   }
+  if (metrics_) replica_metrics_[r]->recalibrations.inc();
+  if (prev != ReplicaHealth::kHealthy) {
+    record_health(r, ReplicaHealth::kHealthy);
+  }
+  GS_LOG_DEBUG.field("replica", r).field("state", "healthy")
+      << "replica recalibrated and rejoined";
   queue_cv_.notify_all();
   return true;
 }
@@ -386,7 +505,12 @@ void ShardedServer::shed_requests(std::vector<Request>& requests,
     MutexLock lock(stats_mutex_);
     shed_ += requests.size();
   }
+  if (metrics_) {
+    metrics_->shed.inc(requests.size());
+    metrics_->inflight.add(-static_cast<double>(requests.size()));
+  }
   for (Request& request : requests) {
+    finish_dropped(request, "shed");
     request.promise.set_exception(
         std::make_exception_ptr(std::runtime_error(reason)));
   }
@@ -410,6 +534,7 @@ std::vector<ShardedServer::Request> ShardedServer::take_batch(
       batch.push_back(std::move(request));
     }
   }
+  update_queue_gauges();
   return batch;
 }
 
@@ -579,14 +704,52 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
               batch.data() + i * sample_numel);
   }
 
+  // Close queue spans, open batch/execute spans on every sampled request.
+  // Execution-detail spans (per step/stage) go to the FIRST sampled trace
+  // only — the batch runs once, so the detail belongs to one tree. A stolen
+  // batch is annotated with the executing replica on every sampled request.
+  std::vector<std::uint64_t> batch_spans(count, 0);
+  std::vector<std::uint64_t> execute_spans(count, 0);
+  ForwardTrace forward_trace;
+  std::uint64_t trace_log_id = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Request& request = requests[i];
+    if (!request.trace) continue;
+    if (request.queue_span != 0) {
+      request.trace->end_span(request.queue_span);
+      request.queue_span = 0;
+    }
+    batch_spans[i] = request.trace->begin_span("batch", obs::Trace::kRoot);
+    request.trace->annotate(batch_spans[i], "batch_size",
+                            std::to_string(count));
+    request.trace->annotate(batch_spans[i], "replica", std::to_string(self));
+    if (victim != self) {
+      request.trace->annotate(batch_spans[i], "stolen_from",
+                              std::to_string(victim));
+    }
+    execute_spans[i] =
+        request.trace->begin_span("execute", batch_spans[i]);
+    if (forward_trace.trace == nullptr) {
+      forward_trace.trace = request.trace.get();
+      forward_trace.parent = execute_spans[i];
+      trace_log_id = request.id;
+    }
+  }
+  // Correlate any log lines the forward emits with the sampled request.
+  LogTraceScope log_scope(trace_log_id);
+
   try {
     const auto started = std::chrono::steady_clock::now();
     Tensor logits;
+    obs::ExecProfile profile;
     {
       // Shared with other forwards/probes; excluded only by fault injection
       // and recalibration mutating this replica's program.
       SharedReaderLock plock(replica.program_mutex);
-      logits = replica.executor->forward(batch);
+      // Re-priced per batch (unlike BatchingServer): fault injection and
+      // recalibration change the program's skip flags mid-flight.
+      if (metrics_) profile = replica.executor->profile();
+      logits = replica.executor->forward(batch, forward_trace);
     }
     const std::size_t classes = logits.numel() / count;
     const auto finished = std::chrono::steady_clock::now();
@@ -609,11 +772,38 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
                                       .count());
       }
     }
+    if (metrics_) {
+      metrics_->completed.inc(count);
+      metrics_->batches.inc();
+      if (victim != self) metrics_->batches_stolen.inc();
+      metrics_->batch_size.observe(static_cast<double>(count));
+      metrics_->inflight.add(-static_cast<double>(count));
+      metrics_->record_forward(profile, count);
+      for (const Request& request : requests) {
+        metrics_->latency_ms.observe(
+            std::chrono::duration<double, std::milli>(finished -
+                                                      request.enqueued)
+                .count());
+      }
+    }
     for (std::size_t i = 0; i < count; ++i) {
+      Request& request = requests[i];
+      std::uint64_t reply_span = 0;
+      if (request.trace) {
+        request.trace->end_span(execute_spans[i]);
+        request.trace->end_span(batch_spans[i]);
+        reply_span = request.trace->begin_span("reply", obs::Trace::kRoot);
+      }
       Tensor row(Shape{classes});
       std::copy(logits.data() + i * classes, logits.data() + (i + 1) * classes,
                 row.data());
-      requests[i].promise.set_value(std::move(row));
+      request.promise.set_value(std::move(row));
+      if (request.trace) {
+        request.trace->end_span(reply_span);
+        request.trace->annotate(obs::Trace::kRoot, "result", "ok");
+        if (tracer_ != nullptr) tracer_->finish(request.trace);
+        request.trace.reset();
+      }
     }
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
@@ -621,7 +811,19 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
       MutexLock lock(stats_mutex_);
       failed_ += count;
     }
-    for (Request& request : requests) {
+    if (metrics_) {
+      metrics_->failed.inc(count);
+      metrics_->inflight.add(-static_cast<double>(count));
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      Request& request = requests[i];
+      if (request.trace) {
+        request.trace->end_span(execute_spans[i]);
+        request.trace->end_span(batch_spans[i]);
+        request.trace->annotate(obs::Trace::kRoot, "result", "failed");
+        if (tracer_ != nullptr) tracer_->finish(request.trace);
+        request.trace.reset();
+      }
       request.promise.set_exception(error);
     }
   }
@@ -669,6 +871,7 @@ ShardStats ShardedServer::stats() const {
           std::max(stats.aggregate.max_batch_seen, rs.max_batch_seen);
       stats.stolen_batches += rs.stolen_batches;
       stats.recalibrations += rs.recalibrations;
+      stats.aggregate.latency_samples_total += counters.latencies.total();
       all_latencies.insert(all_latencies.end(),
                            counters.latencies.samples().begin(),
                            counters.latencies.samples().end());
@@ -685,6 +888,7 @@ ShardStats ShardedServer::stats() const {
     stats.aggregate.latency_p50_ms = latency_percentile(all_latencies, 0.50);
     stats.aggregate.latency_p95_ms = latency_percentile(all_latencies, 0.95);
     stats.aggregate.latency_p99_ms = latency_percentile(all_latencies, 0.99);
+    stats.aggregate.latency_p999_ms = latency_percentile(all_latencies, 0.999);
     stats.aggregate.latency_max_ms = all_latencies.back();
   }
   return stats;

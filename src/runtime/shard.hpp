@@ -42,15 +42,25 @@
 //    step); with interval 0 the loop is driven manually — the mode the
 //    deterministic fault bench replays.
 //
+// Observability (config.batching.observability): the shard exports the
+// engine="sharded" serving metrics plus per-replica lifecycle metrics
+// (gs_replica_* — queue depth, health state, probes, fault injections,
+// recalibrations, health transitions), and threads request traces through
+// placement, stealing (annotated on the batch span) and quarantine
+// re-routing (annotated on the queue span). Fleet events are logged with
+// structured fields at Debug level.
+//
 // Thread-safety: submit()/infer()/stats()/health()/probe_now()/
 // recalibrate_now()/inject_replica_faults() are safe from any number of
 // threads; shutdown() is idempotent, runs in the destructor, and submit()
 // after shutdown() returns an immediately-rejected future. Lock order is
-// program_mutex (per replica) → mutex_ → stats_mutex_, never reversed.
+// program_mutex (per replica) → mutex_ → stats_mutex_, never reversed;
+// trace and metric internals are leaves.
 // Determinism: per-replica execution inherits the Executor contract; fault
 // realisations are pure functions of (config.seed, replica, tile); which
 // replica serves a request is scheduling-dependent and only observable when
-// replicas differ (nonideal device or faults).
+// replicas differ (nonideal device or faults). Tracing and metrics only
+// observe — logits are bitwise identical with observability on or off.
 #pragma once
 
 #include <cstddef>
@@ -62,6 +72,8 @@
 
 #include "common/annotations.hpp"
 #include "common/sync.hpp"
+#include "obs/serving_metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/health.hpp"
 #include "runtime/server.hpp"
 
@@ -206,6 +218,10 @@ class ShardedServer {
 
   ShardStats stats() const;
 
+  /// The tracer sampling this server's requests (nullptr when tracing is
+  /// off) — completed span trees are read through it.
+  const obs::Tracer* tracer() const { return tracer_; }
+
   std::size_t replica_count() const { return replicas_.size(); }
   /// Pool threads each replica's executor runs on.
   std::size_t threads_per_replica() const { return threads_per_replica_; }
@@ -222,6 +238,9 @@ class ShardedServer {
     std::chrono::steady_clock::time_point deadline =
         BatchingServer::kNoDeadline;
     std::size_t attempts = 0;  ///< re-routes consumed (quarantine retries)
+    std::uint64_t id = 0;  ///< submit-order id (trace sampling key)
+    std::shared_ptr<obs::Trace> trace;  ///< non-null when sampled
+    std::uint64_t queue_span = 0;       ///< open "queue" span id
   };
 
   /// One compiled replica: the program plus its private executor/pool. Only
@@ -275,6 +294,14 @@ class ShardedServer {
   /// Active (non-quarantined) replica with the shortest queue; SIZE_MAX
   /// when none.
   std::size_t placement_target(std::size_t exclude) const GS_REQUIRES(mutex_);
+  /// Finishes the trace of a request dropped before execution (annotates the
+  /// root span with `result` and hands the trace to the tracer).
+  void finish_dropped(Request& request, const char* result) const;
+  /// Refreshes the queue-depth gauges (per replica + engine aggregate).
+  void update_queue_gauges() const GS_REQUIRES(mutex_);
+  /// Records a health transition of replica r into `state` on the replica's
+  /// gauge + transition counters (no-op when metrics are off).
+  void record_health(std::size_t r, ReplicaHealth state) const;
 
   ShardConfig config_;
   nn::Network network_;  ///< pristine clone — the recalibration source
@@ -283,6 +310,16 @@ class ShardedServer {
   /// Immutable vector (built in the constructor); per-replica program state
   /// is guarded by each Replica's own program_mutex.
   std::vector<std::unique_ptr<Replica>> replicas_;
+
+  /// Registry-backed serving metrics (null when observability.metrics off).
+  /// Unlike BatchingServer, the per-sample profile is NOT priced once here:
+  /// fault injection and recalibration mutate replica programs (including
+  /// skip flags), so run_batch re-prices under the replica's program lock.
+  std::unique_ptr<obs::ServingMetrics> metrics_;
+  std::vector<std::unique_ptr<obs::ReplicaMetrics>> replica_metrics_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::Tracer* tracer_ = nullptr;  ///< external or owned; null = no tracing
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   mutable Mutex mutex_;  ///< guards queues, health, paused_, stopping_
   CondVar queue_cv_;

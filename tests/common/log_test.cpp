@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace gs {
 namespace {
 
@@ -61,6 +67,87 @@ TEST(Log, LinesTaggedWithLevel) {
   GS_LOG_ERROR << "boom";
   const std::string output = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(output.find("ERROR"), std::string::npos);
+}
+
+TEST(Log, StructuredFieldsRenderAfterTheMessage) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  GS_LOG_INFO.field("replica", 1).field("state", "quarantined")
+      << "replica health transition";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(
+      output.find("replica health transition replica=1 state=quarantined"),
+      std::string::npos);
+}
+
+TEST(Log, TraceIdCorrelatesLines) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_trace_id(), 0u);
+  ::testing::internal::CaptureStderr();
+  {
+    LogTraceScope scope(42);
+    EXPECT_EQ(log_trace_id(), 42u);
+    GS_LOG_INFO << "correlated";
+  }
+  GS_LOG_INFO << "uncorrelated";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("correlated trace=42"), std::string::npos);
+  // After the scope the id is restored: no trace suffix on the second line.
+  const std::size_t second = output.find("uncorrelated");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_EQ(output.find("trace=", second), std::string::npos);
+  EXPECT_EQ(log_trace_id(), 0u);
+}
+
+TEST(Log, TraceScopeNestsAndRestores) {
+  LogLevelGuard guard;
+  LogTraceScope outer(7);
+  {
+    LogTraceScope inner(9);
+    EXPECT_EQ(log_trace_id(), 9u);
+  }
+  EXPECT_EQ(log_trace_id(), 7u);
+}
+
+TEST(Log, ConcurrentLinesNeverInterleaveCharacters) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kLinesPer = 50;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (std::size_t i = 0; i < kLinesPer; ++i) {
+        GS_LOG_INFO.field("thread", t) << "line-" << t << "-" << i;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::string output = ::testing::internal::GetCapturedStderr();
+
+  // Every emitted line must be intact: correct shape, matching thread
+  // field, and all kThreads * kLinesPer lines present exactly once.
+  std::istringstream lines(output);
+  std::string line;
+  std::size_t seen = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("line-") == std::string::npos) continue;
+    ++seen;
+    bool matched = false;
+    for (std::size_t t = 0; t < kThreads && !matched; ++t) {
+      for (std::size_t i = 0; i < kLinesPer && !matched; ++i) {
+        const std::string body = "line-" + std::to_string(t) + "-" +
+                                 std::to_string(i) +
+                                 " thread=" + std::to_string(t);
+        if (line.find(body) != std::string::npos) matched = true;
+      }
+    }
+    EXPECT_TRUE(matched) << "interleaved line: " << line;
+  }
+  EXPECT_EQ(seen, kThreads * kLinesPer);
 }
 
 }  // namespace

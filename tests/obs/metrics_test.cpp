@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gs::obs {
+namespace {
+
+TEST(RegistryTest, SameNameAndLabelsYieldSameChild) {
+  Registry registry;
+  Counter& a = registry.counter("gs_test_total", "help", {{"k", "v"}});
+  Counter& b = registry.counter("gs_test_total", "help", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = registry.counter("gs_test_total", "help", {{"k", "w"}});
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RegistryTest, RejectsInvalidMetricNames) {
+  Registry registry;
+  EXPECT_THROW(registry.counter("server_requests", "no gs_ prefix"),
+               gs::Error);
+  EXPECT_THROW(registry.counter("gs_Server_requests", "uppercase"),
+               gs::Error);
+  EXPECT_THROW(registry.counter("gs_requests-total", "dash"), gs::Error);
+  EXPECT_THROW(registry.counter("gs_", "empty body"), gs::Error);
+  EXPECT_NO_THROW(registry.counter("gs_requests_total", "fine"));
+}
+
+TEST(RegistryTest, RejectsTypeAndBoundsConflicts) {
+  Registry registry;
+  registry.counter("gs_thing_total", "a counter");
+  EXPECT_THROW(registry.gauge("gs_thing_total", "now a gauge"), gs::Error);
+  registry.histogram("gs_lat_ms", "hist", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("gs_lat_ms", "hist", {1.0, 3.0}),
+               gs::Error);
+  EXPECT_NO_THROW(registry.histogram("gs_lat_ms", "hist", {1.0, 2.0}));
+}
+
+TEST(CounterTest, ConcurrentIncrementAndSnapshotStorm) {
+  Registry registry;
+  Counter& counter = registry.counter("gs_storm_total", "storm");
+  Gauge& gauge = registry.gauge("gs_storm_depth", "storm");
+  Histogram& hist =
+      registry.histogram("gs_storm_ms", "storm", {0.5, 1.0, 2.0});
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  // Reader thread hammers snapshot/export concurrently with the writers —
+  // under TSan this is the registration-vs-read race detector.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.snapshot();
+      (void)registry.prometheus_text();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        gauge.set(static_cast<double>(t));
+        hist.observe(static_cast<double>(i % 4));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t b : hist.bucket_counts()) bucketed += b;
+  EXPECT_EQ(bucketed, kThreads * kPerThread);
+}
+
+TEST(HistogramTest, BucketCountsDeterministicAcrossThreadCounts) {
+  // The determinism contract: equal event multisets produce equal bucket
+  // tallies regardless of which threads recorded them. Replay the same
+  // multiset through pools of 1 and 4 threads.
+  const std::vector<double> bounds{0.25, 0.5, 1.0, 4.0};
+  auto record = [&](std::size_t threads) {
+    Registry registry;
+    Histogram& hist = registry.histogram("gs_replay_ms", "replay", bounds);
+    ThreadPool pool(threads);
+    constexpr std::size_t kTasks = 64;
+    pool.parallel_for(kTasks, [&](std::size_t task) {
+      for (std::size_t i = 0; i < 100; ++i) {
+        hist.observe(static_cast<double>((task * 100 + i) % 7) * 0.3);
+      }
+    });
+    return hist.bucket_counts();
+  };
+  const std::vector<std::uint64_t> one = record(1);
+  const std::vector<std::uint64_t> four = record(4);
+  EXPECT_EQ(one, four);
+}
+
+TEST(RegistryTest, PrometheusTextFormat) {
+  Registry registry;
+  registry.counter("gs_req_total", "requests", {{"engine", "batching"}})
+      .inc(5);
+  registry.gauge("gs_depth", "queue depth").set(3.0);
+  Histogram& hist = registry.histogram("gs_ms", "latency", {1.0, 2.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+  hist.observe(9.0);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# HELP gs_req_total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gs_req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gs_req_total{engine=\"batching\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gs_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("gs_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gs_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="1" → 1, le="2" → 2, le="+Inf" → 3 == count.
+  EXPECT_NE(text.find("gs_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("gs_ms_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("gs_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("gs_ms_count 3"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonExportContainsEveryChild) {
+  Registry registry;
+  registry.counter("gs_a_total", "a").inc(2);
+  registry.gauge("gs_b", "b").set(1.5);
+  registry.histogram("gs_c_ms", "c", {1.0}).observe(0.5);
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"gs_a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"gs_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"gs_c_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+}
+
+TEST(RegistryTest, SnapshotOrderIsDeterministic) {
+  // Registration order must not leak into export order.
+  Registry forwards;
+  forwards.counter("gs_a_total", "a");
+  forwards.counter("gs_b_total", "b");
+  Registry backwards;
+  backwards.counter("gs_b_total", "b");
+  backwards.counter("gs_a_total", "a");
+  const auto a = forwards.snapshot();
+  const auto b = backwards.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+}
+
+TEST(RegistryTest, FamilyNamesListsEveryRegisteredFamily) {
+  Registry registry;
+  registry.counter("gs_z_total", "z");
+  registry.gauge("gs_a", "a");
+  const std::vector<std::string> names = registry.family_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "gs_a");
+  EXPECT_EQ(names[1], "gs_z_total");
+}
+
+}  // namespace
+}  // namespace gs::obs

@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gs::obs {
+namespace {
+
+TEST(TracerTest, SamplingIsDeterministicAndIdKeyed) {
+  Tracer off(0);
+  for (std::uint64_t id = 1; id <= 20; ++id) EXPECT_FALSE(off.sampled(id));
+  EXPECT_EQ(off.start(4), nullptr);
+
+  Tracer every4(4);
+  std::vector<std::uint64_t> sampled;
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    if (every4.sampled(id)) sampled.push_back(id);
+  }
+  EXPECT_EQ(sampled, (std::vector<std::uint64_t>{4, 8, 12}));
+  EXPECT_EQ(every4.start(3), nullptr);
+  EXPECT_NE(every4.start(4), nullptr);
+}
+
+TEST(TraceTest, RootSpanOpensOnConstruction) {
+  Trace trace(7);
+  EXPECT_EQ(trace.request_id(), 7u);
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, Trace::kRoot);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].name, "request");
+}
+
+TEST(TraceTest, ParentChildIntegrity) {
+  Trace trace(1);
+  const std::uint64_t a = trace.begin_span("submit", Trace::kRoot);
+  const std::uint64_t b = trace.begin_span("queue", Trace::kRoot);
+  const std::uint64_t c = trace.begin_span("execute", b);
+  trace.annotate(c, "rows", "4");
+  trace.end_span(c);
+  trace.end_span(b);
+  trace.end_span(a);
+
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Ids are creation-ordered and every parent precedes its children.
+  std::map<std::uint64_t, std::uint64_t> parent_of;
+  for (const SpanRecord& span : spans) {
+    parent_of[span.id] = span.parent;
+    if (span.id != Trace::kRoot) {
+      EXPECT_TRUE(parent_of.count(span.parent))
+          << "parent of span " << span.id << " not seen before it";
+    }
+  }
+  EXPECT_EQ(parent_of[c], b);
+  EXPECT_EQ(parent_of[b], Trace::kRoot);
+  EXPECT_EQ(spans[3].notes.size(), 1u);
+  EXPECT_EQ(spans[3].notes[0].first, "rows");
+}
+
+TEST(TraceTest, ConcurrentSpansFromForeignThreads) {
+  // Steal/re-route hops annotate a trace from other dispatchers; the span
+  // tree must stay consistent under concurrent begin/annotate/end.
+  Trace trace(1);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSpansPer = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kSpansPer; ++i) {
+        const std::uint64_t span =
+            trace.begin_span("hop" + std::to_string(t), Trace::kRoot);
+        trace.annotate(span, "i", std::to_string(i));
+        trace.end_span(span);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto spans = trace.spans();
+  EXPECT_EQ(spans.size(), 1 + kThreads * kSpansPer);
+  for (const SpanRecord& span : spans) {
+    if (span.id == Trace::kRoot) continue;
+    EXPECT_EQ(span.parent, Trace::kRoot);
+    ASSERT_EQ(span.notes.size(), 1u);
+  }
+}
+
+TEST(TracerTest, RingBoundsCompletedTracesAndCountsDrops) {
+  Registry registry;
+  Tracer tracer(1, /*keep=*/3, &registry);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    auto trace = tracer.start(id);
+    ASSERT_NE(trace, nullptr);
+    trace->begin_span("submit", Trace::kRoot);
+    tracer.finish(trace);
+  }
+  const auto completed = tracer.completed();
+  ASSERT_EQ(completed.size(), 3u);
+  EXPECT_EQ(completed[0]->request_id(), 3u);
+  EXPECT_EQ(completed[2]->request_id(), 5u);
+
+  EXPECT_EQ(registry.counter("gs_trace_sampled_total", "").value(), 5u);
+  EXPECT_EQ(registry.counter("gs_trace_dropped_total", "").value(), 2u);
+  // Root + submit per trace.
+  EXPECT_EQ(registry.counter("gs_trace_spans_total", "").value(), 10u);
+}
+
+TEST(TracerTest, FinishClosesRootAndIsNullSafe) {
+  Tracer tracer(1, 4);
+  tracer.finish(nullptr);  // no-op
+  auto trace = tracer.start(1);
+  ASSERT_NE(trace, nullptr);
+  tracer.finish(trace);
+  const auto completed = tracer.completed();
+  ASSERT_EQ(completed.size(), 1u);
+  const auto spans = completed[0]->spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].end, spans[0].start);
+}
+
+TEST(RenderTest, IndentsChildrenUnderParents) {
+  Trace trace(10);
+  const std::uint64_t batch = trace.begin_span("batch", Trace::kRoot);
+  trace.annotate(batch, "batch_size", "4");
+  const std::uint64_t exec = trace.begin_span("execute", batch);
+  trace.end_span(exec);
+  trace.end_span(batch);
+  const std::string text = render(trace);
+  EXPECT_NE(text.find("request"), std::string::npos);
+  EXPECT_NE(text.find("  batch"), std::string::npos);
+  EXPECT_NE(text.find("    execute"), std::string::npos);
+  EXPECT_NE(text.find("batch_size=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gs::obs
