@@ -26,6 +26,13 @@
 //  * tile_skip — the skip ablation: same program with and without
 //    skip-marked tiles, bitwise-identical logits and identical ideal-device
 //    accuracy, with the forward-time speedup of eliding the empty tiles;
+//  * repack — the compressed-execution contrast: CompileOptions::repack
+//    lowers the same deleted network onto fewer, fuller crossbars
+//    (gather/scatter index maps, empty tiles gone from the schedule) with
+//    bitwise-identical logits (repack_logits_bitwise — a CI gate), plus the
+//    digital block-compressed GEMM arm (nn::pack_compressed_inference)
+//    reported as effective GFLOP/s at the dense nominal flop count
+//    (repack_parity_within_budget gates the digital parity);
 //  * serving_sharded — the sharded multi-replica server (placement-aware
 //    tile skipping ON) against the single-replica PR 3 serving path
 //    (no skipping) at EQUAL thread budget and equal load; a companion
@@ -405,6 +412,138 @@ int main(int argc, char** argv) {
         "(bitwise %s, accuracy %.3f/%.3f)\n",
         deleted_skip.skipped_tile_count(), deleted_skip.tile_count(),
         noskip_s / skip_s, bitwise ? "ok" : "FAIL", acc_noskip, acc_skip);
+  }
+
+  // --- Repacked execution: run the COMPRESSED network instead of skipping
+  // holes in the padded one. CompileOptions::repack lowers each matrix onto
+  // its repacked placement (fewer, fuller crossbars with gather/scatter
+  // index maps), so the analog schedule holds strictly fewer tiles than the
+  // padded program even AFTER skipping, converts fewer DAC/ADC values, and
+  // moves less partial-sum traffic. The differential contract — asserted
+  // here and gated in CI — is repack_logits_bitwise: identical bits to the
+  // padded skip path on the ideal device. A digital companion runs the same
+  // deleted network through the block-compressed GEMM path
+  // (nn::pack_compressed_inference) and reports effective GFLOP/s at the
+  // DENSE nominal flop count for both arms, so the compressed win shows up
+  // as higher effective throughput on identical work.
+  {
+    runtime::CompileOptions repack_options;
+    repack_options.repack = true;
+    const double recompile_s = time_median_seconds(
+        [&] { runtime::compile(deleted, sample_shape, repack_options); },
+        budget.reps);
+    const runtime::CrossbarProgram deleted_repacked =
+        runtime::compile(deleted, sample_shape, repack_options);
+    GS_CHECK_MSG(deleted_repacked.repacked(),
+                 "ideal device must pass the repack exactness gate");
+
+    const runtime::Executor repack_exec(deleted_repacked);
+    const runtime::Executor skip_exec(deleted_skip);
+    Tensor batch(Shape{32, 1, 28, 28});
+    std::copy(deleted_pool.data(), deleted_pool.data() + batch.numel(),
+              batch.data());
+    const Tensor a = repack_exec.forward(batch);
+    const Tensor b = skip_exec.forward(batch);
+    const bool bitwise =
+        std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+    const double repack_s = time_median_seconds(
+        [&] { repack_exec.forward(batch); }, budget.reps);
+    const double skip_s =
+        time_median_seconds([&] { skip_exec.forward(batch); }, budget.reps);
+    const double acc_repack =
+        runtime::evaluate(repack_exec, eval_set, budget.eval_samples);
+    const double acc_skip =
+        runtime::evaluate(skip_exec, eval_set, budget.eval_samples);
+
+    // Conversion/energy proxies: the repacked schedule vs the skip path.
+    const obs::ExecProfile repack_cost = obs::profile_program(deleted_repacked);
+    const obs::ExecProfile skip_cost = obs::profile_program(deleted_skip);
+
+    // Digital arm: dense forward vs the block-compressed GEMM path, at the
+    // dense nominal matmul flop count (2·rows·cols per matrix stage, times
+    // output positions for conv stages, per sample).
+    double nominal_flops_per_sample = 0.0;
+    for (const runtime::Step& step : deleted_skip.steps()) {
+      const double positions =
+          step.kind == runtime::Step::Kind::kConv
+              ? static_cast<double>(step.geometry.out_height() *
+                                    step.geometry.out_width())
+              : 1.0;
+      for (const runtime::MatrixPlan& plan : step.stages) {
+        nominal_flops_per_sample += 2.0 * static_cast<double>(plan.grid.rows) *
+                                    static_cast<double>(plan.grid.cols) *
+                                    positions;
+      }
+    }
+    const double nominal_flops =
+        nominal_flops_per_sample * static_cast<double>(batch.dim(0));
+    const Tensor dense_logits = deleted.forward(batch, /*train=*/false);
+    const double dense_digital_s = time_median_seconds(
+        [&] { deleted.forward(batch, false); }, budget.reps);
+    const std::size_t packed_layers = nn::pack_compressed_inference(deleted);
+    const Tensor compressed_logits = deleted.forward(batch, /*train=*/false);
+    const double compressed_digital_s = time_median_seconds(
+        [&] { deleted.forward(batch, false); }, budget.reps);
+    nn::clear_compressed_inference(deleted);
+    const float digital_diff = max_abs_diff(dense_logits, compressed_logits);
+    const bool parity = digital_diff <= 1e-4f;
+
+    BenchRecord rec;
+    rec.name = "repack";
+    rec.label("network", "heavily-deleted lenet").label("device", "ideal");
+    rec.metric("compile_seconds", recompile_s)
+        .metric("tiles", static_cast<double>(deleted_repacked.tile_count()))
+        .metric("removed_tiles",
+                static_cast<double>(deleted_repacked.removed_tile_count()))
+        .metric("padded_tiles", static_cast<double>(deleted_skip.tile_count()))
+        .metric("programmed_cells",
+                static_cast<double>(deleted_repacked.programmed_cell_count()))
+        .metric("padded_cells",
+                static_cast<double>(deleted_repacked.padded_cell_count()))
+        .metric("programmed_cells_ratio",
+                static_cast<double>(deleted_repacked.programmed_cell_count()) /
+                    static_cast<double>(deleted_repacked.padded_cell_count()))
+        .metric("repack_batch32_seconds", repack_s)
+        .metric("skip_batch32_seconds", skip_s)
+        .metric("speedup_vs_skip", skip_s / repack_s)
+        .metric("dac_conversions",
+                static_cast<double>(repack_cost.dac_conversions))
+        .metric("adc_conversions",
+                static_cast<double>(repack_cost.adc_conversions))
+        .metric("skip_dac_conversions",
+                static_cast<double>(skip_cost.dac_conversions))
+        .metric("skip_adc_conversions",
+                static_cast<double>(skip_cost.adc_conversions))
+        .metric("partial_sum_bytes",
+                static_cast<double>(repack_cost.partial_sum_bytes))
+        // The differential contract, gated in CI: identical bits to the
+        // padded skip path, so ideal-device accuracy cannot move.
+        .metric("repack_logits_bitwise", bitwise ? 1.0 : 0.0)
+        .metric("accuracy_repack", acc_repack)
+        .metric("accuracy_skip", acc_skip)
+        // Digital block-compressed GEMM arm (same network, same batch).
+        .metric("packed_layers", static_cast<double>(packed_layers))
+        .metric("digital_dense_seconds", dense_digital_s)
+        .metric("digital_compressed_seconds", compressed_digital_s)
+        .metric("digital_dense_gflops", nominal_flops / dense_digital_s / 1e9)
+        .metric("digital_compressed_gflops",
+                nominal_flops / compressed_digital_s / 1e9)
+        .metric("digital_max_logit_diff", digital_diff)
+        .metric("repack_parity_within_budget", parity ? 1.0 : 0.0);
+    records.push_back(rec);
+    std::printf(
+        "repack                      %zu tiles (vs %zu padded, %.0f%% cells)  "
+        "x%.2f vs skip  (bitwise %s)\n",
+        deleted_repacked.tile_count(), deleted_skip.tile_count(),
+        100.0 * static_cast<double>(deleted_repacked.programmed_cell_count()) /
+            static_cast<double>(deleted_repacked.padded_cell_count()),
+        skip_s / repack_s, bitwise ? "ok" : "FAIL");
+    std::printf(
+        "repack (digital)            dense %.2f GFLOP/s -> compressed %.2f "
+        "GFLOP/s effective  (max diff %.2e, %s)\n",
+        nominal_flops / dense_digital_s / 1e9,
+        nominal_flops / compressed_digital_s / 1e9, digital_diff,
+        parity ? "ok" : "FAIL");
   }
 
   // --- Sharded serving: the new tier (2 replicas, placement-aware tile

@@ -107,6 +107,10 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
     out << "runtime tiles " << report.runtime_tiles << " ("
         << report.runtime_skipped_tiles << " skipped as empty)\n";
   }
+  if (report.repacked_tiles > 0 || report.repacked_cells_ratio >= 0.0) {
+    out << "repacked tiles " << report.repacked_tiles << " (programmed-cell "
+        << "fraction " << percent(report.repacked_cells_ratio) << ")\n";
+  }
   if (report.runtime_analog_mvms > 0) {
     out << "per-sample energy proxies: " << report.runtime_dac_conversions
         << " DAC conv, " << report.runtime_adc_conversions << " ADC conv, "
@@ -115,7 +119,8 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
         << report.runtime_partial_sum_bytes << " partial-sum bytes\n";
   }
   if (report.digital_accuracy >= 0.0 || report.runtime_accuracy >= 0.0 ||
-      report.sharded_accuracy >= 0.0 ||
+      report.sharded_accuracy >= 0.0 || report.repacked_accuracy >= 0.0 ||
+      report.compressed_digital_accuracy >= 0.0 ||
       report.nonideal_accuracy_after >= 0.0 ||
       report.faulty_accuracy >= 0.0) {
     out << "accuracy:";
@@ -127,7 +132,9 @@ void print_ncs_report(std::ostream& out, const NcsReport& report) {
       first = false;
     };
     emit("digital", report.digital_accuracy);
+    emit("compressed digital", report.compressed_digital_accuracy);
     emit("crossbar runtime", report.runtime_accuracy);
+    emit("repacked runtime", report.repacked_accuracy);
     emit("sharded serving", report.sharded_accuracy);
     emit("nonideal pre-finetune", report.nonideal_accuracy_before);
     emit("nonideal post-finetune", report.nonideal_accuracy_after);

@@ -68,6 +68,23 @@ struct NcsReport {
   std::size_t runtime_tiles = 0;
   std::size_t runtime_skipped_tiles = 0;
 
+  /// Repacked compile of the same network (CompileOptions::repack): crossbar
+  /// tiles actually programmed after empty tiles are dropped and live
+  /// rows/columns gathered, the programmed-cell fraction of the padded
+  /// schedule (programmed / padded cells), and the eval accuracy through the
+  /// repacked executor — on the exactness-gated ideal device it must equal
+  /// runtime_accuracy bitwise. Zero tiles / negative values = repack
+  /// evaluation did not run.
+  std::size_t repacked_tiles = 0;
+  double repacked_cells_ratio = -1.0;
+  double repacked_accuracy = -1.0;
+
+  /// Digital block-compressed inference accuracy (linalg/compressed.hpp
+  /// panels packed over the deleted network) — must equal digital_accuracy;
+  /// recorded so the differential gate is visible in the report. Negative =
+  /// not measured.
+  double compressed_digital_accuracy = -1.0;
+
   /// Per-sample energy proxies of the same compiled program — one
   /// inference's converter/MVM/digital work under the paper's cost model
   /// (obs/exec_profile.hpp counts them from the tile schedule; skipped

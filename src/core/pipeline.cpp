@@ -217,6 +217,50 @@ PipelineResult run_group_scissor(
                 << " ADC conversions, " << profile.analog_mvms
                 << " analog MVMs)";
 
+    if (config.repack_eval) {
+      // Repacked compile of the same network: empty crossbars dropped and
+      // live rows/columns gathered onto fewer, fuller tiles. The ideal
+      // device passes the exactness gate, so the repacked accuracy must
+      // equal the padded runtime accuracy above exactly.
+      runtime::CompileOptions ropts = copts;
+      ropts.repack = true;
+      const runtime::CrossbarProgram repacked =
+          runtime::compile(lowrank, test_set.sample_shape(), ropts);
+      const runtime::Executor repacked_executor(repacked);
+      result.repacked_accuracy =
+          runtime::evaluate(repacked_executor, test_set, config.eval_samples);
+      result.repacked_tiles = repacked.tile_count();
+      const std::size_t padded_cells = repacked.padded_cell_count();
+      result.repacked_cells_ratio =
+          padded_cells == 0
+              ? 1.0
+              : static_cast<double>(repacked.programmed_cell_count()) /
+                    static_cast<double>(padded_cells);
+      result.final_report.repacked_accuracy = result.repacked_accuracy;
+      result.final_report.repacked_tiles = result.repacked_tiles;
+      result.final_report.repacked_cells_ratio = result.repacked_cells_ratio;
+      GS_LOG_INFO << "pipeline: repacked runtime accuracy "
+                  << result.repacked_accuracy << " over "
+                  << repacked.tile_count() << " tiles ("
+                  << repacked.removed_tile_count()
+                  << " crossbars removed, programmed-cell fraction "
+                  << result.repacked_cells_ratio << ")";
+
+      // Digital block-compressed inference: gather/GEMM/scatter over the
+      // live rows/columns (linalg/compressed.hpp). Exact, so the accuracy
+      // must match the dense digital forward; panels are cleared afterwards
+      // so later stages see the plain network.
+      const std::size_t packed = nn::pack_compressed_inference(lowrank);
+      result.compressed_digital_accuracy =
+          nn::evaluate(lowrank, test_set, config.eval_samples);
+      nn::clear_compressed_inference(lowrank);
+      result.final_report.compressed_digital_accuracy =
+          result.compressed_digital_accuracy;
+      GS_LOG_INFO << "pipeline: compressed digital accuracy "
+                  << result.compressed_digital_accuracy << " (" << packed
+                  << " layers packed)";
+    }
+
     if (config.fault_eval_rate > 0.0) {
       // Fault sensitivity: the same compiled program with stuck-at devices
       // injected at the documented default rate. The injection mutates a

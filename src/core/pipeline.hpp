@@ -64,6 +64,15 @@ struct PipelineConfig {
   /// empty tiles left by group connection deletion for execution-time
   /// skipping; the skipped-tile count lands in the final report.
   bool runtime_eval = true;
+  /// When runtime_eval is on, additionally compile the network with
+  /// CompileOptions::repack — empty crossbars dropped, live rows/columns
+  /// gathered onto fewer, fuller tiles — evaluate it, and record the
+  /// repacked tile count, programmed-cell fraction, and accuracy in the
+  /// final report. On the ideal device the repacked accuracy must equal the
+  /// padded runtime accuracy exactly. Also packs the digital
+  /// block-compressed inference panels (nn::pack_compressed_inference) and
+  /// grades that forward next to the dense digital accuracy.
+  bool repack_eval = true;
   /// When ≥ 2 (and runtime_eval is on), additionally serve the eval set
   /// through a ShardedServer with this many replicas (ideal device, equal
   /// thread budget) and report the sharded serving accuracy — on the ideal
@@ -117,6 +126,18 @@ struct PipelineResult {
   /// is off. Also mirrored into final_report.
   std::size_t runtime_tiles = 0;
   std::size_t runtime_skipped_tiles = 0;
+  /// Repacked compile of the same network (config.repack_eval): programmed
+  /// tile count after empty crossbars are dropped, programmed-cell fraction
+  /// of the padded schedule, and accuracy through the repacked executor
+  /// (must equal runtime_accuracy on the ideal device). Zero / negative
+  /// when the repack evaluation is off. Also mirrored into final_report.
+  std::size_t repacked_tiles = 0;
+  double repacked_cells_ratio = -1.0;
+  double repacked_accuracy = -1.0;
+  /// Digital block-compressed inference accuracy (compressed panels packed
+  /// over the deleted network; must equal the plain digital accuracy).
+  /// Negative when the repack evaluation is off. Mirrored into final_report.
+  double compressed_digital_accuracy = -1.0;
   /// The compressed network itself (moved out for further use).
   nn::Network network;
 };

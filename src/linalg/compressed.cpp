@@ -1,0 +1,102 @@
+#include "linalg/compressed.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gs::linalg {
+
+CompressedPanel compress_panel(const Tensor& w, float tol) {
+  GS_CHECK_MSG(w.rank() == 2, "compress_panel needs a rank-2 matrix");
+  GS_CHECK(tol >= 0.0f);
+  CompressedPanel panel;
+  panel.rows = w.rows();
+  panel.cols = w.cols();
+
+  std::vector<char> row_live(panel.rows, 0);
+  std::vector<char> col_live(panel.cols, 0);
+  for (std::size_t i = 0; i < panel.rows; ++i) {
+    const float* row = w.data() + i * panel.cols;
+    for (std::size_t j = 0; j < panel.cols; ++j) {
+      if (std::fabs(row[j]) > tol) {
+        row_live[i] = 1;
+        col_live[j] = 1;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < panel.rows; ++i) {
+    if (row_live[i]) panel.row_map.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t j = 0; j < panel.cols; ++j) {
+    if (col_live[j]) panel.col_map.push_back(static_cast<std::uint32_t>(j));
+  }
+  if (panel.empty()) return panel;
+
+  panel.packed = Tensor(Shape{panel.row_map.size(), panel.col_map.size()});
+  for (std::size_t ii = 0; ii < panel.row_map.size(); ++ii) {
+    const float* src = w.data() + panel.row_map[ii] * panel.cols;
+    float* dst = panel.packed.data() + ii * panel.col_map.size();
+    for (std::size_t jj = 0; jj < panel.col_map.size(); ++jj) {
+      dst[jj] = src[panel.col_map[jj]];
+    }
+  }
+  return panel;
+}
+
+void compressed_gemm(const Tensor& x, const CompressedPanel& panel,
+                     Tensor& out) {
+  GS_CHECK(x.rank() == 2 && x.cols() == panel.rows);
+  GS_CHECK(out.rank() == 2 && out.rows() == x.rows() &&
+           out.cols() == panel.cols);
+  const std::size_t batch = x.rows();
+
+  if (panel.empty()) {
+    out.set_zero();
+    return;
+  }
+  if (panel.all_live()) {
+    // Nothing removed: plain dense product through the packed kernel,
+    // bitwise identical to gemm against the original matrix.
+    gemm(x, /*transpose_a=*/false, panel.packed, /*transpose_b=*/false, out);
+    return;
+  }
+
+  const std::size_t lr = panel.live_rows();
+  const std::size_t lc = panel.live_cols();
+
+  // Gather the live input columns into a contiguous (batch, live_rows)
+  // operand. Fixed-order copies — partition-independent, so no result
+  // depends on how the GEMM below blocks its rows.
+  Tensor gathered(Shape{batch, lr});
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* src = x.data() + r * panel.rows;
+    float* dst = gathered.data() + r * lr;
+    for (std::size_t ii = 0; ii < lr; ++ii) {
+      dst[ii] = src[panel.row_map[ii]];
+    }
+  }
+
+  Tensor product(Shape{batch, lc});
+  gemm(gathered, /*transpose_a=*/false, panel.packed, /*transpose_b=*/false,
+       product);
+
+  // Scatter to the original column space; deleted columns are exact zeros.
+  out.set_zero();
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* src = product.data() + r * lc;
+    float* dst = out.data() + r * panel.cols;
+    for (std::size_t jj = 0; jj < lc; ++jj) {
+      dst[panel.col_map[jj]] = src[jj];
+    }
+  }
+}
+
+Tensor compressed_matmul(const Tensor& x, const CompressedPanel& panel) {
+  Tensor out(Shape{x.rows(), panel.cols});
+  compressed_gemm(x, panel, out);
+  return out;
+}
+
+}  // namespace gs::linalg

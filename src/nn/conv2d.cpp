@@ -32,7 +32,7 @@ ConvGeometry Conv2dLayer::make_geometry(const Shape& chw) const {
   return g;
 }
 
-Tensor Conv2dLayer::forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2dLayer::forward(const Tensor& input, bool train) {
   GS_CHECK_MSG(input.rank() == 4, name_ << ": conv input must be B×C×H×W");
   const std::size_t batch = input.dim(0);
   const Shape chw{input.dim(1), input.dim(2), input.dim(3)};
@@ -41,9 +41,12 @@ Tensor Conv2dLayer::forward(const Tensor& input, bool /*train*/) {
   const std::size_t ow = geometry_.out_width();
   const std::size_t f = spec_.out_channels;
   const std::size_t sample = shape_numel(chw);
+  const bool use_compressed = !train && compressed_;
 
-  cached_cols_.assign(batch, Tensor());
-  cached_batch_ = batch;
+  if (!use_compressed) {
+    cached_cols_.assign(batch, Tensor());
+    cached_batch_ = batch;
+  }
   Tensor output(Shape{batch, f, oh, ow});
 
   // Per-sample scratch hoisted out of the loop; gemm writes into the reused
@@ -53,8 +56,15 @@ Tensor Conv2dLayer::forward(const Tensor& input, bool /*train*/) {
   for (std::size_t b = 0; b < batch; ++b) {
     std::copy(input.data() + b * sample, input.data() + (b + 1) * sample,
               image.data());
-    cached_cols_[b] = im2col(image, geometry_);   // (oh*ow, patch)
-    gemm(cached_cols_[b], /*ta=*/false, weight_, /*tb=*/false, out_mat);
+    Tensor cols = im2col(image, geometry_);       // (oh*ow, patch)
+    if (use_compressed) {
+      // Eval-only compressed product: gather the live patch columns, run
+      // the packed panel, scatter filters (deleted filters are zero until
+      // the bias lands). The training path keeps its caches for backward.
+      linalg::compressed_gemm(cols, panel_, out_mat);
+    } else {
+      gemm(cols, /*ta=*/false, weight_, /*tb=*/false, out_mat);
+    }
     add_row_vector(out_mat, bias_);
     // Transpose (oh*ow, F) into channel-major (F, oh, ow).
     float* dst = output.data() + b * f * oh * ow;
@@ -64,6 +74,7 @@ Tensor Conv2dLayer::forward(const Tensor& input, bool /*train*/) {
         dst[c * oh * ow + p] = row[c];
       }
     }
+    if (!use_compressed) cached_cols_[b] = std::move(cols);
   }
   return output;
 }
@@ -117,6 +128,16 @@ std::vector<ParamRef> Conv2dLayer::params() {
 Shape Conv2dLayer::output_shape(const Shape& input_shape) const {
   const ConvGeometry g = make_geometry(input_shape);
   return {spec_.out_channels, g.out_height(), g.out_width()};
+}
+
+void Conv2dLayer::pack_compressed(float tol) {
+  panel_ = linalg::compress_panel(weight_, tol);
+  compressed_ = true;
+}
+
+void Conv2dLayer::clear_compressed() {
+  panel_ = linalg::CompressedPanel{};
+  compressed_ = false;
 }
 
 }  // namespace gs::nn

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "linalg/compressed.hpp"
 #include "nn/layer.hpp"
 #include "tensor/im2col.hpp"
 
@@ -41,6 +42,14 @@ class Conv2dLayer final : public Layer {
   const Tensor& bias() const { return bias_; }
   std::size_t patch_size() const { return weight_.rows(); }
 
+  /// Block-compressed inference panel over the unrolled weight (deleted
+  /// patch rows / filter columns) — see DenseLayer::pack_compressed for the
+  /// snapshot contract. Eval-mode forwards gather the live patch columns of
+  /// each im2col matrix and multiply the packed panel.
+  void pack_compressed(float tol = 0.0f);
+  void clear_compressed();
+  bool compressed() const { return compressed_; }
+
  private:
   std::string name_;
   Conv2dSpec spec_;
@@ -48,6 +57,8 @@ class Conv2dLayer final : public Layer {
   Tensor bias_;         // (F)
   Tensor weight_grad_;
   Tensor bias_grad_;
+  linalg::CompressedPanel panel_;  // eval-only snapshot of weight_
+  bool compressed_ = false;
 
   // Forward caches for backward.
   ConvGeometry geometry_;             // geometry of the last forward

@@ -18,10 +18,19 @@ DenseLayer::DenseLayer(std::string name, std::size_t in_features,
   xavier_uniform(weight_, in_, out_, rng);
 }
 
-Tensor DenseLayer::forward(const Tensor& input, bool /*train*/) {
+Tensor DenseLayer::forward(const Tensor& input, bool train) {
   GS_CHECK_MSG(input.rank() == 2 && input.cols() == in_,
                name_ << ": input shape " << shape_to_string(input.shape())
                      << " vs in_features " << in_);
+  if (!train && compressed_) {
+    // Eval-only compressed path: multiply the packed live-rows × live-cols
+    // panel (deleted output columns come back as exact zeros, so the bias
+    // add below matches the dense product bitwise on truly-zero weights).
+    // No input caching — backward is a training-path concern.
+    Tensor out = linalg::compressed_matmul(input, panel_);
+    add_row_vector(out, bias_);
+    return out;
+  }
   cached_input_ = input;
   Tensor out = matmul(input, weight_);
   add_row_vector(out, bias_);
@@ -49,6 +58,16 @@ std::vector<ParamRef> DenseLayer::params() {
 Shape DenseLayer::output_shape(const Shape& input_shape) const {
   GS_CHECK(shape_numel(input_shape) == in_);
   return {out_};
+}
+
+void DenseLayer::pack_compressed(float tol) {
+  panel_ = linalg::compress_panel(weight_, tol);
+  compressed_ = true;
+}
+
+void DenseLayer::clear_compressed() {
+  panel_ = linalg::CompressedPanel{};
+  compressed_ = false;
 }
 
 }  // namespace gs::nn

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "linalg/compressed.hpp"
 #include "nn/layer.hpp"
 
 namespace gs::nn {
@@ -28,6 +29,16 @@ class DenseLayer final : public Layer {
   Tensor& bias() { return bias_; }
   const Tensor& bias() const { return bias_; }
 
+  /// Builds a block-compressed inference panel from the CURRENT weights
+  /// (linalg/compressed.hpp): eval-mode forwards then multiply the packed
+  /// live-rows × live-cols matrix instead of the padded one. The panel is a
+  /// snapshot — mutate the weights and it goes stale; callers re-pack or
+  /// clear_compressed(). Training forwards/backwards never use it.
+  void pack_compressed(float tol = 0.0f);
+  void clear_compressed();
+  bool compressed() const { return compressed_; }
+  const linalg::CompressedPanel& compressed_panel() const { return panel_; }
+
  private:
   std::string name_;
   std::size_t in_;
@@ -37,6 +48,8 @@ class DenseLayer final : public Layer {
   Tensor weight_grad_;  // same shapes
   Tensor bias_grad_;
   Tensor cached_input_;  // (B, in) from last forward
+  linalg::CompressedPanel panel_;  // eval-only snapshot of weight_
+  bool compressed_ = false;
 };
 
 }  // namespace gs::nn

@@ -43,9 +43,17 @@ LowRankDense::LowRankDense(std::string name, Tensor u, Tensor vt, Tensor bias)
   GS_CHECK(bias_.rank() == 1 && bias_.dim(0) == out_);
 }
 
-Tensor LowRankDense::forward(const Tensor& input, bool /*train*/) {
+Tensor LowRankDense::forward(const Tensor& input, bool train) {
   GS_CHECK_MSG(input.rank() == 2 && input.cols() == in_,
                name_ << ": input " << shape_to_string(input.shape()));
+  if (!train && compressed_) {
+    // Eval-only compressed chain: both factor products run on their packed
+    // live panels (no caching — backward is a training-path concern).
+    const Tensor hidden = linalg::compressed_matmul(input, u_panel_);
+    Tensor out = linalg::compressed_matmul(hidden, vt_panel_);
+    add_row_vector(out, bias_);
+    return out;
+  }
   cached_input_ = input;
   cached_hidden_ = matmul(input, u_);          // (B, K)
   Tensor out = matmul(cached_hidden_, vt_);    // (B, out)
@@ -87,6 +95,19 @@ void LowRankDense::set_factors(Tensor u, Tensor vt) {
   vt_ = std::move(vt);
   u_grad_ = Tensor(u_.shape());
   vt_grad_ = Tensor(vt_.shape());
+  clear_compressed();  // the panels snapshot factors that no longer exist
+}
+
+void LowRankDense::pack_compressed(float tol) {
+  u_panel_ = linalg::compress_panel(u_, tol);
+  vt_panel_ = linalg::compress_panel(vt_, tol);
+  compressed_ = true;
+}
+
+void LowRankDense::clear_compressed() {
+  u_panel_ = linalg::CompressedPanel{};
+  vt_panel_ = linalg::CompressedPanel{};
+  compressed_ = false;
 }
 
 // ----------------------------------------------------------------- conv ----
@@ -139,7 +160,7 @@ ConvGeometry LowRankConv2d::make_geometry(const Shape& chw) const {
   return g;
 }
 
-Tensor LowRankConv2d::forward(const Tensor& input, bool /*train*/) {
+Tensor LowRankConv2d::forward(const Tensor& input, bool train) {
   GS_CHECK_MSG(input.rank() == 4, name_ << ": conv input must be B×C×H×W");
   const std::size_t batch = input.dim(0);
   const Shape chw{input.dim(1), input.dim(2), input.dim(3)};
@@ -148,10 +169,13 @@ Tensor LowRankConv2d::forward(const Tensor& input, bool /*train*/) {
   const std::size_t ow = geometry_.out_width();
   const std::size_t f = spec_.out_channels;
   const std::size_t sample = shape_numel(chw);
+  const bool use_compressed = !train && compressed_;
 
-  cached_cols_.assign(batch, Tensor());
-  cached_hidden_.assign(batch, Tensor());
-  cached_batch_ = batch;
+  if (!use_compressed) {
+    cached_cols_.assign(batch, Tensor());
+    cached_hidden_.assign(batch, Tensor());
+    cached_batch_ = batch;
+  }
   Tensor output(Shape{batch, f, oh, ow});
 
   for (std::size_t b = 0; b < batch; ++b) {
@@ -159,8 +183,14 @@ Tensor LowRankConv2d::forward(const Tensor& input, bool /*train*/) {
     std::copy(input.data() + b * sample, input.data() + (b + 1) * sample,
               image.data());
     Tensor cols = im2col(image, geometry_);    // (oh·ow, patch)
-    Tensor hidden = matmul(cols, u_);          // (oh·ow, K)
-    Tensor out_mat = matmul(hidden, vt_);      // (oh·ow, F)
+    // Eval-only compressed chain over both factor products; the training
+    // path keeps its caches for backward.
+    Tensor hidden = use_compressed
+                        ? linalg::compressed_matmul(cols, u_panel_)
+                        : matmul(cols, u_);    // (oh·ow, K)
+    Tensor out_mat = use_compressed
+                         ? linalg::compressed_matmul(hidden, vt_panel_)
+                         : matmul(hidden, vt_);  // (oh·ow, F)
     add_row_vector(out_mat, bias_);
     float* dst = output.data() + b * f * oh * ow;
     for (std::size_t p = 0; p < oh * ow; ++p) {
@@ -169,8 +199,10 @@ Tensor LowRankConv2d::forward(const Tensor& input, bool /*train*/) {
         dst[c * oh * ow + p] = row[c];
       }
     }
-    cached_cols_[b] = std::move(cols);
-    cached_hidden_[b] = std::move(hidden);
+    if (!use_compressed) {
+      cached_cols_[b] = std::move(cols);
+      cached_hidden_[b] = std::move(hidden);
+    }
   }
   return output;
 }
@@ -234,6 +266,19 @@ void LowRankConv2d::set_factors(Tensor u, Tensor vt) {
   vt_ = std::move(vt);
   u_grad_ = Tensor(u_.shape());
   vt_grad_ = Tensor(vt_.shape());
+  clear_compressed();  // the panels snapshot factors that no longer exist
+}
+
+void LowRankConv2d::pack_compressed(float tol) {
+  u_panel_ = linalg::compress_panel(u_, tol);
+  vt_panel_ = linalg::compress_panel(vt_, tol);
+  compressed_ = true;
+}
+
+void LowRankConv2d::clear_compressed() {
+  u_panel_ = linalg::CompressedPanel{};
+  vt_panel_ = linalg::CompressedPanel{};
+  compressed_ = false;
 }
 
 }  // namespace gs::nn

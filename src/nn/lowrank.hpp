@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "linalg/compressed.hpp"
 #include "nn/layer.hpp"
 #include "tensor/im2col.hpp"
 
@@ -77,6 +78,14 @@ class LowRankDense final : public Layer, public FactorizedLayer {
   Tensor& bias() { return bias_; }
   const Tensor& bias() const { return bias_; }
 
+  /// Block-compressed inference panels over BOTH factors (group deletion
+  /// zeroes rows of U — deleted input wires — and columns of Vᵀ — deleted
+  /// output wires). Snapshot semantics as DenseLayer::pack_compressed;
+  /// set_factors() invalidates the panels automatically.
+  void pack_compressed(float tol = 0.0f);
+  void clear_compressed();
+  bool compressed() const { return compressed_; }
+
  private:
   std::string name_;
   std::size_t in_;
@@ -89,6 +98,9 @@ class LowRankDense final : public Layer, public FactorizedLayer {
   Tensor bias_grad_;
   Tensor cached_input_;   // (B, in)
   Tensor cached_hidden_;  // (B, K)
+  linalg::CompressedPanel u_panel_;   // eval-only snapshots of the factors
+  linalg::CompressedPanel vt_panel_;
+  bool compressed_ = false;
 };
 
 /// Convolutional low-rank layer: a K-filter convolution (Vᵀ of the *unrolled*
@@ -131,6 +143,12 @@ class LowRankConv2d final : public Layer, public FactorizedLayer {
   Tensor& bias() { return bias_; }
   const Tensor& bias() const { return bias_; }
 
+  /// Block-compressed inference panels over both factors — see
+  /// LowRankDense::pack_compressed. set_factors() invalidates them.
+  void pack_compressed(float tol = 0.0f);
+  void clear_compressed();
+  bool compressed() const { return compressed_; }
+
  private:
   std::string name_;
   Spec spec_;
@@ -141,6 +159,9 @@ class LowRankConv2d final : public Layer, public FactorizedLayer {
   Tensor u_grad_;
   Tensor vt_grad_;
   Tensor bias_grad_;
+  linalg::CompressedPanel u_panel_;   // eval-only snapshots of the factors
+  linalg::CompressedPanel vt_panel_;
+  bool compressed_ = false;
 
   ConvGeometry geometry_;
   std::vector<Tensor> cached_cols_;    // per-sample (oh·ow, patch)

@@ -4,17 +4,23 @@ namespace gs::obs {
 
 namespace {
 
-/// Prices one crossbar stage for `rows` input vectors.
+/// Prices one crossbar stage for `rows` input vectors. The counts follow
+/// the compiled schedule: a padded plan converts every matrix row at the
+/// DAC and every non-skipped slice width at the ADC; a repacked plan (see
+/// runtime::CompileOptions::repack) only converts rows live in ≥1 tile and
+/// only reads out each tile's live columns — live_input_wires and
+/// xbar.cols() price both lowerings uniformly.
 void add_stage(const runtime::MatrixPlan& plan, std::uint64_t rows,
                ExecProfile& p) {
-  p.dac_conversions += rows * static_cast<std::uint64_t>(plan.grid.rows);
+  p.dac_conversions +=
+      rows * static_cast<std::uint64_t>(plan.live_input_wires);
   for (const runtime::ProgramTile& tile : plan.tiles) {
     if (tile.skip) {
       ++p.tiles_skipped;
       continue;
     }
     ++p.tiles_executed;
-    const std::uint64_t width = tile.slice.col_end - tile.slice.col_begin;
+    const std::uint64_t width = tile.xbar.cols();
     p.analog_mvms += rows;
     p.adc_conversions += rows * width;
     // Digital partial-sum accumulation: one add per ADC output, plus the

@@ -11,10 +11,13 @@
 //
 // Counting model (per sample):
 //  * dac_conversions — one per input-vector element entering a crossbar
-//    stage (each im2col patch row of a conv is its own input vector);
+//    stage (each im2col patch row of a conv is its own input vector); on a
+//    repacked stage (runtime::CompileOptions::repack) only elements live in
+//    ≥1 programmed tile are converted (MatrixPlan::live_input_wires);
 //  * analog_mvms — one per (input vector × non-skipped tile);
-//  * adc_conversions — one per output column of each non-skipped tile, per
-//    input vector;
+//  * adc_conversions — one per PHYSICAL output column of each non-skipped
+//    tile, per input vector — the padded slice width, or the live-column
+//    count of a repacked tile;
 //  * tiles_executed / tiles_skipped — STATIC tile counts of the schedule
 //    (they match CrossbarProgram::tile_count / skipped_tile_count, and the
 //    compile-time `runtime_skipped_tiles` reported in BENCH_runtime.json);

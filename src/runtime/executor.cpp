@@ -38,14 +38,16 @@ std::uint64_t begin_stage_span(const ForwardTrace& trace,
       ++skipped;
     } else {
       ++executed;
-      adc_per_row += tile.slice.col_end - tile.slice.col_begin;
+      // Physical readout width: the padded slice width, or the live-column
+      // count of a repacked tile — either way, exactly xbar.cols().
+      adc_per_row += tile.xbar.cols();
     }
   }
   trace.trace->annotate(span, "rows", std::to_string(rows));
   trace.trace->annotate(span, "tiles", std::to_string(executed));
   trace.trace->annotate(span, "skipped", std::to_string(skipped));
   trace.trace->annotate(span, "dac_conversions",
-                        std::to_string(rows * plan.grid.rows));
+                        std::to_string(rows * plan.live_input_wires));
   trace.trace->annotate(span, "adc_conversions",
                         std::to_string(rows * adc_per_row));
   return span;
@@ -121,10 +123,59 @@ void Executor::apply_plan(const MatrixPlan& plan, const Tensor& act,
     const std::size_t tc = task % grid_cols;
     const std::size_t r0 = (task / grid_cols) * block;
     const std::size_t r1 = std::min(r0 + block, rows);
-    const hw::GroupSlice& col = plan.tiles[tc].slice;
+    const hw::GroupSlice col = plan.repacked
+                                   ? hw::tile_slice(plan.grid, 0, tc)
+                                   : plan.tiles[tc].slice;
     const std::size_t width = col.col_end - col.col_begin;
     std::vector<double> acc(width);
     std::vector<double> partial(width);
+
+    if (plan.repacked) {
+      // Repacked lowering: per kept tile, gather the live activation
+      // elements into the small array, run its MVM + ADC, and scatter the
+      // results onto the output slice. column_tiles is ascending tile-row
+      // order, so every output element receives its surviving partial sums
+      // in exactly the padded order — dropping a dead row removes an
+      // exact ±0.0 term and a dead column an exact ADC(0)=0 term, which is
+      // why the exactness gate makes this bitwise identical to the padded
+      // path (and identical at any pool size, like the padded loop).
+      std::vector<float> gathered;
+      for (std::size_t r = r0; r < r1; ++r) {
+        const float* x = input->data() + r * in_dim;
+        const double x_max = need_scale ? row_scale[r] : 0.0;
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (const std::uint32_t ti : plan.column_tiles[tc]) {
+          const ProgramTile& tile = plan.tiles[ti];
+          const std::size_t live_rows = tile.in_gather.size();
+          const std::size_t live_cols = tile.out_scatter.size();
+          gathered.resize(live_rows);
+          for (std::size_t i = 0; i < live_rows; ++i) {
+            gathered[i] = x[tile.in_gather[i]];
+          }
+          partial.assign(live_cols, 0.0);
+          tile.xbar.accumulate_matvec(gathered.data(), partial.data());
+          if (conv.adc_levels > 0 && x_max > 0.0) {
+            // ADC full scale stays the PADDED tile geometry (P inputs at
+            // x_max through w_max): the library converter design does not
+            // shrink with the array, and keeping it fixed preserves bitwise
+            // parity with the padded execution.
+            const double full_scale = x_max * adc_gain;
+            for (std::size_t j = 0; j < live_cols; ++j) {
+              partial[j] =
+                  quantize_uniform(partial[j], full_scale, conv.adc_levels);
+            }
+          }
+          for (std::size_t j = 0; j < live_cols; ++j) {
+            acc[tile.out_scatter[j] - col.col_begin] += partial[j];
+          }
+        }
+        float* dst = out.data() + r * out_dim + col.col_begin;
+        for (std::size_t j = 0; j < width; ++j) {
+          dst[j] = static_cast<float>(acc[j]);
+        }
+      }
+      return;
+    }
 
     for (std::size_t r = r0; r < r1; ++r) {
       const float* x = input->data() + r * in_dim;

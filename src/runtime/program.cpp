@@ -67,6 +67,39 @@ std::size_t CrossbarProgram::stage_count() const {
   return n;
 }
 
+bool CrossbarProgram::repacked() const {
+  for (const Step& step : steps_) {
+    for (const MatrixPlan& plan : step.stages) {
+      if (!plan.repacked) return false;
+    }
+  }
+  return stage_count() > 0;
+}
+
+std::size_t CrossbarProgram::removed_tile_count() const {
+  std::size_t n = 0;
+  for (const Step& step : steps_) {
+    for (const MatrixPlan& plan : step.stages) n += plan.removed_tiles;
+  }
+  return n;
+}
+
+std::size_t CrossbarProgram::programmed_cell_count() const {
+  std::size_t n = 0;
+  for (const Step& step : steps_) {
+    for (const MatrixPlan& plan : step.stages) n += plan.programmed_cells;
+  }
+  return n;
+}
+
+std::size_t CrossbarProgram::padded_cell_count() const {
+  std::size_t n = 0;
+  for (const Step& step : steps_) {
+    for (const MatrixPlan& plan : step.stages) n += plan.padded_cells;
+  }
+  return n;
+}
+
 namespace {
 
 /// True when the ADC maps a 0.0 partial sum to exactly 0.0: always for an
@@ -83,6 +116,93 @@ bool all_zero(const Tensor& t) {
     if (t[i] != 0.0f) return false;
   }
   return true;
+}
+
+/// True when the repacked lowering of this device is provably exact, i.e.
+/// bitwise identical to the padded execution it replaces: the ADC must map
+/// a 0.0 partial sum to exactly 0.0 (dead columns would have contributed
+/// ADC(0)), programming must be a pure per-cell function (variation_sigma
+/// == 0 — a zero weight then realises an exactly-zero differential pair and
+/// no RNG stream alignment is at stake), and IR-drop must be off (the
+/// attenuation of a live cell depends on the array geometry, so a smaller
+/// array would realise DIFFERENT live weights). These are the same physics
+/// that gate a skip proof; when they fail, compile() falls back to the
+/// padded lowering.
+bool repack_is_exact(const CompileOptions& options) {
+  return adc_preserves_zero(options.converters) &&
+         options.analog.variation_sigma == 0.0 &&
+         options.analog.wire_resistance == 0.0;
+}
+
+/// Lowers one weight matrix onto its repacked placement (hw::repack_tiles
+/// realised as programmed crossbars): per tile, only the live rows × live
+/// columns are programmed, with gather/scatter maps tying the small array
+/// back to the matrix index space; fully-empty tiles are not programmed.
+/// Caller guarantees repack_is_exact().
+MatrixPlan make_repacked_plan(MatrixPlan plan, const Tensor& w,
+                              const CompileOptions& options) {
+  plan.repacked = true;
+  plan.column_tiles.assign(plan.grid.grid_cols(), {});
+
+  // DAC census: a matrix row is converted iff it feeds ≥1 live cell.
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const float* row = w.data() + i * w.cols();
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      if (row[j] != 0.0f) {
+        ++plan.live_input_wires;
+        break;
+      }
+    }
+  }
+
+  // The repacked program is its own chip realisation with its own
+  // programming pass; under the exactness gate (variation_sigma == 0) the
+  // Rng is never drawn from, so live cells realise the identical effective
+  // weights the padded programming would.
+  Rng rng(options.analog.seed);
+  for (std::size_t tr = 0; tr < plan.grid.grid_rows(); ++tr) {
+    for (std::size_t tc = 0; tc < plan.grid.grid_cols(); ++tc) {
+      const hw::GroupSlice slice = hw::tile_slice(plan.grid, tr, tc);
+      plan.padded_cells += (slice.row_end - slice.row_begin) *
+                           (slice.col_end - slice.col_begin);
+      std::vector<std::uint32_t> live_rows;
+      std::vector<std::uint32_t> live_cols;
+      for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+        for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+          if (w.at(i, j) != 0.0f) {
+            live_rows.push_back(static_cast<std::uint32_t>(i));
+            break;
+          }
+        }
+      }
+      for (std::size_t j = slice.col_begin; j < slice.col_end; ++j) {
+        for (std::size_t i = slice.row_begin; i < slice.row_end; ++i) {
+          if (w.at(i, j) != 0.0f) {
+            live_cols.push_back(static_cast<std::uint32_t>(j));
+            break;
+          }
+        }
+      }
+      if (live_rows.empty() || live_cols.empty()) {
+        ++plan.removed_tiles;  // Figure 9: the empty crossbar vanishes.
+        continue;
+      }
+      Tensor tile(Shape{live_rows.size(), live_cols.size()});
+      for (std::size_t ii = 0; ii < live_rows.size(); ++ii) {
+        for (std::size_t jj = 0; jj < live_cols.size(); ++jj) {
+          tile.at(ii, jj) = w.at(live_rows[ii], live_cols[jj]);
+        }
+      }
+      ProgramTile programmed{
+          slice, hw::AnalogCrossbar(tile, plan.w_max, options.analog, rng),
+          /*skip=*/false, std::move(live_rows), std::move(live_cols)};
+      plan.programmed_cells += tile.numel();
+      plan.column_tiles[tc].push_back(
+          static_cast<std::uint32_t>(plan.tiles.size()));
+      plan.tiles.push_back(std::move(programmed));
+    }
+  }
+  return plan;
 }
 
 /// Tiles and programs one weight matrix. The Rng is seeded per matrix from
@@ -105,13 +225,19 @@ MatrixPlan make_plan(std::string name, const Tensor& w,
   }
 
   // Occupancy of the source matrix: the empty tiles produced by group
-  // connection deletion are the skip candidates.
+  // connection deletion are the skip (or removal) candidates.
   const std::vector<hw::TileOccupancy> occupancy =
       hw::analyze_tiles(w, plan.grid);
   plan.occupancy = hw::summarize_occupancy(occupancy);
+
+  if (options.repack && repack_is_exact(options)) {
+    return make_repacked_plan(std::move(plan), w, options);
+  }
+
   const bool may_skip =
       options.skip_empty_tiles && adc_preserves_zero(options.converters);
 
+  plan.live_input_wires = plan.grid.rows;
   Rng rng(options.analog.seed);
   plan.tiles.reserve(plan.grid.tile_count());
   for (std::size_t tr = 0; tr < plan.grid.grid_rows(); ++tr) {
@@ -124,9 +250,11 @@ MatrixPlan make_plan(std::string name, const Tensor& w,
           tile.at(i - slice.row_begin, j - slice.col_begin) = w.at(i, j);
         }
       }
+      plan.programmed_cells += tile.numel();
+      plan.padded_cells += tile.numel();
       ProgramTile programmed{
           slice, hw::AnalogCrossbar(tile, plan.w_max, options.analog, rng),
-          /*skip=*/false};
+          /*skip=*/false, /*in_gather=*/{}, /*out_scatter=*/{}};
       // Skip only on compile-time proof of a zero contribution: the weight
       // tile is empty AND the programmed array realises exactly-zero
       // effective weights (process variation perturbs the two g_min halves
@@ -288,6 +416,13 @@ std::uint64_t program_checksum(const CrossbarProgram& program) {
         checksum_bytes(hash, eff.data(), eff.numel() * sizeof(float));
         const unsigned char skip = tile.skip ? 1 : 0;
         checksum_bytes(hash, &skip, 1);
+        // Repacked tiles: the index maps are part of the programmed state
+        // (they decide which wires the small array serves). Empty on padded
+        // plans, so padded checksums are unchanged.
+        checksum_bytes(hash, tile.in_gather.data(),
+                       tile.in_gather.size() * sizeof(std::uint32_t));
+        checksum_bytes(hash, tile.out_scatter.data(),
+                       tile.out_scatter.size() * sizeof(std::uint32_t));
       }
     }
   }

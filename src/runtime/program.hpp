@@ -16,6 +16,11 @@
 //    crossbars) are marked `skip` when their contribution is provably zero
 //    for every input, so the executor elides their MVM→ADC work — see
 //    CompileOptions::skip_empty_tiles;
+//  * with CompileOptions::repack, each matrix is lowered onto its repacked
+//    placement (hw/repack.hpp, the paper's Figure 9 closing observation):
+//    every tile is programmed from its live rows × live cols only, carries
+//    input-gather/output-scatter index maps, and fully-empty tiles are not
+//    programmed at all — fewer, fuller crossbars instead of padded ones;
 //  * low-rank layers lower to TWO chained crossbar stages (U then Vᵀ), the
 //    interconnected arrays of Figure 4, each with its own DAC/ADC boundary;
 //  * stateless layers (ReLU, pooling, flatten, dropout-at-eval) become
@@ -87,6 +92,24 @@ struct CompileOptions {
   /// the partial-sum order of the remaining tiles is unchanged — so the
   /// switch exists only for ablation benches.
   bool skip_empty_tiles = true;
+  /// Lower each matrix onto its repacked placement (hw::repack_tiles): every
+  /// tile is programmed from its live rows × live columns only, with
+  /// per-tile gather/scatter index maps, and fully-empty tiles vanish from
+  /// the schedule — the executor then runs the COMPRESSED network (fewer
+  /// DAC/ADC conversions, less partial-sum traffic) instead of skipping
+  /// holes in the padded one.
+  ///
+  /// Repacking applies only when the lowering is provably exact, i.e. when
+  /// dropping a dead wire removes exactly-zero terms: the ADC must map 0→0
+  /// (ideal or odd-level — the tile-skip criterion) AND programming must be
+  /// deterministic per cell (variation_sigma == 0) AND IR-drop must be off
+  /// (wire_resistance == 0; attenuation depends on tile geometry, so a
+  /// smaller array would realise different live weights). When any of these
+  /// fail, compile() falls back to the padded lowering with skip marks —
+  /// exactly the conditions that block a skip proof block repacking. On an
+  /// admitted device the repacked logits are bitwise identical to the padded
+  /// path (the differential property suite asserts this).
+  bool repack = false;
 };
 
 /// One programmed crossbar tile and the matrix slice it implements.
@@ -97,6 +120,13 @@ struct ProgramTile {
   /// partial sum (see CompileOptions::skip_empty_tiles); the executor skips
   /// its MVM and ADC.
   bool skip = false;
+  /// Repacked lowering only (MatrixPlan::repacked; empty on padded plans):
+  /// absolute matrix row index feeding each crossbar input wire — the
+  /// executor gathers activation element in_gather[i] into wire i — and
+  /// absolute matrix column index each crossbar output wire scatters its
+  /// ADC result to. Both ascending, so partial-sum order is preserved.
+  std::vector<std::uint32_t> in_gather;
+  std::vector<std::uint32_t> out_scatter;
 };
 
 /// Tiled analog mapping of one (in × out) weight matrix: the schedule is
@@ -111,6 +141,24 @@ struct MatrixPlan {
   /// Occupancy of the source matrix at tolerance 0 (hw::summarize_occupancy)
   /// — recorded at compile so callers can query emptiness without rescans.
   hw::OccupancySummary occupancy;
+  /// True when this plan was lowered onto the repacked placement (see
+  /// CompileOptions::repack). Padded plans keep the dense row-major layout
+  /// (`tiles[tr * grid_cols + tc]`); repacked plans drop removed tiles from
+  /// `tiles` and index the survivors through `column_tiles`.
+  bool repacked = false;
+  /// Repacked plans only: row-major indices into `tiles` per tile column,
+  /// ascending tile row — the executor's fixed partial-sum order.
+  std::vector<std::vector<std::uint32_t>> column_tiles;
+  /// Distinct matrix rows that feed at least one programmed tile — the DAC
+  /// conversions one input vector costs. Equals grid.rows on padded plans.
+  std::size_t live_input_wires = 0;
+  /// Physically programmed crossbar cells, and what the padded lowering of
+  /// the same matrix programs (the clamped-tile census — matches
+  /// hw::RepackReport::repacked_cells / original_cells at tolerance 0).
+  std::size_t programmed_cells = 0;
+  std::size_t padded_cells = 0;
+  /// Repacked plans only: fully-empty tiles removed from the schedule.
+  std::size_t removed_tiles = 0;
 
   std::size_t tile_count() const { return tiles.size(); }
   std::size_t skipped_tile_count() const;
@@ -167,6 +215,18 @@ class CrossbarProgram {
   std::size_t skipped_tile_count() const;
   /// Total crossbar stages (matrix plans) — 2 per low-rank layer.
   std::size_t stage_count() const;
+  /// True when every stage was lowered onto its repacked placement — the
+  /// exactness gate admitted the device (see CompileOptions::repack). False
+  /// means the padded fallback ran (even if options().repack was requested).
+  bool repacked() const;
+  /// Repacked lowering only: fully-empty tiles dropped from the schedule
+  /// (they are NOT part of tile_count()).
+  std::size_t removed_tile_count() const;
+  /// Physically programmed crossbar cells, and the padded-lowering cell
+  /// count of the same matrices — their ratio is the Figure 9 area saving
+  /// the program actually realises.
+  std::size_t programmed_cell_count() const;
+  std::size_t padded_cell_count() const;
 
  private:
   friend CrossbarProgram compile(const nn::Network&, const Shape&,
@@ -193,7 +253,10 @@ CrossbarProgram compile(const nn::Network& net, const Shape& sample_shape,
 ///   derive_stream_seed(config.seed, "fault:drift:<label><plan>", tile)
 /// (`label` is the caller's scope — the sharded server passes
 /// "replica<r>:" so each replica chip realises its own faults; `plan` is
-/// the stage name, `tile` the row-major tile index). A realisation is a
+/// the stage name, `tile` the index within the plan's tile schedule —
+/// row-major over the programmed tiles, so on a repacked plan removed
+/// crossbars have no stream at all: a crossbar that does not exist cannot
+/// fault). A realisation is a
 /// pure function of its key: injecting the same (seed, label) into a
 /// bitwise-equal program yields a bitwise-equal faulty program, and no
 /// tile's faults depend on any other tile, matrix, or replica.
@@ -212,7 +275,8 @@ FaultInjectionReport inject_faults(CrossbarProgram& program,
                                    std::string_view label = {});
 
 /// FNV-1a fingerprint of the full programmed state: every tile's
-/// conductance pairs, effective weights, and skip flag, in schedule order.
+/// conductance pairs, effective weights, skip flag, and (repacked plans)
+/// gather/scatter index maps, in schedule order.
 /// Bitwise-equal programs (including their fault state) ⇒ equal checksums;
 /// the fault-determinism tests and the serving_faults bench replay gate
 /// compare these across runs.

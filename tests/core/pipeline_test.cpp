@@ -108,6 +108,26 @@ TEST(Pipeline, FullLeNetRunProducesConsistentReports) {
   EXPECT_DOUBLE_EQ(result.final_report.sharded_accuracy,
                    result.sharded_accuracy);
 
+  // Repacked evaluation ran on the same ideal device, which passes the
+  // exactness gate: the compressed program drops exactly the skipped tiles
+  // from the schedule, programs strictly fewer cells, and — the gate's
+  // whole point — scores bitwise the same accuracy as the padded runtime.
+  EXPECT_EQ(result.repacked_tiles + result.runtime_skipped_tiles,
+            result.runtime_tiles);
+  EXPECT_GT(result.repacked_cells_ratio, 0.0);
+  EXPECT_LT(result.repacked_cells_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(result.repacked_accuracy, result.runtime_accuracy);
+  EXPECT_EQ(result.final_report.repacked_tiles, result.repacked_tiles);
+  EXPECT_DOUBLE_EQ(result.final_report.repacked_cells_ratio,
+                   result.repacked_cells_ratio);
+  EXPECT_DOUBLE_EQ(result.final_report.repacked_accuracy,
+                   result.repacked_accuracy);
+  // The digital block-compressed GEMM arm graded the same network.
+  EXPECT_GE(result.compressed_digital_accuracy, 0.0);
+  EXPECT_LE(result.compressed_digital_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(result.final_report.compressed_digital_accuracy,
+                   result.compressed_digital_accuracy);
+
   // The fault-sensitivity evaluation ran at the default 1% stuck-at rate:
   // a valid accuracy, mirrored into the final report with its rate.
   EXPECT_GE(result.faulty_accuracy, 0.0);

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "hw/area.hpp"
+#include "nn/dense.hpp"
+#include "runtime/program.hpp"
 
 namespace gs::hw {
 namespace {
@@ -134,6 +138,92 @@ TEST_P(RepackConsistencySweep, Accounting) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RepackConsistencySweep,
                          ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5));
+
+TEST(Repack, ToleranceBoundaryIsInclusive) {
+  // |w| == tol counts as deleted (the contract is |w| ≤ tol); the next
+  // representable float above tol stays live.
+  const float tol = 1e-4f;
+  Tensor m(Shape{100, 20});
+  for (std::size_t j = 0; j < 20; ++j) m.at(0, j) = tol;
+  const TileGrid grid = make_tile_grid(100, 20, paper_technology());
+  EXPECT_EQ(repack_tiles(m, grid, tol).repacked_cells, 0u);
+  const float above = std::nextafter(tol, 1.0f);
+  for (std::size_t j = 0; j < 20; ++j) m.at(0, j) = above;
+  const RepackReport kept = repack_tiles(m, grid, tol);
+  EXPECT_EQ(kept.repacked_cells, 1u * 20);
+  // Negative values use |w|: -tol deleted, -above kept.
+  for (std::size_t j = 0; j < 20; ++j) m.at(0, j) = -tol;
+  EXPECT_EQ(repack_tiles(m, grid, tol).repacked_cells, 0u);
+  for (std::size_t j = 0; j < 20; ++j) m.at(0, j) = -above;
+  EXPECT_EQ(repack_tiles(m, grid, tol).repacked_cells, 1u * 20);
+}
+
+TEST(Repack, ReportCoheresWithCompiledProgram) {
+  // The repacked runtime compile (runtime/program.hpp) must program exactly
+  // the cells this report predicts: per matrix, programmed cells ==
+  // repacked_cells and padded cells == original_cells, and every programmed
+  // crossbar's physical extent equals the report's repacked spec.
+  Rng rng(11);
+  nn::Network net;
+  auto fc = std::make_unique<nn::DenseLayer>("fc", 100, 20, rng);
+  Tensor& w = fc->weight();
+  for (std::size_t i = 10; i < 60; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) w.at(i, j) = 0.0f;
+  }
+  for (std::size_t j = 3; j < 7; ++j) {
+    for (std::size_t i = 0; i < 100; ++i) w.at(i, j) = 0.0f;
+  }
+  const Tensor snapshot = w;
+  net.add(std::move(fc));
+
+  runtime::CompileOptions options;
+  options.repack = true;
+  const runtime::CrossbarProgram program =
+      runtime::compile(net, Shape{100}, options);
+  ASSERT_TRUE(program.repacked());
+
+  const TileGrid grid = make_tile_grid(100, 20, options.tech, options.policy);
+  const RepackReport report = repack_tiles(snapshot, grid);
+  EXPECT_EQ(program.programmed_cell_count(), report.repacked_cells);
+  EXPECT_EQ(program.padded_cell_count(), report.original_cells);
+  EXPECT_EQ(program.removed_tile_count(), report.removed_tiles);
+  EXPECT_EQ(program.tile_count() + program.removed_tile_count(),
+            report.tiles.size());
+
+  // Tile-by-tile: the kept program tiles are the non-removed report tiles,
+  // in the same row-major order, at the same physical extents.
+  const runtime::MatrixPlan& plan = program.steps().front().stages.front();
+  std::size_t next = 0;
+  for (const RepackedTile& tile : report.tiles) {
+    if (tile.removed()) continue;
+    ASSERT_LT(next, plan.tiles.size());
+    const runtime::ProgramTile& programmed = plan.tiles[next++];
+    EXPECT_EQ(programmed.xbar.rows(), tile.repacked.rows);
+    EXPECT_EQ(programmed.xbar.cols(), tile.repacked.cols);
+    EXPECT_EQ(programmed.in_gather.size(), tile.repacked.rows);
+    EXPECT_EQ(programmed.out_scatter.size(), tile.repacked.cols);
+  }
+  EXPECT_EQ(next, plan.tiles.size());
+}
+
+TEST(Repack, FullyRemovedMatrixReport) {
+  // All tiles empty: zero repacked cells, every tile removed — and the
+  // compiled repacked program of such a matrix programs nothing.
+  nn::Network net;
+  Rng rng(12);
+  auto fc = std::make_unique<nn::DenseLayer>("fc", 100, 20, rng);
+  fc->weight().set_zero();
+  net.add(std::move(fc));
+  runtime::CompileOptions options;
+  options.repack = true;
+  const runtime::CrossbarProgram program =
+      runtime::compile(net, Shape{100}, options);
+  EXPECT_EQ(program.tile_count(), 0u);
+  EXPECT_EQ(program.programmed_cell_count(), 0u);
+  const TileGrid grid = make_tile_grid(100, 20, options.tech, options.policy);
+  EXPECT_EQ(program.removed_tile_count(),
+            repack_tiles(Tensor(Shape{100, 20}), grid).removed_tiles);
+}
 
 }  // namespace
 }  // namespace gs::hw

@@ -8,7 +8,13 @@
 //     forward within float-roundtrip tolerance;
 //  2. determinism: logits are bitwise identical at any pool size and
 //     invariant to batch composition, including under quantised converters
-//     (odd AND even ADC level counts) and device variation.
+//     (odd AND even ADC level counts) and device variation;
+//  3. repack differential: on an exactness-gated device the repacked
+//     program (CompileOptions::repack) reproduces the padded logits
+//     bitwise; on a blocked device (even ADC, variation) it falls back to
+//     a checksum-identical padded compile; and fault injection on a
+//     repacked program can never invalidate a skip proof (there are none)
+//     nor touch a removed crossbar.
 // This replaces hand-picked shapes with a generator: every seed is its own
 // ctest case, so a failure names the stack that broke.
 #include <gtest/gtest.h>
@@ -50,6 +56,19 @@ void maybe_delete_rows(Tensor& w, Rng& rng) {
   }
 }
 
+/// Zeroes a random column band with probability 1/2 — deleted OUTPUT wires,
+/// so repacked tiles shrink in the column direction too (and the repack
+/// scatter maps get real holes to jump).
+void maybe_delete_cols(Tensor& w, Rng& rng) {
+  if (!rng.bernoulli(0.5) || w.cols() < 4) return;
+  const std::size_t begin = rng.uniform_index(w.cols() / 2);
+  const std::size_t end =
+      begin + 1 + rng.uniform_index(w.cols() - begin - 1);
+  for (std::size_t j = begin; j < end; ++j) {
+    for (std::size_t i = 0; i < w.rows(); ++i) w.at(i, j) = 0.0f;
+  }
+}
+
 struct RandomStack {
   nn::Network net;
   Shape sample_shape;
@@ -84,6 +103,7 @@ RandomStack build_stack(std::uint64_t seed) {
       auto conv =
           std::make_unique<nn::LowRankConv2d>("conv", spec, rank, rng);
       maybe_delete_rows(conv->mutable_u(), rng);
+      maybe_delete_cols(conv->mutable_vt(), rng);
       shape = conv->output_shape(shape);
       stack.net.add(std::move(conv));
     } else {
@@ -94,6 +114,7 @@ RandomStack build_stack(std::uint64_t seed) {
       spec.pad = pad;
       auto conv = std::make_unique<nn::Conv2dLayer>("conv", spec, rng);
       maybe_delete_rows(conv->weight(), rng);
+      maybe_delete_cols(conv->weight(), rng);
       shape = conv->output_shape(shape);
       stack.net.add(std::move(conv));
     }
@@ -125,10 +146,12 @@ RandomStack build_stack(std::uint64_t seed) {
       auto fc =
           std::make_unique<nn::LowRankDense>(name, features, out, rank, rng);
       maybe_delete_rows(fc->mutable_u(), rng);
+      maybe_delete_cols(fc->mutable_vt(), rng);
       stack.net.add(std::move(fc));
     } else {
       auto fc = std::make_unique<nn::DenseLayer>(name, features, out, rng);
       maybe_delete_rows(fc->weight(), rng);
+      maybe_delete_cols(fc->weight(), rng);
       stack.net.add(std::move(fc));
     }
     if (rng.bernoulli(0.5)) {
@@ -238,6 +261,60 @@ TEST_P(RuntimeProperty, CompileExecuteContractsHold) {
     const Executor full_exec(full);
     EXPECT_TRUE(bitwise_equal(analog, full_exec.forward(batch)))
         << "tile-skip soundness broke at seed " << seed;
+  }
+
+  // --- Contract 3: repack differential -----------------------------------
+  // Ideal device always passes the exactness gate: the repacked program
+  // must reproduce the padded logits bitwise, with the removed-crossbar
+  // count equal to the padded schedule's proven-skippable count.
+  CompileOptions repack_ideal = options;
+  repack_ideal.repack = true;
+  const CrossbarProgram repacked =
+      compile(stack.net, stack.sample_shape, repack_ideal);
+  ASSERT_TRUE(repacked.repacked())
+      << "ideal device failed the repack gate at seed " << seed;
+  EXPECT_EQ(repacked.removed_tile_count(), ideal.skipped_tile_count());
+  EXPECT_LE(repacked.programmed_cell_count(), repacked.padded_cell_count());
+  EXPECT_TRUE(bitwise_equal(analog, Executor(repacked).forward(batch)))
+      << "repack parity broke at seed " << seed;
+
+  // Nonideal device: gate admits iff the same physics that admit a skip
+  // proof hold (odd/ideal ADC zero-preservation, no variation — wire
+  // resistance is 0 throughout this sweep). Admitted ⇒ bitwise parity with
+  // the padded nonideal program; blocked ⇒ the compile IS the padded one.
+  CompileOptions repack_nonideal = nonideal;
+  repack_nonideal.repack = true;
+  const CrossbarProgram nonideal_repacked =
+      compile(stack.net, stack.sample_shape, repack_nonideal);
+  const bool gate = nonideal.converters.adc_levels % 2 == 1 &&
+                    nonideal.analog.variation_sigma == 0.0;
+  EXPECT_EQ(nonideal_repacked.repacked(), gate)
+      << "repack gate disagreed with device physics at seed " << seed;
+  if (gate) {
+    EXPECT_TRUE(
+        bitwise_equal(out1, Executor(nonideal_repacked).forward(batch)))
+        << "nonideal repack parity broke at seed " << seed;
+  } else {
+    EXPECT_EQ(program_checksum(nonideal_repacked), program_checksum(device))
+        << "blocked repack did not fall back to the padded program at seed "
+        << seed;
+  }
+
+  // Fault interaction: a repacked schedule carries no skip marks, so a
+  // stuck-at realisation can never invalidate one — and removed crossbars
+  // do not exist to fault. The padded twin under the SAME fault config may
+  // well lose skip proofs; the repacked program must not.
+  if (repacked.removed_tile_count() > 0) {
+    CrossbarProgram faulty_repacked =
+        compile(stack.net, stack.sample_shape, repack_ideal);
+    hw::FaultModelConfig faults;
+    faults.stuck_rate = 0.1;
+    faults.seed = seed + 3;
+    const FaultInjectionReport report =
+        inject_faults(faulty_repacked, faults);
+    EXPECT_EQ(report.unskipped_tiles, 0u)
+        << "fault injection unskipped a repacked tile at seed " << seed;
+    EXPECT_EQ(report.tiles, repacked.tile_count());
   }
 }
 
