@@ -8,6 +8,12 @@
 // Scale note: budgets are sized so each binary completes in roughly a minute
 // or two on CPU. Set GS_BENCH_SCALE=N (integer ≥ 1) to multiply every
 // training budget for higher-fidelity runs.
+//
+// Thread-safety: free functions here are called from the bench mains' single
+// driver thread; nothing in this header owns shared mutable state.
+// Determinism: datasets and baselines are seeded (fixed seeds inside the
+// factories); scale() reads GS_BENCH_SCALE once — results depend only on the
+// environment knobs, never on wall-clock or scheduling.
 #pragma once
 
 #include <functional>

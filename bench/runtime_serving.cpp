@@ -42,11 +42,19 @@
 //    single-core container, where the serving_sharded win is carried by
 //    the skipped tiles).
 //
-// A final serving_faults section replays a scripted fault schedule (stuck-at
+// A serving_faults section replays a scripted fault schedule (stuck-at
 // event mid-burst, drift on the other chip) against bursty traffic with
 // recalibration ON vs OFF — SLO attainment, shed/retry counts, and fleet
 // accuracy before/after recalibration, bitwise reproducible across runs
 // (see the section comment for the determinism recipe).
+//
+// A final serving_trace section replays a seeded bursty/diurnal open-loop
+// traffic trace (TraceReplayer, bench/trace_replay.hpp) against the elastic
+// fleet with autoscaling ON vs OFF at equal total thread budget — SLO
+// attainment from per-request deadline hits, queue-full rejections, the
+// replica-count timeline, and the controller's decision-log checksum; two
+// ON replays must agree bitwise (runs_bitwise_identical — a CI gate, also
+// diffed across GS_NUM_THREADS=1/4).
 //
 // Emits BENCH_runtime.json in the working directory; the headline metrics
 // are serving_batched.speedup_vs_single,
@@ -66,6 +74,7 @@
 
 #include "bench_util.hpp"
 #include "common/check.hpp"
+#include "trace_replay.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
@@ -596,7 +605,7 @@ int main(int argc, char** argv) {
     rec.label("mode",
               std::to_string(budget.clients) + " clients, " +
                   std::to_string(shard.replicas) + " replicas x " +
-                  std::to_string(server.threads_per_replica()) +
+                  std::to_string(server.threads_for_replica(0)) +
                   " threads, max_batch 32, 2ms deadline, tile skip on")
         .label("baseline", "single replica, " + std::to_string(thread_budget) +
                                " threads, skip off (PR 3 serving path)");
@@ -1130,6 +1139,224 @@ int main(int argc, char** argv) {
         healed.slo, unhealed.slo, healed.final_fleet_accuracy,
         unhealed.final_fleet_accuracy, healed.stuck_accuracy,
         healed.drift_accuracy,
+        reproducible ? "reproducible" : "NONDETERMINISTIC");
+  }
+
+  // --- Elastic serving under traffic replay: the same seeded bursty/diurnal
+  // open-loop trace (TraceReplayer) against autoscale ON vs OFF at EQUAL
+  // thread budget. Per tick: dispatch freezes (set_paused), the tick's
+  // arrivals are submitted (two tenants, alternating priorities), the
+  // autoscale controller ticks manually (ON arm), dispatch thaws, and every
+  // future is collected before the next tick — so the queue state every
+  // controller tick sees is an exact function of the trace. SLO attainment
+  // comes from the per-request deadline-hit counters (not latency
+  // percentiles — the windowed p99 saturates at these sample counts, see
+  // docs/OBSERVABILITY.md "Small-sample percentiles"): deadlines are lax, so
+  // every executed request hits and all SLO loss is deterministic queue-full
+  // rejection — which is exactly what scale-up relieves on the 2nd/3rd tick
+  // of each burst episode. Determinism: identical chips (seed_stride 0), a
+  // private metrics Registry per arm (the controller consumes the registry
+  // signals), and decisions that are pure functions of paused-tick counters
+  // — two ON replays must agree bitwise on logits, counters, and the
+  // decision log (runs_bitwise_identical; CI also diffs the checksums across
+  // GS_NUM_THREADS=1/4).
+  {
+    const auto hash_bytes = [](std::uint64_t hash, const void* data,
+                               std::size_t size) {
+      const auto* bytes = static_cast<const unsigned char*>(data);
+      for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+      }
+      return hash;
+    };
+    struct TraceArm {
+      std::size_t submitted = 0;
+      std::size_t completed = 0;
+      std::size_t rejected = 0;
+      std::size_t shed = 0;
+      std::size_t drained = 0;
+      std::size_t deadline_hits = 0;
+      std::size_t scale_ups = 0;
+      std::size_t scale_downs = 0;
+      std::size_t max_active = 1;
+      double slo = 0.0;
+      double p99_ms = 0.0;
+      std::string timeline;  ///< active replicas after each tick
+      std::uint64_t decision_checksum = 0;
+      std::uint64_t checksum = 1469598103934665603ULL;  // FNV offset basis
+    };
+
+    TraceConfig trace_config;
+    trace_config.seed = 1;
+    trace_config.ticks = smoke ? 16 : 48;
+    trace_config.diurnal_period = smoke ? 8 : 24;
+    const TraceReplayer trace(trace_config);
+    const std::size_t thread_budget = 3;  // equal across arms = fair SLO
+
+    const auto run_trace_arm = [&](bool autoscale_on) {
+      TraceArm res;
+      // Private registry: the controller consumes the registry's queue-depth
+      // gauge and deadline counters, which are cumulative across engine
+      // instances sharing a registry — isolation keeps the replays bitwise.
+      obs::Registry registry;
+      runtime::ShardConfig shard;
+      shard.replicas = 1;
+      shard.seed_stride = 0;     // identical chips — logits replica-invariant
+      shard.steal_work = false;  // placement alone decides routing
+      shard.auto_recalibrate = false;
+      shard.total_threads = thread_budget;
+      shard.batching.max_batch = 8;
+      shard.batching.max_queue_depth = 24;
+      shard.batching.max_delay = std::chrono::microseconds(2000);
+      shard.batching.observability.registry = &registry;
+      if (autoscale_on) {
+        shard.autoscale.enabled = true;
+        shard.autoscale.min_replicas = 1;
+        shard.autoscale.max_replicas = 3;
+        shard.autoscale.scale_up_depth = 16.0;
+        shard.autoscale.up_ticks = 1;
+        shard.autoscale.scale_down_depth = 3.0;
+        shard.autoscale.down_ticks = 2;
+      }
+      runtime::ShardedServer server(deleted, sample_shape, skip_options,
+                                    shard);
+
+      const auto lax_deadline = std::chrono::seconds(30);
+      std::vector<std::future<Tensor>> futures;
+      std::size_t next_sample = 0;
+      for (std::size_t t = 0; t < trace.ticks(); ++t) {
+        server.set_paused(true);
+        for (std::size_t i = 0; i < trace.arrivals(t); ++i) {
+          runtime::RequestOptions options;
+          options.deadline = lax_deadline;
+          options.tenant = next_sample % 2;
+          options.priority = static_cast<int>(next_sample % 2);
+          futures.push_back(server.submit(
+              slice_sample(deleted_pool, next_sample % 64), options));
+          ++next_sample;
+        }
+        std::size_t active_after = 1;
+        if (autoscale_on) {
+          const runtime::AutoscaleDecision decision =
+              server.autoscale_tick_now();
+          active_after = decision.active_replicas;
+          if (decision.action == runtime::AutoscaleAction::kUp) ++active_after;
+          if (decision.action == runtime::AutoscaleAction::kDown) {
+            --active_after;
+          }
+        }
+        if (!res.timeline.empty()) res.timeline += ",";
+        res.timeline += std::to_string(active_after);
+        res.max_active = std::max(res.max_active, active_after);
+        server.set_paused(false);
+        for (std::future<Tensor>& f : futures) {
+          ++res.submitted;
+          try {
+            const Tensor logits = f.get();
+            res.checksum = hash_bytes(res.checksum, logits.data(),
+                                      logits.numel() * sizeof(float));
+          } catch (const std::runtime_error&) {
+            const std::uint64_t sentinel = 0xDEADull;
+            res.checksum =
+                hash_bytes(res.checksum, &sentinel, sizeof(sentinel));
+          }
+        }
+        futures.clear();
+      }
+      if (autoscale_on) {
+        res.decision_checksum = server.autoscale_log_checksum();
+      }
+      server.shutdown();
+      const runtime::ShardStats stats = server.stats();
+      res.completed = stats.aggregate.completed;
+      res.rejected = stats.aggregate.rejected;
+      res.shed = stats.aggregate.shed;
+      res.drained = stats.drained;
+      res.deadline_hits = stats.aggregate.deadline_hits;
+      res.scale_ups = stats.autoscale_ups;
+      res.scale_downs = stats.autoscale_downs;
+      res.p99_ms = stats.aggregate.latency_p99_ms;
+      res.slo = res.submitted == 0
+                    ? 1.0
+                    : static_cast<double>(res.deadline_hits) /
+                          static_cast<double>(res.submitted);
+      // Counters and the decision log are part of the replay fingerprint.
+      const std::uint64_t counters[] = {
+          res.completed,     res.rejected,  res.shed,
+          res.drained,       res.scale_ups, res.scale_downs,
+          res.deadline_hits, res.decision_checksum};
+      res.checksum = hash_bytes(res.checksum, counters, sizeof(counters));
+      return res;
+    };
+
+    const TraceArm on = run_trace_arm(/*autoscale_on=*/true);
+    const TraceArm replay = run_trace_arm(/*autoscale_on=*/true);
+    const TraceArm off = run_trace_arm(/*autoscale_on=*/false);
+    const bool reproducible = on.checksum == replay.checksum &&
+                              on.decision_checksum ==
+                                  replay.decision_checksum &&
+                              on.timeline == replay.timeline;
+
+    char logit_hex[32];
+    std::snprintf(logit_hex, sizeof(logit_hex), "%016llx",
+                  static_cast<unsigned long long>(on.checksum));
+    char decision_hex[32];
+    std::snprintf(decision_hex, sizeof(decision_hex), "%016llx",
+                  static_cast<unsigned long long>(on.decision_checksum));
+    BenchRecord rec;
+    rec.name = "serving_trace";
+    rec.label("trace",
+              std::to_string(trace.ticks()) + " ticks, base rate " +
+                  std::to_string(static_cast<int>(trace_config.base_rate)) +
+                  "/tick, diurnal +-60%, 5x bursts of " +
+                  std::to_string(trace_config.burst_ticks) + " ticks (" +
+                  std::to_string(trace.burst_tick_count()) +
+                  " burst ticks, peak " + std::to_string(trace.peak()) + ")")
+        .label("fleet",
+               "autoscale 1..3 replicas, thread budget " +
+                   std::to_string(thread_budget) +
+                   " (equal across arms), queue depth 24, two tenants")
+        .label("replica_timeline", on.timeline)
+        .label("logit_checksum", logit_hex)
+        .label("decision_checksum", decision_hex);
+    rec.metric("submitted", static_cast<double>(on.submitted))
+        .metric("completed", static_cast<double>(on.completed))
+        .metric("deadline_hits", static_cast<double>(on.deadline_hits))
+        .metric("slo_attainment", on.slo)
+        .metric("slo_attainment_no_autoscale", off.slo)
+        .metric("slo_improvement", on.slo - off.slo)
+        .metric("autoscale_improves_slo", on.slo > off.slo ? 1.0 : 0.0)
+        .metric("p99_ms", on.p99_ms)
+        .metric("p99_ms_no_autoscale", off.p99_ms)
+        .metric("rejected", static_cast<double>(on.rejected))
+        .metric("rejected_no_autoscale", static_cast<double>(off.rejected))
+        .metric("shed", static_cast<double>(on.shed))
+        .metric("drained", static_cast<double>(on.drained))
+        .metric("scale_ups", static_cast<double>(on.scale_ups))
+        .metric("scale_downs", static_cast<double>(on.scale_downs))
+        .metric("max_active_replicas", static_cast<double>(on.max_active))
+        .metric("runs_bitwise_identical", reproducible ? 1.0 : 0.0);
+    records.push_back(rec);
+
+    BenchRecord off_rec;
+    off_rec.name = "serving_trace_no_autoscale";
+    off_rec.label("mode",
+                  "same trace, fixed single replica at the same total thread "
+                  "budget");
+    off_rec.metric("submitted", static_cast<double>(off.submitted))
+        .metric("completed", static_cast<double>(off.completed))
+        .metric("deadline_hits", static_cast<double>(off.deadline_hits))
+        .metric("slo_attainment", off.slo)
+        .metric("rejected", static_cast<double>(off.rejected))
+        .metric("shed", static_cast<double>(off.shed))
+        .metric("p99_ms", off.p99_ms);
+    records.push_back(off_rec);
+
+    std::printf(
+        "serving_trace               SLO %.3f vs %.3f (autoscale on/off), "
+        "%zu scale-ups %zu scale-downs, peak %zu arrivals, %s\n",
+        on.slo, off.slo, on.scale_ups, on.scale_downs, trace.peak(),
         reproducible ? "reproducible" : "NONDETERMINISTIC");
   }
 

@@ -1,0 +1,72 @@
+#include "trace_replay.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace gs::bench {
+
+namespace {
+
+/// Knuth's product-of-uniforms Poisson sampler — built from Rng::uniform()
+/// only, so draws stay inside the repo's single RNG discipline. O(rate) per
+/// draw, fine at bench rates (tens per tick).
+std::size_t poisson_draw(Rng& rng, double rate) {
+  if (rate <= 0.0) return 0;
+  const double threshold = std::exp(-rate);
+  std::size_t count = 0;
+  double product = rng.uniform();
+  while (product > threshold) {
+    ++count;
+    product *= rng.uniform();
+  }
+  return count;
+}
+
+}  // namespace
+
+void TraceConfig::validate() const {
+  GS_CHECK_MSG(ticks >= 1, "TraceConfig: need at least one tick");
+  GS_CHECK(base_rate >= 0.0);
+  GS_CHECK_MSG(diurnal_amplitude >= 0.0 && diurnal_amplitude <= 1.0,
+               "TraceConfig: diurnal_amplitude in [0, 1] keeps rates "
+               "non-negative");
+  GS_CHECK(diurnal_period >= 1);
+  GS_CHECK(burst_probability >= 0.0 && burst_probability <= 1.0);
+  GS_CHECK(burst_multiplier >= 1.0);
+  GS_CHECK(burst_ticks >= 1);
+}
+
+TraceReplayer::TraceReplayer(const TraceConfig& config) {
+  config.validate();
+  Rng rng = derive_stream(config.seed, "trace");
+  arrivals_.reserve(config.ticks);
+  bursting_.reserve(config.ticks);
+  constexpr double kTau = 6.283185307179586476925286766559;
+  std::size_t burst_remaining = 0;
+  for (std::size_t t = 0; t < config.ticks; ++t) {
+    // Burst state first (one uniform per quiet tick), THEN the Poisson draw:
+    // the draw count per tick varies, but the stream order is still a pure
+    // function of the config.
+    if (burst_remaining == 0 && rng.uniform() < config.burst_probability) {
+      burst_remaining = config.burst_ticks;
+    }
+    const bool burst = burst_remaining > 0;
+    if (burst_remaining > 0) --burst_remaining;
+    const double envelope =
+        1.0 + config.diurnal_amplitude *
+                  std::sin(kTau * static_cast<double>(t) /
+                           static_cast<double>(config.diurnal_period));
+    const double rate = config.base_rate * envelope *
+                        (burst ? config.burst_multiplier : 1.0);
+    const std::size_t n = poisson_draw(rng, rate);
+    arrivals_.push_back(n);
+    bursting_.push_back(burst ? 1 : 0);
+    total_ += n;
+    if (n > peak_) peak_ = n;
+    if (burst) ++burst_tick_count_;
+  }
+}
+
+}  // namespace gs::bench

@@ -1,0 +1,73 @@
+// Deterministic open-loop traffic traces for the serving benches.
+//
+// Real serving traffic is neither closed-loop nor flat: request rates follow
+// a diurnal envelope and spike in short bursts. TraceReplayer synthesises
+// such a trace as per-tick arrival counts — a seeded Poisson process whose
+// rate is modulated by a sinusoidal diurnal envelope and by burst episodes
+// (each burst multiplies the rate for a fixed number of consecutive ticks).
+// The serving_trace bench replays the SAME trace against autoscale-ON and
+// autoscale-OFF fleets at an equal thread budget, which is what makes the
+// SLO-attainment comparison honest.
+//
+// The trace is precomputed at construction: arrivals(t) is a table lookup,
+// so replaying a trace twice — or against two different server configs —
+// feeds bitwise-identical request sequences.
+//
+// Thread-safety: construction precomputes all state; every const accessor is
+// safe from any number of threads afterwards.
+// Determinism: the arrival counts are a pure function of TraceConfig — the
+// Poisson draws come from a derive_stream of config.seed (Knuth
+// product-of-uniforms over Rng::uniform), never from wall-clock time or any
+// global RNG. Two TraceReplayers with equal configs are identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gs::bench {
+
+/// Shape of the synthetic traffic trace. Defaults produce two diurnal
+/// periods of moderate load with a handful of 5× bursts.
+struct TraceConfig {
+  std::uint64_t seed = 1;        ///< stream seed for all randomness
+  std::size_t ticks = 48;        ///< trace length in scheduler ticks
+  double base_rate = 6.0;        ///< mean arrivals per tick before modulation
+  /// Diurnal envelope: rate(t) = base_rate · (1 + amplitude·sin(2πt/period)).
+  double diurnal_amplitude = 0.6;
+  std::size_t diurnal_period = 24;
+  /// Per-tick probability that a burst episode starts (when none is active).
+  double burst_probability = 0.15;
+  double burst_multiplier = 5.0;  ///< rate multiplier while bursting
+  std::size_t burst_ticks = 3;    ///< burst episode length in ticks
+
+  void validate() const;
+};
+
+/// Precomputed per-tick arrival counts for one traffic trace.
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const TraceConfig& config);
+
+  /// Trace length (== config.ticks).
+  std::size_t ticks() const { return arrivals_.size(); }
+  /// Requests arriving at tick `t`.
+  std::size_t arrivals(std::size_t t) const { return arrivals_.at(t); }
+  /// Whether a burst episode was active at tick `t`.
+  bool bursting(std::size_t t) const { return bursting_.at(t) != 0; }
+  /// Total requests over the whole trace.
+  std::size_t total() const { return total_; }
+  /// Largest single-tick arrival count.
+  std::size_t peak() const { return peak_; }
+  /// Ticks with an active burst episode.
+  std::size_t burst_tick_count() const { return burst_tick_count_; }
+
+ private:
+  std::vector<std::size_t> arrivals_;
+  std::vector<char> bursting_;
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t burst_tick_count_ = 0;
+};
+
+}  // namespace gs::bench

@@ -5,8 +5,9 @@ concurrency escapes.
 Usage:
     python3 scripts/gslint/gslint.py [--root DIR] [files...]
 
-With no file arguments, lints every .hpp/.cpp under <root>/src. Exit status
-is 1 when any finding survives suppression, 0 otherwise. Findings print as
+With no file arguments, lints every .hpp/.cpp under <root>/src plus the
+public .hpp headers under <root>/bench. Exit status is 1 when any finding
+survives suppression, 0 otherwise. Findings print as
 
     src/foo/bar.cpp:LINE: [rule-id] message
 
@@ -33,8 +34,12 @@ Registration = tuple[str, int, str]
 
 def lint_file(repo_root: str,
               path: str) -> tuple[list[Finding], list[Registration]]:
-    rel = os.path.relpath(path, os.path.join(repo_root, "src"))
-    rel = rel.replace(os.sep, "/")
+    # Rule-relative path: src/ files keep their historical src-relative form
+    # ("runtime/shard.hpp"); files outside src/ (the bench headers) keep
+    # their top-level directory ("bench/trace_replay.hpp").
+    rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+    if rel.startswith("src/"):
+        rel = rel[len("src/"):]
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
     lexed = lex(path, text)
@@ -120,12 +125,22 @@ def check_docs_catalogue(repo_root: str,
     return findings
 
 
-def collect_sources(src_root: str) -> list[str]:
+def collect_sources(repo_root: str) -> list[str]:
     sources: list[str] = []
-    for dirpath, _dirnames, filenames in os.walk(src_root):
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(repo_root,
+                                                              "src")):
         for name in sorted(filenames):
             if name.endswith((".hpp", ".cpp")):
                 sources.append(os.path.join(dirpath, name))
+    # The bench library's PUBLIC headers carry the same contract-line
+    # obligation as src/ headers (CONTRACT_DIRS). The bench .cpp drivers are
+    # exempt: their client threads and wall-clock timing are the point.
+    bench_root = os.path.join(repo_root, "bench")
+    if os.path.isdir(bench_root):
+        for dirpath, _dirnames, filenames in os.walk(bench_root):
+            for name in sorted(filenames):
+                if name.endswith(".hpp"):
+                    sources.append(os.path.join(dirpath, name))
     return sorted(sources)
 
 
@@ -139,9 +154,8 @@ def main(argv: list[str] | None = None) -> int:
 
     repo_root = args.root or os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    src_root = os.path.join(repo_root, "src")
 
-    files = args.files or collect_sources(src_root)
+    files = args.files or collect_sources(repo_root)
     findings: list[Finding] = []
     registrations: list[Registration] = []
     for path in files:

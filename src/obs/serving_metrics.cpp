@@ -28,6 +28,23 @@ Counter& requests_total(Registry& registry, const std::string& engine,
       result_labels(engine, result));
 }
 
+Counter& deadline_outcomes_total(Registry& registry, const std::string& engine,
+                                 const std::string& outcome) {
+  Labels labels = engine_labels(engine);
+  labels.emplace("outcome", outcome);
+  return registry.counter(
+      "gs_server_deadline_outcomes_total",
+      "Executed requests by per-request deadline outcome (hit/miss) — the "
+      "SLO-attainment inputs",
+      labels);
+}
+
+Counter& autoscale_total(Registry& registry, const std::string& direction) {
+  return registry.counter("gs_server_autoscale_total",
+                          "Autoscale actions applied by direction (up/down)",
+                          Labels{{"direction", direction}});
+}
+
 Labels replica_labels(std::size_t replica) {
   return Labels{{"replica", std::to_string(replica)}};
 }
@@ -53,6 +70,11 @@ ServingMetrics::ServingMetrics(Registry& registry, const std::string& engine)
           "Rejections issued by deadline admission control (subset of "
           "rejected requests)",
           engine_labels(engine))),
+      tenant_rejected(registry.counter(
+          "gs_server_tenant_rejected_total",
+          "Rejections issued by the per-tenant inflight cap (subset of "
+          "rejected requests)",
+          engine_labels(engine))),
       batches(registry.counter("gs_server_batches_total",
                                "Successfully executed batches",
                                engine_labels(engine))),
@@ -64,6 +86,8 @@ ServingMetrics::ServingMetrics(Registry& registry, const std::string& engine)
           "gs_server_retries_total",
           "Requests re-routed off a quarantined replica",
           engine_labels(engine))),
+      deadline_hits(deadline_outcomes_total(registry, engine, "hit")),
+      deadline_misses(deadline_outcomes_total(registry, engine, "miss")),
       queue_depth(registry.gauge("gs_server_queue_depth",
                                  "Requests currently queued (all queues)",
                                  engine_labels(engine))),
@@ -129,6 +153,17 @@ void ServingMetrics::record_forward(const ExecProfile& per_sample,
   exec_digital_flops.inc(scaled.digital_flops);
   exec_partial_sum_bytes.inc(scaled.partial_sum_bytes);
 }
+
+FleetMetrics::FleetMetrics(Registry& registry)
+    : active_replicas(registry.gauge(
+          "gs_server_active_replicas",
+          "Replicas currently taking placement (built, admitted, not "
+          "retired)")),
+      scale_ups(autoscale_total(registry, "up")),
+      scale_downs(autoscale_total(registry, "down")),
+      drained(registry.counter(
+          "gs_server_drained_total",
+          "Requests re-routed off a replica retired by scale-down")) {}
 
 ReplicaMetrics::ReplicaMetrics(Registry& registry, std::size_t replica)
     : queue_depth(registry.gauge("gs_replica_queue_depth",

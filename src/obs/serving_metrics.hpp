@@ -37,9 +37,12 @@ struct ServingMetrics {
   Counter& shed;
   Counter& failed;
   Counter& admission_rejected;
+  Counter& tenant_rejected;
   Counter& batches;
   Counter& batches_stolen;
   Counter& retries;
+  Counter& deadline_hits;
+  Counter& deadline_misses;
   Gauge& queue_depth;
   Gauge& inflight;
   Histogram& latency_ms;
@@ -59,6 +62,18 @@ struct ServingMetrics {
   /// profile (tile counts are per-sample schedule counts, summed over
   /// samples — see obs/exec_profile.hpp).
   void record_forward(const ExecProfile& per_sample, std::size_t batch);
+};
+
+/// Fleet-elasticity metrics (ShardedServer only — the autoscale controller's
+/// outputs; its INPUTS are the gs_server_queue_depth gauge and the deadline
+/// outcome counters above).
+struct FleetMetrics {
+  explicit FleetMetrics(Registry& registry);
+
+  Gauge& active_replicas;
+  Counter& scale_ups;
+  Counter& scale_downs;
+  Counter& drained;  ///< requests re-routed off a retiring replica
 };
 
 /// Per-replica fleet-lifecycle metrics (ShardedServer only). Health states

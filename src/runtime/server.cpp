@@ -18,6 +18,30 @@ double latency_percentile(const std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
+bool percentile_saturated(std::size_t n, double q) {
+  // ⌈q·n⌉ == n exactly when n·(1−q) < 1: the nearest-rank index is the last
+  // element, so the "percentile" is just the sample maximum.
+  return static_cast<double>(n) * (1.0 - q) < 1.0;
+}
+
+bool request_outranks(std::chrono::steady_clock::time_point deadline_a,
+                      int priority_a,
+                      std::chrono::steady_clock::time_point deadline_b,
+                      int priority_b) {
+  if (deadline_a != deadline_b) return deadline_a < deadline_b;
+  return priority_a > priority_b;
+}
+
+void ewma_record(std::atomic<double>& accumulator, double sample,
+                 double alpha) {
+  double prev = accumulator.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev == 0.0 ? sample : prev + alpha * (sample - prev);
+  } while (!accumulator.compare_exchange_weak(prev, next,
+                                              std::memory_order_relaxed));
+}
+
 void AdmissionConfig::validate() const {
   GS_CHECK(default_deadline.count() >= 0);
   GS_CHECK(assumed_batch_cost.count() >= 0);
@@ -72,6 +96,16 @@ std::future<Tensor> BatchingServer::submit(Tensor sample) {
 
 std::future<Tensor> BatchingServer::submit(
     Tensor sample, std::chrono::microseconds deadline) {
+  RequestOptions options;
+  options.deadline = deadline;
+  return submit(std::move(sample), options);
+}
+
+std::future<Tensor> BatchingServer::submit(Tensor sample,
+                                           const RequestOptions& options) {
+  const std::chrono::microseconds deadline =
+      options.deadline.count() > 0 ? options.deadline
+                                   : config_.admission.default_deadline;
   const Shape& expected = executor_->program().input_shape();
   GS_CHECK_MSG(sample.shape() == expected,
                "server sample " << shape_to_string(sample.shape())
@@ -82,6 +116,8 @@ std::future<Tensor> BatchingServer::submit(
   request.enqueued = std::chrono::steady_clock::now();
   request.deadline = deadline.count() > 0 ? request.enqueued + deadline
                                           : kNoDeadline;
+  request.tenant = options.tenant;
+  request.priority = options.priority;
   request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   if (tracer_ != nullptr) request.trace = tracer_->start(request.id);
   std::uint64_t submit_span = 0;
@@ -119,17 +155,15 @@ std::future<Tensor> BatchingServer::submit(
       }
     }
     if (reject_reason.empty() && queue_.size() >= config_.max_queue_depth) {
-      // Deadline-priority displacement: shed the latest-deadline queued
-      // request if ours is strictly earlier; otherwise reject ours.
-      auto victim = queue_.end();
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (victim == queue_.end() || it->deadline > victim->deadline) {
-          victim = it;
-        }
-      }
-      if (victim != queue_.end() && request.deadline < victim->deadline) {
-        displaced = std::move(*victim);
-        queue_.erase(victim);
+      // Deadline-then-priority displacement: the queue is ranked, so its
+      // BACK is the worst-ranked entry (latest deadline, then lowest
+      // priority). Shed it if ours strictly outranks it; otherwise reject
+      // ours.
+      if (!queue_.empty() &&
+          request_outranks(request.deadline, request.priority,
+                           queue_.back().deadline, queue_.back().priority)) {
+        displaced = std::move(queue_.back());
+        queue_.pop_back();
         have_displaced = true;
       } else {
         std::ostringstream msg;
@@ -144,7 +178,7 @@ std::future<Tensor> BatchingServer::submit(
         request.queue_span =
             request.trace->begin_span("queue", obs::Trace::kRoot);
       }
-      queue_.push_back(std::move(request));
+      insert_ranked(queue_, std::move(request));
       depth_after = queue_.size();
     }
   }
@@ -226,6 +260,8 @@ ServerStats BatchingServer::stats() const {
     stats.failed = failed_;
     stats.batches = batches_;
     stats.max_batch_seen = max_batch_seen_;
+    stats.deadline_hits = deadline_hits_;
+    stats.deadline_misses = deadline_misses_;
     stats.latency_samples_total = latencies_.total();
     latencies = latencies_.samples();
   }
@@ -240,6 +276,9 @@ ServerStats BatchingServer::stats() const {
     stats.latency_p99_ms = latency_percentile(latencies, 0.99);
     stats.latency_p999_ms = latency_percentile(latencies, 0.999);
     stats.latency_max_ms = latencies.back();
+    stats.latency_p99_saturated = percentile_saturated(latencies.size(), 0.99);
+    stats.latency_p999_saturated =
+        percentile_saturated(latencies.size(), 0.999);
   }
   return stats;
 }
@@ -257,8 +296,10 @@ void BatchingServer::dispatch_loop() {
         continue;
       }
       // Coalesce: launch when the batch is full or the oldest request's
-      // deadline passes. Shutdown drains immediately.
-      const auto launch = queue_.front().enqueued + config_.max_delay;
+      // deadline passes. Shutdown drains immediately. (With ranked
+      // insertion the front is the most URGENT request, so the launch
+      // horizon scans for the oldest enqueue time.)
+      const auto launch = oldest_enqueued(queue_) + config_.max_delay;
       while (!stopping_ && queue_.size() < config_.max_batch) {
         if (queue_cv_.wait_until(mutex_, launch) == std::cv_status::timeout) {
           break;
@@ -350,11 +391,15 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
     const double batch_us =
         std::chrono::duration<double, std::micro>(finished - started).count();
     // EWMA of batch cost feeds the admission predictor (α = 1/8; the first
-    // sample seeds it directly).
-    const double prev = ewma_batch_cost_us_.load(std::memory_order_relaxed);
-    ewma_batch_cost_us_.store(prev == 0.0 ? batch_us
-                                          : prev + (batch_us - prev) / 8.0,
-                              std::memory_order_relaxed);
+    // sample seeds it directly). CAS loop: concurrent completions must not
+    // lose each other's samples.
+    ewma_record(ewma_batch_cost_us_, batch_us);
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    for (const Request& request : requests) {
+      if (request.deadline == kNoDeadline) continue;
+      (finished <= request.deadline ? hits : misses) += 1;
+    }
     // Stats are recorded BEFORE the promises resolve, so a caller returning
     // from infer()/get() always observes its own request in stats().
     {
@@ -362,6 +407,8 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
       completed_ += count;
       ++batches_;
       max_batch_seen_ = std::max(max_batch_seen_, count);
+      deadline_hits_ += hits;
+      deadline_misses_ += misses;
       for (const Request& request : requests) {
         latencies_.record(std::chrono::duration<double, std::milli>(
                               finished - request.enqueued)
@@ -373,6 +420,8 @@ void BatchingServer::run_batch(std::vector<Request>& requests) {
       metrics_->batches.inc();
       metrics_->batch_size.observe(static_cast<double>(count));
       metrics_->inflight.add(-static_cast<double>(count));
+      if (hits > 0) metrics_->deadline_hits.inc(hits);
+      if (misses > 0) metrics_->deadline_misses.inc(misses);
       metrics_->record_forward(profile_, count);
       for (const Request& request : requests) {
         metrics_->latency_ms.observe(

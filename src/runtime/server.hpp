@@ -10,11 +10,16 @@
 // same logits at any batch composition.
 //
 // Overload behaviour (the robustness layer):
+//  * the queue is kept in deadline-then-priority order (earlier deadline
+//    first; equal deadlines, higher priority first; ties FIFO), so batch
+//    formation serves the most urgent work first. Requests without
+//    deadlines queue behind dated ones in priority order.
 //  * the queue is bounded (`max_queue_depth`); a full queue rejects new
-//    work at submit — EXCEPT when the new request carries an earlier
-//    deadline than the latest-deadline queued request, in which case the
-//    laggard is displaced (shed) in its favour. Overload therefore sheds
-//    the work most likely to miss anyway, not the most recent arrival.
+//    work at submit — EXCEPT when the new request outranks the worst-ranked
+//    queued request (request_outranks: latest deadline, then lowest
+//    priority), in which case the laggard is displaced (shed) in its
+//    favour. Overload therefore sheds the work most likely to miss anyway,
+//    not the most recent arrival.
 //  * requests may carry a deadline; with admission control enabled the
 //    server predicts the queueing delay from the current depth and rejects
 //    at submit any request it expects to miss — failing fast beats
@@ -36,6 +41,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -85,10 +91,80 @@ struct BatchingConfig {
   void validate() const;
 };
 
+/// Per-request serving options, shared by BatchingServer and ShardedServer.
+/// Queue order and displacement shedding are deadline-then-priority ordered
+/// (see request_outranks); the defaults make a request behave exactly like a
+/// plain submit(sample) call.
+struct RequestOptions {
+  /// Time allowed from submit to completion; 0 = none (the engine falls back
+  /// to AdmissionConfig::default_deadline).
+  std::chrono::microseconds deadline{0};
+  /// Tenant owning the request. ShardedServer enforces the per-tenant
+  /// inflight cap (ShardConfig::max_inflight_per_tenant) against it;
+  /// BatchingServer records it but applies no cap (single-engine serving has
+  /// no fairness surface).
+  std::uint64_t tenant = 0;
+  /// Higher wins among equal deadlines — both for queue position and for
+  /// choosing displacement victims under overload.
+  int priority = 0;
+};
+
+/// Strict deadline-then-priority order: a outranks b when a's deadline is
+/// earlier, or deadlines are equal and a's priority is higher. Requests
+/// without deadlines (time_point::max()) rank behind every dated request and
+/// among themselves by priority only. NOT a total order over requests —
+/// equal (deadline, priority) pairs tie, and ties keep FIFO order.
+bool request_outranks(std::chrono::steady_clock::time_point deadline_a,
+                      int priority_a,
+                      std::chrono::steady_clock::time_point deadline_b,
+                      int priority_b);
+
+/// Deadline-then-priority ordered insertion into a request deque (FIFO among
+/// equal ranks): walks back from the tail past every queued request the new
+/// one outranks. With default options on every request this degenerates to
+/// push_back — plain FIFO. Requires Request members `deadline`/`priority`.
+template <typename RequestType>
+void insert_ranked(std::deque<RequestType>& queue, RequestType&& request) {
+  auto it = queue.end();
+  while (it != queue.begin() &&
+         request_outranks(request.deadline, request.priority,
+                          std::prev(it)->deadline, std::prev(it)->priority)) {
+    --it;
+  }
+  queue.insert(it, std::move(request));
+}
+
+/// Earliest enqueue time in `queue` (the coalescing-launch horizon). With
+/// ranked insertion the FRONT is the most urgent request, not necessarily
+/// the oldest — the max_delay guarantee is owed to the oldest.
+template <typename RequestType>
+std::chrono::steady_clock::time_point oldest_enqueued(
+    const std::deque<RequestType>& queue) {
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const RequestType& request : queue) {
+    if (request.enqueued < oldest) oldest = request.enqueued;
+  }
+  return oldest;
+}
+
 /// Nearest-rank percentile — the ⌈q·n⌉-th smallest element of `sorted`
 /// (ascending); 0 when empty. Shared by the BatchingServer and ShardedServer
 /// stats folds.
 double latency_percentile(const std::vector<double>& sorted, double q);
+
+/// True when the nearest-rank percentile q over n samples degenerates to the
+/// sample maximum — i.e. n·(1−q) < 1, so ⌈q·n⌉ == n. p99 needs ≥ 100
+/// samples, p99.9 needs ≥ 1000; below that the reported tail is just the max
+/// (ServerStats marks these — see docs/OBSERVABILITY.md "Small-sample
+/// percentiles").
+bool percentile_saturated(std::size_t n, double q);
+
+/// Atomically folds `sample` into an EWMA accumulator with a
+/// compare-exchange loop (α = `alpha`; the first sample seeds the
+/// accumulator directly). Lock-free and lossless under concurrent callers —
+/// a plain load→blend→store drops concurrent updates.
+void ewma_record(std::atomic<double>& accumulator, double sample,
+                 double alpha = 0.125);
 
 /// Bounded ring of the most recent latency samples — shared by the serving
 /// engines so both report identically-windowed percentiles. Not thread-safe;
@@ -150,6 +226,20 @@ struct ServerStats {
   /// recent kLatencyWindow samples — older ones were silently discarded
   /// before this counter existed.
   std::uint64_t latency_samples_total = 0;
+  /// Small-sample markers (percentile_saturated over the retained window):
+  /// true when the corresponding tail percentile degenerated to the window
+  /// maximum — fewer than 100 retained samples for p99, fewer than 1000 for
+  /// p99.9. SLO reporting must not gate on a saturated percentile; use the
+  /// per-request deadline counters below instead.
+  bool latency_p99_saturated = false;
+  bool latency_p999_saturated = false;
+  /// Per-request deadline outcomes over EXECUTED requests: a completed
+  /// request whose result arrived by its deadline is a hit, otherwise a
+  /// miss. Requests without deadlines count in neither; rejected/shed
+  /// requests are tracked by their own counters. These are the inputs SLO
+  /// attainment is computed from (not the windowed tail percentiles).
+  std::size_t deadline_hits = 0;
+  std::size_t deadline_misses = 0;
 };
 
 /// Thread-safety: submit()/infer()/stats() are safe from any number of
@@ -183,6 +273,11 @@ class BatchingServer {
   /// submit to completion; 0 = none).
   std::future<Tensor> submit(Tensor sample, std::chrono::microseconds deadline);
 
+  /// Full per-request surface: deadline, tenant id, priority. The queue and
+  /// displacement shedding order by (deadline, then priority); `tenant` is
+  /// recorded on the request but BatchingServer applies no per-tenant cap.
+  std::future<Tensor> submit(Tensor sample, const RequestOptions& options);
+
   /// Blocking convenience: submit + get.
   Tensor infer(const Tensor& sample);
 
@@ -210,6 +305,8 @@ class BatchingServer {
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline = kNoDeadline;
+    std::uint64_t tenant = 0;
+    int priority = 0;
     std::uint64_t id = 0;  ///< submit-order id (trace sampling key)
     std::shared_ptr<obs::Trace> trace;  ///< non-null when sampled
     std::uint64_t queue_span = 0;       ///< open "queue" span id
@@ -244,6 +341,8 @@ class BatchingServer {
   std::size_t failed_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::size_t batches_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::size_t max_batch_seen_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t deadline_hits_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t deadline_misses_ GS_GUARDED_BY(stats_mutex_) = 0;
   LatencyWindow latencies_ GS_GUARDED_BY(stats_mutex_){kLatencyWindow};
   /// Measured per-batch execution cost for admission prediction when
   /// assumed_batch_cost is 0 (atomic: read by submit, written by the

@@ -19,25 +19,74 @@ namespace gs::runtime {
 
 namespace {
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// FNV-1a fold of one integral value into a running hash.
+std::uint64_t fnv1a_fold(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffu;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
 }  // namespace
+
+void AutoscaleConfig::validate() const {
+  if (!enabled) return;
+  GS_CHECK_MSG(min_replicas >= 1, "AutoscaleConfig: min_replicas >= 1");
+  GS_CHECK(scale_up_depth >= 0.0);
+  GS_CHECK(scale_down_depth >= 0.0);
+  GS_CHECK_MSG(up_ticks >= 1 && down_ticks >= 1,
+               "AutoscaleConfig: streak lengths are at least one tick");
+  GS_CHECK(slo_target >= 0.0 && slo_target <= 1.0);
+}
 
 void ShardConfig::validate() const {
   GS_CHECK_MSG(replicas >= 1, "ShardConfig: need at least one replica");
   GS_CHECK(probe_interval.count() >= 0);
   batching.validate();
   health.validate();
+  autoscale.validate();
+  if (autoscale.enabled) {
+    GS_CHECK_MSG(autoscale.min_replicas <= replicas,
+                 "AutoscaleConfig: min_replicas exceeds the initial fleet");
+    GS_CHECK_MSG(
+        autoscale.max_replicas == 0 || autoscale.max_replicas >= replicas,
+        "AutoscaleConfig: max_replicas below the initial fleet");
+  }
+}
+
+std::vector<std::size_t> split_thread_budget(std::size_t total,
+                                             std::size_t replicas) {
+  GS_CHECK(replicas >= 1);
+  GS_CHECK(total >= 1);
+  std::vector<std::size_t> split(replicas, std::max<std::size_t>(
+                                               1, total / replicas));
+  if (total >= replicas) {
+    const std::size_t remainder = total % replicas;
+    for (std::size_t r = 0; r < remainder; ++r) ++split[r];
+    std::size_t sum = 0;
+    for (const std::size_t share : split) sum += share;
+    GS_CHECK_MSG(sum == total,
+                 "split_thread_budget: shares " << sum
+                                                << " != budget " << total);
+  }
+  return split;
 }
 
 ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
                              const CompileOptions& options, ShardConfig config)
     : config_(std::move(config)),
       network_(core::clone_network(net)),
-      sample_shape_(sample_shape) {
+      sample_shape_(sample_shape),
+      base_options_(options) {
   config_.validate();
+  capacity_ = config_.autoscale.enabled && config_.autoscale.max_replicas != 0
+                  ? config_.autoscale.max_replicas
+                  : config_.replicas;
   const std::size_t budget = config_.total_threads != 0
                                  ? config_.total_threads
                                  : ThreadPool::global().size();
-  threads_per_replica_ = std::max<std::size_t>(1, budget / config_.replicas);
+  thread_split_ = split_thread_budget(budget, capacity_);
 
   const obs::ObservabilityConfig& obs_config = config_.batching.observability;
   obs::Registry& registry = obs_config.registry != nullptr
@@ -45,13 +94,28 @@ ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
                                 : obs::Registry::global();
   if (obs_config.metrics) {
     metrics_ = std::make_unique<obs::ServingMetrics>(registry, "sharded");
-    replica_metrics_.reserve(config_.replicas);
-    for (std::size_t r = 0; r < config_.replicas; ++r) {
+    if (config_.autoscale.enabled) {
+      fleet_metrics_ = std::make_unique<obs::FleetMetrics>(registry);
+      fleet_metrics_->active_replicas.set(
+          static_cast<double>(config_.replicas));
+    }
+    replica_metrics_.reserve(capacity_);
+    for (std::size_t r = 0; r < capacity_; ++r) {
       replica_metrics_.push_back(
           std::make_unique<obs::ReplicaMetrics>(registry, r));
       replica_metrics_.back()->health_state.set(
           static_cast<double>(static_cast<int>(ReplicaHealth::kHealthy)));
     }
+  }
+  if (metrics_ && config_.autoscale.enabled) {
+    // Registry children are cumulative across engine instances sharing a
+    // registry: baseline the controller's delta snapshots against the
+    // counters' CURRENT values, so the first tick measures THIS server's
+    // traffic, not the registry's history. (Benches/tests wanting full
+    // isolation pass a private Registry.)
+    MutexLock lock(autoscale_mutex_);
+    last_hits_ = metrics_->deadline_hits.value();
+    last_misses_ = metrics_->deadline_misses.value();
   }
   if (obs_config.tracer != nullptr) {
     tracer_ = obs_config.tracer;
@@ -62,47 +126,31 @@ ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
     tracer_ = owned_tracer_.get();
   }
 
-  replicas_.reserve(config_.replicas);
   {
     MutexLock lock(mutex_);
-    queues_.resize(config_.replicas);
-    health_.assign(config_.replicas, ReplicaHealth::kHealthy);
-    trackers_.reserve(config_.replicas);
-    for (std::size_t r = 0; r < config_.replicas; ++r) {
+    replicas_.resize(capacity_);  // null slots; built below / on activation
+    queues_.resize(capacity_);
+    health_.assign(capacity_, ReplicaHealth::kHealthy);
+    trackers_.reserve(capacity_);
+    for (std::size_t r = 0; r < capacity_; ++r) {
       trackers_.push_back(std::make_unique<HealthTracker>(config_.health));
     }
+    active_.assign(capacity_, 0);
+    for (std::size_t r = 0; r < config_.replicas; ++r) active_[r] = 1;
   }
   {
     MutexLock lock(stats_mutex_);
-    counters_.resize(config_.replicas);
+    counters_.resize(capacity_);
   }
-  for (std::size_t r = 0; r < config_.replicas; ++r) {
-    auto replica = std::make_unique<Replica>();
-    CompileOptions replica_options = options;
-    replica_options.analog.seed =
-        options.analog.seed + r * config_.seed_stride;
-    replica->options = replica_options;
-    {
-      SharedWriterLock plock(replica->program_mutex);
-      replica->program = compile(net, sample_shape, replica_options);
-      replica->pool = std::make_unique<ThreadPool>(threads_per_replica_);
-      replica->executor =
-          std::make_unique<Executor>(replica->program, replica->pool.get());
-      // Record the clean canary reference while the chip is known pristine —
-      // this is the bitwise target every future probe (and recalibration)
-      // compares against.
-      replica->canary =
-          std::make_unique<CanarySet>(sample_shape, config_.health);
-      replica->canary->record_reference(*replica->executor);
-    }
-    replicas_.push_back(std::move(replica));
-  }
-  // Dispatchers start only after every replica exists — they scan the whole
-  // replica vector for steal victims.
+  // Initially-active replicas compile eagerly; headroom slots (autoscale
+  // capacity beyond the initial fleet) compile lazily on first activation.
+  for (std::size_t r = 0; r < config_.replicas; ++r) build_replica(r);
+  // Dispatchers start only after every initial replica exists — they scan
+  // the whole replica vector for steal victims.
   {
     MutexLock join_lock(join_mutex_);
-    dispatchers_.reserve(config_.replicas);
-    for (std::size_t r = 0; r < config_.replicas; ++r) {
+    dispatchers_.reserve(capacity_);
+    for (std::size_t r = 0; r < capacity_; ++r) {
       dispatchers_.emplace_back([this, r] { dispatch_loop(r); });
     }
     if (config_.probe_interval.count() > 0) {
@@ -113,25 +161,76 @@ ShardedServer::ShardedServer(const nn::Network& net, const Shape& sample_shape,
 
 ShardedServer::~ShardedServer() { shutdown(); }
 
+void ShardedServer::build_replica(std::size_t r) {
+  GS_CHECK(r < capacity_);
+  {
+    MutexLock lock(mutex_);
+    if (replicas_[r] != nullptr) return;
+  }
+  auto replica = std::make_unique<Replica>();
+  CompileOptions replica_options = base_options_;
+  replica_options.analog.seed =
+      base_options_.analog.seed + r * config_.seed_stride;
+  replica->options = replica_options;
+  {
+    SharedWriterLock plock(replica->program_mutex);
+    replica->program = compile(network_, sample_shape_, replica_options);
+    replica->pool = std::make_unique<ThreadPool>(thread_split_[r]);
+    replica->executor =
+        std::make_unique<Executor>(replica->program, replica->pool.get());
+    // Record the clean canary reference while the chip is known pristine —
+    // this is the bitwise target every future probe (and recalibration)
+    // compares against.
+    replica->canary =
+        std::make_unique<CanarySet>(sample_shape_, config_.health);
+    replica->canary->record_reference(*replica->executor);
+  }
+  MutexLock lock(mutex_);
+  GS_CHECK_MSG(replicas_[r] == nullptr,
+               "replica slot " << r << " built twice (concurrent activation "
+                                        "is serialised by autoscale_mutex_)");
+  replicas_[r] = std::move(replica);
+}
+
+ShardedServer::Replica& ShardedServer::replica_ref(std::size_t r) const {
+  GS_CHECK(r < capacity_);
+  Replica* replica = nullptr;
+  {
+    MutexLock lock(mutex_);
+    replica = replicas_[r].get();
+  }
+  GS_CHECK_MSG(replica != nullptr,
+               "replica " << r << " is an unbuilt autoscale headroom slot");
+  return *replica;
+}
+
 const CrossbarProgram& ShardedServer::program(std::size_t r) const {
-  GS_CHECK(r < replicas_.size());
+  Replica& replica = replica_ref(r);
   // The reader lock satisfies the guard for the access itself; as documented
   // in the header, the RETURNED reference is not synchronised against later
   // mutation — callers quiesce injection/recalibration first.
-  SharedReaderLock plock(replicas_[r]->program_mutex);
-  return replicas_[r]->program;
+  SharedReaderLock plock(replica.program_mutex);
+  return replica.program;
 }
 
 std::size_t ShardedServer::placement_target(std::size_t exclude) const {
   std::size_t target = kNone;
-  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+  for (std::size_t r = 0; r < capacity_; ++r) {
     if (r == exclude) continue;
+    if (!active_[r]) continue;
     if (health_[r] == ReplicaHealth::kQuarantined) continue;
     if (target == kNone || queues_[r].size() < queues_[target].size()) {
       target = r;
     }
   }
   return target;
+}
+
+void ShardedServer::release_tenant(std::uint64_t tenant) {
+  if (config_.max_inflight_per_tenant == 0) return;
+  auto it = tenant_inflight_.find(tenant);
+  if (it == tenant_inflight_.end()) return;
+  if (--it->second == 0) tenant_inflight_.erase(it);
 }
 
 void ShardedServer::finish_dropped(Request& request,
@@ -171,6 +270,16 @@ std::future<Tensor> ShardedServer::submit(Tensor sample) {
 
 std::future<Tensor> ShardedServer::submit(Tensor sample,
                                           std::chrono::microseconds deadline) {
+  RequestOptions options;
+  options.deadline = deadline;
+  return submit(std::move(sample), options);
+}
+
+std::future<Tensor> ShardedServer::submit(Tensor sample,
+                                          const RequestOptions& options) {
+  const std::chrono::microseconds deadline =
+      options.deadline.count() > 0 ? options.deadline
+                                   : config_.batching.admission.default_deadline;
   // Every replica program's input_shape() is the sample_shape_ the server
   // compiled with, so validation needs no program lock.
   GS_CHECK_MSG(sample.shape() == sample_shape_,
@@ -183,6 +292,8 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
   request.deadline = deadline.count() > 0
                          ? request.enqueued + deadline
                          : BatchingServer::kNoDeadline;
+  request.tenant = options.tenant;
+  request.priority = options.priority;
   request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   if (tracer_ != nullptr) request.trace = tracer_->start(request.id);
   std::uint64_t submit_span = 0;
@@ -193,13 +304,29 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
 
   std::string reject_reason;
   bool admission_miss = false;
+  bool tenant_miss = false;
   Request displaced;
   bool have_displaced = false;
   bool accepted = false;
   {
     MutexLock lock(mutex_);
+    bool tenant_capped = false;
+    if (config_.max_inflight_per_tenant > 0) {
+      const auto it = tenant_inflight_.find(request.tenant);
+      tenant_capped = it != tenant_inflight_.end() &&
+                      it->second >= config_.max_inflight_per_tenant;
+    }
     if (stopping_) {
       reject_reason = "ShardedServer: rejected — server is shut down";
+    } else if (tenant_capped) {
+      // Per-tenant fairness: a tenant already holding its inflight cap is
+      // rejected while other tenants keep being placed.
+      std::ostringstream msg;
+      msg << "ShardedServer: rejected — tenant " << request.tenant
+          << " at its inflight cap (max_inflight_per_tenant="
+          << config_.max_inflight_per_tenant << ")";
+      reject_reason = msg.str();
+      tenant_miss = true;
     } else {
       // Shortest-queue placement over ACTIVE replicas (quarantined chips
       // take no new work).
@@ -229,18 +356,18 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
         }
         if (reject_reason.empty() &&
             queue.size() >= config_.batching.max_queue_depth) {
-          // The shortest active queue being full means every active queue
-          // is full: shed by deadline priority or reject.
-          auto victim = queue.end();
-          for (auto it = queue.begin(); it != queue.end(); ++it) {
-            if (victim == queue.end() || it->deadline > victim->deadline) {
-              victim = it;
-            }
-          }
-          if (victim != queue.end() && request.deadline < victim->deadline) {
-            displaced = std::move(*victim);
-            queue.erase(victim);
+          // The shortest active queue being full means every active queue is
+          // full. The queue is deadline-then-priority ranked, so its BACK is
+          // the worst-ranked entry: shed it if ours strictly outranks it,
+          // otherwise reject ours.
+          if (!queue.empty() &&
+              request_outranks(request.deadline, request.priority,
+                               queue.back().deadline,
+                               queue.back().priority)) {
+            displaced = std::move(queue.back());
+            queue.pop_back();
             have_displaced = true;
+            release_tenant(displaced.tenant);
           } else {
             std::ostringstream msg;
             msg << "ShardedServer: rejected — queue full (max_queue_depth="
@@ -256,7 +383,10 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
             request.trace->annotate(request.queue_span, "replica",
                                     std::to_string(target));
           }
-          queue.push_back(std::move(request));
+          if (config_.max_inflight_per_tenant > 0) {
+            ++tenant_inflight_[request.tenant];
+          }
+          insert_ranked(queue, std::move(request));
           accepted = true;
           update_queue_gauges();
         }
@@ -282,10 +412,12 @@ std::future<Tensor> ShardedServer::submit(Tensor sample,
       MutexLock lock(stats_mutex_);
       ++rejected_;
       if (admission_miss) ++admission_rejected_;
+      if (tenant_miss) ++tenant_rejected_;
     }
     if (metrics_) {
       metrics_->rejected.inc();
       if (admission_miss) metrics_->admission_rejected.inc();
+      if (tenant_miss) metrics_->tenant_rejected.inc();
     }
     if (request.trace) request.trace->end_span(submit_span);
     finish_dropped(request,
@@ -328,8 +460,7 @@ void ShardedServer::set_paused(bool paused) {
 
 FaultInjectionReport ShardedServer::inject_replica_faults(
     std::size_t r, const hw::FaultModelConfig& config) {
-  GS_CHECK(r < replicas_.size());
-  Replica& replica = *replicas_[r];
+  Replica& replica = replica_ref(r);
   const std::string label = "replica" + std::to_string(r) + ":";
   FaultInjectionReport report;
   {
@@ -348,9 +479,34 @@ FaultInjectionReport ShardedServer::inject_replica_faults(
   return report;
 }
 
+std::size_t ShardedServer::reroute_queue(std::size_t r,
+                                         std::vector<Request>& shed,
+                                         bool count_retry) {
+  std::size_t rerouted = 0;
+  while (!queues_[r].empty()) {
+    Request request = std::move(queues_[r].front());
+    queues_[r].pop_front();
+    if (count_retry) ++request.attempts;
+    const std::size_t target = placement_target(r);
+    if ((count_retry && request.attempts > config_.max_retries) ||
+        target == kNone ||
+        queues_[target].size() >= config_.batching.max_queue_depth) {
+      shed.push_back(std::move(request));
+    } else {
+      if (request.trace && request.queue_span != 0) {
+        request.trace->annotate(
+            request.queue_span, "reroute",
+            std::to_string(r) + "->" + std::to_string(target));
+      }
+      insert_ranked(queues_[target], std::move(request));
+      ++rerouted;
+    }
+  }
+  return rerouted;
+}
+
 CanaryProbe ShardedServer::probe_now(std::size_t r) {
-  GS_CHECK(r < replicas_.size());
-  Replica& replica = *replicas_[r];
+  Replica& replica = replica_ref(r);
   CanaryProbe probe;
   {
     SharedReaderLock plock(replica.program_mutex);
@@ -367,8 +523,9 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
     const ReplicaHealth next = trackers_[r]->observe(probe.divergence);
     if (next == ReplicaHealth::kQuarantined) {
       std::size_t active_others = 0;
-      for (std::size_t i = 0; i < replicas_.size(); ++i) {
-        if (i != r && health_[i] != ReplicaHealth::kQuarantined) {
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        if (i != r && active_[i] &&
+            health_[i] != ReplicaHealth::kQuarantined) {
           ++active_others;
         }
       }
@@ -383,24 +540,7 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
         // Re-route the quarantined replica's queued requests onto active
         // replicas (the mid-flight retry path). Requests out of retries or
         // finding every active queue full are shed.
-        while (!queues_[r].empty()) {
-          Request request = std::move(queues_[r].front());
-          queues_[r].pop_front();
-          ++request.attempts;
-          const std::size_t target = placement_target(r);
-          if (request.attempts > config_.max_retries || target == kNone ||
-              queues_[target].size() >= config_.batching.max_queue_depth) {
-            shed.push_back(std::move(request));
-          } else {
-            if (request.trace && request.queue_span != 0) {
-              request.trace->annotate(
-                  request.queue_span, "reroute",
-                  std::to_string(r) + "->" + std::to_string(target));
-            }
-            queues_[target].push_back(std::move(request));
-            ++rerouted;
-          }
-        }
+        rerouted = reroute_queue(r, shed, /*count_retry=*/true);
         update_queue_gauges();
       }
     } else {
@@ -432,8 +572,7 @@ CanaryProbe ShardedServer::probe_now(std::size_t r) {
 }
 
 bool ShardedServer::recalibrate_now(std::size_t r) {
-  GS_CHECK(r < replicas_.size());
-  Replica& replica = *replicas_[r];
+  Replica& replica = replica_ref(r);
   {
     // Reprogramming: a fresh chip from the pristine weights, compiled with
     // the replica's original options (same analog seed) — bitwise the
@@ -472,35 +611,38 @@ bool ShardedServer::recalibrate_now(std::size_t r) {
 }
 
 ReplicaHealth ShardedServer::health(std::size_t r) const {
-  GS_CHECK(r < replicas_.size());
+  GS_CHECK(r < capacity_);
   MutexLock lock(mutex_);
   return health_[r];
 }
 
 std::uint64_t ShardedServer::replica_program_checksum(std::size_t r) const {
-  GS_CHECK(r < replicas_.size());
-  SharedReaderLock plock(replicas_[r]->program_mutex);
-  return program_checksum(replicas_[r]->program);
+  Replica& replica = replica_ref(r);
+  SharedReaderLock plock(replica.program_mutex);
+  return program_checksum(replica.program);
 }
 
 std::uint64_t ShardedServer::replica_reference_checksum(std::size_t r) const {
-  GS_CHECK(r < replicas_.size());
-  return replicas_[r]->canary->reference_checksum();
+  return replica_ref(r).canary->reference_checksum();
 }
 
 double ShardedServer::evaluate_replica(std::size_t r,
                                        const data::Dataset& dataset,
                                        std::size_t max_samples,
                                        std::size_t batch_size) const {
-  GS_CHECK(r < replicas_.size());
-  SharedReaderLock plock(replicas_[r]->program_mutex);
-  return runtime::evaluate(*replicas_[r]->executor, dataset, max_samples,
+  Replica& replica = replica_ref(r);
+  SharedReaderLock plock(replica.program_mutex);
+  return runtime::evaluate(*replica.executor, dataset, max_samples,
                            batch_size);
 }
 
 void ShardedServer::shed_requests(std::vector<Request>& requests,
                                   const char* reason) {
   if (requests.empty()) return;
+  if (config_.max_inflight_per_tenant > 0) {
+    MutexLock lock(mutex_);
+    for (const Request& request : requests) release_tenant(request.tenant);
+  }
   {
     MutexLock lock(stats_mutex_);
     shed_ += requests.size();
@@ -542,15 +684,18 @@ std::size_t ShardedServer::ripe_victim(
     std::size_t self, std::chrono::steady_clock::time_point now) const {
   std::size_t best = kNone;
   std::size_t best_depth = 0;
-  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+  for (std::size_t r = 0; r < capacity_; ++r) {
     if (r == self) continue;
+    if (!active_[r]) continue;
     // A quarantined replica's queue is re-routed, not stolen (re-routing
     // counts retries and respects max_retries; stealing would bypass both).
     if (health_[r] == ReplicaHealth::kQuarantined) continue;
     const std::deque<Request>& queue = queues_[r];
     if (queue.empty()) continue;
+    // With ranked insertion the front is the most urgent request, not the
+    // oldest — the coalescing ripeness is owed to the OLDEST enqueue.
     const bool ripe = queue.size() >= config_.batching.max_batch ||
-                      queue.front().enqueued + config_.batching.max_delay <=
+                      oldest_enqueued(queue) + config_.batching.max_delay <=
                           now;
     if (ripe && queue.size() > best_depth) {
       best = r;
@@ -575,9 +720,16 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           // must run on the replica placement chose (the controlled-
           // experiment guarantee the flag exists for), and each queue's own
           // dispatcher drains it before returning, so nothing is orphaned.
+          // An INACTIVE slot exits immediately: its queue was drained at
+          // retirement (or never took placement), and an unbuilt or stale
+          // retired program must not execute anyone else's work.
+          if (!active_[self]) {
+            exit_after_shed = true;
+            break;
+          }
           victim = queues_[self].empty() ? kNone : self;
           if (victim == kNone && config_.steal_work) {
-            for (std::size_t r = 0; r < replicas_.size(); ++r) {
+            for (std::size_t r = 0; r < capacity_; ++r) {
               if (!queues_[r].empty()) {
                 victim = r;
                 break;
@@ -592,21 +744,24 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           break;
         }
         // Paused dispatchers let work accumulate (the deterministic bench's
-        // burst builder); quarantined replicas take no work at all — their
+        // burst builder); inactive replica slots idle until the autoscaler
+        // admits them; quarantined replicas take no work at all — their
         // queue was re-routed at quarantine and placement avoids them.
-        if (paused_ || health_[self] == ReplicaHealth::kQuarantined) {
+        if (paused_ || !active_[self] ||
+            health_[self] == ReplicaHealth::kQuarantined) {
           queue_cv_.wait(mutex_);
           continue;
         }
         if (!queues_[self].empty()) {
           // Own work: BatchingServer coalescing — launch when full, or when
-          // the oldest request's deadline passes. The launch decision is
-          // made against the CURRENT front; the wait below is only a timed
-          // sleep, re-evaluated from scratch on every wake (a thief may
-          // steal the front mid-sleep, which would leave a stale deadline —
-          // launching on it would fire newer requests early).
+          // the OLDEST request's coalescing deadline passes (with ranked
+          // insertion the front is the most urgent, not the oldest). The
+          // launch decision is made against the CURRENT queue; the wait
+          // below is only a timed sleep, re-evaluated from scratch on every
+          // wake (a thief may steal mid-sleep, which would leave a stale
+          // horizon — launching on it would fire newer requests early).
           const auto launch =
-              queues_[self].front().enqueued + config_.batching.max_delay;
+              oldest_enqueued(queues_[self]) + config_.batching.max_delay;
           if (queues_[self].size() >= config_.batching.max_batch ||
               launch <= std::chrono::steady_clock::now()) {
             victim = self;
@@ -635,9 +790,9 @@ void ShardedServer::dispatch_loop(std::size_t self) {
           // Sleep until new work arrives or the earliest foreign deadline
           // ripens.
           std::optional<std::chrono::steady_clock::time_point> horizon;
-          for (std::size_t r = 0; r < replicas_.size(); ++r) {
+          for (std::size_t r = 0; r < capacity_; ++r) {
             if (r == self || queues_[r].empty()) continue;
-            const auto t = queues_[r].front().enqueued +
+            const auto t = oldest_enqueued(queues_[r]) +
                            config_.batching.max_delay;
             if (!horizon || t < *horizon) horizon = t;
           }
@@ -671,13 +826,22 @@ void ShardedServer::maintenance_loop() {
     const bool paused = paused_;
     lock.unlock();
     if (!paused) {
-      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      for (std::size_t r = 0; r < capacity_; ++r) {
+        // Retired/never-activated slots are not probed: an inactive chip
+        // serves nothing, and probing an unbuilt slot would compile it.
+        bool serving = false;
+        {
+          MutexLock probe_lock(mutex_);
+          serving = active_[r] != 0 && replicas_[r] != nullptr;
+        }
+        if (!serving) continue;
         probe_now(r);
         if (config_.auto_recalibrate &&
             health(r) == ReplicaHealth::kQuarantined) {
           recalibrate_now(r);
         }
       }
+      if (config_.autoscale.enabled) autoscale_tick_now();
     }
     lock.lock();
     next = std::chrono::steady_clock::now() + config_.probe_interval;
@@ -686,7 +850,7 @@ void ShardedServer::maintenance_loop() {
 
 void ShardedServer::run_batch(std::size_t self, std::size_t victim,
                               std::vector<Request>& requests) {
-  Replica& replica = *replicas_[self];
+  Replica& replica = replica_ref(self);
   const std::size_t count = requests.size();
   // Every replica program's input shape is sample_shape_ (the compile-time
   // contract), so batch assembly needs no program lock.
@@ -755,10 +919,17 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
     const auto finished = std::chrono::steady_clock::now();
     const double batch_us =
         std::chrono::duration<double, std::micro>(finished - started).count();
-    const double prev = ewma_batch_cost_us_.load(std::memory_order_relaxed);
-    ewma_batch_cost_us_.store(prev == 0.0 ? batch_us
-                                          : prev + (batch_us - prev) / 8.0,
-                              std::memory_order_relaxed);
+    // EWMA of batch cost feeds the admission predictor (α = 1/8). CAS loop:
+    // concurrent dispatcher completions must not lose each other's samples.
+    ewma_record(ewma_batch_cost_us_, batch_us);
+    // Per-request deadline outcomes over EXECUTED requests — the
+    // SLO-attainment inputs (no-deadline requests count in neither).
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    for (const Request& request : requests) {
+      if (request.deadline == BatchingServer::kNoDeadline) continue;
+      (finished <= request.deadline ? hits : misses) += 1;
+    }
     {
       MutexLock lock(stats_mutex_);
       ReplicaCounters& counters = counters_[self];
@@ -766,6 +937,8 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
       ++counters.batches;
       if (victim != self) ++counters.stolen_batches;
       counters.max_batch_seen = std::max(counters.max_batch_seen, count);
+      deadline_hits_ += hits;
+      deadline_misses_ += misses;
       for (const Request& request : requests) {
         counters.latencies.record(std::chrono::duration<double, std::milli>(
                                       finished - request.enqueued)
@@ -779,12 +952,22 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
       metrics_->batch_size.observe(static_cast<double>(count));
       metrics_->inflight.add(-static_cast<double>(count));
       metrics_->record_forward(profile, count);
+      if (hits > 0) metrics_->deadline_hits.inc(hits);
+      if (misses > 0) metrics_->deadline_misses.inc(misses);
       for (const Request& request : requests) {
         metrics_->latency_ms.observe(
             std::chrono::duration<double, std::milli>(finished -
                                                       request.enqueued)
                 .count());
       }
+    }
+    // Tenant slots free BEFORE the promises are fulfilled: a client that
+    // holds its result must be able to resubmit immediately without
+    // bouncing off its own not-yet-released inflight count (the cap covers
+    // queued AND executing work, and execution is over).
+    if (config_.max_inflight_per_tenant > 0) {
+      MutexLock lock(mutex_);
+      for (const Request& request : requests) release_tenant(request.tenant);
     }
     for (std::size_t i = 0; i < count; ++i) {
       Request& request = requests[i];
@@ -815,6 +998,10 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
       metrics_->failed.inc(count);
       metrics_->inflight.add(-static_cast<double>(count));
     }
+    if (config_.max_inflight_per_tenant > 0) {
+      MutexLock lock(mutex_);
+      for (const Request& request : requests) release_tenant(request.tenant);
+    }
     for (std::size_t i = 0; i < count; ++i) {
       Request& request = requests[i];
       if (request.trace) {
@@ -832,9 +1019,11 @@ void ShardedServer::run_batch(std::size_t self, std::size_t victim,
 ShardStats ShardedServer::stats() const {
   ShardStats stats;
   std::vector<ReplicaHealth> health;
+  std::vector<char> active;
   {
     MutexLock lock(mutex_);
     health = health_;
+    active = active_;
   }
   std::vector<double> all_latencies;
   {
@@ -843,9 +1032,13 @@ ShardStats ShardedServer::stats() const {
     stats.aggregate.admission_rejected = admission_rejected_;
     stats.aggregate.shed = shed_;
     stats.aggregate.failed = failed_;
+    stats.aggregate.deadline_hits = deadline_hits_;
+    stats.aggregate.deadline_misses = deadline_misses_;
     stats.retried = retried_;
-    stats.replicas.reserve(replicas_.size());
-    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    stats.tenant_rejected = tenant_rejected_;
+    stats.drained = drained_;
+    stats.replicas.reserve(capacity_);
+    for (std::size_t r = 0; r < capacity_; ++r) {
       const ReplicaCounters& counters = counters_[r];
       ReplicaStats rs;
       rs.completed = counters.completed;
@@ -862,6 +1055,7 @@ ShardStats ShardedServer::stats() const {
       rs.latency_p95_ms = latency_percentile(latencies, 0.95);
       rs.latency_p99_ms = latency_percentile(latencies, 0.99);
       rs.health = health[r];
+      rs.active = active[r] != 0;
       rs.fault_injections = counters.fault_injections;
       rs.recalibrations = counters.recalibrations;
 
@@ -878,6 +1072,16 @@ ShardStats ShardedServer::stats() const {
       stats.replicas.push_back(rs);
     }
   }
+  for (const char a : active) {
+    if (a != 0) ++stats.active_replicas;
+  }
+  {
+    MutexLock lock(autoscale_mutex_);
+    for (const AutoscaleDecision& decision : decision_log_) {
+      if (decision.action == AutoscaleAction::kUp) ++stats.autoscale_ups;
+      if (decision.action == AutoscaleAction::kDown) ++stats.autoscale_downs;
+    }
+  }
   stats.aggregate.mean_batch =
       stats.aggregate.batches == 0
           ? 0.0
@@ -890,8 +1094,261 @@ ShardStats ShardedServer::stats() const {
     stats.aggregate.latency_p99_ms = latency_percentile(all_latencies, 0.99);
     stats.aggregate.latency_p999_ms = latency_percentile(all_latencies, 0.999);
     stats.aggregate.latency_max_ms = all_latencies.back();
+    stats.aggregate.latency_p99_saturated =
+        percentile_saturated(all_latencies.size(), 0.99);
+    stats.aggregate.latency_p999_saturated =
+        percentile_saturated(all_latencies.size(), 0.999);
   }
   return stats;
+}
+
+bool ShardedServer::activate_replica(std::size_t r) {
+  build_replica(r);
+  Replica& replica = replica_ref(r);
+  // Scale-up admission runs the same bitwise-clean canary gate quarantined
+  // replicas rejoin through: a slot that decayed while retired (e.g. faults
+  // injected into it) must not serve divergent logits.
+  CanaryProbe probe;
+  {
+    SharedReaderLock plock(replica.program_mutex);
+    probe = replica.canary->probe(*replica.executor);
+  }
+  if (metrics_) replica_metrics_[r]->probes.inc();
+  if (!probe.bitwise_clean) {
+    // Reprogram from the pristine clone with the replica's original options
+    // (same seed → bitwise the clean program), then re-probe.
+    {
+      SharedWriterLock plock(replica.program_mutex);
+      replica.program = compile(network_, sample_shape_, replica.options);
+    }
+    {
+      SharedReaderLock plock(replica.program_mutex);
+      probe = replica.canary->probe(*replica.executor);
+    }
+    if (metrics_) replica_metrics_[r]->probes.inc();
+    if (!probe.bitwise_clean) return false;
+  }
+  ReplicaHealth prev = ReplicaHealth::kHealthy;
+  {
+    MutexLock lock(mutex_);
+    prev = health_[r];
+    trackers_[r]->reset();
+    health_[r] = ReplicaHealth::kHealthy;
+    active_[r] = 1;
+  }
+  if (prev != ReplicaHealth::kHealthy) {
+    record_health(r, ReplicaHealth::kHealthy);
+  }
+  GS_LOG_DEBUG.field("replica", r) << "autoscale: replica activated";
+  return true;
+}
+
+void ShardedServer::retire_replica(std::size_t r) {
+  std::vector<Request> shed;
+  std::size_t drained = 0;
+  {
+    MutexLock lock(mutex_);
+    active_[r] = 0;
+    // Voluntary drain: re-placement does NOT consume retry attempts —
+    // retirement is a scaling decision, not a fault.
+    drained = reroute_queue(r, shed, /*count_retry=*/false);
+    update_queue_gauges();
+  }
+  if (drained > 0) {
+    {
+      MutexLock lock(stats_mutex_);
+      drained_ += drained;
+    }
+    if (fleet_metrics_) fleet_metrics_->drained.inc(drained);
+  }
+  shed_requests(shed,
+                "ShardedServer: shed — could not re-route off a replica "
+                "retired by scale-down");
+  GS_LOG_DEBUG.field("replica", r).field("drained", drained)
+      << "autoscale: replica retired";
+}
+
+AutoscaleDecision ShardedServer::autoscale_tick_now() {
+  GS_CHECK_MSG(config_.autoscale.enabled,
+               "autoscale_tick_now: autoscaling is disabled");
+  const AutoscaleConfig& knobs = config_.autoscale;
+  MutexLock tick_lock(autoscale_mutex_);
+
+  AutoscaleDecision decision;
+  decision.tick = ++tick_;
+
+  // --- Sample the controller inputs at this tick. -------------------------
+  bool quarantined = false;
+  std::size_t active = 0;
+  std::size_t depth = 0;
+  {
+    MutexLock lock(mutex_);
+    for (std::size_t r = 0; r < capacity_; ++r) {
+      if (!active_[r]) continue;
+      ++active;
+      depth += queues_[r].size();
+      if (health_[r] == ReplicaHealth::kQuarantined) quarantined = true;
+    }
+  }
+  if (metrics_) {
+    // Consume the PR 8 observability signal when it is on: the engine
+    // queue-depth gauge equals the direct sum by the gauge invariant, so the
+    // decision is identical either way — but the controller exercises the
+    // production signal path.
+    depth = static_cast<std::size_t>(metrics_->queue_depth.value());
+  }
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t shed_total = 0;
+  std::size_t rejected_total = 0;
+  {
+    MutexLock lock(stats_mutex_);
+    hits = deadline_hits_;
+    misses = deadline_misses_;
+    shed_total = shed_;
+    rejected_total = rejected_;
+  }
+  if (metrics_) {
+    // Same-by-invariant as the internal counters (asserted by the autoscale
+    // tests); preferred for the same reason as the depth gauge.
+    hits = metrics_->deadline_hits.value();
+    misses = metrics_->deadline_misses.value();
+  }
+  decision.queue_depth = depth;
+  decision.active_replicas = active;
+  decision.deadline_hits_delta = hits - last_hits_;
+  decision.deadline_misses_delta = misses - last_misses_;
+  decision.shed_delta = shed_total - last_shed_;
+  decision.rejected_delta = rejected_total - last_rejected_;
+  decision.quarantine_hold = quarantined;
+  last_hits_ = hits;
+  last_misses_ = misses;
+  last_shed_ = shed_total;
+  last_rejected_ = rejected_total;
+
+  // --- Decide (a pure function of the sampled inputs + streak state). -----
+  if (quarantined) {
+    // The fault loop owns the fleet first: no scaling while any active
+    // replica is quarantined, and streaks restart from scratch after.
+    up_streak_ = 0;
+    down_streak_ = 0;
+  } else {
+    const double per_replica =
+        active == 0 ? 0.0
+                    : static_cast<double>(depth) / static_cast<double>(active);
+    const std::uint64_t decided =
+        decision.deadline_hits_delta + decision.deadline_misses_delta;
+    const bool slo_breach =
+        knobs.slo_target > 0.0 && decided > 0 &&
+        static_cast<double>(decision.deadline_hits_delta) <
+            knobs.slo_target * static_cast<double>(decided);
+    const bool up_signal = per_replica >= knobs.scale_up_depth || slo_breach;
+    const bool down_signal = !up_signal &&
+                             per_replica <= knobs.scale_down_depth &&
+                             decision.shed_delta == 0 &&
+                             decision.rejected_delta == 0;
+    up_streak_ = up_signal ? up_streak_ + 1 : 0;
+    down_streak_ = down_signal ? down_streak_ + 1 : 0;
+
+    if (up_signal && up_streak_ >= knobs.up_ticks && active < capacity_) {
+      // Scale up into the lowest inactive slot (deterministic target
+      // choice).
+      std::size_t target = kNone;
+      {
+        MutexLock lock(mutex_);
+        for (std::size_t r = 0; r < capacity_; ++r) {
+          if (!active_[r]) {
+            target = r;
+            break;
+          }
+        }
+      }
+      if (target != kNone && activate_replica(target)) {
+        decision.action = AutoscaleAction::kUp;
+        decision.target = target;
+        up_streak_ = 0;
+      }
+    } else if (down_signal && down_streak_ >= knobs.down_ticks &&
+               active > knobs.min_replicas) {
+      // Scale down the emptiest active replica; ties retire the HIGHEST
+      // index, keeping the active set packed toward low slots.
+      std::size_t target = kNone;
+      std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+      {
+        MutexLock lock(mutex_);
+        for (std::size_t r = 0; r < capacity_; ++r) {
+          if (!active_[r]) continue;
+          if (queues_[r].size() <= best_depth) {
+            best_depth = queues_[r].size();
+            target = r;
+          }
+        }
+      }
+      if (target != kNone) {
+        retire_replica(target);
+        decision.action = AutoscaleAction::kDown;
+        decision.target = target;
+        down_streak_ = 0;
+      }
+    }
+  }
+
+  decision_log_.push_back(decision);
+  if (fleet_metrics_) {
+    if (decision.action == AutoscaleAction::kUp) {
+      fleet_metrics_->scale_ups.inc();
+    }
+    if (decision.action == AutoscaleAction::kDown) {
+      fleet_metrics_->scale_downs.inc();
+    }
+    std::size_t now_active = active;
+    if (decision.action == AutoscaleAction::kUp) ++now_active;
+    if (decision.action == AutoscaleAction::kDown) --now_active;
+    fleet_metrics_->active_replicas.set(static_cast<double>(now_active));
+  }
+  GS_LOG_DEBUG.field("tick", decision.tick)
+          .field("depth", decision.queue_depth)
+          .field("active", decision.active_replicas)
+          .field("action", static_cast<int>(decision.action))
+          .field("target",
+                 decision.target == AutoscaleDecision::kNoTarget
+                     ? -1
+                     : static_cast<long long>(decision.target))
+      << "autoscale tick";
+  queue_cv_.notify_all();
+  return decision;
+}
+
+std::vector<AutoscaleDecision> ShardedServer::autoscale_log() const {
+  MutexLock lock(autoscale_mutex_);
+  return decision_log_;
+}
+
+std::uint64_t ShardedServer::autoscale_log_checksum() const {
+  MutexLock lock(autoscale_mutex_);
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const AutoscaleDecision& decision : decision_log_) {
+    hash = fnv1a_fold(hash, decision.tick);
+    hash = fnv1a_fold(hash, decision.queue_depth);
+    hash = fnv1a_fold(hash, decision.active_replicas);
+    hash = fnv1a_fold(hash, decision.deadline_hits_delta);
+    hash = fnv1a_fold(hash, decision.deadline_misses_delta);
+    hash = fnv1a_fold(hash, decision.shed_delta);
+    hash = fnv1a_fold(hash, decision.rejected_delta);
+    hash = fnv1a_fold(hash, decision.quarantine_hold ? 1 : 0);
+    hash = fnv1a_fold(hash, static_cast<std::uint64_t>(decision.action));
+    hash = fnv1a_fold(hash, decision.target);
+  }
+  return hash;
+}
+
+std::size_t ShardedServer::active_replica_count() const {
+  MutexLock lock(mutex_);
+  std::size_t count = 0;
+  for (const char a : active_) {
+    if (a != 0) ++count;
+  }
+  return count;
 }
 
 double evaluate(ShardedServer& server, const data::Dataset& dataset,

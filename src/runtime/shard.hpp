@@ -42,6 +42,30 @@
 //    step); with interval 0 the loop is driven manually — the mode the
 //    deterministic fault bench replays.
 //
+// Elasticity (AutoscaleConfig — see docs/ARCHITECTURE.md "Elastic serving &
+// traffic replay"): the server provisions CAPACITY for max_replicas but
+// activates only `replicas` at start. A controller — run by the maintenance
+// thread each probe tick, or manually via autoscale_tick_now() — samples
+// queue depth and deadline-SLO attainment (from the PR 8 metrics registry
+// when metrics are on, the internal counters otherwise) and scales the
+// active set between min_replicas and max_replicas. Scale-up compiles the
+// next replica slot on first use (seed = base + r·seed_stride) and admits it
+// through the same bitwise-clean canary gate quarantined replicas rejoin
+// through; scale-down retires the emptiest active replica, re-routing its
+// queued requests to the survivors (counted as `drained`, not as retries —
+// retirement is voluntary, not a fault). Every decision is a pure function
+// of the counters sampled at the tick and is appended to a replayable
+// decision log (autoscale_log / autoscale_log_checksum). No scaling happens
+// while any active replica is quarantined — the fault loop owns the fleet
+// first.
+//
+// Fairness: requests carry a tenant id and a priority (RequestOptions).
+// Queues are kept in deadline-then-priority order, displacement shedding
+// picks the worst-ranked victim, and max_inflight_per_tenant caps the
+// queued+executing requests of any single tenant — an adversarial tenant
+// hits its own cap and is rejected (gs_server_tenant_rejected_total) while
+// other tenants keep being placed.
+//
 // Observability (config.batching.observability): the shard exports the
 // engine="sharded" serving metrics plus per-replica lifecycle metrics
 // (gs_replica_* — queue depth, health state, probes, fault injections,
@@ -51,11 +75,12 @@
 // structured fields at Debug level.
 //
 // Thread-safety: submit()/infer()/stats()/health()/probe_now()/
-// recalibrate_now()/inject_replica_faults() are safe from any number of
-// threads; shutdown() is idempotent, runs in the destructor, and submit()
-// after shutdown() returns an immediately-rejected future. Lock order is
-// program_mutex (per replica) → mutex_ → stats_mutex_, never reversed;
-// trace and metric internals are leaves.
+// recalibrate_now()/inject_replica_faults()/autoscale_tick_now() are safe
+// from any number of threads; shutdown() is idempotent, runs in the
+// destructor, and submit() after shutdown() returns an immediately-rejected
+// future. Lock order is autoscale_mutex_ → program_mutex (per replica) →
+// mutex_ → stats_mutex_, never reversed; trace and metric internals are
+// leaves.
 // Determinism: per-replica execution inherits the Executor contract; fault
 // realisations are pure functions of (config.seed, replica, tile); which
 // replica serves a request is scheduling-dependent and only observable when
@@ -64,8 +89,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -79,16 +106,76 @@
 
 namespace gs::runtime {
 
+/// Elastic-scaling knobs. Decisions are pure functions of the counters
+/// sampled at each tick (autoscale_tick_now, or the maintenance thread every
+/// probe_interval), so a replay with the same tick-by-tick inputs produces a
+/// bitwise-identical decision log.
+struct AutoscaleConfig {
+  bool enabled = false;
+  /// The active set never shrinks below this.
+  std::size_t min_replicas = 1;
+  /// Capacity ceiling; 0 = ShardConfig::replicas (no headroom beyond the
+  /// initial fleet). When larger than `replicas`, the extra replica slots
+  /// are provisioned (queues, dispatchers, thread-budget shares) up front
+  /// but compiled lazily on first activation.
+  std::size_t max_replicas = 0;
+  /// Scale-up signal: fleet queue depth per active replica at the tick is at
+  /// least this.
+  double scale_up_depth = 8.0;
+  /// Consecutive up-signal ticks required before acting.
+  std::size_t up_ticks = 1;
+  /// Scale-down signal: depth per active replica is at most this AND no
+  /// request was shed or rejected since the previous tick.
+  double scale_down_depth = 0.0;
+  /// Consecutive down-signal ticks required before acting.
+  std::size_t down_ticks = 2;
+  /// Additional scale-up signal: deadline-SLO attainment since the previous
+  /// tick (hits / (hits + misses), when any deadline was decided) fell below
+  /// this. 0 disables the SLO signal (depth only).
+  double slo_target = 0.0;
+
+  void validate() const;
+};
+
+/// What the controller saw and did at one tick — one entry of the replayable
+/// decision log. All fields are integral so the log checksums bitwise.
+enum class AutoscaleAction { kHold = 0, kUp = 1, kDown = 2 };
+struct AutoscaleDecision {
+  /// `target` value when no replica was acted on.
+  static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+
+  std::uint64_t tick = 0;           ///< 1-based controller tick index
+  std::size_t queue_depth = 0;      ///< fleet queue depth sampled at the tick
+  std::size_t active_replicas = 0;  ///< active replicas BEFORE the action
+  std::uint64_t deadline_hits_delta = 0;    ///< since the previous tick
+  std::uint64_t deadline_misses_delta = 0;  ///< since the previous tick
+  std::size_t shed_delta = 0;               ///< shed since the previous tick
+  std::size_t rejected_delta = 0;       ///< rejected since the previous tick
+  bool quarantine_hold = false;  ///< a quarantined replica froze scaling
+  AutoscaleAction action = AutoscaleAction::kHold;
+  std::size_t target = kNoTarget;  ///< replica activated (kUp) / retired (kDown)
+};
+
+/// Splits an executor thread budget of `total` across `replicas` pools:
+/// every replica gets total/replicas threads and the FIRST total%replicas
+/// replicas get one extra, so the shares sum exactly to the budget (no
+/// silently idled remainder threads). When replicas exceed the budget, every
+/// replica gets the floor of one thread (intentional oversubscription).
+std::vector<std::size_t> split_thread_budget(std::size_t total,
+                                             std::size_t replicas);
+
 /// Shard-level knobs on top of the per-replica BatchingConfig.
 struct ShardConfig {
   std::size_t replicas = 2;
-  /// Executor thread budget split evenly across replicas: each replica gets
-  /// max(1, total/replicas) pool threads. 0 = the global pool size
-  /// (GS_NUM_THREADS). Remainder threads are left unused so replicas stay
-  /// symmetric (budget 3 over 2 replicas → 1 thread each); when replicas
-  /// exceed the budget, the floor of one pool thread per replica
-  /// intentionally oversubscribes it — size replicas ≤ total_threads for
-  /// equal-budget comparisons against a single-replica server.
+  /// Executor thread budget, split across replica CAPACITY by
+  /// split_thread_budget (remainder distributed, shares sum to the budget).
+  /// 0 = the global pool size (GS_NUM_THREADS). The split is computed once
+  /// over max_replicas slots and never changes, so scale-up/down cannot
+  /// perturb any replica's pool size (the determinism contracts hold across
+  /// scale events); when replicas exceed the budget, the floor of one pool
+  /// thread per replica intentionally oversubscribes it — size replicas ≤
+  /// total_threads for equal-budget comparisons against a single-replica
+  /// server.
   std::size_t total_threads = 0;
   /// Replica r programs its crossbars with analog seed base + r·stride —
   /// distinct chips realise distinct variation. Stride 0 makes all replicas
@@ -108,6 +195,12 @@ struct ShardConfig {
   /// Re-route attempts per request after its replica is quarantined;
   /// beyond this the request is shed.
   std::size_t max_retries = 1;
+  /// Elastic replica scaling (default off: the fleet stays at `replicas`).
+  AutoscaleConfig autoscale;
+  /// Per-tenant fairness: cap on the queued+executing requests any single
+  /// tenant (RequestOptions::tenant) may hold; beyond it that tenant's
+  /// submits are rejected while other tenants keep being placed. 0 = no cap.
+  std::size_t max_inflight_per_tenant = 0;
 
   void validate() const;
 };
@@ -126,6 +219,9 @@ struct ReplicaStats {
   ReplicaHealth health = ReplicaHealth::kHealthy;
   std::size_t fault_injections = 0;  ///< inject_replica_faults calls
   std::size_t recalibrations = 0;    ///< successful rejoin count
+  /// False for a replica slot currently retired (or never activated) by the
+  /// autoscaler — it holds no queue and takes no placement.
+  bool active = true;
 };
 
 /// Aggregate view plus the per-replica breakdown.
@@ -135,6 +231,15 @@ struct ShardStats {
   std::size_t stolen_batches = 0;  ///< Σ replicas[i].stolen_batches
   std::size_t retried = 0;  ///< requests re-routed off a quarantined replica
   std::size_t recalibrations = 0;  ///< Σ replicas[i].recalibrations
+  std::size_t active_replicas = 0;  ///< replicas currently taking placement
+  /// Rejections issued by the per-tenant inflight cap (subset of
+  /// aggregate.rejected).
+  std::size_t tenant_rejected = 0;
+  /// Requests re-routed off replicas retired by scale-down (voluntary — not
+  /// counted as retries).
+  std::size_t drained = 0;
+  std::size_t autoscale_ups = 0;    ///< kUp decisions applied
+  std::size_t autoscale_downs = 0;  ///< kDown decisions applied
 };
 
 class ShardedServer {
@@ -162,6 +267,12 @@ class ShardedServer {
   /// As above with an explicit per-request deadline (time allowed from
   /// submit to completion; 0 = none).
   std::future<Tensor> submit(Tensor sample, std::chrono::microseconds deadline);
+
+  /// Full per-request surface: deadline, tenant id, priority. Placement and
+  /// displacement shedding order by (deadline, then priority); the
+  /// per-tenant inflight cap rejects a tenant already holding
+  /// max_inflight_per_tenant queued+executing requests.
+  std::future<Tensor> submit(Tensor sample, const RequestOptions& options);
 
   /// Blocking convenience: submit + get.
   Tensor infer(const Tensor& sample);
@@ -216,15 +327,42 @@ class ShardedServer {
                           std::size_t max_samples = 0,
                           std::size_t batch_size = 32) const;
 
+  // --- Elasticity surface ------------------------------------------------
+
+  /// Runs one autoscale controller tick NOW (requires autoscale.enabled):
+  /// samples the controller inputs, decides, applies the action, appends to
+  /// the decision log, and returns the decision. The maintenance thread
+  /// calls this every probe tick; benches and tests drive it manually for
+  /// deterministic replays.
+  AutoscaleDecision autoscale_tick_now();
+
+  /// Copy of the replayable decision log (one entry per tick so far).
+  std::vector<AutoscaleDecision> autoscale_log() const;
+
+  /// FNV-1a over every decision's fields in tick order — two replays with
+  /// identical tick-by-tick inputs produce equal checksums bitwise.
+  std::uint64_t autoscale_log_checksum() const;
+
+  /// Replicas currently taking placement.
+  std::size_t active_replica_count() const;
+
   ShardStats stats() const;
 
   /// The tracer sampling this server's requests (nullptr when tracing is
   /// off) — completed span trees are read through it.
   const obs::Tracer* tracer() const { return tracer_; }
 
-  std::size_t replica_count() const { return replicas_.size(); }
-  /// Pool threads each replica's executor runs on.
-  std::size_t threads_per_replica() const { return threads_per_replica_; }
+  /// Provisioned replica SLOTS (the autoscale capacity) — not all of them
+  /// are necessarily active or even compiled; see active_replica_count().
+  std::size_t replica_count() const { return capacity_; }
+  /// Pool threads replica r's executor runs on (the split_thread_budget
+  /// share — fixed at construction, stable across scale events).
+  std::size_t threads_for_replica(std::size_t r) const {
+    return thread_split_.at(r);
+  }
+  /// The full per-replica thread split (shares sum to the budget whenever
+  /// capacity ≤ budget).
+  const std::vector<std::size_t>& thread_split() const { return thread_split_; }
   /// The program replica `r` executes (distinct analog seed per replica).
   /// NOT synchronised against concurrent injection/recalibration — callers
   /// quiesce those first (prefer replica_program_checksum for fingerprints).
@@ -237,6 +375,8 @@ class ShardedServer {
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline =
         BatchingServer::kNoDeadline;
+    std::uint64_t tenant = 0;
+    int priority = 0;
     std::size_t attempts = 0;  ///< re-routes consumed (quarantine retries)
     std::uint64_t id = 0;  ///< submit-order id (trace sampling key)
     std::shared_ptr<obs::Trace> trace;  ///< non-null when sampled
@@ -274,6 +414,33 @@ class ShardedServer {
 
   void dispatch_loop(std::size_t self);
   void maintenance_loop();
+  /// Compiles replica r's program/executor/canary into its slot (no-op when
+  /// already built). The compile runs unlocked; the slot install takes
+  /// mutex_, which publishes the build to every later reader.
+  void build_replica(std::size_t r) GS_EXCLUDES(mutex_);
+  /// Replica r's built slot (GS_CHECKs it exists). Slots are never torn down
+  /// once built, so the reference stays valid after mutex_ is released.
+  Replica& replica_ref(std::size_t r) const GS_EXCLUDES(mutex_);
+  /// Re-routes every request queued on replica r to active replicas via
+  /// placement; requests that cannot be placed land in `shed`. With
+  /// `count_retry` each move consumes a retry attempt (the quarantine path);
+  /// without, moves are free (the voluntary scale-down drain). Returns the
+  /// number re-routed.
+  std::size_t reroute_queue(std::size_t r, std::vector<Request>& shed,
+                            bool count_retry) GS_REQUIRES(mutex_);
+  /// Decrements `tenant`'s inflight count, erasing the entry at zero. No-op
+  /// when the per-tenant cap is disabled (the count is only maintained when
+  /// it is enforced).
+  void release_tenant(std::uint64_t tenant) GS_REQUIRES(mutex_);
+  /// Scale-up admission: builds replica r if needed, probes its canary, and
+  /// (when the probe is not bitwise clean — e.g. faults were injected while
+  /// the slot was retired) reprograms from the pristine clone and re-probes.
+  /// Activates the replica only on a bitwise-clean probe; returns whether it
+  /// was admitted.
+  bool activate_replica(std::size_t r) GS_EXCLUDES(mutex_);
+  /// Scale-down: deactivates replica r and re-routes its queue to the
+  /// survivors (the slot stays built and warm for future re-activation).
+  void retire_replica(std::size_t r) GS_EXCLUDES(mutex_);
   /// Pops up to max_batch non-expired requests from `victim`'s queue;
   /// expired ones land in `expired`.
   std::vector<Request> take_batch(std::size_t victim,
@@ -306,16 +473,24 @@ class ShardedServer {
   ShardConfig config_;
   nn::Network network_;  ///< pristine clone — the recalibration source
   Shape sample_shape_;   ///< == every replica program's input_shape()
-  std::size_t threads_per_replica_ = 1;
-  /// Immutable vector (built in the constructor); per-replica program state
-  /// is guarded by each Replica's own program_mutex.
-  std::vector<std::unique_ptr<Replica>> replicas_;
+  CompileOptions base_options_;  ///< seed base for lazily-built replicas
+  std::size_t capacity_ = 0;  ///< provisioned replica slots (autoscale max)
+  /// Per-replica pool sizes (split_thread_budget over capacity_) — fixed at
+  /// construction so scale events never perturb any replica's pool.
+  std::vector<std::size_t> thread_split_;
+  /// Replica slots, sized to capacity_ in the constructor. The POINTERS are
+  /// guarded by mutex_ (scale-up installs lazily-compiled slots); a slot,
+  /// once built, is never torn down, so a non-null Replica* remains valid
+  /// after the lock is dropped. Per-replica program state is guarded by each
+  /// Replica's own program_mutex.
+  std::vector<std::unique_ptr<Replica>> replicas_ GS_GUARDED_BY(mutex_);
 
   /// Registry-backed serving metrics (null when observability.metrics off).
   /// Unlike BatchingServer, the per-sample profile is NOT priced once here:
   /// fault injection and recalibration mutate replica programs (including
   /// skip flags), so run_batch re-prices under the replica's program lock.
   std::unique_ptr<obs::ServingMetrics> metrics_;
+  std::unique_ptr<obs::FleetMetrics> fleet_metrics_;
   std::vector<std::unique_ptr<obs::ReplicaMetrics>> replica_metrics_;
   std::unique_ptr<obs::Tracer> owned_tracer_;
   obs::Tracer* tracer_ = nullptr;  ///< external or owned; null = no tracing
@@ -332,15 +507,40 @@ class ShardedServer {
   std::vector<ReplicaHealth> health_ GS_GUARDED_BY(mutex_);
   /// Hysteresis tracker of replica r (observe() only under mutex_).
   std::vector<std::unique_ptr<HealthTracker>> trackers_ GS_GUARDED_BY(mutex_);
+  /// Whether replica r currently takes placement (autoscale active set;
+  /// always all-true when autoscaling is off).
+  std::vector<char> active_ GS_GUARDED_BY(mutex_);
+  /// Queued+executing requests per tenant (std::map: deterministic-iteration
+  /// container discipline). Entries are erased at zero so idle tenants don't
+  /// accumulate.
+  std::map<std::uint64_t, std::size_t> tenant_inflight_ GS_GUARDED_BY(mutex_);
 
   mutable Mutex stats_mutex_;
   std::vector<ReplicaCounters> counters_ GS_GUARDED_BY(stats_mutex_);
   std::size_t rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::size_t admission_rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t tenant_rejected_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::size_t shed_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::size_t retried_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t drained_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::size_t failed_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t deadline_hits_ GS_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t deadline_misses_ GS_GUARDED_BY(stats_mutex_) = 0;
   std::atomic<double> ewma_batch_cost_us_{0.0};
+
+  /// Controller state — serialises ticks and guards the decision log.
+  /// Acquired BEFORE any other lock (autoscale_mutex_ → program_mutex →
+  /// mutex_ → stats_mutex_); nothing below it ever takes it.
+  mutable Mutex autoscale_mutex_;
+  std::vector<AutoscaleDecision> decision_log_ GS_GUARDED_BY(autoscale_mutex_);
+  std::uint64_t tick_ GS_GUARDED_BY(autoscale_mutex_) = 0;
+  std::size_t up_streak_ GS_GUARDED_BY(autoscale_mutex_) = 0;
+  std::size_t down_streak_ GS_GUARDED_BY(autoscale_mutex_) = 0;
+  /// Counter snapshots from the previous tick (delta inputs).
+  std::uint64_t last_hits_ GS_GUARDED_BY(autoscale_mutex_) = 0;
+  std::uint64_t last_misses_ GS_GUARDED_BY(autoscale_mutex_) = 0;
+  std::size_t last_shed_ GS_GUARDED_BY(autoscale_mutex_) = 0;
+  std::size_t last_rejected_ GS_GUARDED_BY(autoscale_mutex_) = 0;
 
   Mutex join_mutex_;  ///< serializes shutdown()'s joinable-check + join
   /// Dispatcher thread of replica r (started last in the constructor).

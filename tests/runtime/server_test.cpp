@@ -211,5 +211,85 @@ TEST(BatchingServerTest, FullQueueShedsByDeadlinePriority) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+TEST(ServerStatsTest, SmallSamplePercentilesAreMarkedSaturated) {
+  // The rule (docs/OBSERVABILITY.md "Small-sample percentiles"): a tail
+  // quantile over n samples degenerates to the window max when n·(1−q) < 1.
+  EXPECT_TRUE(percentile_saturated(1, 0.5));
+  EXPECT_TRUE(percentile_saturated(99, 0.99));
+  EXPECT_FALSE(percentile_saturated(100, 0.99));
+  EXPECT_TRUE(percentile_saturated(999, 0.999));
+  EXPECT_FALSE(percentile_saturated(1000, 0.999));
+
+  Fixture fx = Fixture::make();
+  BatchingServer server(fx.executor);
+  constexpr std::size_t kRequests = 5;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    server.infer(sample(i));
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  // Percentile provenance: the count the percentiles were computed from is
+  // reported, and at 5 samples both tail percentiles are saturated — SLO
+  // reporting must fall back to the per-request deadline counters.
+  EXPECT_EQ(stats.latency_samples_total, kRequests);
+  EXPECT_TRUE(stats.latency_p99_saturated);
+  EXPECT_TRUE(stats.latency_p999_saturated);
+  EXPECT_DOUBLE_EQ(stats.latency_p99_ms, stats.latency_max_ms);
+}
+
+TEST(ServerStatsTest, EwmaRecordIsExactUnderConcurrentFolds) {
+  // Regression for the ewma_batch_cost_us_ race: the old read-blend-store
+  // lost concurrent updates; the compare-exchange loop folds every sample.
+  // With a constant input the EWMA is a fixed point, so ANY interleaving of
+  // correct folds lands bitwise on the constant — a lost or torn update
+  // cannot hide.
+  std::atomic<double> accumulator{0.0};
+  constexpr double kCost = 10.0;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        ewma_record(accumulator, kCost);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(accumulator.load(), kCost);
+}
+
+TEST(BatchingServerTest, AdmissionEwmaSafeUnderConcurrentCompletions) {
+  // The serving-path regression (TSan-covered in CI): with measured batch
+  // costs, every completion WRITES the EWMA while every submit READS it —
+  // the exact interleaving the ewma_batch_cost_us_ race hit.
+  Fixture fx = Fixture::make();
+  BatchingConfig config;
+  config.max_batch = 4;
+  config.max_delay = std::chrono::microseconds(200);
+  config.admission.enabled = true;  // assumed_batch_cost 0 → measured EWMA
+  BatchingServer server(fx.executor, config);
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 8;
+  std::atomic<std::size_t> served{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        // Generous deadline: admission predicts against the live EWMA but
+        // never rejects, so every request exercises read + write.
+        auto f = server.submit(sample(c * kPerClient + i),
+                               std::chrono::seconds(30));
+        if (f.get().numel() == 10u) served.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.shutdown();
+  EXPECT_EQ(served.load(), kClients * kPerClient);
+  EXPECT_EQ(server.stats().deadline_hits, kClients * kPerClient);
+}
+
 }  // namespace
 }  // namespace gs::runtime

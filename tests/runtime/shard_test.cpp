@@ -227,13 +227,44 @@ TEST(ShardedServerTest, ThreadBudgetSplitsAcrossReplicas) {
   config.replicas = 2;
   config.total_threads = 4;
   ShardedServer server(net, Shape{64}, CompileOptions{}, config);
-  EXPECT_EQ(server.threads_per_replica(), 2u);
+  EXPECT_EQ(server.thread_split(), (std::vector<std::size_t>{2, 2}));
+  EXPECT_EQ(server.threads_for_replica(0), 2u);
+
+  // A non-divisible budget distributes the remainder to the FIRST
+  // total%replicas replicas instead of idling it — the shares sum to the
+  // budget exactly.
+  ShardConfig uneven;
+  uneven.replicas = 3;
+  uneven.total_threads = 8;
+  ShardedServer mid(net, Shape{64}, CompileOptions{}, uneven);
+  EXPECT_EQ(mid.thread_split(), (std::vector<std::size_t>{3, 3, 2}));
 
   ShardConfig starved;
   starved.replicas = 4;
   starved.total_threads = 2;  // budget below replica count → 1 each
   ShardedServer small(net, Shape{64}, CompileOptions{}, starved);
-  EXPECT_EQ(small.threads_per_replica(), 1u);
+  EXPECT_EQ(small.thread_split(), (std::vector<std::size_t>{1, 1, 1, 1}));
+}
+
+TEST(ShardedServerTest, SplitThreadBudgetSumsToBudget) {
+  for (std::size_t replicas = 1; replicas <= 6; ++replicas) {
+    for (std::size_t total = replicas; total <= 24; ++total) {
+      const std::vector<std::size_t> split =
+          split_thread_budget(total, replicas);
+      ASSERT_EQ(split.size(), replicas);
+      std::size_t sum = 0;
+      for (std::size_t r = 0; r < replicas; ++r) {
+        sum += split[r];
+        // Remainder goes to the first total%replicas replicas: shares are
+        // non-increasing and differ by at most one.
+        if (r > 0) {
+          EXPECT_LE(split[r], split[r - 1]);
+          EXPECT_LE(split[r - 1] - split[r], 1u);
+        }
+      }
+      EXPECT_EQ(sum, total) << total << " threads over " << replicas;
+    }
+  }
 }
 
 }  // namespace
